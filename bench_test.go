@@ -1,0 +1,465 @@
+// Benchmarks regenerating the paper's evaluation, one per table/figure,
+// plus ablations for the design choices DESIGN.md calls out. The benchmark
+// numbers are host CPU time for running the algorithms over the simulator;
+// the paper-comparable quantities (probe counts, simulated times) are
+// reported as custom metrics: probes/op and sim-ms/op.
+package sanmap_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/election"
+	"sanmap/internal/mapper"
+	"sanmap/internal/myricom"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+	"sanmap/internal/wormsim"
+)
+
+// reportMap attaches the paper-comparable metrics to a mapping result.
+func reportMap(b *testing.B, m *mapper.Map) {
+	b.ReportMetric(float64(m.Stats.Probes.TotalProbes()), "probes/op")
+	b.ReportMetric(float64(m.Stats.Elapsed.Milliseconds()), "sim-ms/op")
+}
+
+// benchBerkeley is the Fig 6/7 master-mode benchmark body.
+func benchBerkeley(b *testing.B, sys *cluster.System) {
+	b.Helper()
+	net := sys.Net
+	h0 := sys.Mapper()
+	depth := net.DepthBound(h0)
+	var last *mapper.Map
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := simnet.NewDefault(net)
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	reportMap(b, last)
+}
+
+// Fig 6 / Fig 7 (master column): Berkeley mapping of the three systems.
+func BenchmarkMapMasterC(b *testing.B)   { benchBerkeley(b, cluster.CConfig(nil)) }
+func BenchmarkMapMasterCA(b *testing.B)  { benchBerkeley(b, cluster.CAConfig(nil)) }
+func BenchmarkMapMasterCAB(b *testing.B) { benchBerkeley(b, cluster.CABConfig(nil)) }
+
+// Fig 7 (election column): election-mode mapping of subcluster C.
+func BenchmarkMapElectionC(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	depth := sys.Net.DepthBound(sys.Mapper())
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := election.Run(sys.Net, election.Config{
+			Model:  simnet.CircuitModel,
+			Timing: simnet.DefaultTiming(),
+			Mapper: mapper.DefaultConfig(depth),
+			Rng:    rand.New(rand.NewSource(int64(i) + 1)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = float64(res.Elapsed.Milliseconds())
+	}
+	b.ReportMetric(sim, "sim-ms/op")
+}
+
+// Fig 8: the instrumented C+A+B run (snapshot overhead included).
+func BenchmarkMapInstrumentedCAB(b *testing.B) {
+	sys := cluster.CABConfig(nil)
+	depth := sys.Net.DepthBound(sys.Mapper())
+	cfg := mapper.DefaultConfig(depth)
+	cfg.Snapshots = true
+	var last *mapper.Map
+	for i := 0; i < b.N; i++ {
+		sn := simnet.NewDefault(sys.Net)
+		m, err := mapper.Run(sn.Endpoint(sys.Mapper()), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	reportMap(b, last)
+	b.ReportMetric(float64(len(last.Series)), "snapshots/op")
+}
+
+// Fig 9's hardest point: a single responding host on subcluster C (the
+// full sweep lives in cmd/sanexp -fig 9).
+func BenchmarkMapSingleResponderC(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	var last *mapper.Map
+	for i := 0; i < b.N; i++ {
+		sn := simnet.NewDefault(sys.Net)
+		for _, h := range sys.Net.Hosts() {
+			if h != h0 {
+				sn.SetResponder(h, false)
+			}
+		}
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	reportMap(b, last)
+}
+
+// Fig 10: the Myricom baseline on the three systems.
+func benchMyricom(b *testing.B, sys *cluster.System) {
+	b.Helper()
+	net := sys.Net
+	h0 := sys.Mapper()
+	depth := net.DepthBound(h0)
+	var last *myricom.Map
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := simnet.New(net, simnet.PacketModel, simnet.DefaultTiming())
+		m, err := myricom.Run(sn.Endpoint(h0), myricom.DefaultConfig(depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(last.Stats.Total()), "probes/op")
+	b.ReportMetric(float64(last.Stats.Elapsed.Milliseconds()), "sim-ms/op")
+}
+
+func BenchmarkMyricomC(b *testing.B)   { benchMyricom(b, cluster.CConfig(nil)) }
+func BenchmarkMyricomCAB(b *testing.B) { benchMyricom(b, cluster.CABConfig(nil)) }
+
+// §5.5: UP*/DOWN* route computation over the mapped 100-node system.
+func BenchmarkRoutesCAB(b *testing.B) {
+	sys := cluster.CABConfig(nil)
+	sn := simnet.NewDefault(sys.Net)
+	m, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.DefaultConfig(sys.Net.DepthBound(sys.Mapper())))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := routes.Compute(m.Network, routes.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --------------------------------------------------------------- ablations
+
+// Ablation 1 (§3.3 merging styles): production object-merge vs the §3.1
+// label algorithm on a small network (the label variant is exponential).
+func BenchmarkAblationLabelsVsMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.RandomConnected(3, 4, 1, rng)
+	h0 := net.Hosts()[0]
+	depth := net.DepthBound(h0)
+	if depth > 8 {
+		depth = 8
+	}
+	b.Run("merge", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(net)
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+	b.Run("labels", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(net)
+			m, err := mapper.LabelRun(sn.Endpoint(h0), depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+}
+
+// Ablation 2: replicate policy (frontier dedup vs retry vs explore-all).
+func BenchmarkAblationPolicy(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	for _, pc := range []struct {
+		name   string
+		policy mapper.ReplicatePolicy
+	}{
+		{"dedup", mapper.DedupFrontier},
+		{"retry-unknown", mapper.RetryUnknown},
+		{"explore-all", mapper.ExploreAll},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := mapper.DefaultConfig(depth)
+			cfg.Policy = pc.policy
+			var last *mapper.Map
+			for i := 0; i < b.N; i++ {
+				sn := simnet.NewDefault(sys.Net)
+				m, err := mapper.Run(sn.Endpoint(h0), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.StopTimer()
+			reportMap(b, last)
+		})
+	}
+}
+
+// Ablation 3 (§3.3 probe heuristics): small-turns-first + safe elimination
+// vs a naive −7..+7 scan with no elimination. The paper conjectures "the
+// total number of messages can be reduced by factors of 2 or more based
+// upon our experience with cleverly choosing the sequence that switch ports
+// are probed".
+func BenchmarkAblationProbeOrder(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	for _, pc := range []struct {
+		name      string
+		order     mapper.TurnOrder
+		eliminate bool
+	}{
+		{"heuristic+elim", mapper.SmallTurnsFirst, true},
+		{"naive", mapper.NaiveScan, false},
+	} {
+		b.Run(pc.name, func(b *testing.B) {
+			cfg := mapper.DefaultConfig(depth)
+			cfg.TurnOrder = pc.order
+			cfg.EliminateProbes = pc.eliminate
+			var last *mapper.Map
+			for i := 0; i < b.N; i++ {
+				sn := simnet.NewDefault(sys.Net)
+				m, err := mapper.Run(sn.Endpoint(h0), cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.StopTimer()
+			reportMap(b, last)
+		})
+	}
+}
+
+// Ablation 4 (§2.3.1 collision models): same mapping under the three worm
+// semantics.
+func BenchmarkAblationCollisionModel(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	for _, mc := range []struct {
+		name  string
+		model simnet.Model
+	}{
+		{"packet", simnet.PacketModel},
+		{"cutthrough", simnet.CutThroughModel},
+		{"circuit", simnet.CircuitModel},
+	} {
+		b.Run(mc.name, func(b *testing.B) {
+			var last *mapper.Map
+			for i := 0; i < b.N; i++ {
+				sn := simnet.New(sys.Net, mc.model, simnet.DefaultTiming())
+				m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.StopTimer()
+			reportMap(b, last)
+		})
+	}
+}
+
+// Ablation 5 (§3.1.4 depth bound): the paper's Q+D versus the packet-proof
+// 2D+1 versus a too-deep bound.
+func BenchmarkAblationDepth(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	net := sys.Net
+	q, _ := net.Q(h0)
+	d := net.Diameter()
+	for _, dc := range []struct {
+		name  string
+		depth int
+	}{
+		{"Q+D", q + d},
+		{"2D+1", 2*d + 1},
+		{"Q+D+4", q + d + 4},
+	} {
+		b.Run(dc.name, func(b *testing.B) {
+			var last *mapper.Map
+			for i := 0; i < b.N; i++ {
+				sn := simnet.NewDefault(net)
+				m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(dc.depth))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.StopTimer()
+			reportMap(b, last)
+		})
+	}
+}
+
+// Extension (§6): the randomized coupon-collector hybrid vs plain BFS on an
+// expander-ish topology.
+func BenchmarkRandomizedHybrid(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	net := topology.Hypercube(4, 1, rng)
+	h0 := net.Hosts()[0]
+	depth := net.DepthBound(h0)
+	b.Run("bfs", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(net)
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+	b.Run("hybrid", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(net)
+			m, err := mapper.RandomizedRun(sn.Endpoint(h0), mapper.RandomizedConfig{
+				Config:       mapper.DefaultConfig(depth),
+				CouponProbes: 200,
+				Rng:          rand.New(rand.NewSource(int64(i))),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+}
+
+// ------------------------------------------------------------ micro-level
+
+// BenchmarkEvalRoute measures the simulator's inner loop.
+func BenchmarkEvalRoute(b *testing.B) {
+	sys := cluster.CABConfig(nil)
+	sn := simnet.NewDefault(sys.Net)
+	h0 := sys.Mapper()
+	route := simnet.Route{1, -2, 3, -1, 2, -3, 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn.Eval(h0, route)
+	}
+}
+
+// BenchmarkDepthBound measures the Q+D computation (min-cost flows per
+// node) on the full system.
+func BenchmarkDepthBound(b *testing.B) {
+	sys := cluster.CABConfig(nil)
+	h0 := sys.Mapper()
+	for i := 0; i < b.N; i++ {
+		sys.Net.DepthBound(h0)
+	}
+}
+
+// Wormhole-deadlock demonstration (§5.5's motivation): permutation traffic
+// on a torus under hold-and-wait switching, naive vs UP*/DOWN* routes.
+func BenchmarkWormholePermutation(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.Torus(4, 4, 1, rng)
+	naive, err := routes.ShortestPaths(net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	safe, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := net.Hosts()
+	for _, bc := range []struct {
+		name string
+		tab  *routes.Table
+	}{{"shortest", naive}, {"updown", safe}} {
+		b.Run(bc.name, func(b *testing.B) {
+			dead := 0
+			for i := 0; i < b.N; i++ {
+				dead = 0
+				for shift := 1; shift < len(hosts); shift++ {
+					s := wormsim.New(net, simnet.DefaultTiming())
+					for j, src := range hosts {
+						dst := hosts[(j+shift)%len(hosts)]
+						if dst == src {
+							continue
+						}
+						r, _ := bc.tab.Route(src, dst)
+						if err := s.Inject(0, src, r); err != nil {
+							b.Fatal(err)
+						}
+					}
+					dead += s.Run().Deadlocked
+				}
+			}
+			b.ReportMetric(float64(dead), "deadlocks/op")
+		})
+	}
+}
+
+// §6's hardware thought experiment: self-identifying switches vs the
+// anonymous-switch Berkeley algorithm on the same cluster — what anonymity
+// costs in probes.
+func BenchmarkOracleVsBerkeley(b *testing.B) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	b.Run("berkeley", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(sys.Net)
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+	b.Run("oracle", func(b *testing.B) {
+		var last *mapper.Map
+		for i := 0; i < b.N; i++ {
+			sn := simnet.NewDefault(sys.Net)
+			sn.EnableSelfID()
+			m, err := mapper.OracleRun(sn.Endpoint(h0), depth)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = m
+		}
+		b.StopTimer()
+		reportMap(b, last)
+	})
+}

@@ -1,0 +1,89 @@
+// Command sangen generates system-area-network topologies in the textual
+// format consumed by sanmap, and reports their analysis parameters (the
+// quantities §3.1.4 of the paper defines: diameter D, probe bound Q, the
+// unmappable set F).
+//
+// Usage:
+//
+//	sangen -gen now-cab -o cab.san
+//	sangen -gen random:8,20,4 -seed 7 -analyze
+//	sangen -gen fattree:6x4 -tail 2 -analyze   # adds a hostless F region
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/topology"
+)
+
+func main() {
+	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs)
+	out := flag.String("o", "", "output file (default stdout)")
+	seed := flag.Int64("seed", 1, "random seed for port embeddings")
+	tail := flag.Int("tail", 0, "attach a hostless switch tail of this length (creates F)")
+	loops := flag.Int("loops", 0, "add this many loopback plugs on free switch ports")
+	analyze := flag.Bool("analyze", false, "print D, Q, |F| and other analysis parameters")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	res, err := genspec.Build(*gen, rng)
+	if err != nil {
+		die("%v", err)
+	}
+	net := res.Net
+	if *tail > 0 {
+		sw := net.Switches()
+		topology.WithTail(net, sw[rng.Intn(len(sw))], *tail, rng)
+	}
+	for i := 0; i < *loops; i++ {
+		placed := false
+		for _, s := range net.Switches() {
+			if p := net.FreePort(s); p >= 0 {
+				if err := net.AddReflector(s, p); err == nil {
+					placed = true
+					break
+				}
+			}
+		}
+		if !placed {
+			die("no free port for loopback plug %d", i)
+		}
+	}
+	if err := net.Validate(); err != nil {
+		die("generated network invalid: %v", err)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			die("%v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := net.Write(w); err != nil {
+		die("write: %v", err)
+	}
+
+	if *analyze {
+		h0 := net.Hosts()[0]
+		q, undef := net.Q(h0)
+		fmt.Fprintf(os.Stderr, "analysis: %v\n", net)
+		fmt.Fprintf(os.Stderr, "  diameter D      = %d\n", net.Diameter())
+		fmt.Fprintf(os.Stderr, "  probe bound Q   = %d (from %s)\n", q, net.NameOf(h0))
+		fmt.Fprintf(os.Stderr, "  search depth    = %d (Q+D)\n", q+net.Diameter())
+		fmt.Fprintf(os.Stderr, "  |F|             = %d\n", len(undef))
+		fmt.Fprintf(os.Stderr, "  switch-bridges  = %d\n", len(net.SwitchBridges()))
+		fmt.Fprintf(os.Stderr, "  loopback plugs  = %d\n", len(net.Reflectors()))
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sangen: "+format+"\n", args...)
+	os.Exit(1)
+}

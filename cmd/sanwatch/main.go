@@ -1,0 +1,192 @@
+// Command sanwatch demonstrates the paper's operational loop: "The system
+// periodically discovers the network topology and uses it to compute and to
+// distribute a set of mutually-deadlock free routes to all network
+// interfaces." It runs a sequence of mapping epochs over a topology that
+// mutates between epochs (cables fail, hosts move, switches appear), and
+// reports per epoch: the map diff against the previous epoch, verification
+// against the actual network, and the refreshed route set.
+//
+// Usage:
+//
+//	sanwatch [-gen spec] [-epochs N] [-churn N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func main() {
+	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs)
+	epochs := flag.Int("epochs", 6, "number of mapping epochs")
+	churn := flag.Int("churn", 2, "random mutations between epochs")
+	seed := flag.Int64("seed", 1, "seed for the mutation sequence")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	res, err := genspec.Build(*gen, rng)
+	if err != nil {
+		die("%v", err)
+	}
+	net := res.Net
+	var prev *mapper.Map
+	nextHost, nextSwitch := 0, 0
+
+	for epoch := 0; epoch < *epochs; epoch++ {
+		if epoch > 0 {
+			for c := 0; c < *churn; c++ {
+				mutate(net, rng, &nextHost, &nextSwitch)
+			}
+		}
+		h0 := pickMapper(net, res.Utility)
+		if h0 == topology.None {
+			die("epoch %d: no mapping host left", epoch)
+		}
+		sn := simnet.NewDefault(net)
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+		if err != nil {
+			die("epoch %d: mapping: %v", epoch, err)
+		}
+		verdict := "map ≅ N-F"
+		if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+			verdict = "MISMATCH: " + err.Error()
+		}
+		change := "initial map"
+		if prev != nil {
+			change = topology.Compare(prev.Network, m.Network).String()
+		}
+		prev = m
+
+		routeState := "routes refreshed"
+		if tab, err := routes.Compute(m.Network, routes.DefaultConfig()); err != nil {
+			routeState = "routes FAILED: " + err.Error()
+		} else if err := tab.VerifyDeadlockFree(); err != nil {
+			routeState = "DEADLOCK: " + err.Error()
+		} else {
+			routeState = fmt.Sprintf("%d routes refreshed (root %s)",
+				m.Network.NumHosts()*(m.Network.NumHosts()-1), m.Network.NameOf(tab.Root))
+		}
+		fmt.Printf("epoch %d: %v mapped in %v with %d probes; %s\n         change: %s\n         %s\n",
+			epoch, m.Network, m.Stats.Elapsed, m.Stats.Probes.TotalProbes(), verdict, change, routeState)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sanwatch: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func pickMapper(net *topology.Network, utility string) topology.NodeID {
+	if utility != "" {
+		if u := net.Lookup(utility); u != topology.None && net.WireAt(u, topology.HostPort) >= 0 {
+			return u
+		}
+	}
+	for _, h := range net.Hosts() {
+		if net.WireAt(h, topology.HostPort) >= 0 {
+			return h
+		}
+	}
+	return topology.None
+}
+
+// mutate applies one random reconfiguration, keeping the network valid and
+// connected (a mutation that would disconnect is retried as another kind).
+func mutate(net *topology.Network, rng *rand.Rand, nextHost, nextSwitch *int) {
+	for attempt := 0; attempt < 8; attempt++ {
+		switch rng.Intn(4) {
+		case 0: // fail a non-bridge switch-to-switch cable
+			bridges := map[int]bool{}
+			for _, wi := range net.Bridges() {
+				bridges[wi] = true
+			}
+			var candidates []int
+			net.WiresIndexed(func(wi int, w topology.Wire) {
+				if !bridges[wi] &&
+					net.KindOf(w.A.Node) == topology.SwitchNode &&
+					net.KindOf(w.B.Node) == topology.SwitchNode {
+					candidates = append(candidates, wi)
+				}
+			})
+			if len(candidates) == 0 {
+				continue
+			}
+			wi := candidates[rng.Intn(len(candidates))]
+			if err := net.RemoveWire(wi); err == nil {
+				fmt.Printf("  [churn] cable %d failed\n", wi)
+				return
+			}
+		case 1: // attach a new host
+			sw := switchWithFreePort(net, rng)
+			if sw == topology.None {
+				continue
+			}
+			h := net.AddHost(fmt.Sprintf("Watch%d", *nextHost))
+			*nextHost++
+			if _, _, _, err := net.ConnectFree(h, sw); err == nil {
+				fmt.Printf("  [churn] host %s attached\n", net.NameOf(h))
+				return
+			}
+		case 2: // add a switch cabled to two existing switches
+			a := switchWithFreePort(net, rng)
+			b := switchWithFreePort(net, rng)
+			if a == topology.None || b == topology.None || a == b {
+				continue
+			}
+			s := net.AddSwitch(fmt.Sprintf("WSw%d", *nextSwitch))
+			*nextSwitch++
+			if _, _, _, err := net.ConnectFree(s, a); err != nil {
+				continue
+			}
+			if _, _, _, err := net.ConnectFree(s, b); err != nil {
+				continue
+			}
+			fmt.Printf("  [churn] switch added between two others\n")
+			return
+		case 3: // move a host to another switch
+			hosts := net.Hosts()
+			if len(hosts) < 2 {
+				continue
+			}
+			h := hosts[rng.Intn(len(hosts))]
+			target := switchWithFreePort(net, rng)
+			if target == topology.None {
+				continue
+			}
+			if cur, _, ok := net.HostSwitch(h); ok && cur == target {
+				continue
+			}
+			if w := net.WireAt(h, topology.HostPort); w >= 0 {
+				if err := net.RemoveWire(w); err != nil {
+					continue
+				}
+			}
+			if _, _, _, err := net.ConnectFree(h, target); err == nil {
+				fmt.Printf("  [churn] host %s moved\n", net.NameOf(h))
+				return
+			}
+		}
+	}
+}
+
+func switchWithFreePort(net *topology.Network, rng *rand.Rand) topology.NodeID {
+	var out []topology.NodeID
+	for _, s := range net.Switches() {
+		if net.FreePort(s) >= 0 {
+			out = append(out, s)
+		}
+	}
+	if len(out) == 0 {
+		return topology.None
+	}
+	return out[rng.Intn(len(out))]
+}

@@ -1,0 +1,80 @@
+// Deadlock: why the paper computes UP*/DOWN* routes from its maps instead
+// of plain shortest paths (§5.5). Under wormhole/circuit switching a
+// message holds every link it has acquired while waiting for the next one
+// ("should a message block ... the rest of the message may remain in the
+// network, occupying switch and link resources", §1.1), so routes whose
+// channel-dependency graph has a cycle can genuinely deadlock. This example
+// runs all-at-once permutation traffic on a 4x4 torus twice — with naive
+// shortest-path routes and with UP*/DOWN* routes from the same network —
+// and counts real deadlocks, broken by the hardware's 50 ms mechanism.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+	"sanmap/internal/wormsim"
+)
+
+func run(net *topology.Network, tab *routes.Table, label string) {
+	hosts := net.Hosts()
+	totalDead, totalDelivered, cycles := 0, 0, 0
+	for shift := 1; shift < len(hosts); shift++ {
+		s := wormsim.New(net, simnet.DefaultTiming())
+		for i, src := range hosts {
+			dst := hosts[(i+shift)%len(hosts)]
+			if dst == src {
+				continue
+			}
+			route, ok := tab.Route(src, dst)
+			if !ok {
+				log.Fatalf("no route %s -> %s", net.NameOf(src), net.NameOf(dst))
+			}
+			if err := s.Inject(0, src, route); err != nil {
+				log.Fatal(err)
+			}
+		}
+		st := s.Run()
+		totalDead += st.Deadlocked
+		totalDelivered += st.Delivered
+		cycles += st.CyclesBroken
+	}
+	verdict := "no deadlocks"
+	if totalDead > 0 {
+		verdict = fmt.Sprintf("%d worms destroyed breaking %d circular waits", totalDead, cycles)
+	}
+	fmt.Printf("%-16s delivered %4d worms, %s\n", label+":", totalDelivered, verdict)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.Torus(4, 4, 1, rng)
+	fmt.Printf("permutation traffic on a 4x4 torus (%v), all %d shifts\n\n",
+		net, net.NumHosts()-1)
+
+	naive, err := routes.ShortestPaths(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := naive.VerifyDeadlockFree(); err != nil {
+		fmt.Println("shortest paths: channel-dependency graph HAS a cycle — deadlock possible")
+	}
+	run(net, naive, "shortest paths")
+
+	safe, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := safe.VerifyDeadlockFree(); err != nil {
+		log.Fatalf("UP*/DOWN* dependency cycle!? %v", err)
+	}
+	fmt.Println("\nup*/down*: channel-dependency graph verified acyclic — deadlock impossible")
+	run(net, safe, "up*/down*")
+
+	fmt.Println("\nthe dependency-graph verdicts (static) and the wormhole simulation")
+	fmt.Println("(dynamic) agree: this is Dally-Seitz, and it is why maps matter")
+}

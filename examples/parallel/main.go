@@ -1,0 +1,73 @@
+// Parallel: the §6 future-work idea made concrete — "every network host
+// could map local regions, and upon discovering another host exchange
+// their partial maps. The central question is how to merge such local views
+// into a stable, globally-consistent one." Three hosts at different corners
+// of the 100-node system each map with a reduced probe depth (a local
+// region), and mapper.MergeMaps fuses the partial views using the same
+// host-anchored deduction machinery the single mapper uses internally.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func main() {
+	sys := cluster.CABConfig(nil)
+	net := sys.Net
+	fullDepth := net.DepthBound(sys.Mapper())
+
+	// Pick one vantage host in each subcluster (hosts are created in
+	// subcluster order C, A, B).
+	hosts := net.Hosts()
+	vantage := []topology.NodeID{hosts[0], hosts[40], hosts[80]}
+
+	fmt.Printf("full system: %v, full probe depth %d\n", net, fullDepth)
+	localDepth := 5 // deep enough for regions to overlap, far below the full bound
+	fmt.Printf("three mappers probe only to depth %d:\n", localDepth)
+
+	var partials []*mapper.Map
+	var slowest int64
+	for _, h := range vantage {
+		sn := simnet.NewDefault(net)
+		m, err := mapper.Run(sn.Endpoint(h), mapper.DefaultConfig(localDepth))
+		if err != nil {
+			log.Fatalf("partial map from %s: %v", net.NameOf(h), err)
+		}
+		fmt.Printf("  %-8s sees %v (%d probes, %v)\n",
+			net.NameOf(h), m.Network, m.Stats.Probes.TotalProbes(), m.Stats.Elapsed)
+		partials = append(partials, m)
+		if ms := m.Stats.Elapsed.Milliseconds(); ms > slowest {
+			slowest = ms
+		}
+	}
+
+	merged, err := mapper.MergeMaps(partials...)
+	if err != nil {
+		log.Fatalf("merge: %v", err)
+	}
+	fmt.Printf("merged view: %v (mappers ran concurrently: wall time = slowest = %dms)\n",
+		merged.Network, slowest)
+
+	if err := isomorph.MustEqualCore(merged.Network, net); err != nil {
+		fmt.Printf("merged view incomplete (regions did not overlap enough): %v\n", err)
+		fmt.Println("increase the local depth or add vantage points")
+		return
+	}
+	fmt.Println("merged view verified: isomorphic to N-F, assembled from partial maps")
+
+	// Compare against one full-depth mapper from the same first vantage.
+	sn := simnet.NewDefault(net)
+	solo, err := mapper.Run(sn.Endpoint(vantage[0]), mapper.DefaultConfig(fullDepth))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single mapper for reference: %d probes, %v\n",
+		solo.Stats.Probes.TotalProbes(), solo.Stats.Elapsed)
+}

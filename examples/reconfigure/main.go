@@ -1,0 +1,121 @@
+// Reconfigure: the paper's motivating scenario (§1) — "these networks
+// should be dynamically reconfigurable, automatically adapting to the
+// addition or removal of hosts, switches and links". The example maps the
+// NOW subcluster C, then mutates the physical network three times (a link
+// fails, a new switch with hosts is added, a host moves) and shows that
+// simply re-running the mapper keeps the routing tables correct, with no
+// topology knowledge configured anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// prevMap carries the last verified map so each remap can report what the
+// periodic mapper would announce: the diff between consecutive maps.
+var prevMap *mapper.Map
+
+// remap runs one full map-verify-route cycle against the current network
+// and reports the change relative to the previous map.
+func remap(net *topology.Network, h0 topology.NodeID, note string) {
+	sn := simnet.NewDefault(net)
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	if err != nil {
+		log.Fatalf("%s: mapping: %v", note, err)
+	}
+	if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+		log.Fatalf("%s: verification: %v", note, err)
+	}
+	tab, err := routes.Compute(m.Network, routes.DefaultConfig())
+	if err != nil {
+		log.Fatalf("%s: routes: %v", note, err)
+	}
+	if err := tab.VerifyDeadlockFree(); err != nil {
+		log.Fatalf("%s: deadlock: %v", note, err)
+	}
+	if err := tab.VerifyDelivery(m.Network); err != nil {
+		log.Fatalf("%s: delivery: %v", note, err)
+	}
+	change := "initial map"
+	if prevMap != nil {
+		change = topology.Compare(prevMap.Network, m.Network).String()
+	}
+	prevMap = m
+	fmt.Printf("%-38s mapped %v with %4d probes in %v; routes ok\n%-38s map diff: %s\n",
+		note+":", m.Network, m.Stats.Probes.TotalProbes(), m.Stats.Elapsed, "", change)
+}
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	sys := cluster.CConfig(rng)
+	net := sys.Net
+	h0 := sys.Mapper()
+	remap(net, h0, "initial subcluster C")
+
+	// 1. A switch-to-switch cable fails (pick a non-bridge wire so the
+	// network stays connected — the paper's C already lost one this way:
+	// "The third was faulty and removed, but never replaced").
+	bridges := map[int]bool{}
+	for _, wi := range net.Bridges() {
+		bridges[wi] = true
+	}
+	failed := -1
+	net.WiresIndexed(func(wi int, w topology.Wire) {
+		if failed >= 0 || bridges[wi] {
+			return
+		}
+		if net.KindOf(w.A.Node) == topology.SwitchNode && net.KindOf(w.B.Node) == topology.SwitchNode {
+			failed = wi
+		}
+	})
+	if failed < 0 {
+		log.Fatal("no removable cable found")
+	}
+	if err := net.RemoveWire(failed); err != nil {
+		log.Fatal(err)
+	}
+	remap(net, h0, "after a cable failure")
+
+	// 2. A new leaf switch with three hosts is cabled to two middle
+	// switches ("leaving room for additional switches ... or hosts").
+	leaf := net.AddSwitch("C-Lnew")
+	attached := 0
+	for _, s := range net.Switches() {
+		if s != leaf && net.Degree(s) < topology.SwitchPorts && attached < 2 {
+			if _, _, _, err := net.ConnectFree(leaf, s); err == nil {
+				attached++
+			}
+		}
+	}
+	if attached < 2 {
+		log.Fatal("could not attach the new switch")
+	}
+	for i := 0; i < 3; i++ {
+		h := net.AddHost(fmt.Sprintf("NewNode%d", i))
+		if _, _, _, err := net.ConnectFree(h, leaf); err != nil {
+			log.Fatal(err)
+		}
+	}
+	remap(net, h0, "after adding a switch + 3 hosts")
+
+	// 3. A host moves to the new switch: unplug, replug.
+	mover := net.Hosts()[1]
+	if w := net.WireAt(mover, topology.HostPort); w >= 0 {
+		if err := net.RemoveWire(w); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if _, _, _, err := net.ConnectFree(mover, leaf); err != nil {
+		log.Fatal(err)
+	}
+	remap(net, h0, "after moving a host")
+}

@@ -1,0 +1,3 @@
+module sanmap
+
+go 1.22

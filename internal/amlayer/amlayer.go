@@ -1,0 +1,174 @@
+// Package amlayer implements the wire format of the paper's Myrinet
+// messages (§1.1: "Messages have a header flit, routing flits, a data
+// payload, an 8-bit CRC, and a tail flit") and the payloads the mapping
+// system exchanges: probes carrying their own route (so a receiver can
+// invert it for the reply), probe replies carrying the unique host name,
+// and the route-table update messages the master "distributes ... to all
+// network interfaces" (§5.5).
+//
+// The Berkeley mapper is "written using essentially the same active message
+// primitives available to standard client/server and parallel programs"
+// (§4.2); this package is that layer's framing.
+package amlayer
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"sanmap/internal/simnet"
+)
+
+// MsgType is the header flit's message class.
+type MsgType byte
+
+// Message classes used by the mapping system.
+const (
+	// THostProbe asks the receiving host to reply with its identity.
+	THostProbe MsgType = 0x11
+	// TProbeReply carries the responder's unique host name.
+	TProbeReply MsgType = 0x12
+	// TLoopback is a switch-probe / comparison-probe body; it is consumed
+	// by the original sender when it loops back.
+	TLoopback MsgType = 0x13
+	// TRouteUpdate distributes a host's route table.
+	TRouteUpdate MsgType = 0x14
+	// TData is application payload.
+	TData MsgType = 0x15
+
+	headerFlit = 0x7E
+	tailFlit   = 0x7F
+)
+
+// Message is a decoded Myrinet-style message.
+type Message struct {
+	Type MsgType
+	// Route is the routing-flit string as injected at the source. Switches
+	// would consume these in flight; the copy here is what lets a receiver
+	// invert the route for its reply, exactly as the mapper's probes do.
+	Route simnet.Route
+	// Payload is the data body.
+	Payload []byte
+}
+
+// CRC8 computes the CRC-8 (polynomial x^8+x^2+x+1, 0x07) of data — the
+// 8-bit CRC of the Myrinet message format.
+func CRC8(data []byte) byte {
+	var crc byte
+	for _, b := range data {
+		crc ^= b
+		for i := 0; i < 8; i++ {
+			if crc&0x80 != 0 {
+				crc = crc<<1 ^ 0x07
+			} else {
+				crc <<= 1
+			}
+		}
+	}
+	return crc
+}
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("amlayer: truncated message")
+	ErrFraming   = errors.New("amlayer: bad header or tail flit")
+	ErrCRC       = errors.New("amlayer: CRC mismatch")
+	ErrRoute     = errors.New("amlayer: illegal routing flit")
+)
+
+// Encode frames a message: header flit, type, route length, routing flits
+// (one signed byte per turn), payload length (uvarint), payload, CRC-8 over
+// everything after the header, tail flit.
+func Encode(m Message) ([]byte, error) {
+	if len(m.Route) > 255 {
+		return nil, fmt.Errorf("amlayer: route too long (%d turns)", len(m.Route))
+	}
+	for _, t := range m.Route {
+		if t < -simnet.MaxTurn || t > simnet.MaxTurn {
+			return nil, ErrRoute
+		}
+	}
+	out := make([]byte, 0, 4+len(m.Route)+len(m.Payload)+binary.MaxVarintLen64+2)
+	out = append(out, headerFlit, byte(m.Type), byte(len(m.Route)))
+	for _, t := range m.Route {
+		out = append(out, byte(int8(t)))
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(m.Payload)))
+	out = append(out, lenBuf[:n]...)
+	out = append(out, m.Payload...)
+	out = append(out, CRC8(out[1:]), tailFlit)
+	return out, nil
+}
+
+// Decode parses and verifies a framed message.
+func Decode(b []byte) (Message, error) {
+	if len(b) < 5 {
+		return Message{}, ErrTruncated
+	}
+	if b[0] != headerFlit || b[len(b)-1] != tailFlit {
+		return Message{}, ErrFraming
+	}
+	body := b[1 : len(b)-2]
+	if CRC8(body) != b[len(b)-2] {
+		return Message{}, ErrCRC
+	}
+	m := Message{Type: MsgType(body[0])}
+	nr := int(body[1])
+	rest := body[2:]
+	if len(rest) < nr {
+		return Message{}, ErrTruncated
+	}
+	if nr > 0 {
+		m.Route = make(simnet.Route, nr)
+		for i := 0; i < nr; i++ {
+			t := simnet.Turn(int8(rest[i]))
+			if t < -simnet.MaxTurn || t > simnet.MaxTurn {
+				return Message{}, ErrRoute
+			}
+			m.Route[i] = t
+		}
+	}
+	rest = rest[nr:]
+	plen, n := binary.Uvarint(rest)
+	if n <= 0 || uint64(len(rest)-n) != plen {
+		return Message{}, ErrTruncated
+	}
+	if plen > 0 {
+		m.Payload = append([]byte(nil), rest[n:]...)
+	}
+	return m, nil
+}
+
+// BuildReply constructs the responder daemon's answer to a host probe: a
+// TProbeReply carrying the host's unique name, routed over the inverse of
+// the probe's route.
+func BuildReply(probe Message, hostName string) (Message, error) {
+	if probe.Type != THostProbe {
+		return Message{}, fmt.Errorf("amlayer: cannot reply to message type %#x", probe.Type)
+	}
+	return Message{
+		Type:    TProbeReply,
+		Route:   probe.Route.Reversed(),
+		Payload: []byte(hostName),
+	}, nil
+}
+
+// NewHostProbe builds the host-probe message for a turn prefix.
+func NewHostProbe(turns simnet.Route, mapperName string, seq uint32) Message {
+	payload := make([]byte, 4+len(mapperName))
+	binary.BigEndian.PutUint32(payload, seq)
+	copy(payload[4:], mapperName)
+	return Message{Type: THostProbe, Route: turns.Clone(), Payload: payload}
+}
+
+// ProbeSender parses a host-probe payload back into (mapper name, seq).
+func ProbeSender(m Message) (name string, seq uint32, err error) {
+	if m.Type != THostProbe {
+		return "", 0, fmt.Errorf("amlayer: not a host probe: %#x", m.Type)
+	}
+	if len(m.Payload) < 4 {
+		return "", 0, ErrTruncated
+	}
+	return string(m.Payload[4:]), binary.BigEndian.Uint32(m.Payload), nil
+}

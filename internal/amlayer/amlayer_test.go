@@ -1,0 +1,187 @@
+package amlayer
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+)
+
+// randomMessage builds an arbitrary-but-valid message for property tests.
+func randomMessage(rng *rand.Rand) Message {
+	types := []MsgType{THostProbe, TProbeReply, TLoopback, TRouteUpdate, TData}
+	m := Message{Type: types[rng.Intn(len(types))]}
+	nr := rng.Intn(20)
+	for i := 0; i < nr; i++ {
+		t := simnet.Turn(rng.Intn(15) - 7)
+		m.Route = append(m.Route, t)
+	}
+	np := rng.Intn(64)
+	if np > 0 {
+		m.Payload = make([]byte, np)
+		rng.Read(m.Payload)
+	}
+	return m
+}
+
+// TestEncodeDecodeRoundTrip is the framing property test.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		m := randomMessage(rng)
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", m, err)
+		}
+		got, err := Decode(b)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.Type != m.Type || !got.Route.Equal(m.Route) || !bytes.Equal(got.Payload, m.Payload) {
+			t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", m, got)
+		}
+	}
+}
+
+// TestCRCDetectsBitFlips: every single-bit corruption of the framed bytes
+// must be rejected (CRC-8 catches all single-bit errors).
+func TestCRCDetectsBitFlips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		m := randomMessage(rng)
+		b, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(b)-1; i++ { // skip framing flits (checked separately)
+			for bit := 0; bit < 8; bit++ {
+				corrupt := append([]byte(nil), b...)
+				corrupt[i] ^= 1 << bit
+				if got, err := Decode(corrupt); err == nil {
+					// A flip inside the route area may still decode if it
+					// keeps the CRC... it cannot: CRC-8 detects all
+					// single-bit errors over the covered region.
+					t.Fatalf("trial %d: flip at byte %d bit %d accepted: %+v", trial, i, bit, got)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeFraming rejects bad flits and truncations.
+func TestDecodeFraming(t *testing.T) {
+	m := NewHostProbe(simnet.Route{1, -2, 3}, "Node0", 7)
+	b, err := Encode(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":      {},
+		"tiny":       {headerFlit, 0, tailFlit},
+		"bad header": append([]byte{0x00}, b[1:]...),
+		"bad tail":   append(append([]byte(nil), b[:len(b)-1]...), 0x00),
+		"truncated":  b[:len(b)-3],
+	}
+	for name, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+}
+
+// TestBuildReply inverts the probe route and carries the host name.
+func TestBuildReply(t *testing.T) {
+	probe := NewHostProbe(simnet.Route{2, -1, 4}, "Util-C", 99)
+	name, seq, err := ProbeSender(probe)
+	if err != nil || name != "Util-C" || seq != 99 {
+		t.Fatalf("ProbeSender: %q %d %v", name, seq, err)
+	}
+	reply, err := BuildReply(probe, "Node17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (simnet.Route{-4, 1, -2}); !reply.Route.Equal(want) {
+		t.Errorf("reply route %v, want %v", reply.Route, want)
+	}
+	if string(reply.Payload) != "Node17" {
+		t.Errorf("reply payload %q", reply.Payload)
+	}
+	if _, err := BuildReply(reply, "x"); err == nil {
+		t.Error("BuildReply accepted a non-probe")
+	}
+}
+
+// TestRouteTableRoundTrip uses testing/quick over generated route maps.
+func TestRouteTableRoundTrip(t *testing.T) {
+	f := func(entries map[string][]int8) bool {
+		ht := &routes.HostTable{Host: "h", Routes: map[string]simnet.Route{}}
+		for name, turns := range entries {
+			r := make(simnet.Route, 0, len(turns))
+			for _, v := range turns {
+				r = append(r, simnet.Turn(((int(v)%7)+7)%7+1)) // legal 1..7
+			}
+			ht.Routes[name] = r
+		}
+		msg, err := EncodeRouteTable(ht, simnet.Route{1, 2})
+		if err != nil {
+			return false
+		}
+		// Round trip through the wire framing too.
+		wire, err := Encode(msg)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(wire)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeRouteTable(back)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(ht.Routes) {
+			return false
+		}
+		for name, r := range ht.Routes {
+			if !got[name].Equal(r) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCRC8KnownVectors pins the CRC-8/0x07 implementation.
+func TestCRC8KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want byte
+	}{
+		{"", 0x00},
+		{"123456789", 0xF4}, // standard CRC-8 check value
+		{"a", 0x20},
+	}
+	for _, c := range cases {
+		if got := CRC8([]byte(c.in)); got != c.want {
+			t.Errorf("CRC8(%q) = %#x, want %#x", c.in, got, c.want)
+		}
+	}
+}
+
+// TestEncodeRejectsOversizedRoute.
+func TestEncodeRejectsOversizedRoute(t *testing.T) {
+	m := Message{Type: TData, Route: make(simnet.Route, 256)}
+	if _, err := Encode(m); err == nil {
+		t.Error("accepted 256-turn route")
+	}
+	m = Message{Type: TData, Route: simnet.Route{9}}
+	if _, err := Encode(m); err == nil {
+		t.Error("accepted out-of-range turn")
+	}
+}

@@ -1,0 +1,77 @@
+package amlayer
+
+import (
+	"fmt"
+
+	"sanmap/internal/simnet"
+)
+
+// Daemon is the per-host responder process of the mapping system: the
+// user-level handler that answers host probes with the host's unique name
+// (§2.3), accepts the route-table updates the master distributes (§5.5),
+// and hands application data up. It is a pure message transformer — the
+// transport (simnet / connet) moves the bytes.
+type Daemon struct {
+	host   string
+	routes map[string]simnet.Route
+	// Probes counts host probes answered; Updates counts route tables
+	// installed; Data counts payload messages delivered.
+	Probes, Updates, Data int64
+	// Delivered receives application payloads when non-nil.
+	Delivered func(payload []byte)
+}
+
+// NewDaemon returns a responder for the named host.
+func NewDaemon(host string) *Daemon {
+	return &Daemon{host: host, routes: make(map[string]simnet.Route)}
+}
+
+// Host returns the daemon's host name.
+func (d *Daemon) Host() string { return d.host }
+
+// Handle processes one received wire message and returns the encoded reply
+// to inject, or nil when the message needs no response. Undecodable
+// messages (framing or CRC failures) are dropped with an error, as the
+// hardware CRC check would.
+func (d *Daemon) Handle(raw []byte) ([]byte, error) {
+	m, err := Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	switch m.Type {
+	case THostProbe:
+		d.Probes++
+		reply, err := BuildReply(m, d.host)
+		if err != nil {
+			return nil, err
+		}
+		return Encode(reply)
+	case TRouteUpdate:
+		table, err := DecodeRouteTable(m)
+		if err != nil {
+			return nil, err
+		}
+		d.routes = table
+		d.Updates++
+		return nil, nil
+	case TData:
+		d.Data++
+		if d.Delivered != nil {
+			d.Delivered(m.Payload)
+		}
+		return nil, nil
+	case TProbeReply, TLoopback:
+		// Replies are consumed by the prober; loopbacks by their sender.
+		return nil, nil
+	}
+	return nil, fmt.Errorf("amlayer: daemon %s: unknown message type %#x", d.host, m.Type)
+}
+
+// Route returns the installed source route to the named destination.
+func (d *Daemon) Route(dst string) (simnet.Route, bool) {
+	r, ok := d.routes[dst]
+	return r, ok
+}
+
+// KnownDestinations returns the number of installed routes.
+func (d *Daemon) KnownDestinations() int { return len(d.routes) }

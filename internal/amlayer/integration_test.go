@@ -1,0 +1,171 @@
+package amlayer_test
+
+// The full system pipeline of the paper, end to end over the wire format:
+// map the network with probes, compute UP*/DOWN* routes from the map,
+// encode one route table per interface, deliver each table IN-BAND over the
+// simulated network using the map-derived route to that host, have the
+// host daemon decode and install it, and finally have every host send data
+// to every other host using only its installed routes. "Once the master or
+// elected leader generates a network map, it derives mutually deadlock-free
+// routes from it and distributes them throughout the system."
+
+import (
+	"testing"
+
+	"sanmap/internal/amlayer"
+	"sanmap/internal/cluster"
+	"sanmap/internal/mapper"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func TestFullDistributionPipeline(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	net := sys.Net
+	master := sys.Mapper()
+
+	// 1. Map.
+	sn := simnet.NewDefault(net)
+	m, err := mapper.Run(sn.Endpoint(master), mapper.DefaultConfig(net.DepthBound(master)))
+	if err != nil {
+		t.Fatalf("mapping: %v", err)
+	}
+
+	// 2. Routes from the map; per-interface tables.
+	cfg := routes.DefaultConfig()
+	cfg.IgnoreHosts = []topology.NodeID{m.Network.Lookup(net.NameOf(sys.Utility))}
+	tab, err := routes.Compute(m.Network, cfg)
+	if err != nil {
+		t.Fatalf("routes: %v", err)
+	}
+	perHost := tab.Distribute()
+
+	// 3. One daemon per host; distribute each table in-band: the update
+	// message carries the master's route to that host and must survive the
+	// wire (encode/decode/CRC) and the network (evaluate the route on the
+	// ACTUAL topology).
+	daemons := make(map[string]*amlayer.Daemon, len(perHost))
+	masterName := net.NameOf(master)
+	for name, ht := range perHost {
+		daemons[name] = amlayer.NewDaemon(name)
+		if name == masterName {
+			// The master installs its own table locally.
+			msg, err := amlayer.EncodeRouteTable(ht, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wire, err := amlayer.Encode(msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := daemons[name].Handle(wire); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		// Master's route to this host, from the master's own table.
+		route, ok := tab.Route(m.Network.Lookup(masterName), m.Network.Lookup(name))
+		if !ok {
+			t.Fatalf("master has no route to %s", name)
+		}
+		// The update worm must be deliverable on the actual network.
+		res := sn.Eval(master, route)
+		if res.Outcome != simnet.Delivered || net.NameOf(res.Dest) != name {
+			t.Fatalf("route update to %s undeliverable: %v", name, res.Outcome)
+		}
+		msg, err := amlayer.EncodeRouteTable(ht, route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wire, err := amlayer.Encode(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reply, err := daemons[name].Handle(wire)
+		if err != nil {
+			t.Fatalf("daemon %s rejected update: %v", name, err)
+		}
+		if reply != nil {
+			t.Fatalf("route update should not produce a reply")
+		}
+	}
+
+	// 4. Every host reaches every other host using only installed routes,
+	// evaluated on the actual network.
+	hosts := net.Hosts()
+	sent := 0
+	for _, src := range hosts {
+		d := daemons[net.NameOf(src)]
+		if d.KnownDestinations() != len(hosts)-1 {
+			t.Fatalf("%s installed %d routes, want %d",
+				net.NameOf(src), d.KnownDestinations(), len(hosts)-1)
+		}
+		for _, dst := range hosts {
+			if src == dst {
+				continue
+			}
+			route, ok := d.Route(net.NameOf(dst))
+			if !ok {
+				t.Fatalf("%s has no route to %s", net.NameOf(src), net.NameOf(dst))
+			}
+			res := sn.Eval(src, route)
+			if res.Outcome != simnet.Delivered || res.Dest != dst {
+				t.Fatalf("installed route %s -> %s fails: %v at %d",
+					net.NameOf(src), net.NameOf(dst), res.Outcome, res.Dest)
+			}
+			// And the payload survives the wire format.
+			data := amlayer.Message{Type: amlayer.TData, Route: route,
+				Payload: []byte("hello from " + net.NameOf(src))}
+			wire, err := amlayer.Encode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := daemons[net.NameOf(dst)].Handle(wire); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	if sent != len(hosts)*(len(hosts)-1) {
+		t.Fatalf("sent %d messages", sent)
+	}
+	// Every daemon saw the data it was addressed.
+	for _, d := range daemons {
+		if d.Data != int64(len(hosts)-1) {
+			t.Fatalf("daemon %s delivered %d payloads, want %d", d.Host(), d.Data, len(hosts)-1)
+		}
+	}
+}
+
+// TestDaemonHandlesProbesAndGarbage covers the responder paths.
+func TestDaemonHandlesProbesAndGarbage(t *testing.T) {
+	d := amlayer.NewDaemon("Node5")
+	probe := amlayer.NewHostProbe(simnet.Route{1, -2}, "UtilC", 3)
+	wire, err := amlayer.Encode(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := d.Handle(wire)
+	if err != nil || reply == nil {
+		t.Fatalf("Handle(probe): %v %v", reply, err)
+	}
+	rm, err := amlayer.Decode(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Type != amlayer.TProbeReply || string(rm.Payload) != "Node5" {
+		t.Fatalf("reply %+v", rm)
+	}
+	if want := (simnet.Route{2, -1}); !rm.Route.Equal(want) {
+		t.Fatalf("reply route %v, want %v", rm.Route, want)
+	}
+	if d.Probes != 1 {
+		t.Fatalf("probe count %d", d.Probes)
+	}
+	// Corrupted frame: dropped with error, no reply.
+	wire[len(wire)/2] ^= 0x40
+	if _, err := d.Handle(wire); err == nil {
+		t.Fatal("daemon accepted a corrupted frame")
+	}
+}

@@ -1,0 +1,103 @@
+package amlayer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+)
+
+// Route-table distribution (§5.5: the master "derives mutually deadlock-free
+// routes from [the map] and distributes them throughout the system").
+// A TRouteUpdate payload serialises one interface's routes:
+//
+//	uvarint(#entries) then per entry:
+//	  uvarint(len(name)) name bytes
+//	  uvarint(#turns)    one signed byte per turn
+//
+// Entries are sorted by destination name for deterministic encoding.
+
+// EncodeRouteTable serialises a host's route table into a TRouteUpdate
+// message to be source-routed to that host.
+func EncodeRouteTable(ht *routes.HostTable, routeToHost simnet.Route) (Message, error) {
+	names := make([]string, 0, len(ht.Routes))
+	for n := range ht.Routes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var buf []byte
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		n := binary.PutUvarint(tmp[:], v)
+		buf = append(buf, tmp[:n]...)
+	}
+	put(uint64(len(names)))
+	for _, name := range names {
+		put(uint64(len(name)))
+		buf = append(buf, name...)
+		r := ht.Routes[name]
+		put(uint64(len(r)))
+		for _, t := range r {
+			if t < -simnet.MaxTurn || t > simnet.MaxTurn {
+				return Message{}, ErrRoute
+			}
+			buf = append(buf, byte(int8(t)))
+		}
+	}
+	return Message{Type: TRouteUpdate, Route: routeToHost.Clone(), Payload: buf}, nil
+}
+
+// DecodeRouteTable parses a TRouteUpdate payload back into a route map.
+func DecodeRouteTable(m Message) (map[string]simnet.Route, error) {
+	if m.Type != TRouteUpdate {
+		return nil, fmt.Errorf("amlayer: not a route update: %#x", m.Type)
+	}
+	buf := m.Payload
+	get := func() (uint64, error) {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return 0, ErrTruncated
+		}
+		buf = buf[n:]
+		return v, nil
+	}
+	count, err := get()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]simnet.Route, count)
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(buf)) < nameLen {
+			return nil, ErrTruncated
+		}
+		name := string(buf[:nameLen])
+		buf = buf[nameLen:]
+		turns, err := get()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(buf)) < turns {
+			return nil, ErrTruncated
+		}
+		r := make(simnet.Route, turns)
+		for j := uint64(0); j < turns; j++ {
+			t := simnet.Turn(int8(buf[j]))
+			if t < -simnet.MaxTurn || t > simnet.MaxTurn {
+				return nil, ErrRoute
+			}
+			r[j] = t
+		}
+		buf = buf[turns:]
+		out[name] = r
+	}
+	if len(buf) != 0 {
+		return nil, fmt.Errorf("amlayer: %d trailing bytes in route update", len(buf))
+	}
+	return out, nil
+}

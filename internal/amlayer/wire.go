@@ -1,0 +1,148 @@
+package amlayer
+
+import (
+	"time"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// WireNet runs the mapping system's probes through the real message layer:
+// every host probe is encoded into the Myrinet frame format, carried by the
+// simulator, decoded and answered by the destination host's Daemon, and the
+// reply is routed back over the inverted route and decoded by the mapper.
+// Switch probes loop back as framed TLoopback messages. It implements the
+// same simnet.Prober contract as the built-in transport, so the mappers run
+// over it unchanged — which is how the tests show the whole system works
+// end-to-end over the wire format, including CRC rejection of corrupted
+// frames.
+type WireNet struct {
+	sn      *simnet.Net
+	daemons map[topology.NodeID]*Daemon
+	// Corrupt, when non-nil, may mutate (a copy of) each outbound frame —
+	// fault injection for link bit errors. Returning the frame unchanged
+	// passes it through.
+	Corrupt func(frame []byte) []byte
+	// Rejected counts frames the receiving side dropped (CRC/framing).
+	Rejected int64
+	seq      uint32
+}
+
+// NewWireNet builds the wire transport over a quiescent simulator, with one
+// responder daemon per host.
+func NewWireNet(sn *simnet.Net) *WireNet {
+	w := &WireNet{sn: sn, daemons: make(map[topology.NodeID]*Daemon)}
+	for _, h := range sn.Topology().Hosts() {
+		w.daemons[h] = NewDaemon(sn.Topology().NameOf(h))
+	}
+	return w
+}
+
+// Daemon returns host h's responder (for assertions and route installs).
+func (w *WireNet) Daemon(h topology.NodeID) *Daemon { return w.daemons[h] }
+
+// Prober binds the wire transport to a source host.
+func (w *WireNet) Prober(h topology.NodeID) *WireProber {
+	return &WireProber{net: w, host: h}
+}
+
+// WireProber implements simnet.Prober over WireNet.
+type WireProber struct {
+	net  *WireNet
+	host topology.NodeID
+}
+
+// LocalHost implements simnet.Prober.
+func (p *WireProber) LocalHost() string { return p.net.sn.Topology().NameOf(p.host) }
+
+// Clock implements simnet.Prober.
+func (p *WireProber) Clock() time.Duration { return p.net.sn.Clock() }
+
+// Stats exposes the underlying transport counters.
+func (p *WireProber) Stats() simnet.Stats { return p.net.sn.Stats() }
+
+// transmit frames msg, optionally corrupts it, and carries it over the
+// simulated network. It returns the destination's decoded view (nil when
+// the physical route failed or the frame was rejected).
+func (w *WireNet) transmit(src topology.NodeID, msg Message) (dst topology.NodeID, frame []byte, ok bool) {
+	raw, err := Encode(msg)
+	if err != nil {
+		return topology.None, nil, false
+	}
+	if w.Corrupt != nil {
+		raw = w.Corrupt(append([]byte(nil), raw...))
+	}
+	res := w.sn.Eval(src, msg.Route)
+	if res.Outcome != simnet.Delivered {
+		return topology.None, nil, false
+	}
+	return res.Dest, raw, true
+}
+
+// HostProbe implements simnet.Prober: frame → network → daemon → framed
+// reply → network → decode.
+func (p *WireProber) HostProbe(turns simnet.Route) (string, bool) {
+	w := p.net
+	timing := w.sn.Timing()
+	w.seq++
+	msg := NewHostProbe(turns, p.LocalHost(), w.seq)
+	rtt := 2 * timing.TransitTime(len(turns)+1, simnet.MessageBytes(len(turns)))
+
+	fail := func() (string, bool) {
+		w.sn.AccountProbe(true, 0, false)
+		return "", false
+	}
+	dst, frame, ok := w.transmit(p.host, msg)
+	if !ok {
+		return fail()
+	}
+	daemon := w.daemons[dst]
+	if daemon == nil || !w.sn.Responds(dst) {
+		return fail()
+	}
+	replyFrame, err := daemon.Handle(frame)
+	if err != nil {
+		w.Rejected++
+		return fail()
+	}
+	if replyFrame == nil {
+		return fail()
+	}
+	reply, err := Decode(replyFrame)
+	if err != nil || reply.Type != TProbeReply {
+		w.Rejected++
+		return fail()
+	}
+	// The reply rides the inverted route back; it must reach the prober.
+	back := w.sn.Eval(dst, reply.Route)
+	if back.Outcome != simnet.Delivered || back.Dest != p.host {
+		return fail()
+	}
+	w.sn.AccountProbe(true, rtt, true)
+	return string(reply.Payload), true
+}
+
+// SwitchProbe implements simnet.Prober: the loopback frame must physically
+// return to the sender and still decode.
+func (p *WireProber) SwitchProbe(turns simnet.Route) bool {
+	w := p.net
+	timing := w.sn.Timing()
+	w.seq++
+	route := turns.Loopback()
+	msg := Message{Type: TLoopback, Route: route}
+	dst, frame, ok := w.transmit(p.host, msg)
+	hit := ok && dst == p.host
+	if hit {
+		if _, err := Decode(frame); err != nil {
+			w.Rejected++
+			hit = false
+		}
+	}
+	rtt := timing.TransitTime(2*(len(turns)+1), simnet.MessageBytes(len(route)))
+	if hit {
+		w.sn.AccountProbe(false, rtt, true)
+	} else {
+		w.sn.AccountProbe(false, 0, false)
+	}
+	return hit
+}

@@ -1,0 +1,108 @@
+package amlayer_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/amlayer"
+	"sanmap/internal/cluster"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestMapOverWireTransport: the Berkeley mapper runs unchanged over the
+// framed wire transport — every probe and reply passes Encode/Decode and
+// the host daemons — and still reconstructs the network exactly.
+func TestMapOverWireTransport(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	net := sys.Net
+	h0 := sys.Mapper()
+	sn := simnet.NewDefault(net)
+	w := amlayer.NewWireNet(sn)
+
+	m, err := mapper.Run(w.Prober(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	if err != nil {
+		t.Fatalf("mapping over wire: %v", err)
+	}
+	if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+		t.Fatal(err)
+	}
+	if w.Rejected != 0 {
+		t.Errorf("clean links rejected %d frames", w.Rejected)
+	}
+	// Every answered host probe went through a daemon.
+	answered := int64(0)
+	for _, h := range net.Hosts() {
+		answered += w.Daemon(h).Probes
+	}
+	if answered != m.Stats.Probes.HostHits {
+		t.Errorf("daemons answered %d probes, transport recorded %d hits",
+			answered, m.Stats.Probes.HostHits)
+	}
+}
+
+// TestWireMatchesBuiltinTransport: the wire transport must be behaviourally
+// identical to the built-in prober — same probe counts, isomorphic maps.
+func TestWireMatchesBuiltinTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := topology.RandomConnected(4, 6, 2, rng)
+	h0 := net.Hosts()[0]
+	depth := net.DepthBound(h0)
+
+	snA := simnet.NewDefault(net)
+	builtin, err := mapper.Run(snA.Endpoint(h0), mapper.DefaultConfig(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snB := simnet.NewDefault(net)
+	wire, err := mapper.Run(amlayer.NewWireNet(snB).Prober(h0), mapper.DefaultConfig(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if builtin.Stats.Probes != wire.Stats.Probes {
+		t.Errorf("probe stats diverge: builtin %+v, wire %+v",
+			builtin.Stats.Probes, wire.Stats.Probes)
+	}
+	if ok, reason := isomorph.Check(builtin.Network, wire.Network); !ok {
+		t.Errorf("maps diverge: %s", reason)
+	}
+}
+
+// TestWireCorruption: randomly flipped bits are caught by the CRC — the
+// daemons reject the frames, the probes read as timeouts, and the mapper
+// degrades gracefully (valid, possibly incomplete map; no contradictions).
+func TestWireCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := topology.Star(3, 3, rng)
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	w := amlayer.NewWireNet(sn)
+	flips := rand.New(rand.NewSource(11))
+	w.Corrupt = func(frame []byte) []byte {
+		if flips.Float64() < 0.3 {
+			i := 1 + flips.Intn(len(frame)-2) // keep framing flits intact
+			frame[i] ^= 1 << uint(flips.Intn(8))
+		}
+		return frame
+	}
+	m, err := mapper.Run(w.Prober(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	if err != nil {
+		t.Fatalf("mapping over noisy wire: %v", err)
+	}
+	if err := m.Network.Validate(); err != nil {
+		t.Fatalf("invalid map: %v", err)
+	}
+	if m.Stats.Inconsistent != 0 {
+		t.Errorf("%d contradictions from CRC-dropped frames", m.Stats.Inconsistent)
+	}
+	if w.Rejected == 0 {
+		t.Error("corruption injected but nothing rejected")
+	}
+	for _, name := range m.Network.SortedHostNames() {
+		if net.Lookup(name) == topology.None {
+			t.Errorf("phantom host %q", name)
+		}
+	}
+}

@@ -1,0 +1,319 @@
+// Package cluster builds the Berkeley NOW networks of the paper's
+// evaluation (§5.1): the A, B and C subclusters and their C, C+A, C+A+B
+// compositions, with exactly the component counts of Fig 3:
+//
+//	subcluster  #interfaces  #switches  #links
+//	A           34           13         64
+//	B           30           14         65
+//	C           36           13         64
+//	C+A+B       100          40         193
+//
+// Each subcluster is an incomplete fat tree in the style of Fig 4: a row of
+// leaf switches carrying 4-5 hosts each, a middle level, and a root level,
+// with irregularities matching the paper's description ("the middle switch
+// in the first level only has two links, instead of three ... the third was
+// faulty and removed, but never replaced", unused ports on upper levels,
+// and a distinguished utility host attached directly to a root). The exact
+// cabling of the real machine room is not recorded in the paper; what the
+// experiments depend on are the aggregate counts, depths and the fat-tree
+// shape, all of which these builders reproduce and the package tests pin.
+//
+// Compositions preserve Fig 3's totals (the paper's per-subcluster counts
+// sum exactly to the full system's): redundant top-level links inside
+// subclusters are repurposed as inter-subcluster root links.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sanmap/internal/topology"
+)
+
+// Subcluster identifies one of the three NOW subclusters.
+type Subcluster byte
+
+// The three subclusters of the Berkeley NOW.
+const (
+	A Subcluster = 'A'
+	B Subcluster = 'B'
+	C Subcluster = 'C'
+)
+
+// build describes one subcluster's shape.
+type build struct {
+	leaves       int
+	hostsPerLeaf []int // len == leaves
+	mids         int
+	roots        int
+	// uplinks[i] is the number of leaf->mid links for leaf i.
+	uplinks []int
+	// midRoot[i] is the number of mid->root links for mid i.
+	midRoot []int
+	// extraTop is the number of redundant top-level links (doubled
+	// mid-root or root-root cables). These are the links the compositions
+	// repurpose as inter-subcluster cables.
+	extraTop int
+	utility  bool // utility host cabled directly to root 0
+}
+
+func specOf(s Subcluster) build {
+	switch s {
+	case C:
+		// 36 hosts (35 + utility), 13 switches (8+4+1), 64 links:
+		// 36 host + 23 leaf-up (one leaf lost a link) + 4 mid-root + 1 extra.
+		return build{
+			leaves:       8,
+			hostsPerLeaf: []int{4, 4, 4, 5, 5, 4, 4, 5}, // 35
+			mids:         4,
+			roots:        1,
+			uplinks:      []int{3, 3, 3, 3, 2, 3, 3, 3}, // 23: middle leaf irregular
+			midRoot:      []int{1, 1, 1, 1},
+			extraTop:     1, // doubled mid0-root cable
+			utility:      true,
+		}
+	case A:
+		// 34 hosts, 13 switches (8+4+1), 64 links:
+		// 34 host + 24 leaf-up + 4 mid-root + 2 extra.
+		return build{
+			leaves:       8,
+			hostsPerLeaf: []int{4, 4, 5, 4, 4, 5, 4, 4}, // 34
+			mids:         4,
+			roots:        1,
+			uplinks:      []int{3, 3, 3, 3, 3, 3, 3, 3}, // 24
+			midRoot:      []int{1, 1, 1, 1},
+			extraTop:     2,
+		}
+	case B:
+		// 30 hosts, 14 switches (7+5+2), 65 links:
+		// 30 host + 24 leaf-up + 10 mid-root + 1 root-root.
+		return build{
+			leaves:       7,
+			hostsPerLeaf: []int{4, 4, 4, 4, 4, 5, 5}, // 30
+			mids:         5,
+			roots:        2,
+			uplinks:      []int{4, 4, 4, 3, 3, 3, 3}, // 24
+			midRoot:      []int{2, 2, 2, 2, 2},       // 10
+			extraTop:     1,                          // root0-root1 cable
+		}
+	}
+	panic(fmt.Sprintf("cluster: unknown subcluster %q", s))
+}
+
+// part holds the switch handles of one built subcluster.
+type part struct {
+	name  Subcluster
+	roots []topology.NodeID
+	// extras are wires that compositions may remove (redundant top links).
+	extras []int
+}
+
+// addSubcluster builds one subcluster into net and returns its handles.
+func addSubcluster(net *topology.Network, s Subcluster, hostBase int, rng *rand.Rand) part {
+	sp := specOf(s)
+	p := part{name: s}
+	var leaves, mids, roots []topology.NodeID
+	for i := 0; i < sp.leaves; i++ {
+		leaves = append(leaves, net.AddSwitch(fmt.Sprintf("%c-L%d", s, i)))
+	}
+	for i := 0; i < sp.mids; i++ {
+		mids = append(mids, net.AddSwitch(fmt.Sprintf("%c-M%d", s, i)))
+	}
+	for i := 0; i < sp.roots; i++ {
+		roots = append(roots, net.AddSwitch(fmt.Sprintf("%c-R%d", s, i)))
+	}
+	p.roots = roots
+	host := hostBase
+	for i, leaf := range leaves {
+		for k := 0; k < sp.hostsPerLeaf[i]; k++ {
+			h := net.AddHost(fmt.Sprintf("Node%d", host))
+			host++
+			mustConnect(net, h, leaf, rng)
+		}
+	}
+	// Leaf uplinks round-robin over mids.
+	next := 0
+	for i, leaf := range leaves {
+		for k := 0; k < sp.uplinks[i]; k++ {
+			mustConnect(net, leaf, mids[next%len(mids)], rng)
+			next++
+		}
+	}
+	// Mid uplinks round-robin over roots.
+	next = 0
+	for i, mid := range mids {
+		for k := 0; k < sp.midRoot[i]; k++ {
+			mustConnect(net, mid, roots[next%len(roots)], rng)
+			next++
+		}
+	}
+	// Redundant top links: doubled mid-root cables, or a root-root cable
+	// when the subcluster has two roots.
+	for k := 0; k < sp.extraTop; k++ {
+		var w int
+		if len(roots) > 1 {
+			w = mustConnect(net, roots[0], roots[1], rng)
+		} else {
+			w = mustConnect(net, mids[k%len(mids)], roots[0], rng)
+		}
+		p.extras = append(p.extras, w)
+	}
+	if sp.utility {
+		u := net.AddHost(fmt.Sprintf("Util%c", s))
+		mustConnect(net, u, roots[0], rng)
+		host++
+	}
+	return p
+}
+
+func mustConnect(net *topology.Network, a, b topology.NodeID, rng *rand.Rand) int {
+	ap := randomFree(net, a, rng, -1)
+	bp := randomFree(net, b, rng, ap)
+	if ap < 0 || bp < 0 {
+		panic(fmt.Sprintf("cluster: no free ports between %d and %d", a, b))
+	}
+	w, err := net.Connect(a, ap, b, bp)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func randomFree(net *topology.Network, id topology.NodeID, rng *rand.Rand, avoid int) int {
+	var free []int
+	for p := 0; p < net.NumPorts(id); p++ {
+		if net.WireAt(id, p) < 0 && p != avoid {
+			free = append(free, p)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	if rng == nil {
+		return free[0]
+	}
+	return free[rng.Intn(len(free))]
+}
+
+// System is a built NOW configuration.
+type System struct {
+	Net *topology.Network
+	// Utility is the distinguished service host ("a machine dedicated to
+	// running system services (e.g., nameservers or the active mapper
+	// process)") when present, else topology.None.
+	Utility topology.NodeID
+	// Parts names the subclusters included, in build order.
+	Parts []Subcluster
+}
+
+// Mapper returns the host the paper runs the active mapper on: the utility
+// machine when present, else the first host.
+func (s *System) Mapper() topology.NodeID {
+	if s.Utility != topology.None {
+		return s.Utility
+	}
+	return s.Net.Hosts()[0]
+}
+
+// Build constructs a NOW configuration from the given subclusters in order
+// (use CConfig, CAConfig, CABConfig for the paper's three systems). A nil
+// rng yields deterministic first-free-port cabling; a seeded rng randomises
+// port assignment without changing the graph.
+func Build(rng *rand.Rand, subs ...Subcluster) *System {
+	net := &topology.Network{}
+	var parts []part
+	hostBase := 0
+	for _, s := range subs {
+		p := addSubcluster(net, s, hostBase, rng)
+		parts = append(parts, p)
+		hostBase = net.NumHosts()
+		if specOf(s).utility {
+			hostBase-- // utility hosts are named UtilX, not NodeN
+		}
+	}
+	// Compose: redundant top links inside subclusters are repurposed as
+	// inter-subcluster root cables, one addition per removal, so Fig 3's
+	// per-subcluster link counts sum exactly to the composed system's.
+	switch len(parts) {
+	case 1:
+		// Standalone subcluster: nothing to do.
+	case 2:
+		takeExtra(net, &parts[0])
+		takeExtra(net, &parts[1])
+		r0, r1 := parts[0].roots[0], parts[1].roots[0]
+		mustConnect(net, r0, r1, nil)
+		mustConnect(net, r0, r1, nil)
+	case 3:
+		// Drain all four provisioned extras (C:1, A:2, B:1) and wire a
+		// multi-root top level in the style of Fig 5.
+		total := 0
+		for i := range parts {
+			for len(parts[i].extras) > 0 {
+				takeExtra(net, &parts[i])
+				total++
+			}
+		}
+		if total != 4 {
+			panic(fmt.Sprintf("cluster: expected 4 redundant links for a 3-part system, had %d", total))
+		}
+		cr := parts[0].roots[0]
+		ar := parts[1].roots[0]
+		br0 := parts[2].roots[0]
+		br1 := parts[2].roots[len(parts[2].roots)-1]
+		mustConnect(net, cr, ar, nil)
+		mustConnect(net, ar, br0, nil)
+		mustConnect(net, br1, cr, nil)
+		mustConnect(net, ar, br1, nil)
+	default:
+		panic("cluster: at most three subclusters")
+	}
+	sys := &System{Net: net, Parts: subs, Utility: topology.None}
+	for _, s := range subs {
+		if u := net.Lookup(fmt.Sprintf("Util%c", s)); u != topology.None {
+			sys.Utility = u
+			break
+		}
+	}
+	if err := net.Validate(); err != nil {
+		panic(fmt.Sprintf("cluster: built invalid network: %v", err))
+	}
+	if !net.IsConnected() {
+		panic("cluster: built disconnected network")
+	}
+	return sys
+}
+
+// takeExtra removes one redundant top link from p (panics if exhausted —
+// the specs provision exactly enough for the paper's compositions).
+func takeExtra(net *topology.Network, p *part) {
+	if len(p.extras) == 0 {
+		panic(fmt.Sprintf("cluster: subcluster %c out of redundant links", p.name))
+	}
+	w := p.extras[len(p.extras)-1]
+	p.extras = p.extras[:len(p.extras)-1]
+	if err := net.RemoveWire(w); err != nil {
+		panic(err)
+	}
+}
+
+// CConfig builds subcluster C alone (row 1 of Figs 6 and 7).
+func CConfig(rng *rand.Rand) *System { return Build(rng, C) }
+
+// CAConfig builds C+A (row 2).
+func CAConfig(rng *rand.Rand) *System { return Build(rng, C, A) }
+
+// CABConfig builds the full 100-node C+A+B system (row 3, Fig 5).
+func CABConfig(rng *rand.Rand) *System { return Build(rng, C, A, B) }
+
+// PaperStats returns Fig 3's counts for a subcluster.
+func PaperStats(s Subcluster) topology.Stats {
+	switch s {
+	case A:
+		return topology.Stats{Hosts: 34, Switches: 13, Links: 64}
+	case B:
+		return topology.Stats{Hosts: 30, Switches: 14, Links: 65}
+	case C:
+		return topology.Stats{Hosts: 36, Switches: 13, Links: 64}
+	}
+	panic("cluster: unknown subcluster")
+}

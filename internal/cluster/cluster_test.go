@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/topology"
+)
+
+// TestPaperCounts pins Fig 3: each subcluster and each composed system must
+// reproduce the paper's exact component counts.
+func TestPaperCounts(t *testing.T) {
+	for _, s := range []Subcluster{A, B, C} {
+		got := Build(nil, s).Net.Stats()
+		if want := PaperStats(s); got != want {
+			t.Errorf("subcluster %c: stats %+v, want %+v", s, got, want)
+		}
+	}
+	cases := []struct {
+		name string
+		sys  *System
+		want topology.Stats
+	}{
+		{"C", CConfig(nil), topology.Stats{Hosts: 36, Switches: 13, Links: 64}},
+		{"C+A", CAConfig(nil), topology.Stats{Hosts: 70, Switches: 26, Links: 128}},
+		{"C+A+B", CABConfig(nil), topology.Stats{Hosts: 100, Switches: 40, Links: 193}},
+	}
+	for _, c := range cases {
+		if got := c.sys.Net.Stats(); got != c.want {
+			t.Errorf("%s: stats %+v, want %+v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestStructuralProperties checks the fat-tree shape claims the experiments
+// rely on: validity, connectivity, empty F, utility host at a root.
+func TestStructuralProperties(t *testing.T) {
+	for _, sys := range []*System{CConfig(nil), CAConfig(nil), CABConfig(nil)} {
+		net := sys.Net
+		if err := net.Validate(); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+		if !net.IsConnected() {
+			t.Fatal("disconnected")
+		}
+		if f := net.F(); len(f) != 0 {
+			t.Errorf("expected empty F, got %d nodes", len(f))
+		}
+		if sys.Utility == topology.None {
+			t.Fatal("missing utility host")
+		}
+		sw, _, ok := net.HostSwitch(sys.Utility)
+		if !ok {
+			t.Fatal("utility host disconnected")
+		}
+		// The utility machine is attached directly to a root switch: its
+		// switch must carry no other hosts... actually it may carry only
+		// the utility machine itself.
+		for _, h := range net.Hosts() {
+			if h == sys.Utility {
+				continue
+			}
+			if hs, _, _ := net.HostSwitch(h); hs == sw {
+				t.Errorf("regular host %s shares the utility root switch", net.NameOf(h))
+			}
+		}
+	}
+}
+
+// TestPortBudget: no switch may exceed 8 cabled ports (Validate enforces
+// structure, this asserts the builders left headroom like the paper's
+// "unused switch ports on all level 2 and 3 switches").
+func TestPortBudget(t *testing.T) {
+	net := CABConfig(nil).Net
+	spare := 0
+	for _, s := range net.Switches() {
+		d := net.Degree(s)
+		if d > topology.SwitchPorts {
+			t.Fatalf("switch %s degree %d", net.NameOf(s), d)
+		}
+		spare += topology.SwitchPorts - d
+	}
+	if spare == 0 {
+		t.Error("expected unused switch ports in the composed system")
+	}
+}
+
+// TestSeedInvariance: random port assignment must not change the graph
+// (same stats, same diameter) — only the cabling detail.
+func TestSeedInvariance(t *testing.T) {
+	base := CABConfig(nil).Net
+	for seed := int64(1); seed <= 3; seed++ {
+		n := CABConfig(rand.New(rand.NewSource(seed))).Net
+		if n.Stats() != base.Stats() {
+			t.Fatalf("seed %d changed stats: %+v vs %+v", seed, n.Stats(), base.Stats())
+		}
+		if n.Diameter() != base.Diameter() {
+			t.Errorf("seed %d changed diameter: %d vs %d", seed, n.Diameter(), base.Diameter())
+		}
+	}
+}
+
+// TestDepthScale documents the exploration-depth parameters of the three
+// systems (used to size the experiments).
+func TestDepthScale(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		sys  *System
+	}{{"C", CConfig(nil)}, {"C+A", CAConfig(nil)}, {"C+A+B", CABConfig(nil)}} {
+		net := c.sys.Net
+		d := net.Diameter()
+		if d < 4 || d > 12 {
+			t.Errorf("%s: implausible diameter %d for a 3-level fat tree", c.name, d)
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package connet is the concurrent (contended) network transport: multiple
+// hosts probe and send application traffic at the same time over one
+// topology, with per-directed-link occupancy, blocking, and the Myrinet
+// forward-reset timeout. It runs on the desim engine and drives the paper's
+// election-mode measurements (Fig 7's second timing column), the §6
+// parallel-mapping extension, and the §6 "mapping in the presence of
+// application cross-traffic" experiments.
+//
+// The fidelity level is link reservation: a worm reserves each directed
+// link it crosses for its serialisation time starting at the head's arrival
+// there. A worm whose head must wait longer than the blocked-port reset
+// (55 ms in switch ROMs) is destroyed, like the hardware would. Worm
+// self-collision, route failures and silent hosts come from the simnet
+// evaluator, so the quiescent semantics embed exactly.
+package connet
+
+import (
+	"time"
+
+	"sanmap/internal/desim"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Net is the shared contended network. All endpoints must run as processes
+// of the same desim engine; the engine's one-process-at-a-time execution is
+// the synchronisation.
+type Net struct {
+	quiet  *simnet.Net // route evaluation + silent-host bookkeeping
+	timing simnet.Timing
+	// busyUntil records, per directed link, when its current reservation
+	// ends.
+	busyUntil map[simnet.DirectedHop]time.Duration
+	// Blocked counts worms destroyed by the forward-reset timeout.
+	Blocked int64
+	// Delayed counts worms that waited for at least one link.
+	Delayed int64
+	// Worms counts all injected worms (probes, replies and traffic).
+	Worms int64
+}
+
+// New wraps a topology. The collision model governs worm self-collision
+// exactly as in the quiescent transport.
+func New(topo *topology.Network, model simnet.Model, timing simnet.Timing) *Net {
+	return &Net{
+		quiet:     simnet.New(topo, model, timing),
+		timing:    timing,
+		busyUntil: make(map[simnet.DirectedHop]time.Duration),
+	}
+}
+
+// Quiet exposes the underlying quiescent evaluator (for responder setup).
+func (n *Net) Quiet() *simnet.Net { return n.quiet }
+
+// Topology returns the shared topology.
+func (n *Net) Topology() *topology.Network { return n.quiet.Topology() }
+
+// send injects a worm at virtual time t and walks it hop by hop against
+// the link reservations. It returns the delivery time and whether the worm
+// survived contention. The route-level result (failure modes,
+// self-collision) must already have been computed by the caller.
+func (n *Net) send(t time.Duration, hops []simnet.DirectedHop, msgBytes int) (time.Duration, bool) {
+	n.Worms++
+	occupancy := time.Duration(msgBytes) * n.timing.ByteTime
+	arr := t
+	delayed := false
+	for _, hop := range hops {
+		if b, ok := n.busyUntil[hop]; ok && b > arr {
+			wait := b - arr
+			if wait > n.timing.BlockedPortReset {
+				n.Blocked++
+				return 0, false
+			}
+			arr = b
+			delayed = true
+		}
+		n.busyUntil[hop] = arr + occupancy
+		arr += n.timing.SwitchLatency
+	}
+	if delayed {
+		n.Delayed++
+	}
+	return arr + occupancy, true
+}
+
+// Endpoint binds the contended net to one host and one simulation process.
+// It implements simnet.RawProber: each probe advances the process's virtual
+// time by the probe's true round-trip (or the response timeout).
+type Endpoint struct {
+	net   *Net
+	host  topology.NodeID
+	proc  *desim.Proc
+	stats simnet.Stats
+	// OnHostProbe, when set, fires for every delivered host probe with the
+	// source and destination hosts — the hook the election protocol uses to
+	// exchange interface addresses (§4.2: "the participants elect a leader
+	// by comparing network interface addresses carried in every message").
+	OnHostProbe func(src, dst topology.NodeID)
+}
+
+// Endpoint creates a prober for host h bound to process proc.
+func (n *Net) Endpoint(h topology.NodeID, proc *desim.Proc) *Endpoint {
+	if n.quiet.Topology().KindOf(h) != topology.HostNode {
+		panic("connet: endpoint must be a host")
+	}
+	return &Endpoint{net: n, host: h, proc: proc}
+}
+
+// Host returns the bound host.
+func (e *Endpoint) Host() topology.NodeID { return e.host }
+
+// LocalHost implements simnet.Prober.
+func (e *Endpoint) LocalHost() string { return e.net.quiet.Topology().NameOf(e.host) }
+
+// Clock implements simnet.Prober: the process's virtual time.
+func (e *Endpoint) Clock() time.Duration { return e.proc.Now() }
+
+// Stats implements the optional probe-counter interface.
+func (e *Endpoint) Stats() simnet.Stats { return e.stats }
+
+// probe is the shared implementation: evaluate the route, contend the worm
+// (and the reply worm for host probes), sleep the process accordingly.
+func (e *Endpoint) probe(route simnet.Route, wantLoopback bool) (dest topology.NodeID, ok bool) {
+	e.proc.Sleep(e.net.timing.HostOverhead)
+	res, hops := e.net.quiet.EvalPath(e.host, route)
+	now := e.proc.Now()
+
+	fail := func() (topology.NodeID, bool) {
+		e.proc.Sleep(e.net.timing.ResponseTimeout)
+		return topology.None, false
+	}
+	if wantLoopback {
+		if res.Outcome != simnet.Delivered || res.Dest != e.host {
+			return fail()
+		}
+		at, alive := e.net.send(now, hops, simnet.MessageBytes(len(route)))
+		if !alive {
+			return fail()
+		}
+		e.proc.Sleep(at - now)
+		return e.host, true
+	}
+	// Host probe: outbound worm, then a reply over the reversed path.
+	if res.Outcome != simnet.Delivered || !e.net.quiet.Responds(res.Dest) {
+		return fail()
+	}
+	at, alive := e.net.send(now, hops, simnet.MessageBytes(len(route)))
+	if !alive {
+		return fail()
+	}
+	// The responder daemon turns the message around after its own overhead.
+	replyStart := at + e.net.timing.HostOverhead
+	back, alive := e.net.send(replyStart, reverseHops(hops), simnet.MessageBytes(len(route)))
+	if !alive {
+		return fail()
+	}
+	if e.OnHostProbe != nil {
+		e.OnHostProbe(e.host, res.Dest)
+	}
+	e.proc.Sleep(back - now)
+	return res.Dest, true
+}
+
+// SwitchProbe implements simnet.Prober.
+func (e *Endpoint) SwitchProbe(turns simnet.Route) bool {
+	_, ok := e.probe(turns.Loopback(), true)
+	e.stats.SwitchProbes++
+	if ok {
+		e.stats.SwitchHits++
+	}
+	return ok
+}
+
+// HostProbe implements simnet.Prober.
+func (e *Endpoint) HostProbe(turns simnet.Route) (string, bool) {
+	dest, ok := e.probe(turns, false)
+	e.stats.HostProbes++
+	if !ok {
+		return "", false
+	}
+	e.stats.HostHits++
+	return e.net.quiet.Topology().NameOf(dest), true
+}
+
+// RawLoopback implements simnet.RawProber.
+func (e *Endpoint) RawLoopback(route simnet.Route) bool {
+	_, ok := e.probe(route, true)
+	e.stats.SwitchProbes++
+	if ok {
+		e.stats.SwitchHits++
+	}
+	return ok
+}
+
+// SendWorm injects an application traffic worm of the given payload size
+// from the endpoint's host along a precomputed source route. It returns
+// whether the worm was delivered (route valid, no contention kill) and
+// advances virtual time by the transmission time at the source (cut-through
+// injection: the host is busy for the serialisation time, not the full
+// transit).
+func (e *Endpoint) SendWorm(route simnet.Route, payloadBytes int) bool {
+	res, hops := e.net.quiet.EvalPath(e.host, route)
+	if res.Outcome != simnet.Delivered {
+		return false
+	}
+	now := e.proc.Now()
+	msgBytes := simnet.MessageBytes(len(route)) + payloadBytes
+	occupied := time.Duration(msgBytes) * e.net.timing.ByteTime
+	_, alive := e.net.send(now, hops, msgBytes)
+	e.proc.Sleep(occupied)
+	return alive
+}
+
+func reverseHops(hops []simnet.DirectedHop) []simnet.DirectedHop {
+	out := make([]simnet.DirectedHop, len(hops))
+	for i, h := range hops {
+		out[len(hops)-1-i] = simnet.DirectedHop{Wire: h.Wire, FromA: !h.FromA}
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package desim is a small deterministic discrete-event simulation engine.
+// Each simulated process is a goroutine; the engine runs exactly one
+// process at a time and hands control between them in virtual-time order,
+// so shared state needs no locking and runs are reproducible. It drives the
+// paper's concurrent-mapping experiments: the election operational mode
+// (§4.2), multi-mapper parallel mapping (§6), and mapping under application
+// cross-traffic (§6).
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Engine schedules processes over virtual time.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	// yield receives a token whenever the running process blocks or ends.
+	yield   chan struct{}
+	running int // live processes
+	started bool
+}
+
+// New returns an idle engine at time zero.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Proc is the handle a process uses to interact with virtual time.
+type Proc struct {
+	eng  *Engine
+	name string
+	wake chan struct{}
+	dead bool
+}
+
+// Name returns the process name.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.eng.now }
+
+type event struct {
+	at    time.Duration
+	seq   int64
+	p     *Proc
+	start func(*Proc) // non-nil for process launches
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.events, ev)
+}
+
+// Spawn registers a process to start at the current virtual time (or at
+// Run's start). Spawning after Run has returned is an error.
+func (e *Engine) Spawn(name string, f func(*Proc)) {
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.running++
+	e.push(event{at: e.now, p: p, start: f})
+}
+
+// SpawnAt registers a process to start at the given virtual time.
+func (e *Engine) SpawnAt(at time.Duration, name string, f func(*Proc)) {
+	if at < e.now {
+		at = e.now
+	}
+	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
+	e.running++
+	e.push(event{at: at, p: p, start: f})
+}
+
+// Run executes events until none remain, then returns the final virtual
+// time. It panics if called twice.
+func (e *Engine) Run() time.Duration {
+	if e.started {
+		panic("desim: Run called twice")
+	}
+	e.started = true
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.p.dead {
+			continue
+		}
+		e.now = ev.at
+		if ev.start != nil {
+			go func(p *Proc, f func(*Proc)) {
+				defer func() {
+					p.dead = true
+					e.running--
+					e.yield <- struct{}{}
+				}()
+				f(p)
+			}(ev.p, ev.start)
+		} else {
+			ev.p.wake <- struct{}{}
+		}
+		<-e.yield
+	}
+	return e.now
+}
+
+// Sleep suspends the process for d of virtual time. Negative durations
+// sleep zero. Other processes run while this one sleeps.
+func (p *Proc) Sleep(d time.Duration) {
+	if p.dead {
+		panic(fmt.Sprintf("desim: process %s slept after death", p.name))
+	}
+	if d < 0 {
+		d = 0
+	}
+	p.eng.push(event{at: p.eng.now + d, p: p})
+	p.eng.yield <- struct{}{}
+	<-p.wake
+}
+
+// Kill marks a process so its pending wakeups are discarded. Intended for
+// cancelling a sleeping process from another process; the killed goroutine
+// leaks by design if it never wakes (runs end with the program in these
+// simulations). Killing the running process is not supported.
+func (p *Proc) Kill() { p.dead = true }

@@ -1,0 +1,113 @@
+// Package dot renders networks as Graphviz DOT and as indented ASCII — the
+// output format of the paper's automatically-generated network maps
+// (Figs 4 and 5 show hosts along the top, levels of switches below, port
+// numbers on each switch).
+package dot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sanmap/internal/topology"
+)
+
+// Graph renders the network as a Graphviz DOT document. Hosts are boxes
+// labelled with their unique names; switches are records showing their
+// cabled ports, in the style of the paper's figures.
+func Graph(n *topology.Network, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [fontsize=10];\n")
+	for _, h := range n.Hosts() {
+		fmt.Fprintf(&b, "  n%d [shape=box, label=%q];\n", h, n.NameOf(h))
+	}
+	for _, s := range n.Switches() {
+		label := n.NameOf(s)
+		if label == "" {
+			label = fmt.Sprintf("sw%d", s)
+		}
+		var ports []string
+		for p := 0; p < n.NumPorts(s); p++ {
+			if n.WireAt(s, p) >= 0 || n.ReflectorAt(s, p) {
+				ports = append(ports, fmt.Sprintf("<p%d> %d", p, p))
+			}
+		}
+		fmt.Fprintf(&b, "  n%d [shape=record, label=\"{%s|{%s}}\"];\n",
+			s, label, strings.Join(ports, "|"))
+	}
+	n.WiresIndexed(func(_ int, w topology.Wire) {
+		a, bnd := w.A, w.B
+		fmt.Fprintf(&b, "  n%d%s -- n%d%s;\n",
+			a.Node, portRef(n, a), bnd.Node, portRef(n, bnd))
+	})
+	for _, e := range n.Reflectors() {
+		fmt.Fprintf(&b, "  n%d:p%d -- n%d:p%d [style=dashed, label=\"loop\"];\n",
+			e.Node, e.Port, e.Node, e.Port)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func portRef(n *topology.Network, e topology.End) string {
+	if n.KindOf(e.Node) == topology.SwitchNode {
+		return fmt.Sprintf(":p%d", e.Port)
+	}
+	return ""
+}
+
+// ASCII renders the network as a host-rooted level diagram: hosts first,
+// then switches grouped by distance from the hosts, each with its port
+// assignments — a terminal approximation of Fig 4.
+func ASCII(n *topology.Network) string {
+	var b strings.Builder
+	s := n.Stats()
+	fmt.Fprintf(&b, "network: %d hosts, %d switches, %d links\n", s.Hosts, s.Switches, s.Links)
+
+	// Level = min distance to any host.
+	level := make(map[topology.NodeID]int)
+	maxLevel := 0
+	for _, sw := range n.Switches() {
+		dist := n.BFS(sw)
+		best := -1
+		for _, h := range n.Hosts() {
+			if d := dist[h]; d >= 0 && (best < 0 || d < best) {
+				best = d
+			}
+		}
+		level[sw] = best
+		if best > maxLevel {
+			maxLevel = best
+		}
+	}
+	hostNames := n.SortedHostNames()
+	fmt.Fprintf(&b, "hosts: %s\n", strings.Join(hostNames, " "))
+	for lv := 1; lv <= maxLevel; lv++ {
+		var rows []string
+		for _, sw := range n.Switches() {
+			if level[sw] != lv {
+				continue
+			}
+			name := n.NameOf(sw)
+			if name == "" {
+				name = fmt.Sprintf("sw%d", sw)
+			}
+			var ports []string
+			for p := 0; p < n.NumPorts(sw); p++ {
+				if end, ok := n.Neighbor(sw, p); ok {
+					far := n.NameOf(end.Node)
+					if far == "" {
+						far = fmt.Sprintf("sw%d", end.Node)
+					}
+					ports = append(ports, fmt.Sprintf("%d->%s:%d", p, far, end.Port))
+				} else if n.ReflectorAt(sw, p) {
+					ports = append(ports, fmt.Sprintf("%d->loop", p))
+				}
+			}
+			rows = append(rows, fmt.Sprintf("  %-8s [%s]", name, strings.Join(ports, " ")))
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "level %d:\n%s\n", lv, strings.Join(rows, "\n"))
+	}
+	return b.String()
+}

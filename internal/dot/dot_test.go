@@ -1,0 +1,52 @@
+package dot
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sanmap/internal/topology"
+)
+
+func TestGraphDOT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := topology.Star(2, 2, rng)
+	sw := n.Switches()[0]
+	if p := n.FreePort(sw); p >= 0 {
+		if err := n.AddReflector(sw, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := Graph(n, "test")
+	for _, want := range []string{"graph \"test\"", "shape=box", "shape=record", "--", "loop"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	for _, h := range n.Hosts() {
+		if !strings.Contains(out, n.NameOf(h)) {
+			t.Errorf("DOT missing host %s", n.NameOf(h))
+		}
+	}
+	// Every live wire appears exactly once.
+	if got, want := strings.Count(out, " -- "), n.NumWires()+len(n.Reflectors()); got != want {
+		t.Errorf("edge lines %d, want %d", got, want)
+	}
+}
+
+func TestASCII(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := topology.Star(2, 2, rng) // hub switch carries no hosts: level 2
+	out := ASCII(n)
+	if !strings.Contains(out, "4 hosts, 3 switches") {
+		t.Errorf("summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "level 1:") || !strings.Contains(out, "level 2:") {
+		t.Errorf("levels missing:\n%s", out)
+	}
+	for _, name := range n.SortedHostNames() {
+		if !strings.Contains(out, name) {
+			t.Errorf("ASCII missing host %s", name)
+		}
+	}
+}

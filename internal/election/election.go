@@ -1,0 +1,183 @@
+// Package election implements the mapping system's second operational mode
+// (§4.2): "all interfaces or hosts actively map the network and in the
+// process the participants elect a leader by comparing network interface
+// addresses carried in every message. The master/slave mode is faster but
+// introduces a single point of failure, whereas the election mode is more
+// robust ... but has a performance cost."
+//
+// Every host starts an active Berkeley mapper (one desim process per host)
+// over the contended transport. Host-probe traffic carries the sender's
+// interface address; whenever a host learns of a higher address — either by
+// being probed or from a probe response — it passivates (keeps answering
+// probes, stops mapping). The highest-address host is never passivated and
+// its completed map wins.
+package election
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sanmap/internal/connet"
+	"sanmap/internal/desim"
+	"sanmap/internal/mapper"
+	"sanmap/internal/myricom"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Algo runs one host's mapping algorithm over the contended transport;
+// cancel is the passivation poll the election machinery supplies. Both the
+// Berkeley and the Myricom algorithm fit ("both algorithms have two
+// operational modes", §4.2); see BerkeleyAlgo and MyricomAlgo.
+type Algo func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error)
+
+// BerkeleyAlgo adapts the Berkeley mapper for election mode.
+func BerkeleyAlgo(cfg mapper.Config) Algo {
+	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error) {
+		cfg := cfg
+		cfg.Cancel = cancel
+		m, err := mapper.Run(ep, cfg)
+		if err == mapper.ErrCanceled {
+			return nil, errPassivated
+		}
+		return m, err
+	}
+}
+
+// MyricomAlgo adapts the Myricom mapper for election mode.
+func MyricomAlgo(cfg myricom.Config) Algo {
+	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error) {
+		cfg := cfg
+		cfg.Cancel = cancel
+		m, err := myricom.Run(ep, cfg)
+		if err == myricom.ErrCanceled {
+			return nil, errPassivated
+		}
+		if err != nil {
+			return nil, err
+		}
+		return &mapper.Map{Network: m.Network, Mapper: m.Mapper}, nil
+	}
+}
+
+// errPassivated is the internal signal that a mapper yielded.
+var errPassivated = errors.New("election: passivated")
+
+// Config parameterises an election-mode run.
+type Config struct {
+	Model  simnet.Model
+	Timing simnet.Timing
+	// Mapper is the per-host Berkeley configuration (depth etc.) used when
+	// Algorithm is nil; the Cancel hook is managed by the election
+	// machinery.
+	Mapper mapper.Config
+	// Algorithm overrides the per-host mapping algorithm (default:
+	// BerkeleyAlgo(Mapper)).
+	Algorithm Algo
+	// Rng drives interface-address assignment and start staggering; it must
+	// be non-nil (the variance it induces is Fig 7's point).
+	Rng *rand.Rand
+	// MaxStagger bounds the random daemon start offsets.
+	MaxStagger time.Duration
+}
+
+// Result summarises one election run.
+type Result struct {
+	// Winner is the elected leader's host name.
+	Winner string
+	// Map is the leader's completed map.
+	Map *mapper.Map
+	// Elapsed is the virtual time at which the leader finished mapping.
+	Elapsed time.Duration
+	// Passivated counts mappers that yielded before completing.
+	Passivated int
+	// Completed counts mappers that ran to completion (the winner, plus any
+	// that finished before hearing from a better one).
+	Completed int
+	// Probes aggregates probe counts across all participants.
+	Probes simnet.Stats
+}
+
+// Run executes one election-mode mapping of the network.
+func Run(net *topology.Network, cfg Config) (*Result, error) {
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("election: Config.Rng is required")
+	}
+	if cfg.MaxStagger == 0 {
+		cfg.MaxStagger = 500 * time.Microsecond
+	}
+	hosts := net.Hosts()
+	if len(hosts) < 2 {
+		return nil, fmt.Errorf("election: need at least two hosts")
+	}
+
+	// Interface addresses: a random permutation; the maximum wins.
+	addr := make(map[topology.NodeID]uint64, len(hosts))
+	perm := cfg.Rng.Perm(len(hosts))
+	var winner topology.NodeID
+	for i, h := range hosts {
+		addr[h] = uint64(perm[i]) + 1
+		if perm[i] == len(hosts)-1 {
+			winner = h
+		}
+	}
+
+	algo := cfg.Algorithm
+	if algo == nil {
+		algo = BerkeleyAlgo(cfg.Mapper)
+	}
+	eng := desim.New()
+	cn := connet.New(net, cfg.Model, cfg.Timing)
+	// heard[h] is the highest interface address host h has seen.
+	heard := make(map[topology.NodeID]uint64, len(hosts))
+
+	res := &Result{Winner: net.NameOf(winner)}
+	var runErr error
+	for _, h := range hosts {
+		h := h
+		start := time.Duration(cfg.Rng.Int63n(int64(cfg.MaxStagger)))
+		eng.SpawnAt(start, net.NameOf(h), func(p *desim.Proc) {
+			ep := cn.Endpoint(h, p)
+			ep.OnHostProbe = func(src, dst topology.NodeID) {
+				// The probe carries src's address; the response carries
+				// dst's. Both sides learn.
+				if addr[src] > heard[dst] {
+					heard[dst] = addr[src]
+				}
+				if addr[dst] > heard[src] {
+					heard[src] = addr[dst]
+				}
+			}
+			m, err := algo(ep, func() bool { return heard[h] > addr[h] })
+			switch {
+			case err == errPassivated:
+				res.Passivated++
+			case err != nil:
+				if runErr == nil {
+					runErr = fmt.Errorf("election: mapper at %s: %w", net.NameOf(h), err)
+				}
+			default:
+				res.Completed++
+				if h == winner {
+					res.Map = m
+					res.Elapsed = p.Now()
+				}
+			}
+			st := ep.Stats()
+			res.Probes.HostProbes += st.HostProbes
+			res.Probes.HostHits += st.HostHits
+			res.Probes.SwitchProbes += st.SwitchProbes
+			res.Probes.SwitchHits += st.SwitchHits
+		})
+	}
+	eng.Run()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if res.Map == nil {
+		return nil, fmt.Errorf("election: winner %s produced no map", res.Winner)
+	}
+	return res, nil
+}

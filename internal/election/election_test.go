@@ -1,0 +1,117 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/myricom"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func runElection(t *testing.T, net *topology.Network, seed int64) *Result {
+	t.Helper()
+	depth := net.DepthBound(net.Hosts()[0])
+	cfg := Config{
+		Model:  simnet.CircuitModel,
+		Timing: simnet.DefaultTiming(),
+		Mapper: mapper.DefaultConfig(depth),
+		Rng:    rand.New(rand.NewSource(seed)),
+	}
+	res, err := Run(net, cfg)
+	if err != nil {
+		t.Fatalf("election: %v", err)
+	}
+	return res
+}
+
+// TestElectionProducesCorrectMap: the winner's map must satisfy Theorem 1
+// despite contention with the other (eventually passivated) mappers.
+func TestElectionProducesCorrectMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.Star(4, 3, rng)
+	res := runElection(t, net, 42)
+	if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
+		t.Fatalf("winner's map: %v", err)
+	}
+	if res.Passivated+res.Completed != net.NumHosts() {
+		t.Errorf("accounting: %d passivated + %d completed != %d hosts",
+			res.Passivated, res.Completed, net.NumHosts())
+	}
+	if res.Passivated == 0 {
+		t.Error("expected most mappers to passivate")
+	}
+}
+
+// TestElectionSlowerThanMaster reproduces Fig 7's comparison: election-mode
+// mapping takes longer than a single master on the same network.
+func TestElectionSlowerThanMaster(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	net := sys.Net
+	depth := net.DepthBound(sys.Mapper())
+
+	sn := simnet.NewDefault(net)
+	if _, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.DefaultConfig(depth)); err != nil {
+		t.Fatalf("master: %v", err)
+	}
+	masterTime := sn.Clock()
+
+	res := runElection(t, net, 7)
+	if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
+		t.Fatalf("winner's map: %v", err)
+	}
+	if res.Elapsed <= masterTime {
+		t.Errorf("election (%v) should be slower than master (%v)", res.Elapsed, masterTime)
+	}
+	if res.Elapsed > 20*masterTime {
+		t.Errorf("election (%v) implausibly slow vs master (%v)", res.Elapsed, masterTime)
+	}
+	t.Logf("C: master=%v election=%v (paper: 248ms vs 277ms)", masterTime, res.Elapsed)
+}
+
+// TestElectionVariance: different address assignments move the winner and
+// therefore the completion time — the variance Fig 7 reports for the
+// election mode.
+func TestElectionVariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := topology.Star(3, 3, rng)
+	times := map[time.Duration]bool{}
+	for seed := int64(0); seed < 4; seed++ {
+		res := runElection(t, net, seed)
+		times[res.Elapsed] = true
+		if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+	if len(times) < 2 {
+		t.Error("expected completion-time variance across elections")
+	}
+}
+
+// TestMyricomElection: the §4.2 claim that both algorithms support the
+// election mode — the Myricom mapper wins an election and produces a
+// correct map over the contended transport.
+func TestMyricomElection(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := topology.Star(3, 3, rng)
+	depth := net.DepthBound(net.Hosts()[0])
+	res, err := Run(net, Config{
+		Model:     simnet.PacketModel,
+		Timing:    simnet.DefaultTiming(),
+		Algorithm: MyricomAlgo(myricom.DefaultConfig(depth)),
+		Rng:       rand.New(rand.NewSource(11)),
+	})
+	if err != nil {
+		t.Fatalf("myricom election: %v", err)
+	}
+	if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
+		t.Fatalf("winner's map: %v", err)
+	}
+	if res.Passivated == 0 {
+		t.Error("expected passivations")
+	}
+}

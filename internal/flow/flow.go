@@ -1,0 +1,187 @@
+// Package flow implements small-scale maximum-flow and minimum-cost-flow
+// solvers used by the topology analyses of the SPAA'97 mapping paper.
+//
+// Lemma 1 of the paper characterises the unmappable region F of a network
+// via the Max-Flow Min-Cut theorem ("Let v be a source of flow 2, and
+// attach a sink to all hosts ... give all edges capacity 1"), and the probe
+// depth bound Q(v) (Definition 2) is the minimum total length of an
+// edge-disjoint path pair from the mapper through v and on to a host —
+// a 2-unit minimum-cost flow. Networks of interest have at most a few
+// thousand nodes, so the classic successive-shortest-path algorithm with an
+// SPFA (queue-based Bellman-Ford) inner loop is more than fast enough and
+// keeps the implementation dependency-free.
+package flow
+
+import (
+	"errors"
+	"math"
+)
+
+// Graph is a directed flow network built incrementally with AddArc.
+// The zero value is not usable; create instances with New.
+type Graph struct {
+	n    int
+	to   []int32
+	cap  []int64
+	cost []int64
+	// head[v] lists indices into the arc arrays for arcs leaving v.
+	head [][]int32
+}
+
+// New returns an empty flow network on n vertices numbered 0..n-1.
+func New(n int) *Graph {
+	return &Graph{n: n, head: make([][]int32, n)}
+}
+
+// N reports the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddArc inserts a directed arc u->v with the given capacity and per-unit
+// cost, together with its zero-capacity residual reverse arc. It returns the
+// index of the forward arc; index^1 is always the reverse arc.
+func (g *Graph) AddArc(u, v int, capacity, cost int64) int {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic("flow: arc endpoint out of range")
+	}
+	if capacity < 0 {
+		panic("flow: negative capacity")
+	}
+	i := len(g.to)
+	g.to = append(g.to, int32(v), int32(u))
+	g.cap = append(g.cap, capacity, 0)
+	g.cost = append(g.cost, cost, -cost)
+	g.head[u] = append(g.head[u], int32(i))
+	g.head[v] = append(g.head[v], int32(i+1))
+	return i
+}
+
+// AddEdge inserts an undirected unit-ish edge: one arc in each direction,
+// each with its own capacity. For positive costs a minimum-cost flow never
+// uses both directions of such a pair (the two traversals would cancel with
+// a cost saving), which is exactly the "do not repeat an edge in either
+// direction" constraint of the paper's Definition 2.
+func (g *Graph) AddEdge(u, v int, capacity, cost int64) (fwd, rev int) {
+	fwd = g.AddArc(u, v, capacity, cost)
+	rev = g.AddArc(v, u, capacity, cost)
+	return fwd, rev
+}
+
+// Flow reports the flow currently carried by the arc returned by AddArc.
+func (g *Graph) Flow(arc int) int64 { return g.cap[arc^1] }
+
+// ErrNegativeCycle is returned when the cost relaxation fails to settle,
+// which for the graphs built here indicates a programming error.
+var ErrNegativeCycle = errors.New("flow: negative cycle detected")
+
+// MaxFlow pushes as much flow as possible (up to limit; limit<0 means
+// unbounded) from s to t, ignoring costs, and returns the amount pushed.
+// It uses BFS augmentation (Edmonds-Karp), sufficient at this scale.
+func (g *Graph) MaxFlow(s, t int, limit int64) int64 {
+	if limit < 0 {
+		limit = math.MaxInt64
+	}
+	var total int64
+	prev := make([]int32, g.n)
+	queue := make([]int32, 0, g.n)
+	for total < limit {
+		for i := range prev {
+			prev[i] = -1
+		}
+		prev[s] = -2
+		queue = append(queue[:0], int32(s))
+		for len(queue) > 0 && prev[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ai := range g.head[u] {
+				v := g.to[ai]
+				if g.cap[ai] > 0 && prev[v] == -1 {
+					prev[v] = ai
+					queue = append(queue, v)
+				}
+			}
+		}
+		if prev[t] == -1 {
+			break
+		}
+		// Find bottleneck along the path, then apply it.
+		push := limit - total
+		for v := int32(t); v != int32(s); {
+			ai := prev[v]
+			if g.cap[ai] < push {
+				push = g.cap[ai]
+			}
+			v = g.to[ai^1]
+		}
+		for v := int32(t); v != int32(s); {
+			ai := prev[v]
+			g.cap[ai] -= push
+			g.cap[ai^1] += push
+			v = g.to[ai^1]
+		}
+		total += push
+	}
+	return total
+}
+
+// MinCostFlow pushes up to limit units from s to t along successively
+// cheapest augmenting paths and returns the units pushed and their total
+// cost. Costs may not be negative on forward arcs.
+func (g *Graph) MinCostFlow(s, t int, limit int64) (pushed, cost int64, err error) {
+	dist := make([]int64, g.n)
+	inQueue := make([]bool, g.n)
+	prev := make([]int32, g.n)
+	for pushed < limit {
+		for i := range dist {
+			dist[i] = math.MaxInt64
+			prev[i] = -1
+		}
+		dist[s] = 0
+		queue := []int32{int32(s)}
+		inQueue[s] = true
+		relaxations := 0
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			inQueue[u] = false
+			du := dist[u]
+			for _, ai := range g.head[u] {
+				if g.cap[ai] <= 0 {
+					continue
+				}
+				v := g.to[ai]
+				if nd := du + g.cost[ai]; nd < dist[v] {
+					dist[v] = nd
+					prev[v] = ai
+					if !inQueue[v] {
+						inQueue[v] = true
+						queue = append(queue, v)
+					}
+					relaxations++
+					if relaxations > 4*g.n*len(g.to) {
+						return pushed, cost, ErrNegativeCycle
+					}
+				}
+			}
+		}
+		if dist[t] == math.MaxInt64 {
+			break
+		}
+		push := limit - pushed
+		for v := int32(t); v != int32(s); {
+			ai := prev[v]
+			if g.cap[ai] < push {
+				push = g.cap[ai]
+			}
+			v = g.to[ai^1]
+		}
+		for v := int32(t); v != int32(s); {
+			ai := prev[v]
+			g.cap[ai] -= push
+			g.cap[ai^1] += push
+			v = g.to[ai^1]
+		}
+		pushed += push
+		cost += push * dist[t]
+	}
+	return pushed, cost, nil
+}

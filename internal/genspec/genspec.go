@@ -1,0 +1,134 @@
+// Package genspec parses the compact topology-generator specifications the
+// command-line tools share, e.g. "now-cab", "fattree:6x4", "random:8,20,4",
+// "hypercube:3", "mesh:3x4", "torus:4x4", "ring:5", "star:4", "line:6".
+package genspec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/topology"
+)
+
+// Result is a parsed and built specification.
+type Result struct {
+	Net *topology.Network
+	// Utility is the name of the distinguished service host for the NOW
+	// configurations, "" otherwise.
+	Utility string
+}
+
+// Specs describes the accepted forms, for usage strings.
+const Specs = "now-c, now-ca, now-cab, fattree:LxH, random:S,H,E, hypercube:D, mesh:WxH, torus:WxH, ring:N, star:N, line:N"
+
+// Build parses spec and constructs the network. rng randomises port
+// embeddings (nil keeps them deterministic).
+func Build(spec string, rng *rand.Rand) (Result, error) {
+	name, arg, _ := strings.Cut(spec, ":")
+	nums := func(want int) ([]int, error) {
+		parts := strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == 'x' })
+		if len(parts) != want {
+			return nil, fmt.Errorf("genspec: %q: want %d numbers, have %d", spec, want, len(parts))
+		}
+		out := make([]int, want)
+		for i, p := range parts {
+			v, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("genspec: %q: %v", spec, err)
+			}
+			if v < 1 {
+				return nil, fmt.Errorf("genspec: %q: numbers must be positive", spec)
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	sys := func(s *cluster.System) (Result, error) {
+		return Result{Net: s.Net, Utility: s.Net.NameOf(s.Utility)}, nil
+	}
+	switch name {
+	case "now-c":
+		return sys(cluster.CConfig(rng))
+	case "now-ca":
+		return sys(cluster.CAConfig(rng))
+	case "now-cab":
+		return sys(cluster.CABConfig(rng))
+	case "fattree":
+		v, err := nums(2)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[1] > topology.SwitchPorts-2 {
+			return Result{}, fmt.Errorf("genspec: %q: at most %d hosts per leaf", spec, topology.SwitchPorts-2)
+		}
+		return Result{Net: topology.FatTree(topology.FatTreeSpec{
+			LeafSwitches: v[0], HostsPerLeaf: v[1],
+			MidSwitches: (v[0] + 1) / 2, RootSwitches: 1,
+			UplinksPerLeaf: 2, UplinksPerMid: 1,
+		}, rng)}, nil
+	case "random":
+		v, err := nums(3)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[1] > 4*v[0] {
+			return Result{}, fmt.Errorf("genspec: %q: at most %d hosts for %d switches", spec, 4*v[0], v[0])
+		}
+		if rng == nil {
+			rng = rand.New(rand.NewSource(1))
+		}
+		return Result{Net: topology.RandomConnected(v[0], v[1], v[2], rng)}, nil
+	case "hypercube":
+		v, err := nums(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[0] > topology.SwitchPorts-1 {
+			return Result{}, fmt.Errorf("genspec: %q: dimension at most %d", spec, topology.SwitchPorts-1)
+		}
+		return Result{Net: topology.Hypercube(v[0], 1, rng)}, nil
+	case "mesh":
+		v, err := nums(2)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Net: topology.Mesh(v[0], v[1], 2, rng)}, nil
+	case "torus":
+		v, err := nums(2)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[0] < 3 || v[1] < 3 {
+			return Result{}, fmt.Errorf("genspec: %q: torus needs sides of at least 3", spec)
+		}
+		return Result{Net: topology.Torus(v[0], v[1], 2, rng)}, nil
+	case "ring":
+		v, err := nums(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[0] < 3 {
+			return Result{}, fmt.Errorf("genspec: %q: ring needs at least 3 switches", spec)
+		}
+		return Result{Net: topology.Ring(v[0], 2, rng)}, nil
+	case "star":
+		v, err := nums(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if v[0] > topology.SwitchPorts {
+			return Result{}, fmt.Errorf("genspec: %q: at most %d leaves", spec, topology.SwitchPorts)
+		}
+		return Result{Net: topology.Star(v[0], 2, rng)}, nil
+	case "line":
+		v, err := nums(1)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Net: topology.Line(v[0], 2, rng)}, nil
+	}
+	return Result{}, fmt.Errorf("genspec: unknown generator %q (want one of: %s)", name, Specs)
+}

@@ -1,0 +1,70 @@
+package genspec
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestBuildValidSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := map[string]struct{ hosts, switches int }{
+		"now-c":        {36, 13},
+		"now-ca":       {70, 26},
+		"now-cab":      {100, 40},
+		"fattree:4x3":  {12, 7},
+		"random:5,8,2": {8, 5},
+		"hypercube:3":  {8, 8},
+		"mesh:3x3":     {18, 9},
+		"torus:3x3":    {18, 9},
+		"ring:4":       {8, 4},
+		"star:3":       {6, 4},
+		"line:3":       {6, 3},
+	}
+	for spec, want := range cases {
+		res, err := Build(spec, rng)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if got := res.Net.NumHosts(); got != want.hosts {
+			t.Errorf("%s: %d hosts, want %d", spec, got, want.hosts)
+		}
+		if got := res.Net.NumSwitches(); got != want.switches {
+			t.Errorf("%s: %d switches, want %d", spec, got, want.switches)
+		}
+		if err := res.Net.Validate(); err != nil {
+			t.Errorf("%s: %v", spec, err)
+		}
+		if strings.HasPrefix(spec, "now-") && res.Utility == "" {
+			t.Errorf("%s: missing utility host", spec)
+		}
+	}
+}
+
+func TestBuildInvalidSpecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, spec := range []string{
+		"", "frobnicate", "fattree", "fattree:4", "fattree:4x9",
+		"random:1,2", "random:2,99,0", "hypercube:9", "ring:2",
+		"torus:2x5", "star:9", "mesh:axb", "line:0", "line:-3",
+	} {
+		if res, err := Build(spec, rng); err == nil {
+			t.Errorf("Build(%q) accepted: %v", spec, res.Net)
+		}
+	}
+}
+
+func TestBuildNilRngDeterministic(t *testing.T) {
+	a, err := Build("now-cab", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("now-cab", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Net.Stats() != b.Net.Stats() || a.Net.Diameter() != b.Net.Diameter() {
+		t.Error("nil-rng builds differ")
+	}
+}

@@ -1,0 +1,297 @@
+// Package isomorph decides isomorphism between two host/switch networks.
+//
+// The SPAA'97 mapping paper's Theorem 1 states that the model graph modulo
+// labelling, M/L, "is isomorphic to N − F". This package provides the
+// checker the test-suite and experiments use to verify that claim for the
+// implemented algorithms: hosts are labelled by their unique names and must
+// map to the identically-named host; switches are anonymous; port numbers
+// are ignored (the theorem is about graphs, and Lemma 2 makes port frames
+// unobservable up to rotation); wire multiplicity (parallel cables) and
+// self-loop cables must be preserved.
+//
+// The search is signature-refined backtracking: every node gets an
+// invariant signature (kind, degree, loop count, distances to every named
+// host), candidates are grouped by signature, and a most-constrained-first
+// backtracking search completes the switch correspondence. Host anchors
+// make this effectively polynomial on the paper's networks.
+package isomorph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sanmap/internal/topology"
+)
+
+// Check reports whether a and b are isomorphic in the sense above. When
+// they are not, the returned reason sketches the first obstruction found.
+func Check(a, b *topology.Network) (ok bool, reason string) {
+	sa, sb := a.Stats(), b.Stats()
+	if sa != sb {
+		return false, fmt.Sprintf("component counts differ: %+v vs %+v", sa, sb)
+	}
+	an, bn := a.SortedHostNames(), b.SortedHostNames()
+	if len(an) != len(bn) {
+		return false, "host counts differ"
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false, fmt.Sprintf("host name sets differ at %q vs %q", an[i], bn[i])
+		}
+	}
+
+	ga := newGraph(a)
+	gb := newGraph(b)
+
+	// Signatures must match as multisets.
+	countA := map[string]int{}
+	countB := map[string]int{}
+	for _, s := range ga.sig {
+		countA[s]++
+	}
+	for _, s := range gb.sig {
+		countB[s]++
+	}
+	for s, c := range countA {
+		if countB[s] != c {
+			return false, fmt.Sprintf("signature multiset differs for %q: %d vs %d", s, c, countB[s])
+		}
+	}
+
+	m := &matcher{a: ga, b: gb,
+		ab: make([]topology.NodeID, a.NumNodes()),
+		ba: make([]topology.NodeID, b.NumNodes()),
+	}
+	for i := range m.ab {
+		m.ab[i] = topology.None
+	}
+	for i := range m.ba {
+		m.ba[i] = topology.None
+	}
+	// Anchor hosts by name.
+	for _, name := range an {
+		ha, hb := a.Lookup(name), b.Lookup(name)
+		if !m.assign(ha, hb) {
+			return false, fmt.Sprintf("host %q cannot map to its counterpart", name)
+		}
+	}
+	// Order unmatched switches most-constrained-first (rarest signature).
+	var order []topology.NodeID
+	for _, s := range a.Switches() {
+		if m.ab[s] == topology.None {
+			order = append(order, s)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ci := countA[ga.sig[order[i]]]
+		cj := countA[ga.sig[order[j]]]
+		if ci != cj {
+			return ci < cj
+		}
+		return order[i] < order[j]
+	})
+	if m.search(order, 0) {
+		return true, ""
+	}
+	return false, "no switch correspondence found"
+}
+
+// graph is the preprocessed view of a network.
+type graph struct {
+	net *topology.Network
+	// mult[u] maps neighbour v to the number of wires between u and v
+	// (self-loops stored under u itself, counted once per cable).
+	mult []map[topology.NodeID]int
+	sig  []string
+}
+
+func newGraph(n *topology.Network) *graph {
+	g := &graph{net: n, mult: make([]map[topology.NodeID]int, n.NumNodes()),
+		sig: make([]string, n.NumNodes())}
+	for i := range g.mult {
+		g.mult[i] = make(map[topology.NodeID]int)
+	}
+	for _, w := range n.Wires() {
+		if w.A.Node == w.B.Node {
+			g.mult[w.A.Node][w.A.Node]++
+			continue
+		}
+		g.mult[w.A.Node][w.B.Node]++
+		g.mult[w.B.Node][w.A.Node]++
+	}
+	// Distance vectors to hosts in name order.
+	names := n.SortedHostNames()
+	dists := make([][]int, len(names))
+	for i, name := range names {
+		dists[i] = n.BFS(n.Lookup(name))
+	}
+	for i := 0; i < n.NumNodes(); i++ {
+		id := topology.NodeID(i)
+		refl := 0
+		for p := 0; p < n.NumPorts(id); p++ {
+			if n.ReflectorAt(id, p) {
+				refl++
+			}
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s/deg%d/loop%d/refl%d:", n.KindOf(id), n.Degree(id), g.mult[i][id], refl)
+		if n.KindOf(id) == topology.HostNode {
+			fmt.Fprintf(&b, "name=%s:", n.NameOf(id))
+		}
+		for h := range names {
+			fmt.Fprintf(&b, "%d,", dists[h][i])
+		}
+		g.sig[i] = b.String()
+	}
+	return g
+}
+
+type matcher struct {
+	a, b *graph
+	ab   []topology.NodeID // a-node -> b-node
+	ba   []topology.NodeID
+}
+
+// assign tentatively maps ua to ub, checking signature equality and
+// adjacency-multiplicity consistency against already-mapped nodes.
+func (m *matcher) assign(ua, ub topology.NodeID) bool {
+	if m.a.sig[ua] != m.b.sig[ub] {
+		return false
+	}
+	if m.ab[ua] != topology.None || m.ba[ub] != topology.None {
+		return false
+	}
+	for v, c := range m.a.mult[ua] {
+		if v == ua {
+			// Self-loop count already encoded in the signature.
+			continue
+		}
+		if mv := m.ab[v]; mv != topology.None {
+			if m.b.mult[ub][mv] != c {
+				return false
+			}
+		}
+	}
+	// Also check mapped b-side neighbours that should correspond back.
+	for v, c := range m.b.mult[ub] {
+		if v == ub {
+			continue
+		}
+		if mv := m.ba[v]; mv != topology.None {
+			if m.a.mult[ua][mv] != c {
+				return false
+			}
+		}
+	}
+	m.ab[ua] = ub
+	m.ba[ub] = ua
+	return true
+}
+
+func (m *matcher) unassign(ua topology.NodeID) {
+	ub := m.ab[ua]
+	m.ab[ua] = topology.None
+	m.ba[ub] = topology.None
+}
+
+// search extends the mapping over order[i:] by backtracking.
+func (m *matcher) search(order []topology.NodeID, i int) bool {
+	if i == len(order) {
+		return true
+	}
+	ua := order[i]
+	for _, ub := range m.b.net.Switches() {
+		if m.ba[ub] != topology.None {
+			continue
+		}
+		if m.assign(ua, ub) {
+			if m.search(order, i+1) {
+				return true
+			}
+			m.unassign(ua)
+		}
+	}
+	return false
+}
+
+// MustEqualCore asserts that mapped is isomorphic to the core (N−F) of
+// actual; it returns a descriptive error otherwise. This is the Theorem 1
+// check used throughout the tests and experiments.
+func MustEqualCore(mapped, actual *topology.Network) error {
+	core, _ := actual.Core()
+	if ok, reason := Check(mapped, core); !ok {
+		return fmt.Errorf("map is not isomorphic to N-F: %s", reason)
+	}
+	return nil
+}
+
+// Similarity quantifies how close a (possibly wrong) map is to a reference
+// network — the accuracy metric for the mapping-under-cross-traffic
+// experiments, where probe loss yields incomplete maps.
+type Similarity struct {
+	Isomorphic bool
+	// HostRecall is the fraction of reference hosts present in the map.
+	HostRecall float64
+	// SwitchRatio and LinkRatio are mapped counts over reference counts
+	// (can exceed 1 when unmerged replicates survive).
+	SwitchRatio float64
+	LinkRatio   float64
+}
+
+// Score is a scalar in [0,1]: 1 for isomorphic, otherwise the host recall
+// discounted by count mismatches.
+func (s Similarity) Score() float64 {
+	if s.Isomorphic {
+		return 1
+	}
+	penalty := func(r float64) float64 {
+		if r > 1 {
+			r = 1 / r
+		}
+		return r
+	}
+	return s.HostRecall * penalty(s.SwitchRatio) * penalty(s.LinkRatio)
+}
+
+// Compare computes the similarity of mapped against ref.
+func Compare(mapped, ref *topology.Network) Similarity {
+	var s Similarity
+	if ok, _ := Check(mapped, ref); ok {
+		s.Isomorphic = true
+	}
+	refHosts := make(map[string]bool)
+	for _, name := range ref.SortedHostNames() {
+		refHosts[name] = true
+	}
+	found := 0
+	for _, name := range mapped.SortedHostNames() {
+		if refHosts[name] {
+			found++
+		}
+	}
+	if len(refHosts) > 0 {
+		s.HostRecall = float64(found) / float64(len(refHosts))
+	}
+	if n := ref.NumSwitches(); n > 0 {
+		s.SwitchRatio = float64(mapped.NumSwitches()) / float64(n)
+	}
+	if n := ref.NumWires(); n > 0 {
+		s.LinkRatio = float64(mapped.NumWires()) / float64(n)
+	}
+	return s
+}
+
+// MustEqualCoreIgnoring is MustEqualCore with a set of host names excluded
+// from the reference — used to verify maps taken while those hosts were
+// silent (not running responder daemons) and therefore invisible.
+func MustEqualCoreIgnoring(mapped, actual *topology.Network, ignore map[string]bool) error {
+	core, _ := actual.Core()
+	ref, _ := core.Filter(func(id topology.NodeID) bool {
+		return core.KindOf(id) != topology.HostNode || !ignore[core.NameOf(id)]
+	})
+	if ok, reason := Check(mapped, ref); !ok {
+		return fmt.Errorf("map is not isomorphic to N-F minus silent hosts: %s", reason)
+	}
+	return nil
+}

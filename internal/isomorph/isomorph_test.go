@@ -1,0 +1,202 @@
+package isomorph
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/topology"
+)
+
+// scramble rebuilds net with node insertion order and port numbers
+// permuted — an isomorphic copy that shares nothing positional.
+func scramble(net *topology.Network, rng *rand.Rand) *topology.Network {
+	out := &topology.Network{}
+	n := net.NumNodes()
+	perm := rng.Perm(n)
+	ids := make([]topology.NodeID, n)
+	// Create nodes in permuted order.
+	for _, i := range perm {
+		id := topology.NodeID(i)
+		if net.KindOf(id) == topology.HostNode {
+			ids[i] = out.AddHost(net.NameOf(id))
+		} else {
+			ids[i] = out.AddSwitch("")
+		}
+	}
+	// Per-switch random port rotation.
+	rot := make([]int, n)
+	for i := range rot {
+		rot[i] = rng.Intn(topology.SwitchPorts)
+	}
+	portOf := func(e topology.End) int {
+		if net.KindOf(e.Node) == topology.HostNode {
+			return 0
+		}
+		return (e.Port + rot[e.Node]) % topology.SwitchPorts
+	}
+	for _, w := range net.Wires() {
+		out.MustConnect(ids[w.A.Node], portOf(w.A), ids[w.B.Node], portOf(w.B))
+	}
+	return out
+}
+
+func TestIsomorphicScrambles(t *testing.T) {
+	for seed := int64(0); seed < 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := topology.RandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
+		copyNet := scramble(net, rng)
+		if ok, reason := Check(net, copyNet); !ok {
+			t.Fatalf("seed %d: scrambled copy not isomorphic: %s", seed, reason)
+		}
+	}
+}
+
+func TestNotIsomorphicAfterMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	net := topology.Mesh(3, 2, 2, rng)
+	mutations := map[string]func(*topology.Network) bool{
+		"remove a wire": func(c *topology.Network) bool {
+			// Remove a switch-switch wire (keep host names intact).
+			removed := false
+			c.WiresIndexed(func(wi int, w topology.Wire) {
+				if removed {
+					return
+				}
+				if c.KindOf(w.A.Node) == topology.SwitchNode && c.KindOf(w.B.Node) == topology.SwitchNode {
+					if err := c.RemoveWire(wi); err == nil {
+						removed = true
+					}
+				}
+			})
+			return removed
+		},
+		"add a switch": func(c *topology.Network) bool {
+			s := c.AddSwitch("")
+			for _, other := range c.Switches() {
+				if other != s && c.FreePort(other) >= 0 {
+					_, _, _, err := c.ConnectFree(s, other)
+					return err == nil
+				}
+			}
+			return false
+		},
+		"rewire": func(c *topology.Network) bool {
+			// Move one switch-switch wire to different endpoints, changing
+			// the multiset of adjacencies.
+			var cand int = -1
+			c.WiresIndexed(func(wi int, w topology.Wire) {
+				if cand >= 0 {
+					return
+				}
+				if c.KindOf(w.A.Node) == topology.SwitchNode && c.KindOf(w.B.Node) == topology.SwitchNode {
+					cand = wi
+				}
+			})
+			if cand < 0 {
+				return false
+			}
+			w := c.WireByIndex(cand)
+			sw := c.Switches()
+			for _, a := range sw {
+				for _, b := range sw {
+					if a == b || (a == w.A.Node && b == w.B.Node) || (a == w.B.Node && b == w.A.Node) {
+						continue
+					}
+					if c.FreePort(a) >= 0 && c.FreePort(b) >= 0 {
+						if err := c.RemoveWire(cand); err != nil {
+							return false
+						}
+						_, _, _, err := c.ConnectFree(a, b)
+						return err == nil
+					}
+				}
+			}
+			return false
+		},
+	}
+	for name, mutate := range mutations {
+		c := net.Clone()
+		if !mutate(c) {
+			t.Fatalf("%s: mutation did not apply", name)
+		}
+		if ok, _ := Check(net, c); ok {
+			// The rewire mutation can occasionally produce a graph that is
+			// genuinely isomorphic; the others cannot.
+			if name != "rewire" {
+				t.Errorf("%s: mutated copy still isomorphic", name)
+			}
+		}
+	}
+}
+
+func TestHostNamesMatter(t *testing.T) {
+	a := &topology.Network{}
+	s := a.AddSwitch("s")
+	a.MustConnect(a.AddHost("x"), 0, s, 0)
+	a.MustConnect(a.AddHost("y"), 0, s, 1)
+
+	b := &topology.Network{}
+	sb := b.AddSwitch("s")
+	b.MustConnect(b.AddHost("x"), 0, sb, 0)
+	b.MustConnect(b.AddHost("z"), 0, sb, 1)
+	if ok, _ := Check(a, b); ok {
+		t.Error("different host names accepted")
+	}
+}
+
+func TestParallelWiresAndLoops(t *testing.T) {
+	build := func(parallel int, loop bool) *topology.Network {
+		n := &topology.Network{}
+		s0 := n.AddSwitch("")
+		s1 := n.AddSwitch("")
+		n.MustConnect(n.AddHost("a"), 0, s0, 0)
+		n.MustConnect(n.AddHost("b"), 0, s1, 0)
+		for i := 0; i < parallel; i++ {
+			n.MustConnect(s0, 1+i, s1, 1+i)
+		}
+		if loop {
+			n.MustConnect(s0, 6, s0, 7)
+		}
+		return n
+	}
+	if ok, _ := Check(build(2, false), build(2, false)); !ok {
+		t.Error("identical parallel builds differ")
+	}
+	if ok, _ := Check(build(1, false), build(2, false)); ok {
+		t.Error("wire multiplicity ignored")
+	}
+	if ok, _ := Check(build(2, true), build(2, false)); ok {
+		t.Error("self-loop ignored")
+	}
+	if ok, _ := Check(build(2, true), build(2, true)); !ok {
+		t.Error("identical loop builds differ")
+	}
+}
+
+func TestSimilarity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := topology.Star(3, 2, rng)
+	same := Compare(net, net)
+	if !same.Isomorphic || same.Score() != 1 {
+		t.Errorf("self comparison: %+v", same)
+	}
+	// Remove one host: recall drops.
+	partial := net.Clone()
+	h := partial.Hosts()[0]
+	if w := partial.WireAt(h, 0); w >= 0 {
+		if err := partial.RemoveWire(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	smaller, _ := partial.Filter(func(id topology.NodeID) bool { return id != h })
+	sim := Compare(smaller, net)
+	if sim.Isomorphic {
+		t.Error("partial map reported isomorphic")
+	}
+	if sim.HostRecall >= 1 || sim.HostRecall <= 0 {
+		t.Errorf("host recall %v", sim.HostRecall)
+	}
+	if sim.Score() >= 1 || sim.Score() <= 0 {
+		t.Errorf("score %v", sim.Score())
+	}
+}

@@ -1,0 +1,473 @@
+package mapper
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// ReplicatePolicy selects what happens to pending exploration work when a
+// vertex is discovered to be a replicate of an already-explored one.
+type ReplicatePolicy uint8
+
+const (
+	// DedupFrontier skips exploration jobs whose vertex has merged into an
+	// explored vertex — the behaviour implied by §3.3's object merging and
+	// the probe-count economy of Fig 6.
+	DedupFrontier ReplicatePolicy = iota
+	// RetryUnknown re-explores merged vertices, but only the slots still
+	// empty in the survivor's frame — the probes the survivor's route may
+	// have lost to self-collisions. A middle ground between probe cost and
+	// the label algorithm's exhaustiveness.
+	RetryUnknown
+	// ExploreAll explores every created vertex to the depth bound exactly
+	// as the §3.1 label algorithm does. Maximum probes, maximum coverage.
+	ExploreAll
+)
+
+// ProbeOrder selects which of the two §2.3 probe types is sent first for a
+// candidate turn (the second is skipped when the first answers).
+type ProbeOrder uint8
+
+const (
+	// HostFirst sends the host-probe first. Host responses are the merge
+	// anchors, so this finds deductions as early as possible.
+	HostFirst ProbeOrder = iota
+	// SwitchFirst sends the loopback switch-probe first.
+	SwitchFirst
+)
+
+// TurnOrder selects the order in which candidate turns are probed.
+type TurnOrder uint8
+
+const (
+	// SmallTurnsFirst probes ±1, ∓1, ±2, ... — the paper's §3.3 heuristic:
+	// "excluding turn 0, turns of +/-1 are the best, turns of +/-2 are the
+	// next best, etc."
+	SmallTurnsFirst TurnOrder = iota
+	// NaiveScan probes −7..−1, +1..+7 in order (the ablation baseline).
+	NaiveScan
+)
+
+// Config parameterises a mapping run.
+type Config struct {
+	// Depth is the maximum probe-string length ("SearchDepth"). The paper's
+	// correctness bound is Q+D (§3.2.7); topology.DepthBound computes it
+	// when the true network is available to the harness.
+	Depth int
+	// Policy controls replicate re-exploration (see ReplicatePolicy).
+	Policy ReplicatePolicy
+	// ProbeOrder controls host-versus-switch probe order per turn.
+	ProbeOrder ProbeOrder
+	// TurnOrder controls the turn exploration heuristic.
+	TurnOrder TurnOrder
+	// EliminateProbes enables §3.3's provably-safe probe elimination using
+	// the feasible-port window. Disabling it is the ablation baseline.
+	EliminateProbes bool
+	// SkipKnownSlots suppresses probes for slots that already hold an edge.
+	SkipKnownSlots bool
+	// MaxVertices aborts pathological runs (0 = default 1<<20).
+	MaxVertices int
+	// Snapshots enables the Fig 8 instrumentation: one Snapshot per switch
+	// exploration.
+	Snapshots bool
+	// Cancel, when non-nil, is polled between explorations; returning true
+	// aborts the run with ErrCanceled. The election mode (§4.2) uses it to
+	// passivate a mapper that has heard from a higher-priority one.
+	Cancel func() bool
+	// Trace, when non-nil, receives a TraceEvent for every probe,
+	// discovery, merge, prune and exploration (see TraceWriter).
+	Trace func(TraceEvent)
+}
+
+// DefaultConfig returns the paper-faithful production configuration; the
+// depth must still be set by the caller.
+func DefaultConfig(depth int) Config {
+	return Config{
+		Depth:           depth,
+		Policy:          DedupFrontier,
+		ProbeOrder:      HostFirst,
+		TurnOrder:       SmallTurnsFirst,
+		EliminateProbes: true,
+		SkipKnownSlots:  true,
+	}
+}
+
+// Snapshot is one Fig 8 sample, taken after each switch exploration: "the
+// number of nodes and edges in the model graph as well as the number of
+// items on the frontier list were recorded after a frontier switch was
+// explored. Hence time is in units of 'switch explorations'".
+type Snapshot struct {
+	Exploration int
+	Vertices    int
+	Edges       int
+	Frontier    int
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	Probes        simnet.Stats
+	Explorations  int // frontier pops that actually probed
+	SkippedJobs   int // frontier pops suppressed by the replicate policy
+	Merges        int
+	PrunedVerts   int
+	Elapsed       time.Duration
+	Inconsistent  int // contradictory deductions (nonzero only under noise)
+	EliminatedPro int // probes skipped by the safe-elimination window
+}
+
+// Map is the result of a mapping run.
+type Map struct {
+	// Network is the reconstructed topology. Host names are preserved;
+	// switches are anonymous (named m0, m1, ... in creation order); port
+	// numbers are consistent up to the per-switch rotation that Lemma 2
+	// proves unobservable (routes depend only on port differences).
+	Network *topology.Network
+	// Mapper is the node id of the mapping host within Network.
+	Mapper topology.NodeID
+	Stats  Stats
+	// Series is the Fig 8 instrumentation when Config.Snapshots was set.
+	Series []Snapshot
+}
+
+// ErrTooManyVertices reports a run aborted by Config.MaxVertices.
+var ErrTooManyVertices = errors.New("mapper: model graph exceeded MaxVertices")
+
+// ErrCanceled reports a run aborted by Config.Cancel (election passivation).
+var ErrCanceled = errors.New("mapper: run canceled")
+
+// job is one pending frontier exploration: a vertex reference plus the
+// probe string that created it (the route this job's probes will extend).
+// entry is the index, in v's own frame, of the port this route enters
+// through — 0 for vertices created by the BFS itself; possibly other values
+// for jobs seeded by the randomized hybrid, which re-enters known vertices
+// over new routes.
+type job struct {
+	v     *Vertex
+	route simnet.Route
+	entry int
+}
+
+// run holds the state of one mapping run.
+type run struct {
+	cfg    Config
+	p      simnet.Prober
+	model  *Model
+	front  []job
+	stats  Stats
+	series []Snapshot
+}
+
+// Run executes the Berkeley algorithm from the given prober and returns the
+// resulting map.
+func Run(p simnet.Prober, cfg Config) (*Map, error) {
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d", cfg.Depth)
+	}
+	if cfg.MaxVertices == 0 {
+		cfg.MaxVertices = 1 << 20
+	}
+	r := &run{cfg: cfg, p: p, model: newModel()}
+	start := p.Clock()
+
+	// INITIALIZATION (§3.1): the root host-vertex for the mapper itself and
+	// its adjacent switch-vertex; the frontier starts with that switch.
+	h0, _ := r.model.hostVertex(p.LocalHost(), simnet.Route{})
+	rootSwitch := r.model.newVertex(topology.SwitchNode, "", simnet.Route{})
+	// The host's single wire is the switch's entry port, relative index 0.
+	r.model.addEdge(h0, 0, rootSwitch, 0)
+	r.front = append(r.front, job{v: rootSwitch, route: simnet.Route{}})
+
+	// EXPLORE + MERGE, interleaved per §3.3 modification 1.
+	for len(r.front) > 0 {
+		if cfg.Cancel != nil && cfg.Cancel() {
+			return nil, ErrCanceled
+		}
+		jb := r.front[0]
+		r.front = r.front[1:]
+		if err := r.explore(jb); err != nil {
+			return nil, err
+		}
+	}
+
+	// PRUNE (§3.1): repeatedly delete switch-vertices of degree ≤ 1; this
+	// removes both unexplored deep frontier leftovers and the replicated
+	// fringes of F.
+	r.prune()
+
+	r.stats.Elapsed = p.Clock() - start
+	if ns, ok := p.(interface{ Stats() simnet.Stats }); ok {
+		r.stats.Probes = ns.Stats()
+	}
+	r.stats.Inconsistent = r.model.Inconsistencies
+
+	net, mapperID, err := r.export()
+	if err != nil {
+		return nil, err
+	}
+	return &Map{Network: net, Mapper: mapperID, Stats: r.stats, Series: r.series}, nil
+}
+
+// turnSequence returns the candidate turns in configured order.
+func (r *run) turnSequence() []simnet.Turn {
+	var out []simnet.Turn
+	switch r.cfg.TurnOrder {
+	case SmallTurnsFirst:
+		for mag := 1; mag <= simnet.MaxTurn; mag++ {
+			out = append(out, simnet.Turn(mag), simnet.Turn(-mag))
+		}
+	default: // NaiveScan
+		for t := -simnet.MaxTurn; t <= simnet.MaxTurn; t++ {
+			if t != 0 {
+				out = append(out, simnet.Turn(t))
+			}
+		}
+	}
+	return out
+}
+
+// explore pops one job: probes every candidate turn out of the switch the
+// job's route reaches, creating vertices and edges for the responses and
+// draining the merge list after each discovery.
+func (r *run) explore(jb job) error {
+	root, shift := find(jb.v)
+	if root.kind != topology.SwitchNode {
+		return nil // merged into a host vertex under noise; nothing to do
+	}
+	switch r.cfg.Policy {
+	case DedupFrontier:
+		if root.explored {
+			r.stats.SkippedJobs++
+			return nil
+		}
+	case RetryUnknown, ExploreAll:
+		// Proceed; RetryUnknown filters per-slot below.
+	}
+	if len(jb.route) >= r.cfg.Depth {
+		return nil // beyond SearchDepth: vertex stays, unexplored
+	}
+	retryOnly := r.cfg.Policy == RetryUnknown && root.explored
+
+	entry := jb.entry + shift // frame index of this route's entry port
+	for _, t := range r.turnSequence() {
+		idx := entry + int(t)
+		if r.cfg.EliminateProbes {
+			lo, hi := root.window()
+			if !feasible(idx, lo, hi) {
+				r.stats.EliminatedPro++
+				continue
+			}
+		}
+		if root.occupied(idx) && (r.cfg.SkipKnownSlots || retryOnly) {
+			continue
+		}
+		probeStr := jb.route.Extend(t)
+		resp := r.probePair(probeStr)
+		if r.cfg.Trace != nil {
+			desc := resp.Kind.String()
+			if resp.Kind == simnet.RespHost {
+				desc = "host:" + resp.Host
+			}
+			r.emit(TraceEvent{Kind: TraceProbe, Probe: probeStr, Response: desc})
+		}
+		switch resp.Kind {
+		case simnet.RespNothing:
+			continue
+		case simnet.RespHost:
+			hv, created := r.model.hostVertex(resp.Host, probeStr)
+			// Host side is always the host's single port, index 0.
+			r.model.addEdge(root, idx, hv, 0)
+			if created {
+				r.emit(TraceEvent{Kind: TraceDiscover, Vertex: hv.id, Probe: probeStr})
+			}
+		case simnet.RespSwitch:
+			w := r.model.newVertex(topology.SwitchNode, "", probeStr)
+			if r.model.nextID > r.cfg.MaxVertices {
+				return ErrTooManyVertices
+			}
+			// The new vertex's frame is anchored at its entry port: the
+			// wire back toward the mapper is its relative index 0.
+			r.model.addEdge(root, idx, w, 0)
+			r.front = append(r.front, job{v: w, route: probeStr})
+			r.emit(TraceEvent{Kind: TraceDiscover, Vertex: w.id, Probe: probeStr})
+		}
+		before := r.model.liveVerts
+		if r.cfg.Trace != nil {
+			r.model.onMerge = func(into, victim, shift int) {
+				r.emit(TraceEvent{Kind: TraceMerge, Vertex: into, Other: victim, Shift: shift})
+			}
+		}
+		r.model.processMerges()
+		r.stats.Merges += before - r.model.liveVerts
+		// Re-resolve: the vertex we are exploring may itself have merged.
+		newRoot, newShift := find(jb.v)
+		if newRoot != root {
+			root, shift = newRoot, newShift
+			entry = jb.entry + shift
+			if r.cfg.Policy == DedupFrontier && root.explored {
+				break
+			}
+		}
+	}
+	root.explored = true
+	r.emit(TraceEvent{Kind: TraceExplore, Vertex: root.id})
+	r.stats.Explorations++
+	if r.cfg.Snapshots {
+		r.series = append(r.series, Snapshot{
+			Exploration: r.stats.Explorations,
+			Vertices:    r.model.NumVertices(),
+			Edges:       r.model.NumEdges(),
+			Frontier:    len(r.front),
+		})
+	}
+	return nil
+}
+
+// probePair applies the configured probe order for one candidate turn,
+// skipping the second probe when the first answers.
+func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
+	if r.cfg.ProbeOrder == SwitchFirst {
+		if r.p.SwitchProbe(s) {
+			return simnet.ProbeResponse{Kind: simnet.RespSwitch}
+		}
+		if host, ok := r.p.HostProbe(s); ok {
+			return simnet.ProbeResponse{Kind: simnet.RespHost, Host: host}
+		}
+		return simnet.ProbeResponse{Kind: simnet.RespNothing}
+	}
+	if host, ok := r.p.HostProbe(s); ok {
+		return simnet.ProbeResponse{Kind: simnet.RespHost, Host: host}
+	}
+	if r.p.SwitchProbe(s) {
+		return simnet.ProbeResponse{Kind: simnet.RespSwitch}
+	}
+	return simnet.ProbeResponse{Kind: simnet.RespNothing}
+}
+
+// prune implements the PRUNE stage: "For each vertex v, if v.kind = switch
+// and degree(v) = 1, delete" — repeated until stable. Degree-0 switches
+// (fully disconnected by earlier deletions) are removed as well.
+func (r *run) prune() {
+	if r.cfg.Trace != nil {
+		r.model.onDelete = func(id int) {
+			r.emit(TraceEvent{Kind: TracePrune, Vertex: id})
+		}
+	}
+	r.stats.PrunedVerts += r.model.prune(r.p.LocalHost())
+	// Final snapshot after the prune, mirroring Fig 8's plummet.
+	if r.cfg.Snapshots {
+		r.series = append(r.series, Snapshot{
+			Exploration: r.stats.Explorations + 1,
+			Vertices:    r.model.NumVertices(),
+			Edges:       r.model.NumEdges(),
+			Frontier:    0,
+		})
+	}
+}
+
+// prune removes degree<=1 switch vertices repeatedly, then host vertices
+// stranded by the deletions (keepHost survives regardless). It returns the
+// number of vertices deleted.
+func (m *Model) prune(keepHost string) int {
+	pruned := 0
+	for {
+		deleted := false
+		for _, v := range m.liveVertices() {
+			if v.kind == topology.SwitchNode && v.degree() <= 1 {
+				m.deleteVertex(v)
+				pruned++
+				deleted = true
+			}
+		}
+		if !deleted {
+			break
+		}
+	}
+	for _, v := range m.liveVertices() {
+		if v.kind == topology.HostNode && v.degree() == 0 && v.name != keepHost {
+			m.deleteVertex(v)
+			pruned++
+		}
+	}
+	return pruned
+}
+
+// export converts the model graph into a topology.Network.
+func (r *run) export() (*topology.Network, topology.NodeID, error) {
+	return exportModel(r.model, r.p.LocalHost())
+}
+
+// exportModel converts a model graph into a topology.Network. Relative slot
+// indices become concrete ports via the feasible window (any choice inside
+// the window yields identical relative routes; Lemma 2). The returned node
+// id is the vertex whose host name is localHost.
+func exportModel(model *Model, localHost string) (*topology.Network, topology.NodeID, error) {
+	net := &topology.Network{}
+	ids := make(map[*Vertex]topology.NodeID)
+	swCount := 0
+	for _, v := range model.liveVertices() {
+		if v.kind == topology.HostNode {
+			ids[v] = net.AddHost(v.name)
+		} else {
+			ids[v] = net.AddSwitch(fmt.Sprintf("m%d", swCount))
+			swCount++
+		}
+	}
+	// Port assignment: place index i at port i+p0 with p0 = lo (the lowest
+	// feasible offset).
+	portOf := make(map[*Vertex]int) // cached p0 per vertex
+	base := func(v *Vertex) int {
+		if p0, ok := portOf[v]; ok {
+			return p0
+		}
+		lo, hi := v.window()
+		if lo > hi {
+			lo = 0 // inconsistent window (possible only under noise)
+		}
+		portOf[v] = lo
+		return lo
+	}
+	seen := make(map[*Edge]bool)
+	for _, v := range model.liveVertices() {
+		for _, es := range v.slots {
+			for _, e := range es {
+				if e.deleted || seen[e] {
+					continue
+				}
+				seen[e] = true
+				pa, pb := e.ai, e.bi
+				if e.a.kind == topology.SwitchNode {
+					pa += base(e.a)
+				} else {
+					pa = 0
+				}
+				if e.b.kind == topology.SwitchNode {
+					pb += base(e.b)
+				} else {
+					pb = 0
+				}
+				if e.a == e.b && pa == pb {
+					// A port deduced to be cabled to itself is a loopback
+					// plug: probes out of it re-entered through it, and the
+					// merge machinery collapsed the apparent far switch
+					// onto this one at the same index.
+					if err := net.AddReflector(ids[e.a], pa); err != nil {
+						return nil, 0, fmt.Errorf("mapper: export reflector: %w", err)
+					}
+					continue
+				}
+				if _, err := net.Connect(ids[e.a], pa, ids[e.b], pb); err != nil {
+					return nil, 0, fmt.Errorf("mapper: export: %w", err)
+				}
+			}
+		}
+	}
+	mapperID := net.Lookup(localHost)
+	if mapperID == topology.None {
+		return nil, 0, errors.New("mapper: mapping host missing from its own map")
+	}
+	return net, mapperID, nil
+}

@@ -1,0 +1,75 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/isomorph"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// mapAndVerify runs the production algorithm over net from its first host
+// and asserts Theorem 1: the result is isomorphic to N−F.
+func mapAndVerify(t *testing.T, net *topology.Network, model simnet.Model, cfg func(*Config)) *Map {
+	t.Helper()
+	if err := net.Validate(); err != nil {
+		t.Fatalf("generator produced invalid network: %v", err)
+	}
+	hosts := net.Hosts()
+	if len(hosts) < 2 {
+		t.Fatalf("need at least two hosts, have %d", len(hosts))
+	}
+	h0 := hosts[0]
+	sn := simnet.New(net, model, simnet.DefaultTiming())
+	c := DefaultConfig(net.DepthBound(h0))
+	c.Snapshots = true
+	if cfg != nil {
+		cfg(&c)
+	}
+	m, err := Run(sn.Endpoint(h0), c)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := m.Network.Validate(); err != nil {
+		t.Fatalf("mapped network invalid: %v", err)
+	}
+	if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+		core, _ := net.Core()
+		t.Fatalf("%v\nactual core: %v\nmapped:      %v", err, core, m.Network)
+	}
+	return m
+}
+
+func TestMapLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	mapAndVerify(t, topology.Line(4, 2, rng), simnet.CircuitModel, nil)
+}
+
+func TestMapStar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mapAndVerify(t, topology.Star(4, 3, rng), simnet.CircuitModel, nil)
+}
+
+func TestMapRing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	mapAndVerify(t, topology.Ring(5, 2, rng), simnet.CircuitModel, nil)
+}
+
+func TestMapFatTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	spec := topology.FatTreeSpec{
+		LeafSwitches: 4, HostsPerLeaf: 4,
+		MidSwitches: 2, RootSwitches: 1,
+		UplinksPerLeaf: 2, UplinksPerMid: 2,
+	}
+	mapAndVerify(t, topology.FatTree(spec, rng), simnet.CircuitModel, nil)
+}
+
+func TestMapRandomSmall(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := topology.RandomConnected(4, 6, 2, rng)
+		mapAndVerify(t, net, simnet.CircuitModel, nil)
+	}
+}

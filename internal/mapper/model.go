@@ -1,0 +1,408 @@
+// Package mapper implements the Berkeley network mapping algorithm of the
+// SPAA'97 paper "System Area Network Mapping" (§3): breadth-first-like
+// exploration of an anonymous-switch network with host and switch probes,
+// deductive replicate detection anchored at uniquely-named hosts, object
+// merging with index-offset normalisation, and pruning. Respecting the
+// paper's parameters it produces a graph isomorphic to N−F.
+//
+// The package contains the production variant of §3.3 (vertex objects are
+// merged directly, driven by a merge list) and, in labels.go, the simplified
+// §3.1 variant used in the paper's proof (vertices are never merged, only
+// relabelled); tests check the two agree.
+package mapper
+
+import (
+	"fmt"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Vertex is a model-graph vertex: the record created for each non-null
+// probe response (§3.1.1). Indices into the neighbour slots are *relative
+// port numbers*: the turn that discovered the edge, normalised across
+// merges so that replicates share a single indexing offset (Lemma 2).
+type Vertex struct {
+	id    int
+	kind  topology.Kind
+	name  string       // host name; "" for switches
+	probe simnet.Route // the successful probe string that created the vertex
+
+	// slots maps a relative port index to the edges currently claiming it.
+	// The merge engine drives every slot towards at most one edge; two
+	// distinct edges in a slot is the structural impossibility ("an actual
+	// switch port has a single cable") that identifies more replicates.
+	slots map[int][]*Edge
+
+	explored bool
+	deleted  bool
+
+	// forward/fshift implement a union-find with offsets: when non-nil,
+	// index i in this vertex's frame is index i+fshift in forward's frame.
+	forward *Vertex
+	fshift  int
+}
+
+// ID returns the vertex's creation sequence number (stable, unique).
+func (v *Vertex) ID() int { return v.id }
+
+// Kind reports host or switch.
+func (v *Vertex) Kind() topology.Kind { return v.kind }
+
+// Name reports the host name ("" for switches).
+func (v *Vertex) Name() string { return v.name }
+
+// ProbeString returns the probe string that created the vertex.
+func (v *Vertex) ProbeString() simnet.Route { return v.probe }
+
+// Edge is a model-graph edge: endpoints plus the relative port indices at
+// which it attaches (§3.1.1 "edge is an object containing a reference to
+// the vertex at each end of it, and the associated indices").
+type Edge struct {
+	a, b    *Vertex
+	ai, bi  int
+	deleted bool
+}
+
+// otherSide returns the endpoint of e opposite to (v, idx).
+func (e *Edge) otherSide(v *Vertex, idx int) (*Vertex, int) {
+	if e.a == v && e.ai == idx {
+		return e.b, e.bi
+	}
+	return e.a, e.ai
+}
+
+// sameAs reports whether two edges connect the same (vertex, index) pairs.
+func (e *Edge) sameAs(o *Edge) bool {
+	if e.a == o.a && e.ai == o.ai && e.b == o.b && e.bi == o.bi {
+		return true
+	}
+	return e.a == o.b && e.ai == o.bi && e.b == o.a && e.bi == o.ai
+}
+
+// Model is the model graph M under construction, together with the merge
+// machinery of §3.3.
+type Model struct {
+	verts      []*Vertex
+	hostByName map[string]*Vertex
+	nextID     int
+
+	liveVerts int
+	liveEdges int
+
+	merges []mergeTask
+
+	// Inconsistencies counts deductions that contradicted each other — a
+	// vertex asked to merge with itself under a non-zero offset, which is
+	// impossible in a quiescent network (Lemma 2) but can happen when probe
+	// responses are lost or forged (cross-traffic / fault injection).
+	Inconsistencies int
+
+	// onMerge and onDelete are optional observability hooks (trace.go).
+	onMerge  func(into, victim, shift int)
+	onDelete func(id int)
+}
+
+type mergeTask struct {
+	a, b  *Vertex
+	shift int // index j in b's frame equals index j+shift in a's frame
+}
+
+// newModel returns an empty model graph.
+func newModel() *Model {
+	return &Model{hostByName: make(map[string]*Vertex)}
+}
+
+// find resolves v to its surviving root and the offset translating v-frame
+// indices into root-frame indices, with path compression.
+func find(v *Vertex) (*Vertex, int) {
+	if v.forward == nil {
+		return v, 0
+	}
+	root, s := find(v.forward)
+	v.forward = root
+	v.fshift += s
+	return root, v.fshift
+}
+
+// NumVertices reports live (unmerged, unpruned) vertices.
+func (m *Model) NumVertices() int { return m.liveVerts }
+
+// NumEdges reports live model edges.
+func (m *Model) NumEdges() int { return m.liveEdges }
+
+// newVertex creates a fresh live vertex.
+func (m *Model) newVertex(kind topology.Kind, name string, probe simnet.Route) *Vertex {
+	v := &Vertex{id: m.nextID, kind: kind, name: name, probe: probe, slots: make(map[int][]*Edge)}
+	m.nextID++
+	m.verts = append(m.verts, v)
+	m.liveVerts++
+	return v
+}
+
+// hostVertex returns the canonical vertex for host name, creating it if
+// needed. Host vertices carry the unique host id as their label (§3.1.1),
+// which is why a second discovery of the same name immediately identifies
+// replicates.
+func (m *Model) hostVertex(name string, probe simnet.Route) (v *Vertex, created bool) {
+	if hv, ok := m.hostByName[name]; ok {
+		root, _ := find(hv)
+		return root, false
+	}
+	hv := m.newVertex(topology.HostNode, name, probe)
+	m.hostByName[name] = hv
+	return hv, true
+}
+
+// addEdge inserts an edge between (a, ai) and (b, bi), both given in the
+// frames of the (root) vertices supplied, and enqueues any merge deductions
+// the insertion exposes. It returns the edge (or the existing identical
+// edge if the discovery is a duplicate).
+func (m *Model) addEdge(a *Vertex, ai int, b *Vertex, bi int) *Edge {
+	e := &Edge{a: a, ai: ai, b: b, bi: bi}
+	// Duplicate check first: rediscovering a known wire is a no-op.
+	for _, prev := range a.slots[ai] {
+		if prev.sameAs(e) {
+			return prev
+		}
+	}
+	m.liveEdges++
+	m.insertSide(e, a, ai)
+	if !(e.a == e.b && e.ai == e.bi) {
+		m.insertSide(e, b, bi)
+	}
+	return e
+}
+
+// insertSide files edge e into v.slots[idx] and enqueues replicate
+// deductions against the edges already claiming that slot: "multiple links
+// incident to a switch port identify additional replicates" (§1.2).
+func (m *Model) insertSide(e *Edge, v *Vertex, idx int) {
+	for _, prev := range v.slots[idx] {
+		if prev.deleted || prev == e {
+			continue
+		}
+		w1, k1 := prev.otherSide(v, idx)
+		w2, k2 := e.otherSide(v, idx)
+		// (v, idx) has one actual cable; its far end is both (w1,k1) and
+		// (w2,k2), so w1 and w2 are replicates with w2-frame shifted by
+		// k1−k2 (the paper's mergeLabels re-indexing).
+		m.merges = append(m.merges, mergeTask{a: w1, b: w2, shift: k1 - k2})
+	}
+	v.slots[idx] = append(v.slots[idx], e)
+}
+
+// processMerges drains the merge list (§3.3's mergelist loop), performing
+// object merges that may themselves enqueue further merges, until the
+// labelling process has stabilised.
+func (m *Model) processMerges() {
+	for len(m.merges) > 0 {
+		t := m.merges[len(m.merges)-1]
+		m.merges = m.merges[:len(m.merges)-1]
+		ra, sa := find(t.a)
+		rb, sb := find(t.b)
+		// Translate the task into root frames: rb-frame + s ≡ ra-frame.
+		s := t.shift + sa - sb
+		if ra == rb {
+			if s != 0 {
+				m.Inconsistencies++
+			}
+			continue
+		}
+		// Survivor preference: explored beats unexplored (keeps the
+		// exploration bookkeeping monotone), then the vertex created first.
+		if (rb.explored && !ra.explored) || (rb.explored == ra.explored && rb.id < ra.id) {
+			ra, rb, s = rb, ra, -s
+		}
+		if m.onMerge != nil {
+			m.onMerge(ra.id, rb.id, s)
+		}
+		m.mergeInto(ra, rb, s)
+	}
+}
+
+// mergeInto merges victim rb into survivor ra; index j in rb's frame
+// becomes j+s in ra's.
+func (m *Model) mergeInto(ra, rb *Vertex, s int) {
+	if ra.kind != rb.kind {
+		// A switch claimed to be a host (or vice versa): impossible under
+		// quiescent probing; count and refuse.
+		m.Inconsistencies++
+		return
+	}
+	if rb.name != "" && ra.name == "" {
+		ra.name = rb.name
+	}
+	// Detach rb's edges, rewrite their rb sides, and re-file them under ra.
+	seen := make(map[*Edge]bool)
+	var edges []*Edge
+	for _, es := range rb.slots {
+		for _, e := range es {
+			if !e.deleted && !seen[e] {
+				seen[e] = true
+				edges = append(edges, e)
+			}
+		}
+	}
+	rb.slots = nil
+	rb.forward = ra
+	rb.fshift = s
+	rb.deleted = true
+	m.liveVerts--
+	if rb.explored {
+		ra.explored = true
+	}
+	for _, e := range edges {
+		if e.a == rb {
+			e.a, e.ai = ra, e.ai+s
+		}
+		if e.b == rb {
+			e.b, e.bi = ra, e.bi+s
+		}
+		// Re-file under ra; drop if it collapses onto an identical edge.
+		dup := false
+		for _, prev := range ra.slots[slotOf(e, ra)] {
+			if prev != e && !prev.deleted && prev.sameAs(e) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			e.deleted = true
+			m.liveEdges--
+			continue
+		}
+		m.insertSide(e, ra, slotOf(e, ra))
+		if e.a == e.b && e.ai != e.bi {
+			// A model self-loop (loopback cable): file the second side too.
+			m.insertSide(e, ra, e.bi)
+		}
+	}
+}
+
+// slotOf returns the ra-side index of e (the a side if it is ra, else b).
+func slotOf(e *Edge, v *Vertex) int {
+	if e.a == v {
+		return e.ai
+	}
+	return e.bi
+}
+
+// window returns the feasible range [lo, hi] of the absolute port number
+// corresponding to relative index 0, derived from the occupied slots: each
+// known index i pins p0+i into {0..7} (§3.3's provably-safe probe
+// elimination and Lemma 2's indexing offsets).
+func (v *Vertex) window() (lo, hi int) {
+	lo, hi = 0, topology.SwitchPorts-1
+	for i, es := range v.slots {
+		if !liveAny(es) {
+			continue
+		}
+		if l := -i; l > lo {
+			lo = l
+		}
+		if h := topology.SwitchPorts - 1 - i; h < hi {
+			hi = h
+		}
+	}
+	return lo, hi
+}
+
+func liveAny(es []*Edge) bool {
+	for _, e := range es {
+		if !e.deleted {
+			return true
+		}
+	}
+	return false
+}
+
+// feasible reports whether relative index j can possibly be a legal port
+// given the window: ∃ p0 ∈ [lo,hi] with 0 ≤ p0+j ≤ 7.
+func feasible(j, lo, hi int) bool {
+	return j >= -hi && j <= topology.SwitchPorts-1-lo
+}
+
+// occupied reports whether slot j holds a live edge.
+func (v *Vertex) occupied(j int) bool { return liveAny(v.slots[j]) }
+
+// degree counts live edges incident to v (self-loops count twice, matching
+// switch-port usage).
+func (v *Vertex) degree() int {
+	d := 0
+	seen := make(map[*Edge]bool)
+	for _, es := range v.slots {
+		for _, e := range es {
+			if e.deleted || seen[e] {
+				continue
+			}
+			seen[e] = true
+			d++
+			if e.a == e.b {
+				d++
+			}
+		}
+	}
+	return d
+}
+
+// liveVertices returns the current live vertex set.
+func (m *Model) liveVertices() []*Vertex {
+	out := make([]*Vertex, 0, m.liveVerts)
+	for _, v := range m.verts {
+		if !v.deleted {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// deleteVertex removes v and all its incident edges (the prune step).
+func (m *Model) deleteVertex(v *Vertex) {
+	if v.deleted {
+		return
+	}
+	seen := make(map[*Edge]bool)
+	for _, es := range v.slots {
+		for _, e := range es {
+			if !e.deleted && !seen[e] {
+				seen[e] = true
+				e.deleted = true
+				m.liveEdges--
+				// Remove from the far side's slot list lazily: liveAny and
+				// iteration skip deleted edges.
+			}
+		}
+	}
+	v.deleted = true
+	v.slots = nil
+	m.liveVerts--
+	if v.name != "" {
+		delete(m.hostByName, v.name)
+	}
+	if m.onDelete != nil {
+		m.onDelete(v.id)
+	}
+}
+
+// check verifies internal invariants (test hook).
+func (m *Model) check() error {
+	for _, v := range m.verts {
+		if v.deleted {
+			continue
+		}
+		for idx, es := range v.slots {
+			for _, e := range es {
+				if e.deleted {
+					continue
+				}
+				if (e.a == v && e.ai == idx) || (e.b == v && e.bi == idx) {
+					continue
+				}
+				return fmt.Errorf("vertex %d slot %d holds foreign edge (%d@%d-%d@%d)",
+					v.id, idx, e.a.id, e.ai, e.b.id, e.bi)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package mapper
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Randomized hybrid mapping (§6): "Vazirani has suggested a
+// coupon-collecting initial phase to find most of the graph. Probes of
+// maximal depth are sent out in random directions ... the whole length of
+// the path is effectively explored with one probe. The dangling edges of
+// the resulting graph can then be explored in a breadth-first way."
+//
+// The coupon phase assumes the §6 firmware change: a host receiving a
+// message with leftover routing flits reads it and responds
+// (simnet.TolerantProber), telling the mapper how much of the random route
+// the network accepted. Every such response contributes a whole chain of
+// switch vertices ending in a host anchor — dense merge fodder — after
+// which the ordinary BFS (phase 2) only has to fill in the gaps, skipping
+// every slot the chains already occupy.
+
+// RandomizedConfig parameterises a hybrid run.
+type RandomizedConfig struct {
+	Config
+	// CouponProbes is the number of maximal-depth random probes (phase 1).
+	CouponProbes int
+	// MaxTurnMagnitude bounds the random turns drawn; small magnitudes
+	// survive longer on densely-populated switches (§3.3's observation).
+	MaxTurnMagnitude int
+	// Rng drives the random directions; required.
+	Rng *rand.Rand
+}
+
+// RandomizedRun executes the coupon-collecting hybrid.
+func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) {
+	if cfg.Depth < 1 {
+		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d", cfg.Depth)
+	}
+	if cfg.Rng == nil {
+		return nil, fmt.Errorf("mapper: RandomizedConfig.Rng is required")
+	}
+	if cfg.MaxTurnMagnitude <= 0 || cfg.MaxTurnMagnitude > simnet.MaxTurn {
+		cfg.MaxTurnMagnitude = 4
+	}
+	if cfg.MaxVertices == 0 {
+		cfg.MaxVertices = 1 << 20
+	}
+	r := &run{cfg: cfg.Config, p: p, model: newModel()}
+	start := p.Clock()
+
+	h0, _ := r.model.hostVertex(p.LocalHost(), simnet.Route{})
+	rootSwitch := r.model.newVertex(topology.SwitchNode, "", simnet.Route{})
+	r.model.addEdge(h0, 0, rootSwitch, 0)
+
+	// Phase 1: coupon collecting. Each successful random probe of maximal
+	// depth yields a chain root → ... → host; walk it into the model,
+	// reusing vertices where slots are already known and creating fresh
+	// ones otherwise.
+	for i := 0; i < cfg.CouponProbes; i++ {
+		route := make(simnet.Route, cfg.Depth)
+		for j := range route {
+			mag := 1 + cfg.Rng.Intn(cfg.MaxTurnMagnitude)
+			if cfg.Rng.Intn(2) == 0 {
+				mag = -mag
+			}
+			route[j] = simnet.Turn(mag)
+		}
+		host, consumed, ok := p.TolerantHostProbe(route)
+		if !ok {
+			continue
+		}
+		r.walkChain(rootSwitch, route[:consumed], host)
+		r.model.processMerges()
+	}
+
+	// Phase 2: breadth-first completion over the dangling edges. Every live
+	// switch vertex becomes a frontier job carrying the route and entry
+	// index recorded at its creation; the standard explorer skips occupied
+	// slots, so only genuinely unknown ports cost probes.
+	rootJob := job{v: rootSwitch, route: simnet.Route{}}
+	r.front = append(r.front, rootJob)
+	for _, v := range r.model.liveVertices() {
+		if v.kind != topology.SwitchNode || v == rootSwitch {
+			continue
+		}
+		root, _ := find(v)
+		if root != v {
+			continue
+		}
+		// Chain vertices are always created with their entry port at frame
+		// index 0, like BFS vertices, so no extra entry offset is needed.
+		r.front = append(r.front, job{v: v, route: v.probe})
+	}
+	for len(r.front) > 0 {
+		jb := r.front[0]
+		r.front = r.front[1:]
+		if err := r.explore(jb); err != nil {
+			return nil, err
+		}
+	}
+	r.prune()
+
+	r.stats.Elapsed = p.Clock() - start
+	if ns, ok := p.(interface{ Stats() simnet.Stats }); ok {
+		r.stats.Probes = ns.Stats()
+	}
+	r.stats.Inconsistent = r.model.Inconsistencies
+	net, mapperID, err := r.export()
+	if err != nil {
+		return nil, err
+	}
+	return &Map{Network: net, Mapper: mapperID, Stats: r.stats, Series: r.series}, nil
+}
+
+// walkChain threads one successful probe prefix through the model: the
+// probe consumed the turns in route and terminated at host. Known slots are
+// followed (same port ⇒ same actual cable), unknown ones create fresh
+// vertices; the final hop anchors the chain at the host's canonical vertex.
+func (r *run) walkChain(rootSwitch *Vertex, route simnet.Route, host string) {
+	cur, shift := find(rootSwitch)
+	entry := shift // frame index of the current vertex's entry port
+	for i, t := range route {
+		idx := entry + int(t)
+		last := i == len(route)-1
+		// Follow an existing edge when the slot is already known.
+		var next *Vertex
+		var nextEntry int
+		if es := cur.slots[idx]; len(es) > 0 {
+			for _, e := range es {
+				if e.deleted {
+					continue
+				}
+				far, fidx := e.otherSide(cur, idx)
+				next, nextEntry = far, fidx
+				break
+			}
+		}
+		if next == nil {
+			prefix := route[:i+1].Clone()
+			if last {
+				hv, _ := r.model.hostVertex(host, prefix)
+				r.model.addEdge(cur, idx, hv, 0)
+				return
+			}
+			w := r.model.newVertex(topology.SwitchNode, "", prefix)
+			r.model.addEdge(cur, idx, w, 0)
+			next, nextEntry = w, 0
+		} else if last {
+			// The slot is known; nothing new to learn from this chain end,
+			// but assert consistency: a host must live there.
+			if next.kind != topology.HostNode {
+				// The chain ends at a host the model thinks is a switch:
+				// record the host edge and let the merge machinery object.
+				hv, _ := r.model.hostVertex(host, route[:i+1].Clone())
+				r.model.addEdge(cur, idx, hv, 0)
+			}
+			return
+		}
+		if next.kind == topology.HostNode {
+			// A mid-chain hop into a host vertex contradicts the probe
+			// having been forwarded there; possible only under noise. Stop
+			// threading this chain.
+			return
+		}
+		rn, sn := find(next)
+		cur, entry = rn, nextEntry+sn
+	}
+}

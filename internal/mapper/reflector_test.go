@@ -1,0 +1,51 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/isomorph"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestBerkeleyMapsLoopbackPlug: the merge machinery deduces a port cabled
+// to itself and the export emits it as a loopback plug.
+func TestBerkeleyMapsLoopbackPlug(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := topology.Line(3, 2, rng)
+	sw := net.Switches()
+	if err := net.AddReflector(sw[1], net.FreePort(sw[1])); err != nil {
+		t.Fatal(err)
+	}
+	m := mapAndVerifyReflector(t, net)
+	if got := len(m.Network.Reflectors()); got != 1 {
+		t.Fatalf("mapped %d reflectors, want 1: %v", got, m.Network)
+	}
+}
+
+// TestBerkeleyMapsSelfLoopCable: a two-port cable on one switch survives
+// mapping as a self-loop wire.
+func TestBerkeleyMapsSelfLoopCable(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	net := topology.Line(3, 2, rng)
+	sw := net.Switches()
+	if _, _, _, err := net.ConnectFree(sw[1], sw[1]); err != nil {
+		t.Fatal(err)
+	}
+	mapAndVerifyReflector(t, net)
+}
+
+func mapAndVerifyReflector(t *testing.T, net *topology.Network) *Map {
+	t.Helper()
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+		t.Fatalf("%v\nactual: %v\nmapped: %v", err, net, m.Network)
+	}
+	return m
+}

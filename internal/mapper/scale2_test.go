@@ -1,0 +1,38 @@
+package mapper
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/isomorph"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestMapBeyondPaperScale maps a synthetic system twice the paper's size
+// (192 hosts, 52 switches) — the scaling regime §6 worries about.
+func TestMapBeyondPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large system")
+	}
+	rng := rand.New(rand.NewSource(88))
+	net := topology.FatTree(topology.FatTreeSpec{
+		LeafSwitches: 32, HostsPerLeaf: 6,
+		MidSwitches: 16, RootSwitches: 4,
+		UplinksPerLeaf: 2, UplinksPerMid: 2,
+	}, rng)
+	if net.NumHosts() != 192 || net.NumSwitches() != 52 {
+		t.Fatalf("unexpected scale: %v", net)
+	}
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("192-host system: %d probes, %v simulated, %d explorations",
+		m.Stats.Probes.TotalProbes(), m.Stats.Elapsed, m.Stats.Explorations)
+}

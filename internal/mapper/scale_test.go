@@ -1,0 +1,35 @@
+package mapper
+
+import (
+	"fmt"
+	"testing"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/simnet"
+)
+
+func TestScaleClusters(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		sys  *cluster.System
+	}{{"C", cluster.CConfig(nil)}, {"C+A", cluster.CAConfig(nil)}, {"C+A+B", cluster.CABConfig(nil)}} {
+		net := c.sys.Net
+		h0 := c.sys.Mapper()
+		depth := net.DepthBound(h0)
+		sn := simnet.NewDefault(net)
+		m, err := Run(sn.Endpoint(h0), DefaultConfig(depth))
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if err := isomorph.MustEqualCore(m.Network, net); err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		s := m.Stats
+		fmt.Printf("%-6s depth=%d host=%d/%d (%.0f%%) switch=%d/%d (%.0f%%) total=%d expl=%d merges=%d elim=%d time=%v\n",
+			c.name, depth,
+			s.Probes.HostHits, s.Probes.HostProbes, 100*float64(s.Probes.HostHits)/float64(s.Probes.HostProbes),
+			s.Probes.SwitchHits, s.Probes.SwitchProbes, 100*float64(s.Probes.SwitchHits)/float64(s.Probes.SwitchProbes),
+			s.Probes.TotalProbes(), s.Explorations, s.Merges, s.EliminatedPro, s.Elapsed)
+	}
+}

@@ -1,0 +1,97 @@
+package mapper
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"sanmap/internal/simnet"
+)
+
+// TraceEvent is one step of a mapping run, for observability and debugging
+// — the kind of log the paper's own Fig 8 instrumentation recorded ("the
+// number of nodes and edges in the model graph ... were recorded after a
+// frontier switch was explored").
+type TraceEvent struct {
+	Kind TraceKind
+	// At is the virtual time of the event.
+	At time.Duration
+	// Probe is the probe string involved (Probe/Discover events).
+	Probe simnet.Route
+	// Response describes the probe outcome ("host:<name>", "switch",
+	// "nothing") for Probe events.
+	Response string
+	// Vertex and Other are model vertex ids (creation order) for
+	// Discover/Merge/Prune events.
+	Vertex, Other int
+	// Shift is the frame offset applied by a Merge.
+	Shift int
+}
+
+// TraceKind classifies trace events.
+type TraceKind uint8
+
+// Trace event kinds.
+const (
+	// TraceProbe: a probe pair was answered (or timed out).
+	TraceProbe TraceKind = iota
+	// TraceDiscover: a model vertex was created for a response.
+	TraceDiscover
+	// TraceMerge: Other merged into Vertex with frame offset Shift.
+	TraceMerge
+	// TracePrune: Vertex was deleted by the prune stage.
+	TracePrune
+	// TraceExplore: a frontier switch finished exploration.
+	TraceExplore
+)
+
+// String names the kind.
+func (k TraceKind) String() string {
+	switch k {
+	case TraceProbe:
+		return "probe"
+	case TraceDiscover:
+		return "discover"
+	case TraceMerge:
+		return "merge"
+	case TracePrune:
+		return "prune"
+	case TraceExplore:
+		return "explore"
+	}
+	return fmt.Sprintf("trace(%d)", uint8(k))
+}
+
+// Format renders the event as one log line.
+func (e TraceEvent) Format() string {
+	switch e.Kind {
+	case TraceProbe:
+		return fmt.Sprintf("%12v probe    %-18s -> %s", e.At, e.Probe, e.Response)
+	case TraceDiscover:
+		return fmt.Sprintf("%12v discover v%-4d via %s", e.At, e.Vertex, e.Probe)
+	case TraceMerge:
+		return fmt.Sprintf("%12v merge    v%-4d <- v%d (shift %+d)", e.At, e.Vertex, e.Other, e.Shift)
+	case TracePrune:
+		return fmt.Sprintf("%12v prune    v%-4d", e.At, e.Vertex)
+	case TraceExplore:
+		return fmt.Sprintf("%12v explore  v%-4d done", e.At, e.Vertex)
+	}
+	return fmt.Sprintf("%12v %s", e.At, e.Kind)
+}
+
+// TraceWriter returns a trace hook that writes formatted events to w —
+// plug it into Config.Trace.
+func TraceWriter(w io.Writer) func(TraceEvent) {
+	return func(e TraceEvent) {
+		fmt.Fprintln(w, e.Format())
+	}
+}
+
+// emit sends an event to the configured trace hook.
+func (r *run) emit(e TraceEvent) {
+	if r.cfg.Trace == nil {
+		return
+	}
+	e.At = r.p.Clock()
+	r.cfg.Trace(e)
+}

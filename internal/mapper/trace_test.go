@@ -1,0 +1,97 @@
+package mapper
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestTraceEvents: a traced run emits every event class, in a plausible
+// order (probes precede discoveries, prunes come last), and the rendered
+// lines carry the content.
+func TestTraceEvents(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// A ring guarantees replicates (two directions around the cycle), so
+	// merge events appear; the hostless tail provides prune events.
+	net := topology.Ring(4, 2, rng)
+	topology.WithTail(net, net.Switches()[0], 1, rng)
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	var events []TraceEvent
+	cfg := DefaultConfig(net.DepthBound(h0))
+	cfg.Trace = func(e TraceEvent) { events = append(events, e) }
+	if _, err := Run(sn.Endpoint(h0), cfg); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[TraceKind]int{}
+	lastProbe, firstDiscover, firstPrune, lastNonPrune := -1, -1, -1, -1
+	for i, e := range events {
+		counts[e.Kind]++
+		switch e.Kind {
+		case TraceProbe:
+			lastProbe = i
+		case TraceDiscover:
+			if firstDiscover < 0 {
+				firstDiscover = i
+			}
+		case TracePrune:
+			if firstPrune < 0 {
+				firstPrune = i
+			}
+		}
+		if e.Kind != TracePrune {
+			lastNonPrune = i
+		}
+	}
+	for _, k := range []TraceKind{TraceProbe, TraceDiscover, TraceMerge, TracePrune, TraceExplore} {
+		if counts[k] == 0 {
+			t.Errorf("no %v events", k)
+		}
+	}
+	if firstDiscover >= 0 && firstDiscover == 0 {
+		t.Error("discovery before any probe")
+	}
+	if firstPrune >= 0 && firstPrune < lastNonPrune {
+		t.Error("prune events interleaved with exploration")
+	}
+	_ = lastProbe
+	// Render a few lines.
+	var sb strings.Builder
+	w := TraceWriter(&sb)
+	for _, e := range events[:5] {
+		w(e)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "probe") {
+		t.Errorf("rendered trace lacks probes:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 5 {
+		t.Errorf("want 5 lines:\n%s", out)
+	}
+}
+
+// TestTraceDisabledIsFree: without a hook no events accumulate and results
+// are identical.
+func TestTraceDisabledIsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := topology.Line(3, 2, rng)
+	h0 := net.Hosts()[0]
+	run := func(trace bool) Stats {
+		sn := simnet.NewDefault(net)
+		cfg := DefaultConfig(net.DepthBound(h0))
+		if trace {
+			cfg.Trace = func(TraceEvent) {}
+		}
+		m, err := Run(sn.Endpoint(h0), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Stats
+	}
+	if a, b := run(false), run(true); a.Probes != b.Probes || a.Merges != b.Merges {
+		t.Errorf("tracing changed behaviour: %+v vs %+v", a, b)
+	}
+}

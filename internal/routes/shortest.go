@@ -1,0 +1,144 @@
+package routes
+
+import (
+	"fmt"
+	"sanmap/internal/topology"
+)
+
+// ShortestPaths computes unrestricted shortest-path routes between all host
+// pairs — the naive baseline that ignores the turn model entirely. On
+// cyclic topologies (rings, tori, hypercubes) the resulting channel
+// dependency graph contains cycles, i.e. the routes can wormhole-deadlock;
+// VerifyDeadlockFree exists to catch exactly that, and the §5.5 pipeline's
+// point is that UP*/DOWN* routes never trigger it.
+//
+// The returned table has no UP*/DOWN* labelling: VerifyUpDown and the
+// Dominant field are meaningless for it (Labels is nil); VerifyDeadlockFree,
+// VerifyDelivery, Route, LinkLoads and Distribute work as usual.
+func ShortestPaths(net *topology.Network) (*Table, error) {
+	if net.NumHosts() < 2 {
+		return nil, fmt.Errorf("routes: need at least two hosts, have %d", net.NumHosts())
+	}
+	if !net.IsConnected() {
+		return nil, fmt.Errorf("routes: network is disconnected")
+	}
+	t := &Table{Net: net, Root: topology.None}
+	t.paths = make(map[topology.NodeID]map[topology.NodeID][]int)
+	hosts := net.Hosts()
+	for _, s := range hosts {
+		// BFS recording the first wire on a shortest path to each node.
+		prevWire := make([]int, net.NumNodes())
+		dist := make([]int, net.NumNodes())
+		for i := range dist {
+			dist[i] = -1
+			prevWire[i] = -1
+		}
+		dist[s] = 0
+		queue := []topology.NodeID{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for p := 0; p < net.NumPorts(u); p++ {
+				wi := net.WireAt(u, p)
+				if wi < 0 {
+					continue
+				}
+				v := net.WireByIndex(wi).Other(topology.End{Node: u, Port: p}).Node
+				if v == u || dist[v] >= 0 {
+					continue
+				}
+				dist[v] = dist[u] + 1
+				prevWire[v] = wi
+				queue = append(queue, v)
+			}
+		}
+		t.paths[s] = make(map[topology.NodeID][]int, len(hosts))
+		for _, d := range hosts {
+			if d == s {
+				continue
+			}
+			if dist[d] < 0 {
+				return nil, fmt.Errorf("routes: no path %s -> %s", net.NameOf(s), net.NameOf(d))
+			}
+			// Walk back from d to s collecting wires.
+			wires := make([]int, dist[d])
+			cur := d
+			for i := dist[d] - 1; i >= 0; i-- {
+				wi := prevWire[cur]
+				wires[i] = wi
+				cur = net.WireByIndex(wi).Other(endOn(net, wi, cur)).Node
+			}
+			t.paths[s][d] = wires
+		}
+	}
+	t.buildTurns()
+	return t, nil
+}
+
+// endOn returns the end of wire wi that sits on node v.
+func endOn(net *topology.Network, wi int, v topology.NodeID) topology.End {
+	w := net.WireByIndex(wi)
+	if w.A.Node == v {
+		return w.A
+	}
+	return w.B
+}
+
+// LinkLoads returns, per wire index, the number of routes in the table that
+// traverse the wire (both directions combined). UP*/DOWN* is known to pile
+// load onto the root's links ("increased congestion about the root", §5.5);
+// this is the measurement.
+func (t *Table) LinkLoads() map[int]int {
+	loads := make(map[int]int)
+	for _, row := range t.paths {
+		for _, wires := range row {
+			for _, wi := range wires {
+				loads[wi]++
+			}
+		}
+	}
+	return loads
+}
+
+// CongestionReport summarises LinkLoads.
+type CongestionReport struct {
+	MaxLoad     int     // heaviest wire
+	MeanLoad    float64 // over wires carrying any route
+	MaxAtRoot   bool    // the heaviest wire touches the UP*/DOWN* root
+	RootShare   float64 // fraction of total traversals on root-incident wires
+	LoadedWires int
+}
+
+// Congestion computes the report; for ShortestPaths tables (no root) the
+// root-related fields are zero.
+func (t *Table) Congestion() CongestionReport {
+	loads := t.LinkLoads()
+	var rep CongestionReport
+	total := 0
+	maxWire := -1
+	for wi, l := range loads {
+		total += l
+		rep.LoadedWires++
+		if l > rep.MaxLoad {
+			rep.MaxLoad = l
+			maxWire = wi
+		}
+	}
+	if rep.LoadedWires > 0 {
+		rep.MeanLoad = float64(total) / float64(rep.LoadedWires)
+	}
+	if t.Root == topology.None || maxWire < 0 {
+		return rep
+	}
+	rootTotal := 0
+	for wi, l := range loads {
+		if t.Net.WireByIndex(wi).Touches(t.Root) {
+			rootTotal += l
+		}
+	}
+	if total > 0 {
+		rep.RootShare = float64(rootTotal) / float64(total)
+	}
+	rep.MaxAtRoot = t.Net.WireByIndex(maxWire).Touches(t.Root)
+	return rep
+}

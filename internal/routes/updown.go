@@ -1,0 +1,364 @@
+// Package routes computes mutually deadlock-free source routes from a
+// network map, as §5.5 of the SPAA'97 mapping paper: UP*/DOWN* edge
+// ordering rooted at a switch far from all hosts, Floyd-Warshall all-pairs
+// compliant paths, random tie-breaking for load balance, relabelling of
+// locally dominant switches, and conversion to the relative-turn source
+// routes Myrinet interfaces consume. A channel-dependency-graph verifier
+// checks deadlock freedom of any route set.
+package routes
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Config parameterises route computation.
+type Config struct {
+	// Root forces the UP*/DOWN* root switch; topology.None selects the
+	// paper's natural root (the switch as far away from all hosts as
+	// possible, ignoring the utility host).
+	Root topology.NodeID
+	// IgnoreHosts are excluded when choosing the root ("we ignore the
+	// specially-designated utility host when picking a switch distant from
+	// all hosts").
+	IgnoreHosts []topology.NodeID
+	// Rng randomises the choice among equal-cost parallel edges for load
+	// balance; nil picks deterministically.
+	Rng *rand.Rand
+	// RelabelDominant applies the paper's fix for locally dominant
+	// switches ("relabelling them with the minimum of their neighbors' BFS
+	// labels minus one").
+	RelabelDominant bool
+}
+
+// DefaultConfig enables the paper's full §5.5 pipeline.
+func DefaultConfig() Config {
+	return Config{Root: topology.None, RelabelDominant: true}
+}
+
+// Table is a computed route set: one relative-turn source route per ordered
+// host pair.
+type Table struct {
+	Net    *topology.Network
+	Root   topology.NodeID
+	Labels []int64 // BFS labels after dominant relabelling
+	// routes[src][dst] is the wire sequence from host src to host dst.
+	paths map[topology.NodeID]map[topology.NodeID][]int
+	turns map[topology.NodeID]map[topology.NodeID]simnet.Route
+	// Dominant lists switches that were locally dominant before the fix.
+	Dominant []topology.NodeID
+}
+
+// ChooseRoot picks the UP*/DOWN* root: the switch maximising the minimum
+// distance to any (non-ignored) host, tie-broken by maximum total distance
+// then lowest id. This "picks a natural root of the network and allows
+// packets to flow up to the least common ancestor of a source and
+// destination".
+func ChooseRoot(net *topology.Network, ignore ...topology.NodeID) topology.NodeID {
+	skip := make(map[topology.NodeID]bool, len(ignore))
+	for _, h := range ignore {
+		skip[h] = true
+	}
+	best := topology.None
+	bestMin, bestSum := -1, -1
+	for _, s := range net.Switches() {
+		dist := net.BFS(s)
+		minD, sumD := math.MaxInt, 0
+		for _, h := range net.Hosts() {
+			if skip[h] || dist[h] < 0 {
+				continue
+			}
+			if dist[h] < minD {
+				minD = dist[h]
+			}
+			sumD += dist[h]
+		}
+		if minD == math.MaxInt {
+			continue
+		}
+		if minD > bestMin || (minD == bestMin && sumD > bestSum) {
+			best, bestMin, bestSum = s, minD, sumD
+		}
+	}
+	return best
+}
+
+// Compute runs the §5.5 pipeline on a network (typically a mapper output)
+// and returns the route table.
+func Compute(net *topology.Network, cfg Config) (*Table, error) {
+	if net.NumHosts() < 2 {
+		return nil, fmt.Errorf("routes: need at least two hosts, have %d", net.NumHosts())
+	}
+	if !net.IsConnected() {
+		return nil, fmt.Errorf("routes: network is disconnected")
+	}
+	root := cfg.Root
+	if root == topology.None {
+		root = ChooseRoot(net, cfg.IgnoreHosts...)
+	}
+	if root == topology.None || net.KindOf(root) != topology.SwitchNode {
+		return nil, fmt.Errorf("routes: no usable root switch")
+	}
+	t := &Table{Net: net, Root: root}
+	t.label(cfg)
+	if err := t.allPairs(cfg); err != nil {
+		return nil, err
+	}
+	t.buildTurns()
+	return t, nil
+}
+
+// label assigns BFS numbers from the root ("a breadth-first labeling of the
+// network map") and optionally applies the dominant-switch relabelling.
+// Labels are int64 so relabelled switches can sink below 0 without clashes.
+func (t *Table) label(cfg Config) {
+	n := t.Net.NumNodes()
+	t.Labels = make([]int64, n)
+	order := make([]topology.NodeID, 0, n)
+	seen := make([]bool, n)
+	queue := []topology.NodeID{t.Root}
+	seen[t.Root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for p := 0; p < t.Net.NumPorts(u); p++ {
+			if end, ok := t.Net.Neighbor(u, p); ok && !seen[end.Node] {
+				seen[end.Node] = true
+				queue = append(queue, end.Node)
+			}
+		}
+	}
+	for i, u := range order {
+		t.Labels[u] = int64(i)
+	}
+	if !cfg.RelabelDominant {
+		return
+	}
+	// A locally dominant switch has a larger label than every neighbour:
+	// all its links run down into it, so no UP*/DOWN* route can transit it.
+	// Relabel with min(neighbour labels) − 1; iterate (bounded) because a
+	// fix can expose a new dominant switch.
+	for iter := 0; iter < n*n; iter++ {
+		fixed := false
+		for _, s := range t.Net.Switches() {
+			if s == t.Root {
+				continue
+			}
+			minN, dominant := int64(math.MaxInt64), true
+			for p := 0; p < t.Net.NumPorts(s); p++ {
+				end, ok := t.Net.Neighbor(s, p)
+				if !ok || end.Node == s {
+					continue
+				}
+				if t.Labels[end.Node] < minN {
+					minN = t.Labels[end.Node]
+				}
+				if t.Labels[end.Node] > t.Labels[s] {
+					dominant = false
+				}
+			}
+			if dominant && minN != math.MaxInt64 {
+				if iter == 0 {
+					t.Dominant = append(t.Dominant, s)
+				}
+				t.Labels[s] = minN - 1
+				fixed = true
+			}
+		}
+		if !fixed {
+			return
+		}
+	}
+}
+
+// upEnd reports whether traversing wire w from end e is an "up" move
+// (toward a smaller label; a valid route is up moves then down moves).
+func (t *Table) upEnd(w topology.Wire, from topology.End) bool {
+	to := w.Other(from)
+	return t.Labels[to.Node] < t.Labels[from.Node]
+}
+
+// allPairs computes shortest compliant paths with the Floyd-Warshall
+// construction the paper cites: FW over up-only arcs gives U[i][j]; a
+// compliant s→t path is up to some meeting node w then down, and a down
+// path w→t is an up path t→w reversed, so cost(s,t) = min_w U[s][w]+U[t][w].
+func (t *Table) allPairs(cfg Config) error {
+	n := t.Net.NumNodes()
+	const inf = int32(math.MaxInt32 / 4)
+	up := make([][]int32, n)  // up[i][j]: shortest up-only distance
+	via := make([][]int32, n) // via[i][j]: first wire on that path
+	for i := range up {
+		up[i] = make([]int32, n)
+		via[i] = make([]int32, n)
+		for j := range up[i] {
+			up[i][j] = inf
+			via[i][j] = -1
+		}
+		up[i][i] = 0
+	}
+	// Direct up arcs. Parallel wires: keep one; remember all for load
+	// balancing at extraction time.
+	t.Net.WiresIndexed(func(wi int, w topology.Wire) {
+		for _, from := range []topology.End{w.A, w.B} {
+			if w.A.Node == w.B.Node {
+				continue // loopback cables are never on shortest paths
+			}
+			if !t.upEnd(w, from) {
+				continue
+			}
+			to := w.Other(from)
+			i, j := int(from.Node), int(to.Node)
+			if up[i][j] > 1 {
+				up[i][j] = 1
+				via[i][j] = int32(wi)
+			} else if up[i][j] == 1 && cfg.Rng != nil && cfg.Rng.Intn(2) == 0 {
+				via[i][j] = int32(wi) // random choice among parallel wires
+			}
+		}
+	})
+	for k := 0; k < n; k++ {
+		upk := up[k]
+		for i := 0; i < n; i++ {
+			if up[i][k] == inf {
+				continue
+			}
+			uik := up[i][k]
+			for j := 0; j < n; j++ {
+				if d := uik + upk[j]; d < up[i][j] {
+					up[i][j] = d
+					via[i][j] = via[i][k]
+				}
+			}
+		}
+	}
+
+	// For each host pair, pick the best meeting node and extract the path.
+	hosts := t.Net.Hosts()
+	t.paths = make(map[topology.NodeID]map[topology.NodeID][]int, len(hosts))
+	for _, s := range hosts {
+		t.paths[s] = make(map[topology.NodeID][]int, len(hosts))
+		for _, d := range hosts {
+			if s == d {
+				continue
+			}
+			bestW, bestC := -1, inf
+			for w := 0; w < n; w++ {
+				if up[s][w] == inf || up[d][w] == inf {
+					continue
+				}
+				if c := up[s][w] + up[d][w]; c < bestC {
+					bestC, bestW = c, w
+				}
+			}
+			if bestW < 0 {
+				return fmt.Errorf("routes: no compliant path %s -> %s",
+					t.Net.NameOf(s), t.Net.NameOf(d))
+			}
+			upPath := t.extract(via, int(s), bestW)
+			downPath := t.extract(via, int(d), bestW)
+			reverseInts(downPath)
+			t.paths[s][d] = append(upPath, downPath...)
+		}
+	}
+	return nil
+}
+
+// extract returns the wire sequence of the up path i→j recorded in via.
+// First-hop extraction is sound because up distances strictly decrease
+// along recorded first hops.
+func (t *Table) extract(via [][]int32, i, j int) []int {
+	var out []int
+	for i != j {
+		w := via[i][j]
+		if w < 0 {
+			return nil
+		}
+		out = append(out, int(w))
+		i = t.across(int(w), i)
+	}
+	return out
+}
+
+// across returns the node on the far side of wire wi from node `from`.
+func (t *Table) across(wi, from int) int {
+	w := t.Net.WireByIndex(wi)
+	if int(w.A.Node) == from {
+		return int(w.B.Node)
+	}
+	return int(w.A.Node)
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// buildTurns converts wire paths into the relative-turn source routes the
+// interfaces consume: at each intermediate switch the turn is the signed
+// difference between the output and input ports (§2.2's addressing).
+func (t *Table) buildTurns() {
+	t.turns = make(map[topology.NodeID]map[topology.NodeID]simnet.Route, len(t.paths))
+	for s, row := range t.paths {
+		t.turns[s] = make(map[topology.NodeID]simnet.Route, len(row))
+		for d, wires := range row {
+			t.turns[s][d] = t.TurnsFor(s, wires)
+		}
+	}
+}
+
+// TurnsFor converts a wire path starting at host src into a turn route:
+// at each intermediate switch the routing flit is outPort − inPort.
+func (t *Table) TurnsFor(src topology.NodeID, wires []int) simnet.Route {
+	var route simnet.Route
+	curNode := src
+	inPort := topology.HostPort
+	for i, wi := range wires {
+		w := t.Net.WireByIndex(wi)
+		var from, to topology.End
+		if w.A.Node == curNode {
+			from, to = w.A, w.B
+		} else {
+			from, to = w.B, w.A
+		}
+		if i > 0 {
+			route = append(route, simnet.Turn(from.Port-inPort))
+		}
+		curNode, inPort = to.Node, to.Port
+	}
+	return route
+}
+
+// Route returns the turn route from src to dst.
+func (t *Table) Route(src, dst topology.NodeID) (simnet.Route, bool) {
+	row, ok := t.turns[src]
+	if !ok {
+		return nil, false
+	}
+	r, ok := row[dst]
+	return r, ok
+}
+
+// WirePath returns the wire sequence from src to dst.
+func (t *Table) WirePath(src, dst topology.NodeID) ([]int, bool) {
+	row, ok := t.paths[src]
+	if !ok {
+		return nil, false
+	}
+	p, ok := row[dst]
+	return p, ok
+}
+
+// Pairs calls f for every ordered host pair with a route.
+func (t *Table) Pairs(f func(src, dst topology.NodeID, wires []int, turns simnet.Route)) {
+	for s, row := range t.paths {
+		for d, wires := range row {
+			f(s, d, wires, t.turns[s][d])
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package routes
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// computeOn builds a default-config table over net, failing the test on
+// any error.
+func computeOn(t *testing.T, net *topology.Network, cfg Config) *Table {
+	t.Helper()
+	tab, err := Compute(net, cfg)
+	if err != nil {
+		t.Fatalf("Compute: %v", err)
+	}
+	return tab
+}
+
+// verifyAll runs the three §5.5 checks.
+func verifyAll(t *testing.T, tab *Table) {
+	t.Helper()
+	if err := tab.VerifyUpDown(); err != nil {
+		t.Errorf("up/down violation: %v", err)
+	}
+	if err := tab.VerifyDeadlockFree(); err != nil {
+		t.Errorf("deadlock: %v", err)
+	}
+	if err := tab.VerifyDelivery(tab.Net); err != nil {
+		t.Errorf("delivery: %v", err)
+	}
+}
+
+func TestRoutesGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	nets := map[string]*topology.Network{
+		"line":      topology.Line(4, 2, rng),
+		"ring":      topology.Ring(5, 2, rng),
+		"star":      topology.Star(4, 3, rng),
+		"mesh":      topology.Mesh(3, 3, 2, rng),
+		"torus":     topology.Torus(3, 3, 2, rng),
+		"hypercube": topology.Hypercube(3, 2, rng),
+	}
+	for name, net := range nets {
+		net := net
+		t.Run(name, func(t *testing.T) {
+			tab := computeOn(t, net, DefaultConfig())
+			verifyAll(t, tab)
+			// Every ordered host pair must have a route.
+			hosts := net.Hosts()
+			for _, s := range hosts {
+				for _, d := range hosts {
+					if s == d {
+						continue
+					}
+					if _, ok := tab.Route(s, d); !ok {
+						t.Fatalf("missing route %s -> %s", net.NameOf(s), net.NameOf(d))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRoutesRandom(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		net := topology.RandomConnected(3+rng.Intn(6), 2+rng.Intn(10), rng.Intn(4), rng)
+		cfg := DefaultConfig()
+		cfg.Rng = rng
+		tab := computeOn(t, net, cfg)
+		verifyAll(t, tab)
+	}
+}
+
+// TestRoutesOnMappedNetwork is the paper's full §5.5 flow: map the C
+// subcluster with the Berkeley algorithm, compute UP*/DOWN* routes on the
+// *map*, then verify delivery and deadlock freedom.
+func TestRoutesOnMappedNetwork(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	sn := simnet.NewDefault(sys.Net)
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(sys.Net.DepthBound(h0)))
+	if err != nil {
+		t.Fatalf("mapping: %v", err)
+	}
+	cfg := DefaultConfig()
+	cfg.IgnoreHosts = []topology.NodeID{m.Network.Lookup(sys.Net.NameOf(sys.Utility))}
+	tab := computeOn(t, m.Network, cfg)
+	verifyAll(t, tab)
+	if n := len(tab.Distribute()); n != m.Network.NumHosts() {
+		t.Errorf("distributed %d host tables, want %d", n, m.Network.NumHosts())
+	}
+}
+
+// TestChooseRootFarFromHosts: on a fat tree the root switch must be at the
+// top level (maximally distant from hosts), and the utility host must be
+// ignorable.
+func TestChooseRootFarFromHosts(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	net := sys.Net
+	root := ChooseRoot(net, sys.Utility)
+	if root == topology.None {
+		t.Fatal("no root chosen")
+	}
+	dist := net.BFS(root)
+	minD := 1 << 30
+	for _, h := range net.Hosts() {
+		if h == sys.Utility {
+			continue
+		}
+		if dist[h] < minD {
+			minD = dist[h]
+		}
+	}
+	if minD < 3 {
+		t.Errorf("root only %d hops from nearest host; expected a top-level switch", minD)
+	}
+	// Ignoring the utility host "picks a natural root of the network": the
+	// top-level switch the utility machine is cabled to.
+	usw, _, _ := net.HostSwitch(sys.Utility)
+	if root != usw {
+		t.Errorf("chose root %s, want the utility machine's switch %s",
+			net.NameOf(root), net.NameOf(usw))
+	}
+	// Without ignoring it, that switch is disqualified (the utility host
+	// sits one hop away).
+	if rootAll := ChooseRoot(net); rootAll == usw {
+		t.Errorf("without ignoring, the utility switch should not win")
+	}
+}
+
+// TestDominantRelabel builds a topology with a locally dominant switch (a
+// high-BFS-numbered hostless switch whose neighbours all have smaller
+// labels) and checks the fix makes it usable while staying deadlock-free.
+func TestDominantRelabel(t *testing.T) {
+	// Two hosts on two switches joined both directly and through a third
+	// hostless switch: BFS from the root labels the hostless switch last,
+	// making it dominant (all neighbours smaller).
+	net := &topology.Network{}
+	s1 := net.AddSwitch("s1")
+	s2 := net.AddSwitch("s2")
+	s3 := net.AddSwitch("s3") // candidate dominant transit switch
+	h1 := net.AddHost("h1")
+	h2 := net.AddHost("h2")
+	net.MustConnect(h1, 0, s1, 0)
+	net.MustConnect(h2, 0, s2, 0)
+	net.MustConnect(s1, 1, s2, 1)
+	net.MustConnect(s1, 2, s3, 0)
+	net.MustConnect(s2, 2, s3, 1)
+
+	cfg := DefaultConfig()
+	cfg.Root = s1
+	tab := computeOn(t, net, cfg)
+	verifyAll(t, tab)
+	if len(tab.Dominant) == 0 {
+		t.Skip("BFS order did not produce a dominant switch in this embedding")
+	}
+	// After relabelling, s3 must be usable: its label sits below both
+	// neighbours, so routes may go up into it and down out of it.
+	for _, d := range tab.Dominant {
+		for p := 0; p < net.NumPorts(d); p++ {
+			if end, ok := net.Neighbor(d, p); ok {
+				if tab.Labels[end.Node] <= tab.Labels[d] {
+					t.Errorf("dominant switch %d still above neighbour %d", d, end.Node)
+				}
+			}
+		}
+	}
+}
+
+// TestNoRouteThroughLoopback: loopback cables must never appear on routes.
+func TestNoRouteThroughLoopback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := topology.Line(3, 2, rng)
+	sw := net.Switches()
+	// Add a loopback cable on the middle switch.
+	if _, _, _, err := net.ConnectFree(sw[1], sw[1]); err != nil {
+		t.Fatal(err)
+	}
+	loop := net.NumWires() - 1
+	tab := computeOn(t, net, DefaultConfig())
+	verifyAll(t, tab)
+	tab.Pairs(func(s, d topology.NodeID, wires []int, _ simnet.Route) {
+		for _, wi := range wires {
+			if wi == loop {
+				t.Errorf("route %s->%s uses loopback cable", net.NameOf(s), net.NameOf(d))
+			}
+		}
+	})
+}

@@ -1,0 +1,147 @@
+package simnet
+
+import (
+	"math/rand"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+// Prober is the view a mapping algorithm has of the network: the ability to
+// send the two §2.3 probe types from one fixed host and observe responses
+// and elapsed time. Both the Berkeley and Myricom mappers run against this
+// interface, so the same algorithm code runs over the quiescent transport,
+// the discrete-event concurrent transport, and fault-injecting wrappers.
+type Prober interface {
+	// SwitchProbe reports whether the loopback probe for turns returned.
+	SwitchProbe(turns Route) bool
+	// HostProbe reports the name of the host that answered, if any.
+	HostProbe(turns Route) (host string, ok bool)
+	// LocalHost is the unique name of the probing host.
+	LocalHost() string
+	// Clock is the prober's elapsed virtual time.
+	Clock() time.Duration
+}
+
+// RawProber extends Prober with the raw loopback primitive the Myricom
+// algorithm's comparison and loop-cable probes require.
+type RawProber interface {
+	Prober
+	// RawLoopback sends an arbitrary routing address and reports whether
+	// the message came back to the sender.
+	RawLoopback(route Route) bool
+}
+
+// IDProber extends Prober with the §6 self-identifying-switch oracle: a
+// switch probe whose response carries the switch's unique id and the
+// absolute entry port.
+type IDProber interface {
+	Prober
+	// IDProbe reports the identity and entry port of the switch the probe
+	// prefix parks on.
+	IDProbe(turns Route) (id, entryPort int, ok bool)
+}
+
+// TolerantProber extends Prober with the §6 tolerant host probe (hosts read
+// and answer messages that arrive with leftover routing flits).
+type TolerantProber interface {
+	Prober
+	// TolerantHostProbe sends a maximal-depth probe; consumed is the number
+	// of turns applied before a responding host was reached.
+	TolerantHostProbe(route Route) (host string, consumed int, ok bool)
+}
+
+// Endpoint binds a Net to a source host, implementing RawProber.
+type Endpoint struct {
+	net  *Net
+	host topology.NodeID
+}
+
+// Endpoint returns a Prober sending from host h.
+func (n *Net) Endpoint(h topology.NodeID) *Endpoint {
+	if n.topo.KindOf(h) != topology.HostNode {
+		panic("simnet: endpoint must be a host")
+	}
+	return &Endpoint{net: n, host: h}
+}
+
+// SwitchProbe implements Prober.
+func (e *Endpoint) SwitchProbe(turns Route) bool { return e.net.SwitchProbe(e.host, turns) }
+
+// HostProbe implements Prober.
+func (e *Endpoint) HostProbe(turns Route) (string, bool) { return e.net.HostProbe(e.host, turns) }
+
+// LocalHost implements Prober.
+func (e *Endpoint) LocalHost() string { return e.net.topo.NameOf(e.host) }
+
+// Clock implements Prober.
+func (e *Endpoint) Clock() time.Duration { return e.net.Clock() }
+
+// Stats exposes the transport's probe counters (picked up by the mappers'
+// run statistics).
+func (e *Endpoint) Stats() Stats { return e.net.Stats() }
+
+// RawLoopback implements RawProber.
+func (e *Endpoint) RawLoopback(route Route) bool { return e.net.RawLoopback(e.host, route) }
+
+// IDProbe implements IDProber (requires EnableSelfID on the transport).
+func (e *Endpoint) IDProbe(turns Route) (id, entryPort int, ok bool) {
+	return e.net.IDProbe(e.host, turns)
+}
+
+// TolerantHostProbe implements TolerantProber.
+func (e *Endpoint) TolerantHostProbe(route Route) (string, int, bool) {
+	return e.net.TolerantHostProbe(e.host, route)
+}
+
+// Host returns the bound host id.
+func (e *Endpoint) Host() topology.NodeID { return e.host }
+
+// Net returns the underlying transport.
+func (e *Endpoint) Net() *Net { return e.net }
+
+// FlakyProber wraps a Prober and drops each response with probability
+// DropRate — message corruption and loss, the error class the paper's model
+// explicitly leaves out ("Other errors such as message corruption are not
+// addressed in the model") but that a deployed mapper must tolerate.
+// Dropped responses still cost the response timeout.
+type FlakyProber struct {
+	Inner    Prober
+	DropRate float64
+	Rng      *rand.Rand
+	Dropped  int64
+}
+
+// SwitchProbe implements Prober with random response loss.
+func (f *FlakyProber) SwitchProbe(turns Route) bool {
+	ok := f.Inner.SwitchProbe(turns)
+	if ok && f.Rng.Float64() < f.DropRate {
+		f.Dropped++
+		return false
+	}
+	return ok
+}
+
+// HostProbe implements Prober with random response loss.
+func (f *FlakyProber) HostProbe(turns Route) (string, bool) {
+	host, ok := f.Inner.HostProbe(turns)
+	if ok && f.Rng.Float64() < f.DropRate {
+		f.Dropped++
+		return "", false
+	}
+	return host, ok
+}
+
+// LocalHost implements Prober.
+func (f *FlakyProber) LocalHost() string { return f.Inner.LocalHost() }
+
+// Clock implements Prober.
+func (f *FlakyProber) Clock() time.Duration { return f.Inner.Clock() }
+
+// Stats forwards the inner transport's counters when available.
+func (f *FlakyProber) Stats() Stats {
+	if s, ok := f.Inner.(interface{ Stats() Stats }); ok {
+		return s.Stats()
+	}
+	return Stats{}
+}

@@ -1,0 +1,223 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+
+	"sanmap/internal/topology"
+)
+
+// Outcome classifies the fate of a routed message. The four route-failure
+// modes are quoted from §2.2 of the paper; SelfCollision is the §2.3.1 worm
+// collision ("stepping on one's tail") that the correctness proof revolves
+// around.
+type Outcome uint8
+
+const (
+	// Delivered: the message path ended at a host with all routing flits
+	// consumed; the host received the payload.
+	Delivered Outcome = iota
+	// IllegalTurn: "If pᵢ' is not in {0...7}, we have made a turn resulting
+	// in an illegal port."
+	IllegalTurn
+	// NoSuchWire: "If nᵢ has no wire at port pᵢ + aᵢ."
+	NoSuchWire
+	// HitHostTooSoon: "If a message arrives at a host and it still contains
+	// routing flits."
+	HitHostTooSoon
+	// Stranded: "If the message path does not end at a host" — all flits
+	// consumed at a switch; switches do not consume messages.
+	Stranded
+	// SelfCollision: the worm attempted to reuse a directed edge still
+	// occupied by its own body; hardware deadlock-breaking destroys it.
+	SelfCollision
+	// SourceUnwired: the sending host has no cable; no message enters the
+	// network at all. (Not in the paper's list: its model assumes attached
+	// hosts. Needed here for reconfiguration scenarios.)
+	SourceUnwired
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Delivered:
+		return "delivered"
+	case IllegalTurn:
+		return "illegal-turn"
+	case NoSuchWire:
+		return "no-such-wire"
+	case HitHostTooSoon:
+		return "hit-host-too-soon"
+	case Stranded:
+		return "stranded"
+	case SelfCollision:
+		return "self-collision"
+	case SourceUnwired:
+		return "source-unwired"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Model selects the worm collision semantics of §2.3.1 via the number of
+// consecutive directed edges a worm's body occupies at once.
+type Model struct {
+	// Span is the occupancy window: a message fails when it attempts to
+	// reuse a directed edge it traversed fewer than Span hops ago.
+	//
+	//   Span == 1        — packet (store-and-forward) routing: a message
+	//                      occupies one link at a time and may reuse edges
+	//                      arbitrarily. This is the trivially-correct regime
+	//                      of §1.2.
+	//   1 < Span < ∞     — cut-through with finite per-port buffering
+	//                      ("probes reusing an edge may or may not fail").
+	//   Span == Circuit  — circuit routing: any directed-edge reuse fails.
+	Span int
+}
+
+// Circuit is the Span value for circuit-switched collision semantics.
+const Circuit = math.MaxInt32
+
+// Standard models.
+var (
+	PacketModel  = Model{Span: 1}
+	CircuitModel = Model{Span: Circuit}
+	// CutThroughModel approximates Myrinet's 108 bytes of per-port
+	// buffering against short probe worms: the body spans a few links.
+	CutThroughModel = Model{Span: 3}
+)
+
+// DirectedHop identifies one traversal of a wire: the wire index and the
+// end the message exited from. Two traversals of one wire in opposite
+// directions are distinct directed edges, which is what the circuit model's
+// host-probe rule requires.
+type DirectedHop struct {
+	Wire  int
+	FromA bool // true when traversed from end A to end B
+}
+
+// Result describes the evaluation of a route.
+type Result struct {
+	Outcome Outcome
+	// Dest is the final node for Delivered and Stranded; the host hit for
+	// HitHostTooSoon; the node where the failing hop was attempted for the
+	// other failures.
+	Dest topology.NodeID
+	// EntryPort is the port of Dest on which the message arrived
+	// (meaningful for Delivered, Stranded, HitHostTooSoon).
+	EntryPort int
+	// Hops is the number of wires traversed before termination or failure.
+	Hops int
+	// FailTurn is the index of the routing flit being applied when the
+	// message failed, or -1.
+	FailTurn int
+}
+
+// OK reports whether the message was delivered to a host.
+func (r Result) OK() bool { return r.Outcome == Delivered }
+
+// evalScratch holds reusable buffers for route evaluation.
+type evalScratch struct {
+	hops []DirectedHop
+}
+
+// evalRoute walks the message path of §2.2 from host `from` with the given
+// routing address, under collision model m. The traversed directed hops are
+// appended into scratch (reused across calls; a Net is not safe for
+// concurrent use — see ConcurrentNet).
+func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Model, scratch *evalScratch) Result {
+	if topo.KindOf(from) != topology.HostNode {
+		panic(fmt.Sprintf("simnet: source %d is not a host", from))
+	}
+	scratch.hops = scratch.hops[:0]
+	wire0 := topo.WireAt(from, topology.HostPort)
+	if wire0 < 0 {
+		return Result{Outcome: SourceUnwired, Dest: from, FailTurn: -1}
+	}
+	cur := topology.End{Node: from, Port: topology.HostPort}
+	// traverse crosses the wire at (cur.Node, outPort); returns false on
+	// self-collision. Loopback plugs reflect the message back into the same
+	// port; they occupy a synthetic directed edge so collision semantics
+	// still apply.
+	traverse := func(outPort int) (topology.End, bool, bool) {
+		fromEnd := topology.End{Node: cur.Node, Port: outPort}
+		var hop DirectedHop
+		var dest topology.End
+		wi := topo.WireAt(cur.Node, outPort)
+		switch {
+		case wi >= 0:
+			w := topo.WireByIndex(wi)
+			hop = DirectedHop{Wire: wi, FromA: w.A == fromEnd}
+			dest = w.Other(fromEnd)
+		case topo.ReflectorAt(cur.Node, outPort):
+			// A loopback plug is a cable from the port back to itself:
+			// successive crossings by one worm alternate direction, exactly
+			// like out-and-back over a two-ended wire, so a probe may
+			// bounce off it once (out + back) under the circuit model but
+			// not twice.
+			key := -2 - (int(cur.Node)*topology.SwitchPorts + outPort)
+			crossings := 0
+			for _, h := range scratch.hops {
+				if h.Wire == key {
+					crossings++
+				}
+			}
+			hop = DirectedHop{Wire: key, FromA: crossings%2 == 0}
+			dest = fromEnd
+		default:
+			return topology.End{}, false, true // no wire
+		}
+		// Self-collision: directed edge still occupied by our own body.
+		n := len(scratch.hops)
+		lo := 0
+		if m.Span < n {
+			lo = n - (m.Span - 1)
+		}
+		if m.Span > 1 {
+			for i := lo; i < n; i++ {
+				if scratch.hops[i] == hop {
+					return topology.End{}, false, false // collision
+				}
+			}
+		}
+		scratch.hops = append(scratch.hops, hop)
+		return dest, true, true
+	}
+
+	// First hop: out of the source host.
+	next, ok, _ := traverse(topology.HostPort)
+	if !ok {
+		// A host's only wire cannot self-collide on the first hop.
+		return Result{Outcome: NoSuchWire, Dest: from, FailTurn: -1}
+	}
+	cur = next
+
+	for i, turn := range route {
+		if topo.KindOf(cur.Node) == topology.HostNode {
+			return Result{Outcome: HitHostTooSoon, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(scratch.hops), FailTurn: i}
+		}
+		out := cur.Port + int(turn)
+		if out < 0 || out >= topo.NumPorts(cur.Node) {
+			return Result{Outcome: IllegalTurn, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(scratch.hops), FailTurn: i}
+		}
+		next, wired, noCollision := traverse(out)
+		if !noCollision {
+			return Result{Outcome: SelfCollision, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(scratch.hops), FailTurn: i}
+		}
+		if !wired {
+			return Result{Outcome: NoSuchWire, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(scratch.hops), FailTurn: i}
+		}
+		cur = next
+	}
+
+	out := Result{Dest: cur.Node, EntryPort: cur.Port, Hops: len(scratch.hops), FailTurn: -1}
+	if topo.KindOf(cur.Node) == topology.HostNode {
+		out.Outcome = Delivered
+	} else {
+		out.Outcome = Stranded
+	}
+	return out
+}

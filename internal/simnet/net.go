@@ -1,0 +1,415 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+// Timing models the latency constants of the Berkeley NOW's Myrinet
+// hardware (§1.1) and of the user-level mapper implementation (§5.2: probe
+// timings are dominated by per-probe software overhead, and "probes that do
+// not generate responses are more expensive than others because the message
+// time-out period is longer than the time of an average round-trip").
+type Timing struct {
+	// SwitchLatency is the per-hop cut-through latency (paper: worst case
+	// 550 ns with no contention).
+	SwitchLatency time.Duration
+	// ByteTime is the per-byte serialisation time on a link (paper: each
+	// link supports 1.28 Gb/s, i.e. 6.25 ns per byte); with cut-through the
+	// message pays it once, pipelined across hops.
+	ByteTime time.Duration
+	// HostOverhead is the per-probe software cost at the mapper: active
+	// message send/receive through the SBUS-attached interface.
+	HostOverhead time.Duration
+	// ResponseTimeout is how long the mapper waits before declaring a probe
+	// unanswered ("nothing").
+	ResponseTimeout time.Duration
+	// BlockedPortReset is the switch firmware timeout after which a blocked
+	// worm is cleared with a forward reset message (paper: 55 ms, set in
+	// switch ROMs). Used by the discrete-event transport under traffic.
+	BlockedPortReset time.Duration
+}
+
+// DefaultTiming reproduces the order of magnitude of the paper's Fig 7
+// timings when combined with the paper's probe counts.
+func DefaultTiming() Timing {
+	return Timing{
+		SwitchLatency:    550 * time.Nanosecond,
+		ByteTime:         6 * time.Nanosecond, // ≈1.28 Gb/s
+		HostOverhead:     250 * time.Microsecond,
+		ResponseTimeout:  750 * time.Microsecond,
+		BlockedPortReset: 55 * time.Millisecond,
+	}
+}
+
+// probe message sizes in bytes, after the paper's message format (header
+// flit, routing flits, payload, 8-bit CRC, tail flit).
+const (
+	probeEnvelopeBytes = 4  // header + CRC + tail + type
+	probePayloadBytes  = 16 // mapper id + sequence + reverse-route room
+)
+
+// Stats counts probes and their outcomes, in the categories of Fig 6.
+type Stats struct {
+	HostProbes   int64 // host-probe messages sent
+	HostHits     int64 // ...that produced a host-name response
+	SwitchProbes int64 // switch-probe (loopback) messages sent
+	SwitchHits   int64 // ...that returned to the mapper
+}
+
+// TotalProbes is the total message count (the paper's primary algorithmic
+// cost metric).
+func (s Stats) TotalProbes() int64 { return s.HostProbes + s.SwitchProbes }
+
+// Hits is the total number of probes that generated responses.
+func (s Stats) Hits() int64 { return s.HostHits + s.SwitchHits }
+
+// Net is the quiescent-network transport: probes execute instantaneously
+// on a virtual clock, one at a time, exactly matching the paper's §2-§3
+// model assumptions ("the network is quiescent during mapping and thus
+// worms can only deadlock on themselves").
+//
+// A Net is not safe for concurrent use; the discrete-event ConcurrentNet
+// builds on it for the election, parallel-mapping and cross-traffic
+// experiments.
+type Net struct {
+	topo    *topology.Network
+	model   Model
+	timing  Timing
+	clock   time.Duration
+	stats   Stats
+	scratch evalScratch
+	// responder marks hosts running a mapper daemon; only they answer
+	// host-probes. Hosts absent from the map respond (default true).
+	silent map[topology.NodeID]bool
+	// probeLog, when non-nil, receives every probe issued (testing hook).
+	probeLog func(kind string, from topology.NodeID, r Route, ok bool)
+	// selfID enables the §6 self-identifying-switch oracle (IDProbe).
+	selfID bool
+}
+
+// New wraps a topology in a quiescent transport with the given collision
+// model and timing.
+func New(topo *topology.Network, model Model, timing Timing) *Net {
+	if model.Span < 1 {
+		panic("simnet: Model.Span must be >= 1")
+	}
+	return &Net{topo: topo, model: model, timing: timing}
+}
+
+// NewDefault uses the circuit collision model (the paper's first, stricter
+// proof model) and default timing.
+func NewDefault(topo *topology.Network) *Net {
+	return New(topo, CircuitModel, DefaultTiming())
+}
+
+// Topology returns the underlying network (read-only by convention).
+func (n *Net) Topology() *topology.Network { return n.topo }
+
+// Model returns the collision model in force.
+func (n *Net) Model() Model { return n.model }
+
+// Timing returns the timing constants in force.
+func (n *Net) Timing() Timing { return n.timing }
+
+// Clock returns elapsed virtual time.
+func (n *Net) Clock() time.Duration { return n.clock }
+
+// ResetClock zeroes the virtual clock and the probe statistics.
+func (n *Net) ResetClock() {
+	n.clock = 0
+	n.stats = Stats{}
+}
+
+// AdvanceClock adds dt of non-probe work (e.g. mapper-side computation).
+func (n *Net) AdvanceClock(dt time.Duration) { n.clock += dt }
+
+// Stats returns the probe counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// SetResponder marks whether host h runs a mapper daemon and therefore
+// answers host-probes. All hosts respond by default. Silent hosts are the
+// mechanism behind Fig 9: probes to them cost the full response timeout
+// and they contribute no merge anchors.
+func (n *Net) SetResponder(h topology.NodeID, responds bool) {
+	if n.topo.KindOf(h) != topology.HostNode {
+		panic(fmt.Sprintf("simnet: %d is not a host", h))
+	}
+	if n.silent == nil {
+		n.silent = make(map[topology.NodeID]bool)
+	}
+	if responds {
+		delete(n.silent, h)
+	} else {
+		n.silent[h] = true
+	}
+}
+
+// Responds reports whether host h answers host-probes.
+func (n *Net) Responds(h topology.NodeID) bool { return !n.silent[h] }
+
+// SetProbeLog installs a hook invoked after every probe (nil to remove).
+func (n *Net) SetProbeLog(f func(kind string, from topology.NodeID, r Route, ok bool)) {
+	n.probeLog = f
+}
+
+// Eval evaluates a raw route without sending a probe (no clock or counter
+// effects). Exposed for tests, route verification and tooling.
+func (n *Net) Eval(from topology.NodeID, route Route) Result {
+	return evalRoute(n.topo, from, route, n.model, &n.scratch)
+}
+
+// EvalModel evaluates a route under an explicit collision model.
+func (n *Net) EvalModel(from topology.NodeID, route Route, m Model) Result {
+	return evalRoute(n.topo, from, route, m, &n.scratch)
+}
+
+// EvalPath evaluates a route and additionally returns the directed hops the
+// message traversed before terminating or failing. The returned slice is
+// freshly allocated. Used by the discrete-event transport, which needs the
+// exact links a worm occupies to model contention.
+func (n *Net) EvalPath(from topology.NodeID, route Route) (Result, []DirectedHop) {
+	res := evalRoute(n.topo, from, route, n.model, &n.scratch)
+	return res, append([]DirectedHop(nil), n.scratch.hops...)
+}
+
+// MessageBytes estimates the wire size of a probe message with the given
+// number of routing flits, per the paper's message format (header flit,
+// routing flits, payload, 8-bit CRC, tail flit).
+func MessageBytes(turns int) int {
+	return probeEnvelopeBytes + turns + probePayloadBytes
+}
+
+// transitTime is the cut-through latency of a message over the given hop
+// count: per-hop switch latency plus one pipelined serialisation.
+func (n *Net) transitTime(hops, turns int) time.Duration {
+	return time.Duration(hops)*n.timing.SwitchLatency +
+		time.Duration(MessageBytes(turns))*n.timing.ByteTime
+}
+
+// SwitchProbe sends the loopback probe for the given turn prefix (§2.3):
+// turns a1...ak 0 -ak...-a1. It reports whether the mapper received its own
+// loopback message, which proves the node k hops beyond the first switch is
+// a switch.
+func (n *Net) SwitchProbe(from topology.NodeID, turns Route) bool {
+	if !turns.ValidProbe() {
+		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
+	}
+	route := turns.Loopback()
+	res := n.Eval(from, route)
+	ok := res.Outcome == Delivered && res.Dest == from
+	n.stats.SwitchProbes++
+	n.clock += n.timing.HostOverhead
+	if ok {
+		n.stats.SwitchHits++
+		n.clock += n.transitTime(res.Hops, len(route))
+	} else {
+		n.clock += n.timing.ResponseTimeout
+	}
+	if n.probeLog != nil {
+		n.probeLog("switch", from, turns, ok)
+	}
+	return ok
+}
+
+// HostProbe sends the probe a1...ak and reports the name of the responding
+// host, if any (§2.3). A response requires the message to be delivered AND
+// the destination host to run a responder daemon; the reply retraces the
+// probe's route in reverse (it carries its route, so the receiver can
+// invert it).
+func (n *Net) HostProbe(from topology.NodeID, turns Route) (host string, ok bool) {
+	if !turns.ValidProbe() {
+		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
+	}
+	res := n.Eval(from, turns)
+	ok = res.Outcome == Delivered && n.Responds(res.Dest)
+	n.stats.HostProbes++
+	n.clock += n.timing.HostOverhead
+	if ok {
+		n.stats.HostHits++
+		host = n.topo.NameOf(res.Dest)
+		// Round trip: probe out plus reply back over the reversed route.
+		n.clock += 2 * n.transitTime(res.Hops, len(turns))
+	} else {
+		n.clock += n.timing.ResponseTimeout
+	}
+	if n.probeLog != nil {
+		n.probeLog("host", from, turns, ok)
+	}
+	return host, ok
+}
+
+// IDProbe is the §6 "architectural support for self-identifying switches"
+// oracle: "if a probe made it to a switch and back, it would carry a unique
+// identifier". It behaves like SwitchProbe but, on success, also reports a
+// unique identifier for the reflecting switch and the absolute port the
+// probe entered it on (what a self-identifying switch would stamp into the
+// returning message). Only available when self-identification is enabled
+// on the transport; the default Myrinet-faithful configuration has no such
+// mechanism ("Myrinet lacks a mechanism to query a switch directly").
+func (n *Net) IDProbe(from topology.NodeID, turns Route) (id int, entryPort int, ok bool) {
+	if !n.selfID {
+		panic("simnet: IDProbe requires EnableSelfID (the §6 hardware extension)")
+	}
+	if !turns.ValidProbe() {
+		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
+	}
+	// The outbound prefix tells us which node reflects; the full loopback
+	// decides success exactly like a plain switch probe.
+	probe := n.Eval(from, turns)
+	route := turns.Loopback()
+	res := n.Eval(from, route)
+	ok = res.Outcome == Delivered && res.Dest == from &&
+		probe.Outcome == Stranded // the prefix parks on a switch
+	n.stats.SwitchProbes++
+	n.clock += n.timing.HostOverhead
+	if ok {
+		n.stats.SwitchHits++
+		n.clock += n.transitTime(res.Hops, len(route))
+		return int(probe.Dest), probe.EntryPort, true
+	}
+	n.clock += n.timing.ResponseTimeout
+	return 0, 0, false
+}
+
+// EnableSelfID turns on the §6 hardware extension for this transport.
+func (n *Net) EnableSelfID() { n.selfID = true }
+
+// AccountProbe applies the clock-and-counter effects of one probe of the
+// given class without evaluating anything: per-probe host overhead, plus
+// the supplied round trip on a hit or the response timeout on a miss.
+// External transports that implement their own delivery logic on top of
+// Eval (e.g. the amlayer wire prober, which pushes every probe through the
+// real message framing and host daemons) use this to bill time and
+// statistics identically to the built-in probes.
+func (n *Net) AccountProbe(hostClass bool, rtt time.Duration, hit bool) {
+	if hostClass {
+		n.stats.HostProbes++
+		if hit {
+			n.stats.HostHits++
+		}
+	} else {
+		n.stats.SwitchProbes++
+		if hit {
+			n.stats.SwitchHits++
+		}
+	}
+	n.clock += n.timing.HostOverhead
+	if hit {
+		n.clock += rtt
+	} else {
+		n.clock += n.timing.ResponseTimeout
+	}
+}
+
+// TransitTime exposes the cut-through latency model: per-hop switch latency
+// plus one pipelined serialisation of msgBytes.
+func (t Timing) TransitTime(hops, msgBytes int) time.Duration {
+	return time.Duration(hops)*t.SwitchLatency + time.Duration(msgBytes)*t.ByteTime
+}
+
+// TolerantHostProbe models the §6 firmware change the randomized hybrid
+// mapper assumes: "instead of a 'hit host too soon' error causing a message
+// to be discarded, the host could read it and send a response". The probe
+// succeeds both when it is delivered exactly and when it reaches a
+// responding host with flits left over; consumed reports how many turns the
+// network actually applied, i.e. route[:consumed] is a valid host-probe
+// route to the responder.
+func (n *Net) TolerantHostProbe(from topology.NodeID, route Route) (host string, consumed int, ok bool) {
+	if !route.ValidProbe() {
+		panic(fmt.Sprintf("simnet: invalid probe prefix %v", route))
+	}
+	res := n.Eval(from, route)
+	switch res.Outcome {
+	case Delivered:
+		ok = n.Responds(res.Dest)
+		consumed = len(route)
+	case HitHostTooSoon:
+		ok = n.Responds(res.Dest)
+		consumed = res.FailTurn
+	}
+	n.stats.HostProbes++
+	n.clock += n.timing.HostOverhead
+	if ok {
+		n.stats.HostHits++
+		host = n.topo.NameOf(res.Dest)
+		n.clock += 2 * n.transitTime(res.Hops, len(route))
+	} else {
+		n.clock += n.timing.ResponseTimeout
+	}
+	if n.probeLog != nil {
+		n.probeLog("tolerant", from, route, ok)
+	}
+	return host, consumed, ok
+}
+
+// RawLoopback sends a message with an arbitrary routing address and reports
+// whether it was delivered back to the sending host itself. This is the
+// primitive behind the Myricom algorithm's generalised loopback probes
+// (§4.1): comparison probes T1..Tn X −Sm..−S1 and loop-cable probes. The
+// message is counted as a switch-class probe.
+func (n *Net) RawLoopback(from topology.NodeID, route Route) bool {
+	if !route.Valid() {
+		panic(fmt.Sprintf("simnet: invalid route %v", route))
+	}
+	res := n.Eval(from, route)
+	ok := res.Outcome == Delivered && res.Dest == from
+	n.stats.SwitchProbes++
+	n.clock += n.timing.HostOverhead
+	if ok {
+		n.stats.SwitchHits++
+		n.clock += n.transitTime(res.Hops, len(route))
+	} else {
+		n.clock += n.timing.ResponseTimeout
+	}
+	if n.probeLog != nil {
+		n.probeLog("raw", from, route, ok)
+	}
+	return ok
+}
+
+// ProbePair performs the paper's §2.3 "probe": the pair of the two tests on
+// the same prefix. It returns the combined response R(a1...ak): a host
+// name, "switch", or "nothing".
+func (n *Net) ProbePair(from topology.NodeID, turns Route) ProbeResponse {
+	if host, ok := n.HostProbe(from, turns); ok {
+		return ProbeResponse{Kind: RespHost, Host: host}
+	}
+	if n.SwitchProbe(from, turns) {
+		return ProbeResponse{Kind: RespSwitch}
+	}
+	return ProbeResponse{Kind: RespNothing}
+}
+
+// RespKind is the probe response alphabet H ∪ {"switch", "nothing"}.
+type RespKind uint8
+
+const (
+	// RespNothing: the probe timed out.
+	RespNothing RespKind = iota
+	// RespSwitch: the loopback message returned.
+	RespSwitch
+	// RespHost: a uniquely-named host replied.
+	RespHost
+)
+
+// String names the kind.
+func (k RespKind) String() string {
+	switch k {
+	case RespNothing:
+		return "nothing"
+	case RespSwitch:
+		return "switch"
+	case RespHost:
+		return "host"
+	}
+	return fmt.Sprintf("resp(%d)", uint8(k))
+}
+
+// ProbeResponse is the value of the probe-response function R (§2.3).
+type ProbeResponse struct {
+	Kind RespKind
+	Host string // unique host name when Kind == RespHost
+}

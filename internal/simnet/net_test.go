@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+func probeNet(t *testing.T) (*Net, topology.NodeID, topology.NodeID) {
+	t.Helper()
+	n := &topology.Network{}
+	s0 := n.AddSwitch("s0")
+	s1 := n.AddSwitch("s1")
+	h0 := n.AddHost("h0")
+	h1 := n.AddHost("h1")
+	n.MustConnect(h0, 0, s0, 2)
+	n.MustConnect(s0, 5, s1, 3)
+	n.MustConnect(s1, 6, h1, 0)
+	return NewDefault(n), h0, h1
+}
+
+func TestHostProbeAndCounters(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	host, ok := sn.HostProbe(h0, Route{3, 3})
+	if !ok || host != "h1" {
+		t.Fatalf("HostProbe = %q %v", host, ok)
+	}
+	if _, ok := sn.HostProbe(h0, Route{1}); ok {
+		t.Fatal("probe into empty port answered")
+	}
+	st := sn.Stats()
+	if st.HostProbes != 2 || st.HostHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestSwitchProbe(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	if !sn.SwitchProbe(h0, Route{3}) {
+		t.Error("switch-probe to s1 failed")
+	}
+	if sn.SwitchProbe(h0, Route{3, 3}) {
+		t.Error("switch-probe onto a host succeeded")
+	}
+	st := sn.Stats()
+	if st.SwitchProbes != 2 || st.SwitchHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestProbePair(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	if r := sn.ProbePair(h0, Route{3, 3}); r.Kind != RespHost || r.Host != "h1" {
+		t.Errorf("pair host: %+v", r)
+	}
+	if r := sn.ProbePair(h0, Route{3}); r.Kind != RespSwitch {
+		t.Errorf("pair switch: %+v", r)
+	}
+	if r := sn.ProbePair(h0, Route{1}); r.Kind != RespNothing {
+		t.Errorf("pair nothing: %+v", r)
+	}
+}
+
+func TestClockAccounting(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	tm := sn.Timing()
+	sn.HostProbe(h0, Route{3, 3}) // hit: overhead + 2*transit
+	hit := sn.Clock()
+	if hit <= tm.HostOverhead || hit >= tm.HostOverhead+tm.ResponseTimeout {
+		t.Errorf("hit cost %v implausible", hit)
+	}
+	sn.ResetClock()
+	sn.HostProbe(h0, Route{1}) // miss: overhead + timeout
+	miss := sn.Clock()
+	if miss != tm.HostOverhead+tm.ResponseTimeout {
+		t.Errorf("miss cost %v, want %v", miss, tm.HostOverhead+tm.ResponseTimeout)
+	}
+	if miss <= hit {
+		t.Error("a timeout must cost more than a round trip")
+	}
+	sn.AdvanceClock(time.Millisecond)
+	if sn.Clock() != miss+time.Millisecond {
+		t.Error("AdvanceClock broken")
+	}
+}
+
+func TestSilentHostsDoNotAnswer(t *testing.T) {
+	sn, h0, h1 := probeNet(t)
+	sn.SetResponder(h1, false)
+	if _, ok := sn.HostProbe(h0, Route{3, 3}); ok {
+		t.Error("silent host answered")
+	}
+	sn.SetResponder(h1, true)
+	if _, ok := sn.HostProbe(h0, Route{3, 3}); !ok {
+		t.Error("re-enabled host did not answer")
+	}
+}
+
+func TestTolerantHostProbe(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	// Overshooting route: reaches h1 after 2 turns with 3 left over.
+	host, consumed, ok := sn.TolerantHostProbe(h0, Route{3, 3, 1, 1, 1})
+	if !ok || host != "h1" || consumed != 2 {
+		t.Fatalf("tolerant = %q %d %v", host, consumed, ok)
+	}
+	// Exact delivery also works and consumes everything.
+	host, consumed, ok = sn.TolerantHostProbe(h0, Route{3, 3})
+	if !ok || host != "h1" || consumed != 2 {
+		t.Fatalf("tolerant exact = %q %d %v", host, consumed, ok)
+	}
+	// Dead-end routes still fail.
+	if _, _, ok := sn.TolerantHostProbe(h0, Route{1}); ok {
+		t.Error("tolerant probe into empty port answered")
+	}
+}
+
+func TestRawLoopback(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	if !sn.RawLoopback(h0, Route{3}.Loopback()) {
+		t.Error("raw loopback of a valid switch probe failed")
+	}
+	if sn.RawLoopback(h0, Route{3, 3}) {
+		t.Error("raw loopback delivered to another host counted as loopback")
+	}
+}
+
+func TestFlakyProber(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	f := &FlakyProber{Inner: sn.Endpoint(h0), DropRate: 1.0, Rng: rand.New(rand.NewSource(1))}
+	if _, ok := f.HostProbe(Route{3, 3}); ok {
+		t.Error("drop-rate-1 prober returned a response")
+	}
+	if f.SwitchProbe(Route{3}) {
+		t.Error("drop-rate-1 switch probe returned")
+	}
+	if f.Dropped != 2 {
+		t.Errorf("dropped = %d", f.Dropped)
+	}
+	if f.LocalHost() != "h0" {
+		t.Errorf("LocalHost = %q", f.LocalHost())
+	}
+	f.DropRate = 0
+	if _, ok := f.HostProbe(Route{3, 3}); !ok {
+		t.Error("drop-rate-0 prober lost a response")
+	}
+}
+
+func TestProbeLogHook(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	var kinds []string
+	sn.SetProbeLog(func(kind string, _ topology.NodeID, _ Route, _ bool) {
+		kinds = append(kinds, kind)
+	})
+	sn.HostProbe(h0, Route{3, 3})
+	sn.SwitchProbe(h0, Route{3})
+	sn.RawLoopback(h0, Route{3}.Loopback())
+	sn.SetProbeLog(nil)
+	sn.HostProbe(h0, Route{3, 3})
+	if len(kinds) != 3 || kinds[0] != "host" || kinds[1] != "switch" || kinds[2] != "raw" {
+		t.Errorf("kinds = %v", kinds)
+	}
+}
+
+func TestEndpointBinding(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	ep := sn.Endpoint(h0)
+	if ep.LocalHost() != "h0" || ep.Host() != h0 || ep.Net() != sn {
+		t.Error("endpoint identity broken")
+	}
+	if host, ok := ep.HostProbe(Route{3, 3}); !ok || host != "h1" {
+		t.Errorf("endpoint host probe: %q %v", host, ok)
+	}
+	if !ep.SwitchProbe(Route{3}) {
+		t.Error("endpoint switch probe")
+	}
+	if ep.Stats().TotalProbes() != 2 {
+		t.Errorf("endpoint stats %+v", ep.Stats())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("endpoint on a switch should panic")
+		}
+	}()
+	sn.Endpoint(sn.Topology().Lookup("s0"))
+}

@@ -1,0 +1,140 @@
+// Package simnet executes the formal system model of §2 of the SPAA'97
+// mapping paper: source-routed messages ("worms") that traverse a
+// topology.Network of anonymous 8-port switches using relative,
+// non-modular port addressing, under configurable collision models
+// (packet, cut-through, circuit), with a virtual clock calibrated to the
+// paper's Myrinet hardware constants.
+//
+// The mapping algorithms in internal/mapper and internal/myricom observe
+// the network exclusively through this package's probe transport, exactly
+// as the paper's mappers observe the real network through probe responses.
+package simnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Turn is one routing flit: an output-port offset relative to the input
+// port, in {-7, ..., +7}. The addition is not performed modulo the switch
+// degree (§2.2). A zero turn sends the message back out of the port it
+// arrived on; probe strings use it only as the reflection point of
+// switch-probes.
+type Turn int8
+
+// MaxTurn is the largest turn magnitude on 8-port switches.
+const MaxTurn = 7
+
+// Route is a routing address: the string a1...ak of turns a message
+// carries (§2.2).
+type Route []Turn
+
+// Valid reports whether every turn is within {-7..+7}. Zero turns are
+// permitted; ValidProbe additionally rejects them.
+func (r Route) Valid() bool {
+	for _, t := range r {
+		if t < -MaxTurn || t > MaxTurn {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidProbe reports whether the route is a legal probe prefix: all turns
+// within range and non-zero (§2.3 requires aᵢ ≠ 0 for probe strings).
+func (r Route) ValidProbe() bool {
+	for _, t := range r {
+		if t == 0 || t < -MaxTurn || t > MaxTurn {
+			return false
+		}
+	}
+	return true
+}
+
+// Reversed returns the route -ak ... -a1 that retraces r hop by hop.
+func (r Route) Reversed() Route {
+	out := make(Route, len(r))
+	for i, t := range r {
+		out[len(r)-1-i] = -t
+	}
+	return out
+}
+
+// Loopback returns the switch-probe route a1...ak 0 -ak...-a1 (§2.3): out
+// to the node k hops past the first switch, reflect off it with a 0 turn,
+// and retrace home. The mapper receiving this message back proves the
+// reflecting node is a switch.
+func (r Route) Loopback() Route {
+	out := make(Route, 0, 2*len(r)+1)
+	out = append(out, r...)
+	out = append(out, 0)
+	out = append(out, r.Reversed()...)
+	return out
+}
+
+// Extend returns a copy of r with turn t appended.
+func (r Route) Extend(t Turn) Route {
+	out := make(Route, len(r)+1)
+	copy(out, r)
+	out[len(r)] = t
+	return out
+}
+
+// Clone returns an independent copy.
+func (r Route) Clone() Route { return append(Route(nil), r...) }
+
+// Equal reports turn-wise equality.
+func (r Route) Equal(o Route) bool {
+	if len(r) != len(o) {
+		return false
+	}
+	for i := range r {
+		if r[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the route as explicit signed turns, e.g. "+1-3+2";
+// the empty route renders as "ε".
+func (r Route) String() string {
+	if len(r) == 0 {
+		return "ε"
+	}
+	var b strings.Builder
+	for _, t := range r {
+		fmt.Fprintf(&b, "%+d", t)
+	}
+	return b.String()
+}
+
+// ParseRoute parses the String format ("+1-3+2", or "ε"/"" for the empty
+// route). Each turn must carry an explicit sign except a bare "0".
+func ParseRoute(s string) (Route, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "ε" {
+		return Route{}, nil
+	}
+	var out Route
+	for i := 0; i < len(s); {
+		j := i + 1
+		if s[i] != '+' && s[i] != '-' && s[i] != '0' {
+			return nil, fmt.Errorf("simnet: route %q: turn must start with sign at offset %d", s, i)
+		}
+		for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+			j++
+		}
+		v, err := strconv.Atoi(s[i:j])
+		if err != nil {
+			return nil, fmt.Errorf("simnet: route %q: %v", s, err)
+		}
+		if v < -MaxTurn || v > MaxTurn {
+			return nil, fmt.Errorf("simnet: route %q: turn %d out of range", s, v)
+		}
+		out = append(out, Turn(v))
+		i = j
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRouteReversed(t *testing.T) {
+	r := Route{1, -3, 7}
+	if got, want := r.Reversed(), (Route{-7, 3, -1}); !got.Equal(want) {
+		t.Errorf("Reversed = %v, want %v", got, want)
+	}
+	if empty := (Route{}); !empty.Reversed().Equal(empty) {
+		t.Error("empty reverse")
+	}
+}
+
+func TestRouteReverseInvolution(t *testing.T) {
+	f := func(turns []int8) bool {
+		r := make(Route, len(turns))
+		for i, v := range turns {
+			r[i] = Turn(v % 8)
+		}
+		return r.Reversed().Reversed().Equal(r)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoopbackShape(t *testing.T) {
+	r := Route{2, -1}
+	lb := r.Loopback()
+	want := Route{2, -1, 0, 1, -2}
+	if !lb.Equal(want) {
+		t.Errorf("Loopback = %v, want %v", lb, want)
+	}
+	if lb0 := (Route{}).Loopback(); len(lb0) != 1 {
+		t.Error("empty loopback should be the single 0 turn")
+	}
+}
+
+func TestValidProbe(t *testing.T) {
+	cases := []struct {
+		r    Route
+		want bool
+	}{
+		{Route{1, 2, 3}, true},
+		{Route{}, true},
+		{Route{0}, false},
+		{Route{8}, false},
+		{Route{-8}, false},
+		{Route{7, -7}, true},
+	}
+	for _, c := range cases {
+		if got := c.r.ValidProbe(); got != c.want {
+			t.Errorf("ValidProbe(%v) = %v", c.r, got)
+		}
+	}
+}
+
+func TestParseRouteRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		r := make(Route, rng.Intn(12))
+		for j := range r {
+			r[j] = Turn(rng.Intn(15) - 7)
+		}
+		back, err := ParseRoute(r.String())
+		if err != nil {
+			t.Fatalf("parse %q: %v", r.String(), err)
+		}
+		if !back.Equal(r) {
+			t.Fatalf("round trip %v -> %q -> %v", r, r.String(), back)
+		}
+	}
+}
+
+func TestParseRouteErrors(t *testing.T) {
+	for _, bad := range []string{"x", "+8", "-9", "1+2", "+", "+1garbage"} {
+		if r, err := ParseRoute(bad); err == nil {
+			t.Errorf("ParseRoute(%q) accepted as %v", bad, r)
+		}
+	}
+	if r, err := ParseRoute("ε"); err != nil || len(r) != 0 {
+		t.Errorf("epsilon parse: %v %v", r, err)
+	}
+}
+
+func TestExtendDoesNotAlias(t *testing.T) {
+	r := make(Route, 1, 8)
+	r[0] = 1
+	a := r.Extend(2)
+	b := r.Extend(3)
+	if a[1] == b[1] {
+		t.Error("Extend aliased the backing array")
+	}
+}

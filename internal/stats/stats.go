@@ -1,0 +1,164 @@
+// Package stats provides the small summary helpers the experiment harness
+// uses: min/avg/max aggregation over repeated runs (the format of the
+// paper's Fig 7) and simple series utilities for Fig 8/9-style plots.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Durations summarises repeated timing measurements.
+type Durations struct {
+	values []time.Duration
+}
+
+// Add appends one measurement.
+func (d *Durations) Add(v time.Duration) { d.values = append(d.values, v) }
+
+// N reports the number of measurements.
+func (d *Durations) N() int { return len(d.values) }
+
+// Min returns the smallest measurement (0 when empty).
+func (d *Durations) Min() time.Duration {
+	if len(d.values) == 0 {
+		return 0
+	}
+	m := d.values[0]
+	for _, v := range d.values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the largest measurement (0 when empty).
+func (d *Durations) Max() time.Duration {
+	var m time.Duration
+	for _, v := range d.values {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Avg returns the mean measurement (0 when empty).
+func (d *Durations) Avg() time.Duration {
+	if len(d.values) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, v := range d.values {
+		sum += v
+	}
+	return sum / time.Duration(len(d.values))
+}
+
+// Median returns the middle measurement (0 when empty).
+func (d *Durations) Median() time.Duration {
+	if len(d.values) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), d.values...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// MinAvgMax renders the Fig 7 "min / avg / max" cell in milliseconds.
+func (d *Durations) MinAvgMax() string {
+	return fmt.Sprintf("%s / %s / %s", Ms(d.Min()), Ms(d.Avg()), Ms(d.Max()))
+}
+
+// Ms formats a duration as integer milliseconds, the paper's unit.
+func Ms(v time.Duration) string {
+	return fmt.Sprintf("%d", v.Milliseconds())
+}
+
+// Series is an (x, y) sequence for the figure reproductions.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len reports the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// TSV renders the series as tab-separated "x\ty" lines with a header.
+func (s *Series) TSV() string {
+	out := fmt.Sprintf("# %s\n", s.Name)
+	for i := range s.X {
+		out += fmt.Sprintf("%g\t%g\n", s.X[i], s.Y[i])
+	}
+	return out
+}
+
+// ASCIIPlot renders a crude terminal plot of the series (y downsampled into
+// the given number of rows), good enough to eyeball the Fig 8/9 shapes.
+func ASCIIPlot(series []*Series, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	minX, maxX, maxY := 0.0, 0.0, 0.0
+	first := true
+	for _, s := range series {
+		for i := range s.X {
+			if first {
+				minX, maxX = s.X[i], s.X[i]
+				first = false
+			}
+			if s.X[i] < minX {
+				minX = s.X[i]
+			}
+			if s.X[i] > maxX {
+				maxX = s.X[i]
+			}
+			if s.Y[i] > maxY {
+				maxY = s.Y[i]
+			}
+		}
+	}
+	if first || maxX == minX || maxY == 0 {
+		return "(no data)\n"
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = make([]byte, width)
+		for c := range grid[r] {
+			grid[r][c] = ' '
+		}
+	}
+	marks := []byte{'*', '+', 'o', 'x', '#', '@'}
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i := range s.X {
+			c := int((s.X[i] - minX) / (maxX - minX) * float64(width-1))
+			r := height - 1 - int(s.Y[i]/maxY*float64(height-1))
+			grid[r][c] = mark
+		}
+	}
+	out := ""
+	for r := range grid {
+		out += string(grid[r]) + "\n"
+	}
+	out += fmt.Sprintf("x: %g..%g  ymax: %g  (", minX, maxX, maxY)
+	for si, s := range series {
+		if si > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name)
+	}
+	return out + ")\n"
+}

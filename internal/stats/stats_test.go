@@ -1,0 +1,61 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDurations(t *testing.T) {
+	var d Durations
+	if d.Min() != 0 || d.Max() != 0 || d.Avg() != 0 || d.Median() != 0 {
+		t.Error("empty aggregates should be zero")
+	}
+	for _, v := range []time.Duration{30, 10, 20} {
+		d.Add(v * time.Millisecond)
+	}
+	if d.N() != 3 {
+		t.Errorf("N = %d", d.N())
+	}
+	if d.Min() != 10*time.Millisecond || d.Max() != 30*time.Millisecond {
+		t.Errorf("min/max %v/%v", d.Min(), d.Max())
+	}
+	if d.Avg() != 20*time.Millisecond || d.Median() != 20*time.Millisecond {
+		t.Errorf("avg/median %v/%v", d.Avg(), d.Median())
+	}
+	if got := d.MinAvgMax(); got != "10 / 20 / 30" {
+		t.Errorf("MinAvgMax = %q", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "probes"}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	tsv := s.TSV()
+	if !strings.Contains(tsv, "# probes") || !strings.Contains(tsv, "2\t20") {
+		t.Errorf("TSV = %q", tsv)
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	a := &Series{Name: "a"}
+	b := &Series{Name: "b"}
+	for i := 0; i < 10; i++ {
+		a.Append(float64(i), float64(i*i))
+		b.Append(float64(i), float64(10*i))
+	}
+	out := ASCIIPlot([]*Series{a, b}, 40, 10)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("plot lacks marks:\n%s", out)
+	}
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Errorf("plot lacks legend:\n%s", out)
+	}
+	if got := ASCIIPlot(nil, 10, 5); !strings.Contains(got, "no data") {
+		t.Errorf("empty plot: %q", got)
+	}
+}

@@ -1,0 +1,122 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Diff summarises how a network changed between two maps — the operational
+// output of the periodic remapping the paper motivates ("automatically
+// adapting to the addition or removal of hosts, switches and links").
+// Hosts are identified by their unique names; anonymous switches can only
+// be counted, so switch- and link-level changes are reported as deltas plus
+// per-host attachment changes (a moved host shows up as a changed
+// neighbourhood fingerprint).
+type Diff struct {
+	HostsAdded   []string
+	HostsRemoved []string
+	// HostsMoved lists hosts whose switch siblings changed — the host was
+	// re-cabled onto a different switch (or its switch gained/lost hosts).
+	HostsMoved []string
+	// SwitchDelta and LinkDelta are new minus old counts.
+	SwitchDelta int
+	LinkDelta   int
+	// ReflectorDelta is the change in loopback plug count.
+	ReflectorDelta int
+}
+
+// Empty reports whether the diff shows no change.
+func (d Diff) Empty() bool {
+	return len(d.HostsAdded) == 0 && len(d.HostsRemoved) == 0 && len(d.HostsMoved) == 0 &&
+		d.SwitchDelta == 0 && d.LinkDelta == 0 && d.ReflectorDelta == 0
+}
+
+// String renders a one-line-per-change report.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "no change"
+	}
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	if len(d.HostsAdded) > 0 {
+		add("hosts added: %s", strings.Join(d.HostsAdded, " "))
+	}
+	if len(d.HostsRemoved) > 0 {
+		add("hosts removed: %s", strings.Join(d.HostsRemoved, " "))
+	}
+	if len(d.HostsMoved) > 0 {
+		add("hosts rehomed: %s", strings.Join(d.HostsMoved, " "))
+	}
+	if d.SwitchDelta != 0 {
+		add("switches %+d", d.SwitchDelta)
+	}
+	if d.LinkDelta != 0 {
+		add("links %+d", d.LinkDelta)
+	}
+	if d.ReflectorDelta != 0 {
+		add("loopback plugs %+d", d.ReflectorDelta)
+	}
+	return strings.Join(parts, "; ")
+}
+
+// Compare computes the Diff from old to new.
+func Compare(oldNet, newNet *Network) Diff {
+	var d Diff
+	oldHosts := hostSet(oldNet)
+	newHosts := hostSet(newNet)
+	for name := range newHosts {
+		if !oldHosts[name] {
+			d.HostsAdded = append(d.HostsAdded, name)
+		}
+	}
+	for name := range oldHosts {
+		if !newHosts[name] {
+			d.HostsRemoved = append(d.HostsRemoved, name)
+		}
+	}
+	sort.Strings(d.HostsAdded)
+	sort.Strings(d.HostsRemoved)
+	for name := range newHosts {
+		if !oldHosts[name] {
+			continue
+		}
+		if neighbourhood(oldNet, name) != neighbourhood(newNet, name) {
+			d.HostsMoved = append(d.HostsMoved, name)
+		}
+	}
+	sort.Strings(d.HostsMoved)
+	d.SwitchDelta = newNet.NumSwitches() - oldNet.NumSwitches()
+	d.LinkDelta = newNet.NumWires() - oldNet.NumWires()
+	d.ReflectorDelta = len(newNet.Reflectors()) - len(oldNet.Reflectors())
+	return d
+}
+
+func hostSet(n *Network) map[string]bool {
+	out := make(map[string]bool, n.NumHosts())
+	for _, h := range n.Hosts() {
+		out[n.NameOf(h)] = true
+	}
+	return out
+}
+
+// neighbourhood fingerprints a host by its switch siblings — the sorted
+// names of hosts sharing its switch. Stable across anonymous-switch
+// renamings and port rotations, changed when the host is re-cabled onto a
+// different switch. (A host moved to a switch with the identical sibling
+// set is indistinguishable by construction: switches are anonymous.)
+func neighbourhood(n *Network, name string) string {
+	h := n.Lookup(name)
+	if h == None {
+		return ""
+	}
+	dist := n.BFS(h)
+	var near []string
+	for _, other := range n.Hosts() {
+		if other != h && dist[other] == 2 {
+			near = append(near, n.NameOf(other))
+		}
+	}
+	sort.Strings(near)
+	return strings.Join(near, ",")
+}

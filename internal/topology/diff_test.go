@@ -1,0 +1,99 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestDiffEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := Star(3, 2, rng)
+	d := Compare(n, n.Clone())
+	if !d.Empty() || d.String() != "no change" {
+		t.Errorf("self diff: %v", d)
+	}
+}
+
+func TestDiffHostChanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	oldNet := Star(3, 2, rng)
+	newNet := oldNet.Clone()
+
+	// Remove one host, add another.
+	victim := newNet.Hosts()[0]
+	victimName := newNet.NameOf(victim)
+	if w := newNet.WireAt(victim, HostPort); w >= 0 {
+		if err := newNet.RemoveWire(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reduced, _ := newNet.Filter(func(id NodeID) bool { return id != victim })
+	fresh := reduced.AddHost("Fresh")
+	sw := reduced.Switches()[1]
+	if _, _, _, err := reduced.ConnectFree(fresh, sw); err != nil {
+		t.Fatal(err)
+	}
+
+	d := Compare(oldNet, reduced)
+	if len(d.HostsAdded) != 1 || d.HostsAdded[0] != "Fresh" {
+		t.Errorf("added: %v", d.HostsAdded)
+	}
+	if len(d.HostsRemoved) != 1 || d.HostsRemoved[0] != victimName {
+		t.Errorf("removed: %v", d.HostsRemoved)
+	}
+	if !strings.Contains(d.String(), "Fresh") {
+		t.Errorf("report: %s", d)
+	}
+}
+
+func TestDiffMovedHost(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	oldNet := Star(3, 3, rng)
+	newNet := oldNet.Clone()
+	mover := newNet.Hosts()[0]
+	if w := newNet.WireAt(mover, HostPort); w >= 0 {
+		if err := newNet.RemoveWire(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-cable onto a different leaf switch.
+	var target NodeID = None
+	oldSw, _, _ := oldNet.HostSwitch(oldNet.Hosts()[0])
+	for _, s := range newNet.Switches() {
+		if s != oldSw && newNet.Degree(s) > 1 && newNet.FreePort(s) >= 0 {
+			target = s
+			break
+		}
+	}
+	if target == None {
+		t.Fatal("no target switch")
+	}
+	if _, _, _, err := newNet.ConnectFree(mover, target); err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(oldNet, newNet)
+	if len(d.HostsMoved) == 0 {
+		t.Errorf("move not detected: %v", d)
+	}
+	if len(d.HostsAdded) != 0 || len(d.HostsRemoved) != 0 {
+		t.Errorf("move misreported as add/remove: %v", d)
+	}
+}
+
+func TestDiffCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	oldNet := Line(3, 2, rng)
+	newNet := oldNet.Clone()
+	s := newNet.AddSwitch("extra")
+	if _, _, _, err := newNet.ConnectFree(s, newNet.Switches()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := newNet.AddReflector(s, newNet.FreePort(s)); err != nil {
+		t.Fatal(err)
+	}
+	d := Compare(oldNet, newNet)
+	if d.SwitchDelta != 1 || d.LinkDelta != 1 || d.ReflectorDelta != 1 {
+		t.Errorf("deltas: %+v", d)
+	}
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Textual network format for the command-line tools:
+//
+//	# comment / blank lines ignored
+//	host <name>
+//	switch <name>
+//	wire <nodeA> <portA> <nodeB> <portB>
+//	reflector <switch> <port>
+//
+// Nodes are referenced by name; switches that were built unnamed are
+// emitted as sw<N>. Write output is stable (sorted) and round-trips
+// through ReadFrom.
+
+// Write serialises the network. Unnamed switches get synthetic names.
+func (n *Network) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	names := make(map[NodeID]string, len(n.nodes))
+	for i := range n.nodes {
+		id := NodeID(i)
+		name := n.nodes[i].name
+		if name == "" {
+			name = fmt.Sprintf("sw%d", i)
+		}
+		names[id] = name
+	}
+	fmt.Fprintf(bw, "# %d hosts, %d switches, %d links\n",
+		n.NumHosts(), n.NumSwitches(), n.NumWires())
+	var lines []string
+	for i := range n.nodes {
+		kind := "switch"
+		if n.nodes[i].kind == HostNode {
+			kind = "host"
+		}
+		lines = append(lines, fmt.Sprintf("%s %s", kind, names[NodeID(i)]))
+	}
+	// Node lines keep insertion order (hosts may depend on it); wires and
+	// reflectors are sorted for stability.
+	for _, l := range lines {
+		fmt.Fprintln(bw, l)
+	}
+	var wires []string
+	n.WiresIndexed(func(_ int, w Wire) {
+		wires = append(wires, fmt.Sprintf("wire %s %d %s %d",
+			names[w.A.Node], w.A.Port, names[w.B.Node], w.B.Port))
+	})
+	sort.Strings(wires)
+	for _, l := range wires {
+		fmt.Fprintln(bw, l)
+	}
+	var refl []string
+	for _, e := range n.Reflectors() {
+		refl = append(refl, fmt.Sprintf("reflector %s %d", names[e.Node], e.Port))
+	}
+	sort.Strings(refl)
+	for _, l := range refl {
+		fmt.Fprintln(bw, l)
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the textual format into a fresh network.
+func ReadFrom(r io.Reader) (*Network, error) {
+	n := &Network{}
+	byName := make(map[string]NodeID)
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	lookup := func(name string) (NodeID, error) {
+		if id, ok := byName[name]; ok {
+			return id, nil
+		}
+		return None, fmt.Errorf("line %d: unknown node %q", lineNo, name)
+	}
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		switch f[0] {
+		case "host", "switch":
+			if len(f) != 2 {
+				return nil, fmt.Errorf("line %d: want '%s <name>'", lineNo, f[0])
+			}
+			if _, dup := byName[f[1]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate node %q", lineNo, f[1])
+			}
+			var id NodeID
+			if f[0] == "host" {
+				id = n.AddHost(f[1])
+			} else {
+				id = n.AddSwitch(f[1])
+			}
+			byName[f[1]] = id
+		case "wire":
+			if len(f) != 5 {
+				return nil, fmt.Errorf("line %d: want 'wire <a> <pa> <b> <pb>'", lineNo)
+			}
+			a, err := lookup(f[1])
+			if err != nil {
+				return nil, err
+			}
+			b, err := lookup(f[3])
+			if err != nil {
+				return nil, err
+			}
+			pa, err1 := strconv.Atoi(f[2])
+			pb, err2 := strconv.Atoi(f[4])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("line %d: bad port number", lineNo)
+			}
+			if _, err := n.Connect(a, pa, b, pb); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		case "reflector":
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: want 'reflector <switch> <port>'", lineNo)
+			}
+			id, err := lookup(f[1])
+			if err != nil {
+				return nil, err
+			}
+			p, err := strconv.Atoi(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: bad port number", lineNo)
+			}
+			if err := n.AddReflector(id, p); err != nil {
+				return nil, fmt.Errorf("line %d: %v", lineNo, err)
+			}
+		default:
+			return nil, fmt.Errorf("line %d: unknown directive %q", lineNo, f[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,371 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Generators for the network families the paper discusses: fat-tree-like
+// NOW clusters (§5.1), classic MPP interconnects that SANs generalise away
+// from (§1: hypercubes, meshes, ...), and arbitrary random graphs, which is
+// the regime the mapping algorithm is actually designed for ("their
+// topologies ... may be arbitrary graphs that change over time").
+//
+// All generators produce networks that satisfy Validate. Host names follow
+// the paper's figures: "Node0", "Node1", ... When a generator takes an
+// *rand.Rand it uses random free ports so that consumers (above all the
+// mapper, with its relative, non-modular port addressing) never get to rely
+// on tidy port numbering.
+
+// namer hands out sequential host names.
+type namer struct {
+	prefix string
+	n      int
+}
+
+func (nm *namer) next() string {
+	s := fmt.Sprintf("%s%d", nm.prefix, nm.n)
+	nm.n++
+	return s
+}
+
+// randomFreePort picks a uniformly random free port of id, or -1.
+func randomFreePort(n *Network, id NodeID, rng *rand.Rand) int {
+	var free []int
+	for p := 0; p < n.NumPorts(id); p++ {
+		if n.WireAt(id, p) < 0 {
+			free = append(free, p)
+		}
+	}
+	if len(free) == 0 {
+		return -1
+	}
+	if rng == nil {
+		return free[0]
+	}
+	return free[rng.Intn(len(free))]
+}
+
+// connectRandomPorts cables a and b on random free ports.
+func connectRandomPorts(n *Network, a, b NodeID, rng *rand.Rand) error {
+	ap := randomFreePort(n, a, rng)
+	if ap < 0 {
+		return fmt.Errorf("topology: node %d full", a)
+	}
+	bp := randomFreePort(n, b, rng)
+	for b == a && bp == ap {
+		bp = randomFreePort(n, b, rng)
+	}
+	if bp < 0 {
+		return fmt.Errorf("topology: node %d full", b)
+	}
+	_, err := n.Connect(a, ap, b, bp)
+	return err
+}
+
+// Line returns switches in a path, each with hostsPer hosts attached.
+func Line(switches, hostsPer int, rng *rand.Rand) *Network {
+	if hostsPer > SwitchPorts-2 {
+		panic("topology: Line: too many hosts per switch")
+	}
+	n := &Network{}
+	nm := namer{prefix: "Node"}
+	var prev NodeID = None
+	for i := 0; i < switches; i++ {
+		s := n.AddSwitch(fmt.Sprintf("S%d", i))
+		if prev != None {
+			must(connectRandomPorts(n, prev, s, rng))
+		}
+		for h := 0; h < hostsPer; h++ {
+			host := n.AddHost(nm.next())
+			must(connectRandomPorts(n, host, s, rng))
+		}
+		prev = s
+	}
+	return n
+}
+
+// Ring returns switches in a cycle, each with hostsPer hosts.
+func Ring(switches, hostsPer int, rng *rand.Rand) *Network {
+	if switches < 3 {
+		panic("topology: Ring needs at least 3 switches")
+	}
+	if hostsPer > SwitchPorts-2 {
+		panic("topology: Ring: too many hosts per switch")
+	}
+	n := Line(switches, hostsPer, rng)
+	first, last := NodeID(0), None
+	for _, s := range n.Switches() {
+		last = s
+	}
+	must(connectRandomPorts(n, last, first, rng))
+	return n
+}
+
+// Star returns one hub switch cabled to leaf switches, each leaf carrying
+// hostsPer hosts. leaves must be at most 8.
+func Star(leaves, hostsPer int, rng *rand.Rand) *Network {
+	if leaves > SwitchPorts {
+		panic("topology: Star: too many leaves")
+	}
+	n := &Network{}
+	nm := namer{prefix: "Node"}
+	hub := n.AddSwitch("Hub")
+	for i := 0; i < leaves; i++ {
+		leaf := n.AddSwitch(fmt.Sprintf("L%d", i))
+		must(connectRandomPorts(n, hub, leaf, rng))
+		for h := 0; h < hostsPer; h++ {
+			host := n.AddHost(nm.next())
+			must(connectRandomPorts(n, host, leaf, rng))
+		}
+	}
+	return n
+}
+
+// Mesh returns a w×h grid of switches with hostsPer hosts each.
+// Interior switches use 4 ports for the grid; hostsPer must fit alongside.
+func Mesh(w, h, hostsPer int, rng *rand.Rand) *Network {
+	if hostsPer > SwitchPorts-4 {
+		panic("topology: Mesh: too many hosts per switch")
+	}
+	n := &Network{}
+	nm := namer{prefix: "Node"}
+	grid := make([][]NodeID, h)
+	for y := 0; y < h; y++ {
+		grid[y] = make([]NodeID, w)
+		for x := 0; x < w; x++ {
+			s := n.AddSwitch(fmt.Sprintf("S%d-%d", x, y))
+			grid[y][x] = s
+			if x > 0 {
+				must(connectRandomPorts(n, grid[y][x-1], s, rng))
+			}
+			if y > 0 {
+				must(connectRandomPorts(n, grid[y-1][x], s, rng))
+			}
+			for k := 0; k < hostsPer; k++ {
+				host := n.AddHost(nm.next())
+				must(connectRandomPorts(n, host, s, rng))
+			}
+		}
+	}
+	return n
+}
+
+// Torus is Mesh with wraparound links; needs w,h ≥ 3 to avoid parallel
+// wrap edges colliding with grid edges on tiny sizes.
+func Torus(w, h, hostsPer int, rng *rand.Rand) *Network {
+	if hostsPer > SwitchPorts-4 {
+		panic("topology: Torus: too many hosts per switch")
+	}
+	if w < 3 || h < 3 {
+		panic("topology: Torus needs w,h >= 3")
+	}
+	n := Mesh(w, h, hostsPer, rng)
+	// Switch ids in Mesh are interleaved with host ids; look up by name.
+	at := func(x, y int) NodeID { return n.Lookup(fmt.Sprintf("S%d-%d", x, y)) }
+	for y := 0; y < h; y++ {
+		must(connectRandomPorts(n, at(w-1, y), at(0, y), rng))
+	}
+	for x := 0; x < w; x++ {
+		must(connectRandomPorts(n, at(x, h-1), at(x, 0), rng))
+	}
+	return n
+}
+
+// Hypercube returns a dim-dimensional hypercube of switches (dim ≤ 7) with
+// hostsPer hosts on each switch (dim+hostsPer ≤ 8).
+func Hypercube(dim, hostsPer int, rng *rand.Rand) *Network {
+	if dim+hostsPer > SwitchPorts {
+		panic("topology: Hypercube: dim+hostsPer exceeds 8 ports")
+	}
+	n := &Network{}
+	nm := namer{prefix: "Node"}
+	size := 1 << dim
+	sw := make([]NodeID, size)
+	for i := 0; i < size; i++ {
+		sw[i] = n.AddSwitch(fmt.Sprintf("S%0*b", dim, i))
+	}
+	for i := 0; i < size; i++ {
+		for b := 0; b < dim; b++ {
+			j := i ^ (1 << b)
+			if j > i {
+				must(connectRandomPorts(n, sw[i], sw[j], rng))
+			}
+		}
+		for k := 0; k < hostsPer; k++ {
+			host := n.AddHost(nm.next())
+			must(connectRandomPorts(n, host, sw[i], rng))
+		}
+	}
+	return n
+}
+
+// FatTreeSpec configures an incomplete fat tree in the style of the NOW
+// subclusters (Fig 4): a row of leaf switches carrying hosts, a middle
+// level, and a root level, with a configurable number of uplinks.
+type FatTreeSpec struct {
+	LeafSwitches   int
+	HostsPerLeaf   int
+	MidSwitches    int
+	RootSwitches   int
+	UplinksPerLeaf int // leaf -> mid links per leaf
+	UplinksPerMid  int // mid -> root links per mid
+	HostPrefix     string
+}
+
+// FatTree builds the specified tree. Uplinks are spread round-robin across
+// the next level. It panics when the spec exceeds port budgets.
+func FatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
+	if spec.HostsPerLeaf+spec.UplinksPerLeaf > SwitchPorts {
+		panic("topology: FatTree: leaf ports exceeded")
+	}
+	if spec.UplinksPerLeaf < 1 || spec.UplinksPerMid < 1 {
+		panic("topology: FatTree: uplink counts must be at least 1")
+	}
+	if spec.HostPrefix == "" {
+		spec.HostPrefix = "Node"
+	}
+	n := &Network{}
+	nm := namer{prefix: spec.HostPrefix}
+	leaves := make([]NodeID, spec.LeafSwitches)
+	mids := make([]NodeID, spec.MidSwitches)
+	roots := make([]NodeID, spec.RootSwitches)
+	for i := range leaves {
+		leaves[i] = n.AddSwitch(fmt.Sprintf("%sL%d", spec.HostPrefix, i))
+	}
+	for i := range mids {
+		mids[i] = n.AddSwitch(fmt.Sprintf("%sM%d", spec.HostPrefix, i))
+	}
+	for i := range roots {
+		roots[i] = n.AddSwitch(fmt.Sprintf("%sR%d", spec.HostPrefix, i))
+	}
+	for i, leaf := range leaves {
+		for h := 0; h < spec.HostsPerLeaf; h++ {
+			host := n.AddHost(nm.next())
+			must(connectRandomPorts(n, host, leaf, rng))
+		}
+		for u := 0; u < spec.UplinksPerLeaf; u++ {
+			mid := mids[(i*spec.UplinksPerLeaf+u)%len(mids)]
+			must(connectRandomPorts(n, leaf, mid, rng))
+		}
+	}
+	for i, mid := range mids {
+		for u := 0; u < spec.UplinksPerMid; u++ {
+			root := roots[(i*spec.UplinksPerMid+u)%len(roots)]
+			must(connectRandomPorts(n, mid, root, rng))
+		}
+	}
+	// Sparse uplink fan-outs with several roots can yield parallel disjoint
+	// trees; join the roots into one top level like real installations do
+	// ("additional switches can be added to increase the number of roots").
+	if len(roots) > 1 && !n.IsConnected() {
+		for i := 1; i < len(roots); i++ {
+			must(connectRandomPorts(n, roots[i-1], roots[i], rng))
+		}
+	}
+	return n
+}
+
+// RandomConnected returns a connected random network with the requested
+// switch and host counts plus extraLinks additional random switch-to-switch
+// wires (parallel wires allowed, giving true multigraphs). Hosts attach to
+// uniformly random switches with free ports. The result always validates
+// and is connected; link placement respects the 8-port budget.
+func RandomConnected(switches, hosts, extraLinks int, rng *rand.Rand) *Network {
+	if switches < 1 {
+		panic("topology: RandomConnected needs at least one switch")
+	}
+	n := &Network{}
+	nm := namer{prefix: "Node"}
+	sw := make([]NodeID, switches)
+	for i := range sw {
+		sw[i] = n.AddSwitch(fmt.Sprintf("S%d", i))
+	}
+	// Random spanning tree: connect each switch to a random earlier one.
+	for i := 1; i < switches; i++ {
+		j := rng.Intn(i)
+		must(connectRandomPorts(n, sw[i], sw[j], rng))
+	}
+	freePorts := func() int {
+		total := 0
+		for _, s := range sw {
+			total += SwitchPorts - n.Degree(s)
+		}
+		return total
+	}
+	for i := 0; i < extraLinks; i++ {
+		// Reserve enough free ports for the hosts still to be attached.
+		if freePorts()-2 < hosts {
+			break
+		}
+		a := sw[rng.Intn(switches)]
+		b := sw[rng.Intn(switches)]
+		if a == b && n.Degree(a) >= SwitchPorts-1 {
+			continue
+		}
+		if n.FreePort(a) < 0 || n.FreePort(b) < 0 {
+			continue // port budget exhausted; skip rather than fail
+		}
+		if err := connectRandomPorts(n, a, b, rng); err != nil {
+			continue
+		}
+	}
+	for h := 0; h < hosts; h++ {
+		// Find a switch with a free port; bounded retries then linear scan.
+		var target NodeID = None
+		for try := 0; try < 8; try++ {
+			c := sw[rng.Intn(switches)]
+			if n.FreePort(c) >= 0 {
+				target = c
+				break
+			}
+		}
+		if target == None {
+			for _, c := range sw {
+				if n.FreePort(c) >= 0 {
+					target = c
+					break
+				}
+			}
+		}
+		if target == None {
+			panic("topology: RandomConnected: no free switch ports for hosts")
+		}
+		host := n.AddHost(nm.next())
+		must(connectRandomPorts(n, host, target, rng))
+	}
+	return n
+}
+
+// WithTail attaches a hostless chain of `tail` switches behind the given
+// switch, creating a switch-bridge and therefore a non-empty F — the
+// configuration Lemma 1 and the prune stage are about. When the given
+// switch has no free port, another switch with one is used; when none has,
+// the network is returned unchanged.
+func WithTail(n *Network, behind NodeID, tail int, rng *rand.Rand) *Network {
+	if n.FreePort(behind) < 0 {
+		behind = None
+		for _, s := range n.Switches() {
+			if n.FreePort(s) >= 0 {
+				behind = s
+				break
+			}
+		}
+		if behind == None {
+			return n
+		}
+	}
+	prev := behind
+	for i := 0; i < tail; i++ {
+		s := n.AddSwitch(fmt.Sprintf("F%d-%d", behind, i))
+		must(connectRandomPorts(n, prev, s, rng))
+		prev = s
+	}
+	return n
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

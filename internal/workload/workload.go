@@ -1,0 +1,172 @@
+// Package workload generates application cross-traffic over the contended
+// transport, for the paper's §6 future-work question: "the accurate mapping
+// of system area networks in the presence of application cross-traffic".
+// Traffic worms follow deadlock-free source routes (as real applications
+// would) and contend for links with mapping probes.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"sanmap/internal/connet"
+	"sanmap/internal/desim"
+	"sanmap/internal/mapper"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Pattern selects how traffic destinations are drawn.
+type Pattern uint8
+
+const (
+	// Uniform draws a fresh uniformly-random destination per message.
+	Uniform Pattern = iota
+	// Hotspot sends a fraction of traffic to one hot destination.
+	Hotspot
+	// Permutation fixes one destination per source (a classic adversarial
+	// pattern for interconnects).
+	Permutation
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case Uniform:
+		return "uniform"
+	case Hotspot:
+		return "hotspot"
+	case Permutation:
+		return "permutation"
+	}
+	return fmt.Sprintf("pattern(%d)", uint8(p))
+}
+
+// Config parameterises a traffic mix.
+type Config struct {
+	Pattern Pattern
+	// Load is the offered load per host as a fraction of link bandwidth
+	// (0..1): a host sends MsgBytes every MsgBytes×ByteTime/Load.
+	Load float64
+	// MsgBytes is the payload size per worm.
+	MsgBytes int
+	// HotFraction is the share of traffic aimed at the hotspot (Hotspot
+	// pattern only; default 0.5).
+	HotFraction float64
+	// Duration is how long each host keeps sending.
+	Duration time.Duration
+	// Rng seeds per-host generators; required.
+	Rng *rand.Rand
+}
+
+// Stats aggregates traffic outcomes.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Lost      int64 // destroyed by contention (forward reset)
+}
+
+// Spawn starts one traffic process per host on the engine. Traffic follows
+// the given route table (computed on the actual network, as resident
+// applications would have it). It returns the shared Stats, valid after
+// eng.Run() completes.
+func Spawn(eng *desim.Engine, cn *connet.Net, tab *routes.Table, cfg Config) *Stats {
+	if cfg.Rng == nil {
+		panic("workload: Config.Rng is required")
+	}
+	if cfg.MsgBytes <= 0 {
+		cfg.MsgBytes = 512
+	}
+	if cfg.HotFraction == 0 {
+		cfg.HotFraction = 0.5
+	}
+	stats := &Stats{}
+	net := cn.Topology()
+	hosts := net.Hosts()
+	if len(hosts) < 2 || cfg.Load <= 0 {
+		return stats
+	}
+	hot := hosts[cfg.Rng.Intn(len(hosts))]
+	gap := time.Duration(float64(cfg.MsgBytes) * float64(cn.Quiet().Timing().ByteTime) / cfg.Load)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	for i, h := range hosts {
+		h := h
+		seed := cfg.Rng.Int63()
+		perm := hosts[(i+1+cfg.Rng.Intn(len(hosts)-1))%len(hosts)]
+		eng.Spawn("traffic-"+net.NameOf(h), func(p *desim.Proc) {
+			rng := rand.New(rand.NewSource(seed))
+			ep := cn.Endpoint(h, p)
+			for p.Now() < cfg.Duration {
+				dst := pickDest(cfg, rng, hosts, h, hot, perm)
+				if dst == h {
+					p.Sleep(gap)
+					continue
+				}
+				route, ok := tab.Route(h, dst)
+				if !ok {
+					p.Sleep(gap)
+					continue
+				}
+				stats.Sent++
+				if ep.SendWorm(route, cfg.MsgBytes) {
+					stats.Delivered++
+				} else {
+					stats.Lost++
+				}
+				// Exponential-ish inter-send gap for a Poisson-like offered
+				// load, deterministic per seed.
+				jitter := -math.Log(1 - rng.Float64())
+				p.Sleep(time.Duration(float64(gap) * jitter))
+			}
+		})
+	}
+	return stats
+}
+
+func pickDest(cfg Config, rng *rand.Rand, hosts []topology.NodeID, self, hot, perm topology.NodeID) topology.NodeID {
+	switch cfg.Pattern {
+	case Hotspot:
+		if rng.Float64() < cfg.HotFraction && hot != self {
+			return hot
+		}
+		return hosts[rng.Intn(len(hosts))]
+	case Permutation:
+		return perm
+	default:
+		return hosts[rng.Intn(len(hosts))]
+	}
+}
+
+// MapUnderTraffic runs a Berkeley mapping while cross-traffic flows and
+// returns the resulting map — which may be wrong or incomplete; measuring
+// how wrong, as a function of offered load, is the experiment — together
+// with the traffic stats and the mapping duration in virtual time.
+func MapUnderTraffic(net *topology.Network, mapperHost topology.NodeID,
+	model simnet.Model, timing simnet.Timing,
+	mcfg mapper.Config, wcfg Config) (*mapper.Map, *Stats, time.Duration, error) {
+
+	tab, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("workload: routes for traffic: %w", err)
+	}
+	eng := desim.New()
+	cn := connet.New(net, model, timing)
+	stats := Spawn(eng, cn, tab, wcfg)
+	var out *mapper.Map
+	var mapErr error
+	var took time.Duration
+	eng.Spawn("mapper", func(p *desim.Proc) {
+		out, mapErr = mapper.Run(cn.Endpoint(mapperHost, p), mcfg)
+		took = p.Now()
+	})
+	eng.Run()
+	if mapErr != nil {
+		return nil, stats, took, mapErr
+	}
+	return out, stats, took, nil
+}

@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/connet"
+	"sanmap/internal/desim"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+)
+
+// TestTrafficDelivers: on an idle network, routed traffic worms deliver.
+func TestTrafficDelivers(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	tab, err := routes.Compute(sys.Net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := desim.New()
+	cn := connet.New(sys.Net, simnet.CircuitModel, simnet.DefaultTiming())
+	stats := Spawn(eng, cn, tab, Config{
+		Pattern:  Uniform,
+		Load:     0.05,
+		MsgBytes: 256,
+		Duration: 2 * time.Millisecond,
+		Rng:      rand.New(rand.NewSource(1)),
+	})
+	eng.Run()
+	if stats.Sent == 0 {
+		t.Fatal("no traffic sent")
+	}
+	if frac := float64(stats.Delivered) / float64(stats.Sent); frac < 0.95 {
+		t.Errorf("delivery fraction %.2f at light load; want near 1 (%+v)", frac, *stats)
+	}
+}
+
+// TestMapUnderLightTraffic: at light load the map is usually still exact —
+// the paper's §7 observation ("the algorithm can oftentimes correctly map
+// the network even in the face of heavy application cross-traffic").
+func TestMapUnderLightTraffic(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	m, _, took, err := MapUnderTraffic(sys.Net, h0,
+		simnet.CircuitModel, simnet.DefaultTiming(),
+		mapper.DefaultConfig(depth), Config{
+			Pattern:  Uniform,
+			Load:     0.01,
+			MsgBytes: 256,
+			Duration: 5 * time.Second,
+			Rng:      rand.New(rand.NewSource(2)),
+		})
+	if err != nil {
+		t.Fatalf("map under traffic: %v", err)
+	}
+	core, _ := sys.Net.Core()
+	sim := isomorph.Compare(m.Network, core)
+	if sim.Score() < 0.9 {
+		t.Errorf("light-load map score %.2f; want ≥0.9 (%+v)", sim.Score(), sim)
+	}
+	if took == 0 {
+		t.Error("mapping took no virtual time")
+	}
+}
+
+// TestAccuracyDegradesWithLoad: heavier cross-traffic must not improve
+// accuracy, and heavy load should cost mapping time.
+func TestAccuracyDegradesWithLoad(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	h0 := sys.Mapper()
+	depth := sys.Net.DepthBound(h0)
+	core, _ := sys.Net.Core()
+	var scores []float64
+	var times []time.Duration
+	for _, load := range []float64{0.001, 0.5} {
+		m, _, took, err := MapUnderTraffic(sys.Net, h0,
+			simnet.CircuitModel, simnet.DefaultTiming(),
+			mapper.DefaultConfig(depth), Config{
+				Pattern:  Uniform,
+				Load:     load,
+				MsgBytes: 4096,
+				Duration: 10 * time.Second,
+				Rng:      rand.New(rand.NewSource(3)),
+			})
+		if err != nil {
+			// A failed export under heavy traffic counts as accuracy 0.
+			scores = append(scores, 0)
+			times = append(times, took)
+			continue
+		}
+		scores = append(scores, isomorph.Compare(m.Network, core).Score())
+		times = append(times, took)
+	}
+	if scores[1] > scores[0] {
+		t.Errorf("accuracy improved with load: %.2f -> %.2f", scores[0], scores[1])
+	}
+	t.Logf("load sweep: light score=%.2f time=%v, heavy score=%.2f time=%v",
+		scores[0], times[0], scores[1], times[1])
+}
+
+// TestPatterns: all patterns run and account consistently.
+func TestPatterns(t *testing.T) {
+	sys := cluster.CConfig(nil)
+	tab, err := routes.Compute(sys.Net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range []Pattern{Uniform, Hotspot, Permutation} {
+		eng := desim.New()
+		cn := connet.New(sys.Net, simnet.CircuitModel, simnet.DefaultTiming())
+		stats := Spawn(eng, cn, tab, Config{
+			Pattern:  pat,
+			Load:     0.2,
+			MsgBytes: 512,
+			Duration: time.Millisecond,
+			Rng:      rand.New(rand.NewSource(4)),
+		})
+		eng.Run()
+		if stats.Sent != stats.Delivered+stats.Lost {
+			t.Errorf("%v: accounting: %+v", pat, *stats)
+		}
+		if stats.Sent == 0 {
+			t.Errorf("%v: no traffic", pat)
+		}
+	}
+}
