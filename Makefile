@@ -1,0 +1,25 @@
+GO ?= go
+
+# Packages with concurrency-sensitive code (the pipelined probe engine and
+# everything layered on it) get a dedicated race-detector lane.
+RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
+
+.PHONY: build vet test race bench ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) vet ./...
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run ^$$ .
+
+ci: build vet test race

@@ -6,6 +6,7 @@
 package sanmap_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -35,7 +36,7 @@ func benchBerkeley(b *testing.B, sys *cluster.System) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,6 +50,44 @@ func benchBerkeley(b *testing.B, sys *cluster.System) {
 func BenchmarkMapMasterC(b *testing.B)   { benchBerkeley(b, cluster.CConfig(nil)) }
 func BenchmarkMapMasterCA(b *testing.B)  { benchBerkeley(b, cluster.CAConfig(nil)) }
 func BenchmarkMapMasterCAB(b *testing.B) { benchBerkeley(b, cluster.CABConfig(nil)) }
+
+// benchPipelined compares the serial explore loop against the pipelined
+// probe engine at increasing window sizes. The interesting metric is
+// sim-ms/op: virtual mapping time collapses as the engine overlaps response
+// timeouts (§5.2's dominant cost), while probes/op stays within the
+// speculation overhead of the serial count.
+func benchPipelined(b *testing.B, sys *cluster.System) {
+	b.Helper()
+	net := sys.Net
+	h0 := sys.Mapper()
+	depth := net.DepthBound(h0)
+	for _, w := range []int{1, 8, 16} {
+		name := "serial"
+		if w > 1 {
+			name = fmt.Sprintf("window%d", w)
+		}
+		b.Run(name, func(b *testing.B) {
+			var last *mapper.Map
+			for i := 0; i < b.N; i++ {
+				sn := simnet.NewDefault(net)
+				m, err := mapper.Run(sn.Endpoint(h0),
+					mapper.WithDepth(depth), mapper.WithPipeline(w))
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = m
+			}
+			b.StopTimer()
+			reportMap(b, last)
+			b.ReportMetric(float64(last.Stats.Pipeline.Submitted), "submitted/op")
+		})
+	}
+}
+
+// Tentpole acceptance: the pipelined engine vs the serial loop on C and on
+// the full 100-node system (window >= 8 must at least halve sim-ms/op).
+func BenchmarkPipelinedVsSerialC(b *testing.B)   { benchPipelined(b, cluster.CConfig(nil)) }
+func BenchmarkPipelinedVsSerialCAB(b *testing.B) { benchPipelined(b, cluster.CABConfig(nil)) }
 
 // Fig 7 (election column): election-mode mapping of subcluster C.
 func BenchmarkMapElectionC(b *testing.B) {
@@ -74,12 +113,11 @@ func BenchmarkMapElectionC(b *testing.B) {
 func BenchmarkMapInstrumentedCAB(b *testing.B) {
 	sys := cluster.CABConfig(nil)
 	depth := sys.Net.DepthBound(sys.Mapper())
-	cfg := mapper.DefaultConfig(depth)
-	cfg.Snapshots = true
 	var last *mapper.Map
 	for i := 0; i < b.N; i++ {
 		sn := simnet.NewDefault(sys.Net)
-		m, err := mapper.Run(sn.Endpoint(sys.Mapper()), cfg)
+		m, err := mapper.Run(sn.Endpoint(sys.Mapper()),
+			mapper.WithDepth(depth), mapper.WithSnapshots(true))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -104,7 +142,7 @@ func BenchmarkMapSingleResponderC(b *testing.B) {
 				sn.SetResponder(h, false)
 			}
 		}
-		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -142,7 +180,7 @@ func BenchmarkMyricomCAB(b *testing.B) { benchMyricom(b, cluster.CABConfig(nil))
 func BenchmarkRoutesCAB(b *testing.B) {
 	sys := cluster.CABConfig(nil)
 	sn := simnet.NewDefault(sys.Net)
-	m, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.DefaultConfig(sys.Net.DepthBound(sys.Mapper())))
+	m, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.WithDepth(sys.Net.DepthBound(sys.Mapper())))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -170,7 +208,7 @@ func BenchmarkAblationLabelsVsMerge(b *testing.B) {
 		var last *mapper.Map
 		for i := 0; i < b.N; i++ {
 			sn := simnet.NewDefault(net)
-			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -208,12 +246,11 @@ func BenchmarkAblationPolicy(b *testing.B) {
 		{"explore-all", mapper.ExploreAll},
 	} {
 		b.Run(pc.name, func(b *testing.B) {
-			cfg := mapper.DefaultConfig(depth)
-			cfg.Policy = pc.policy
 			var last *mapper.Map
 			for i := 0; i < b.N; i++ {
 				sn := simnet.NewDefault(sys.Net)
-				m, err := mapper.Run(sn.Endpoint(h0), cfg)
+				m, err := mapper.Run(sn.Endpoint(h0),
+					mapper.WithDepth(depth), mapper.WithPolicy(pc.policy))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,13 +280,12 @@ func BenchmarkAblationProbeOrder(b *testing.B) {
 		{"naive", mapper.NaiveScan, false},
 	} {
 		b.Run(pc.name, func(b *testing.B) {
-			cfg := mapper.DefaultConfig(depth)
-			cfg.TurnOrder = pc.order
-			cfg.EliminateProbes = pc.eliminate
 			var last *mapper.Map
 			for i := 0; i < b.N; i++ {
 				sn := simnet.NewDefault(sys.Net)
-				m, err := mapper.Run(sn.Endpoint(h0), cfg)
+				m, err := mapper.Run(sn.Endpoint(h0),
+					mapper.WithDepth(depth), mapper.WithTurnOrder(pc.order),
+					mapper.WithEliminateProbes(pc.eliminate))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -279,7 +315,7 @@ func BenchmarkAblationCollisionModel(b *testing.B) {
 			var last *mapper.Map
 			for i := 0; i < b.N; i++ {
 				sn := simnet.New(sys.Net, mc.model, simnet.DefaultTiming())
-				m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+				m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -311,7 +347,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 			var last *mapper.Map
 			for i := 0; i < b.N; i++ {
 				sn := simnet.NewDefault(net)
-				m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(dc.depth))
+				m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(dc.depth))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -334,7 +370,7 @@ func BenchmarkRandomizedHybrid(b *testing.B) {
 		var last *mapper.Map
 		for i := 0; i < b.N; i++ {
 			sn := simnet.NewDefault(net)
-			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -439,7 +475,7 @@ func BenchmarkOracleVsBerkeley(b *testing.B) {
 		var last *mapper.Map
 		for i := 0; i < b.N; i++ {
 			sn := simnet.NewDefault(sys.Net)
-			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sanexp [-fig all|3|4|5|6|7|8|9|10|routes] [-runs N] [-step N] [-seed N] [-dot]
+//	sanexp [-fig all|3|4|5|6|7|8|9|10|routes] [-runs N] [-window W] [-step N] [-seed N] [-dot]
 //
 // Every report prints the measured values next to the paper's, so the
 // shape comparison is visible at a glance. Timings are virtual (see
@@ -23,6 +23,7 @@ import (
 func main() {
 	fig := flag.String("fig", "all", "which figure to reproduce: all, 3, 4, 5, 6, 7, 8, 9, 10, routes")
 	runs := flag.Int("runs", 5, "repetitions for the Fig 7 timing table")
+	window := flag.Int("window", 8, "pipelined probe window for the Fig 7 pipelined column (1 = serial)")
 	step := flag.Int("step", 5, "responder sweep granularity for Fig 9")
 	seed := flag.Int64("seed", 1, "seed for randomised orders")
 	depth := flag.Int("depth", 0, "probe depth for the Fig 9 sweep (0 = the Q+D bound)")
@@ -80,7 +81,7 @@ func main() {
 	}
 	if want("7") {
 		ran = true
-		rows, err := experiments.Fig7(*runs)
+		rows, err := experiments.Fig7Windowed(*runs, *window)
 		if err != nil {
 			fail("fig 7", err)
 		}

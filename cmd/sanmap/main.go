@@ -44,6 +44,7 @@ func main() {
 	verbose := flag.Bool("v", false, "print probe statistics")
 	traceOut := flag.Bool("trace", false, "stream mapper trace events to stderr (berkeley/random only)")
 	seed := flag.Int64("seed", 1, "seed for randomised algorithms and port embeddings")
+	window := flag.Int("window", 1, "pipelined probe window (1 = serial; berkeley/random only)")
 	flag.Parse()
 
 	net, utility, err := loadTopology(*topoFile, *gen, *seed)
@@ -58,7 +59,7 @@ func main() {
 	if d == 0 {
 		d = net.DepthBound(h0)
 	}
-	m, err := runAlgo(*algo, net, h0, parseModel(*model), d, *seed, *traceOut)
+	m, err := runAlgo(*algo, net, h0, parseModel(*model), d, *seed, *traceOut, *window)
 	if err != nil {
 		die("mapping: %v", err)
 	}
@@ -167,20 +168,20 @@ func parseModel(s string) simnet.Model {
 }
 
 func runAlgo(algo string, net *topology.Network, h0 topology.NodeID,
-	model simnet.Model, depth int, seed int64, trace bool) (*mapper.Map, error) {
+	model simnet.Model, depth int, seed int64, trace bool, window int) (*mapper.Map, error) {
 	sn := simnet.New(net, model, simnet.DefaultTiming())
-	cfg := mapper.DefaultConfig(depth)
+	opts := []mapper.Option{mapper.WithDepth(depth), mapper.WithPipeline(window)}
 	if trace {
-		cfg.Trace = mapper.TraceWriter(os.Stderr)
+		opts = append(opts, mapper.WithTrace(mapper.TraceWriter(os.Stderr)))
 	}
 	switch algo {
 	case "berkeley":
-		return mapper.Run(sn.Endpoint(h0), cfg)
+		return mapper.Run(sn.Endpoint(h0), opts...)
 	case "label":
 		return mapper.LabelRun(sn.Endpoint(h0), depth)
 	case "random":
 		return mapper.RandomizedRun(sn.Endpoint(h0), mapper.RandomizedConfig{
-			Config:       cfg,
+			Config:       mapper.BuildConfig(opts...),
 			CouponProbes: 32 * net.NumSwitches(),
 			Rng:          rand.New(rand.NewSource(seed)),
 		})

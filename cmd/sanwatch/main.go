@@ -52,7 +52,7 @@ func main() {
 			die("epoch %d: no mapping host left", epoch)
 		}
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
 		if err != nil {
 			die("epoch %d: mapping: %v", epoch, err)
 		}

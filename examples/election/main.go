@@ -25,7 +25,7 @@ func main() {
 
 	// Reference: master/slave mode from the utility host.
 	sn := simnet.NewDefault(net)
-	m, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.DefaultConfig(depth))
+	m, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.WithDepth(depth))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -36,7 +36,7 @@ func main() {
 	var slowest int64
 	for _, h := range vantage {
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h), mapper.DefaultConfig(localDepth))
+		m, err := mapper.Run(sn.Endpoint(h), mapper.WithDepth(localDepth))
 		if err != nil {
 			log.Fatalf("partial map from %s: %v", net.NameOf(h), err)
 		}
@@ -64,7 +64,7 @@ func main() {
 
 	// Compare against one full-depth mapper from the same first vantage.
 	sn := simnet.NewDefault(net)
-	solo, err := mapper.Run(sn.Endpoint(vantage[0]), mapper.DefaultConfig(fullDepth))
+	solo, err := mapper.Run(sn.Endpoint(vantage[0]), mapper.WithDepth(fullDepth))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func main() {
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	depth := net.DepthBound(h0) // the paper's Q+D bound
-	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 	if err != nil {
 		log.Fatalf("mapping failed: %v", err)
 	}

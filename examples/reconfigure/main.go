@@ -28,7 +28,7 @@ var prevMap *mapper.Map
 // and reports the change relative to the previous map.
 func remap(net *topology.Network, h0 topology.NodeID, note string) {
 	sn := simnet.NewDefault(net)
-	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		log.Fatalf("%s: mapping: %v", note, err)
 	}

@@ -27,7 +27,7 @@ func TestFullDistributionPipeline(t *testing.T) {
 
 	// 1. Map.
 	sn := simnet.NewDefault(net)
-	m, err := mapper.Run(sn.Endpoint(master), mapper.DefaultConfig(net.DepthBound(master)))
+	m, err := mapper.Run(sn.Endpoint(master), mapper.WithDepth(net.DepthBound(master)))
 	if err != nil {
 		t.Fatalf("mapping: %v", err)
 	}

@@ -22,7 +22,7 @@ func TestMapOverWireTransport(t *testing.T) {
 	sn := simnet.NewDefault(net)
 	w := amlayer.NewWireNet(sn)
 
-	m, err := mapper.Run(w.Prober(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	m, err := mapper.Run(w.Prober(h0), mapper.WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatalf("mapping over wire: %v", err)
 	}
@@ -52,12 +52,12 @@ func TestWireMatchesBuiltinTransport(t *testing.T) {
 	depth := net.DepthBound(h0)
 
 	snA := simnet.NewDefault(net)
-	builtin, err := mapper.Run(snA.Endpoint(h0), mapper.DefaultConfig(depth))
+	builtin, err := mapper.Run(snA.Endpoint(h0), mapper.WithDepth(depth))
 	if err != nil {
 		t.Fatal(err)
 	}
 	snB := simnet.NewDefault(net)
-	wire, err := mapper.Run(amlayer.NewWireNet(snB).Prober(h0), mapper.DefaultConfig(depth))
+	wire, err := mapper.Run(amlayer.NewWireNet(snB).Prober(h0), mapper.WithDepth(depth))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestWireCorruption(t *testing.T) {
 		}
 		return frame
 	}
-	m, err := mapper.Run(w.Prober(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	m, err := mapper.Run(w.Prober(h0), mapper.WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatalf("mapping over noisy wire: %v", err)
 	}

@@ -118,78 +118,134 @@ func (e *Endpoint) Clock() time.Duration { return e.proc.Now() }
 // Stats implements the optional probe-counter interface.
 func (e *Endpoint) Stats() simnet.Stats { return e.stats }
 
-// probe is the shared implementation: evaluate the route, contend the worm
-// (and the reply worm for host probes), sleep the process accordingly.
-func (e *Endpoint) probe(route simnet.Route, wantLoopback bool) (dest topology.NodeID, ok bool) {
+// submit is the shared implementation: pay the per-probe host overhead,
+// evaluate the route, inject the worm (and the reply worm for host probes)
+// into the contended links, and compute the virtual completion time. It
+// does NOT sleep until the response: Collect does, which is what lets a
+// pipelined caller keep several probes' timeouts in flight while other
+// processes' traffic continues to contend the links at the true injection
+// times.
+func (e *Endpoint) submit(p simnet.Probe) simnet.ProbeResult {
+	r := simnet.ProbeResult{Probe: p}
+	timeout := e.net.timing.ResponseTimeout
+	if p.Timeout > 0 {
+		timeout = p.Timeout
+	}
+	var route simnet.Route
+	wantLoopback := false
+	switch p.Kind {
+	case simnet.ProbeSwitch:
+		route = p.Route.Loopback()
+		wantLoopback = true
+		e.stats.SwitchProbes++
+	case simnet.ProbeRaw:
+		route = p.Route
+		wantLoopback = true
+		e.stats.SwitchProbes++
+	case simnet.ProbeHost:
+		route = p.Route
+		e.stats.HostProbes++
+	default:
+		r.Err = simnet.ErrUnsupported
+		r.Done = e.proc.Now()
+		return r
+	}
+	issue := e.proc.Now()
 	e.proc.Sleep(e.net.timing.HostOverhead)
 	res, hops := e.net.quiet.EvalPath(e.host, route)
 	now := e.proc.Now()
 
-	fail := func() (topology.NodeID, bool) {
-		e.proc.Sleep(e.net.timing.ResponseTimeout)
-		return topology.None, false
+	fail := func(err error) simnet.ProbeResult {
+		r.Err = err
+		r.Done = now + timeout
+		r.Latency = r.Done - issue
+		return r
 	}
+	done := time.Duration(0)
 	if wantLoopback {
 		if res.Outcome != simnet.Delivered || res.Dest != e.host {
-			return fail()
+			return fail(simnet.ErrTimeout)
 		}
 		at, alive := e.net.send(now, hops, simnet.MessageBytes(len(route)))
 		if !alive {
-			return fail()
+			return fail(simnet.ErrTimeout)
 		}
-		e.proc.Sleep(at - now)
-		return e.host, true
+		done = at
+		e.stats.SwitchHits++
+	} else {
+		// Host probe: outbound worm, then a reply over the reversed path.
+		if res.Outcome != simnet.Delivered {
+			return fail(simnet.ErrTimeout)
+		}
+		if !e.net.quiet.Responds(res.Dest) {
+			return fail(simnet.ErrNoResponder)
+		}
+		at, alive := e.net.send(now, hops, simnet.MessageBytes(len(route)))
+		if !alive {
+			return fail(simnet.ErrTimeout)
+		}
+		// The responder daemon turns the message around after its own
+		// overhead.
+		replyStart := at + e.net.timing.HostOverhead
+		back, alive := e.net.send(replyStart, reverseHops(hops), simnet.MessageBytes(len(route)))
+		if !alive {
+			return fail(simnet.ErrTimeout)
+		}
+		if e.OnHostProbe != nil {
+			e.OnHostProbe(e.host, res.Dest)
+		}
+		done = back
+		e.stats.HostHits++
+		r.Host = e.net.quiet.Topology().NameOf(res.Dest)
 	}
-	// Host probe: outbound worm, then a reply over the reversed path.
-	if res.Outcome != simnet.Delivered || !e.net.quiet.Responds(res.Dest) {
-		return fail()
+	r.OK = true
+	r.Done = done
+	r.Latency = r.Done - issue
+	return r
+}
+
+// Submit implements simnet.AsyncProber. The worm is injected (and contends
+// for links) at submission time; the result's Done carries the response's
+// arrival, which Collect waits out.
+func (e *Endpoint) Submit(p simnet.Probe) <-chan simnet.ProbeResult {
+	ch := make(chan simnet.ProbeResult, 1)
+	ch <- e.submit(p)
+	close(ch)
+	return ch
+}
+
+// Collect implements simnet.AsyncProber: sleep the process until the
+// result's completion time (no-op if it already passed).
+func (e *Endpoint) Collect(r simnet.ProbeResult) {
+	if d := r.Done - e.proc.Now(); d > 0 {
+		e.proc.Sleep(d)
 	}
-	at, alive := e.net.send(now, hops, simnet.MessageBytes(len(route)))
-	if !alive {
-		return fail()
-	}
-	// The responder daemon turns the message around after its own overhead.
-	replyStart := at + e.net.timing.HostOverhead
-	back, alive := e.net.send(replyStart, reverseHops(hops), simnet.MessageBytes(len(route)))
-	if !alive {
-		return fail()
-	}
-	if e.OnHostProbe != nil {
-		e.OnHostProbe(e.host, res.Dest)
-	}
-	e.proc.Sleep(back - now)
-	return res.Dest, true
+}
+
+// Probes implements simnet.AsyncProber.
+func (e *Endpoint) Probes() simnet.ProbeCaps {
+	return simnet.CapHost | simnet.CapSwitch | simnet.CapRaw
 }
 
 // SwitchProbe implements simnet.Prober.
 func (e *Endpoint) SwitchProbe(turns simnet.Route) bool {
-	_, ok := e.probe(turns.Loopback(), true)
-	e.stats.SwitchProbes++
-	if ok {
-		e.stats.SwitchHits++
-	}
-	return ok
+	r := e.submit(simnet.Probe{Kind: simnet.ProbeSwitch, Route: turns})
+	e.Collect(r)
+	return r.OK
 }
 
 // HostProbe implements simnet.Prober.
 func (e *Endpoint) HostProbe(turns simnet.Route) (string, bool) {
-	dest, ok := e.probe(turns, false)
-	e.stats.HostProbes++
-	if !ok {
-		return "", false
-	}
-	e.stats.HostHits++
-	return e.net.quiet.Topology().NameOf(dest), true
+	r := e.submit(simnet.Probe{Kind: simnet.ProbeHost, Route: turns})
+	e.Collect(r)
+	return r.Host, r.OK
 }
 
 // RawLoopback implements simnet.RawProber.
 func (e *Endpoint) RawLoopback(route simnet.Route) bool {
-	_, ok := e.probe(route, true)
-	e.stats.SwitchProbes++
-	if ok {
-		e.stats.SwitchHits++
-	}
-	return ok
+	r := e.submit(simnet.Probe{Kind: simnet.ProbeRaw, Route: route})
+	e.Collect(r)
+	return r.OK
 }
 
 // SendWorm injects an application traffic worm of the given payload size

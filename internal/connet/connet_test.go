@@ -122,7 +122,7 @@ func TestMappingOverContendedTransport(t *testing.T) {
 	var m *mapper.Map
 	var err error
 	eng.Spawn("mapper", func(p *desim.Proc) {
-		m, err = mapper.Run(cn.Endpoint(h0, p), mapper.DefaultConfig(net.DepthBound(h0)))
+		m, err = mapper.Run(cn.Endpoint(h0, p), mapper.WithDepth(net.DepthBound(h0)))
 	})
 	eng.Run()
 	if err != nil {

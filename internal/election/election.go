@@ -38,7 +38,7 @@ func BerkeleyAlgo(cfg mapper.Config) Algo {
 	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error) {
 		cfg := cfg
 		cfg.Cancel = cancel
-		m, err := mapper.Run(ep, cfg)
+		m, err := mapper.RunConfig(ep, cfg)
 		if err == mapper.ErrCanceled {
 			return nil, errPassivated
 		}

@@ -55,7 +55,7 @@ func TestElectionSlowerThanMaster(t *testing.T) {
 	depth := net.DepthBound(sys.Mapper())
 
 	sn := simnet.NewDefault(net)
-	if _, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.DefaultConfig(depth)); err != nil {
+	if _, err := mapper.Run(sn.Endpoint(sys.Mapper()), mapper.WithDepth(depth)); err != nil {
 		t.Fatalf("master: %v", err)
 	}
 	masterTime := sn.Clock()

@@ -56,9 +56,8 @@ func mapOnce(sys *cluster.System, snapshots bool) (*mapper.Map, *simnet.Net, err
 	net := sys.Net
 	h0 := sys.Mapper()
 	sn := simnet.NewDefault(net)
-	cfg := mapper.DefaultConfig(net.DepthBound(h0))
-	cfg.Snapshots = snapshots
-	m, err := mapper.Run(sn.Endpoint(h0), cfg)
+	m, err := mapper.Run(sn.Endpoint(h0),
+		mapper.WithDepth(net.DepthBound(h0)), mapper.WithSnapshots(snapshots))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -197,7 +196,13 @@ func FormatFig6(rows []Fig6Row) string {
 type Fig7Row struct {
 	System   string
 	Master   stats.Durations
-	Election stats.Durations
+	// Pipelined is the master-mode time with the pipelined probe engine
+	// active (an extension beyond the paper — the serial Master column is
+	// the paper-comparable one).
+	Pipelined stats.Durations
+	Election  stats.Durations
+	// Pipeline carries the probe-engine counters of the last pipelined run.
+	Pipeline simnet.WindowStats
 	// Paper reference strings (ms min/avg/max).
 	PaperMaster, PaperElection string
 }
@@ -205,8 +210,14 @@ type Fig7Row struct {
 // Fig7 measures master-mode and election-mode mapping times over `runs`
 // repetitions, varying the random cabling embedding and election addresses
 // per run (the real system's variation came from rerunning on live
-// hardware).
+// hardware). The pipelined column uses the default window of 8.
 func Fig7(runs int) ([]Fig7Row, error) {
+	return Fig7Windowed(runs, 8)
+}
+
+// Fig7Windowed is Fig7 with an explicit pipeline window (values <= 1 make
+// the pipelined column degenerate to a serial rerun).
+func Fig7Windowed(runs, window int) ([]Fig7Row, error) {
 	paper := map[string][2]string{
 		"C":     {"248 / 256 / 265", "277 / 278 / 282"},
 		"C+A":   {"499 / 522 / 555", "569 / 577 / 587"},
@@ -232,7 +243,7 @@ func Fig7(runs int) ([]Fig7Row, error) {
 			depth := net.DepthBound(h0)
 
 			sn := simnet.NewDefault(net)
-			m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(depth))
+			m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
 			if err != nil {
 				return nil, fmt.Errorf("%s master run %d: %w", bl.name, run, err)
 			}
@@ -240,6 +251,18 @@ func Fig7(runs int) ([]Fig7Row, error) {
 				return nil, fmt.Errorf("%s master run %d: %w", bl.name, run, err)
 			}
 			row.Master.Add(m.Stats.Elapsed)
+
+			snP := simnet.NewDefault(net)
+			mp, err := mapper.Run(snP.Endpoint(h0),
+				mapper.WithDepth(depth), mapper.WithPipeline(window))
+			if err != nil {
+				return nil, fmt.Errorf("%s pipelined run %d: %w", bl.name, run, err)
+			}
+			if err := isomorph.MustEqualCore(mp.Network, net); err != nil {
+				return nil, fmt.Errorf("%s pipelined run %d: %w", bl.name, run, err)
+			}
+			row.Pipelined.Add(mp.Stats.Elapsed)
+			row.Pipeline = mp.Stats.Pipeline
 
 			res, err := election.Run(net, election.Config{
 				Model:  simnet.CircuitModel,
@@ -260,17 +283,24 @@ func Fig7(runs int) ([]Fig7Row, error) {
 	return out, nil
 }
 
-// FormatFig7 renders the table.
+// FormatFig7 renders the table, plus the pipelined-engine extension column
+// (serial master time vs the same mapping with timeouts overlapped).
 func FormatFig7(rows []Fig7Row) string {
 	var b strings.Builder
 	b.WriteString("Fig 7 — mapping times, ms min/avg/max (measured | paper)\n")
-	fmt.Fprintf(&b, "%-7s %-22s %-22s | paper master | paper election\n",
-		"System", "master", "election")
+	fmt.Fprintf(&b, "%-7s %-22s %-22s %-22s | paper master | paper election\n",
+		"System", "master", "pipelined", "election")
 	for i := range rows {
 		r := &rows[i]
-		fmt.Fprintf(&b, "%-7s %-22s %-22s | %s | %s\n",
-			r.System, r.Master.MinAvgMax(), r.Election.MinAvgMax(),
-			r.PaperMaster, r.PaperElection)
+		fmt.Fprintf(&b, "%-7s %-22s %-22s %-22s | %s | %s\n",
+			r.System, r.Master.MinAvgMax(), r.Pipelined.MinAvgMax(),
+			r.Election.MinAvgMax(), r.PaperMaster, r.PaperElection)
+	}
+	for i := range rows {
+		r := &rows[i]
+		speedup := float64(r.Master.Avg()) / float64(r.Pipelined.Avg())
+		fmt.Fprintf(&b, "%-7s pipelined speedup %.1fx, engine: %s\n",
+			r.System, speedup, r.Pipeline.String())
 	}
 	return b.String()
 }
@@ -365,9 +395,8 @@ func Fig9AtDepth(step int, seed int64, depth int) (ordered, random []Fig9Point, 
 					sn.SetResponder(h, false)
 				}
 			}
-			cfg := mapper.DefaultConfig(depth)
-			cfg.MaxVertices = 1 << 21
-			m, err := mapper.Run(sn.Endpoint(h0), cfg)
+			m, err := mapper.Run(sn.Endpoint(h0),
+				mapper.WithDepth(depth), mapper.WithMaxVertices(1<<21))
 			if err != nil {
 				return nil, fmt.Errorf("k=%d: %w", k, err)
 			}
@@ -472,7 +501,7 @@ func Fig10() ([]Fig10Row, error) {
 			return nil, fmt.Errorf("%s myricom map: %w", ns.Name, err)
 		}
 		snB := simnet.NewDefault(net)
-		berk, err := mapper.Run(snB.Endpoint(h0), mapper.DefaultConfig(depth))
+		berk, err := mapper.Run(snB.Endpoint(h0), mapper.WithDepth(depth))
 		if err != nil {
 			return nil, fmt.Errorf("%s berkeley: %w", ns.Name, err)
 		}

@@ -106,7 +106,7 @@ func TestLabelMatchesMerge(t *testing.T) {
 		}
 
 		snA := simnet.NewDefault(net)
-		prod, err := Run(snA.Endpoint(h0), DefaultConfig(depth))
+		prod, err := Run(snA.Endpoint(h0), WithDepth(depth))
 		if err != nil {
 			t.Fatalf("seed %d: Run: %v", seed, err)
 		}
@@ -138,7 +138,7 @@ func TestSilentHosts(t *testing.T) {
 	for _, h := range silent {
 		sn.SetResponder(h, false)
 	}
-	m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+	m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
@@ -180,7 +180,7 @@ func TestDepthTooShallow(t *testing.T) {
 	net := topology.Line(6, 1, rng) // long thin chain: depth matters
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
-	m, err := Run(sn.Endpoint(h0), DefaultConfig(2))
+	m, err := Run(sn.Endpoint(h0), WithDepth(2))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -17,7 +17,7 @@ func Example() {
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net) // quiescent Myrinet, circuit collision model
 
-	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		fmt.Println("mapping failed:", err)
 		return
@@ -37,7 +37,7 @@ func ExampleMergeMaps() {
 
 	partial := func(h topology.NodeID) *mapper.Map {
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h), mapper.DefaultConfig(net.DepthBound(h)))
+		m, err := mapper.Run(sn.Endpoint(h), mapper.WithDepth(net.DepthBound(h)))
 		if err != nil {
 			panic(err)
 		}

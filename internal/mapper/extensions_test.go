@@ -20,7 +20,7 @@ func TestMergeMapsFromDifferentVantagePoints(t *testing.T) {
 		var partials []*Map
 		for _, h := range []topology.NodeID{hosts[0], hosts[len(hosts)/2], hosts[len(hosts)-1]} {
 			sn := simnet.NewDefault(net)
-			m, err := Run(sn.Endpoint(h), DefaultConfig(net.DepthBound(h)))
+			m, err := Run(sn.Endpoint(h), WithDepth(net.DepthBound(h)))
 			if err != nil {
 				t.Fatalf("seed %d host %d: %v", seed, h, err)
 			}
@@ -49,7 +49,7 @@ func TestMergeMapsPartialViews(t *testing.T) {
 
 	partial := func(h topology.NodeID) *Map {
 		sn := simnet.NewDefault(net)
-		m, err := Run(sn.Endpoint(h), DefaultConfig(5)) // sees ~5 switches
+		m, err := Run(sn.Endpoint(h), WithDepth(5)) // sees ~5 switches
 		if err != nil {
 			t.Fatalf("partial from %d: %v", h, err)
 		}
@@ -107,7 +107,7 @@ func TestRandomizedChainsShortenBFS(t *testing.T) {
 	depth := net.DepthBound(h0)
 
 	snA := simnet.NewDefault(net)
-	plain, err := Run(snA.Endpoint(h0), DefaultConfig(depth))
+	plain, err := Run(snA.Endpoint(h0), WithDepth(depth))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -48,7 +48,7 @@ func lfind(n *tnode) (*tnode, int) {
 // vertex and is therefore only suitable for small networks and tests.
 func LabelRun(p simnet.Prober, depth int) (*Map, error) {
 	if depth < 1 {
-		return nil, fmt.Errorf("mapper: depth must be >= 1, got %d", depth)
+		return nil, fmt.Errorf("mapper: depth must be >= 1, got %d: %w", depth, ErrDepthExceeded)
 	}
 	start := p.Clock()
 	nextID := 0

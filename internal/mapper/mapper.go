@@ -81,6 +81,14 @@ type Config struct {
 	// Trace, when non-nil, receives a TraceEvent for every probe,
 	// discovery, merge, prune and exploration (see TraceWriter).
 	Trace func(TraceEvent)
+	// Pipeline configures the pipelined probe engine. With Window > 1 and a
+	// transport that implements simnet.AsyncProber, the explorer prefetches
+	// all independent probes of each frontier slot-window through a
+	// simnet.ProbeWindow, overlapping their response timeouts; results are
+	// applied by the unchanged serial deduction loop, so the produced map is
+	// byte-identical to the serial one. Window <= 1 (the zero value) keeps
+	// the strictly serial path.
+	Pipeline simnet.WindowConfig
 }
 
 // DefaultConfig returns the paper-faithful production configuration; the
@@ -117,6 +125,9 @@ type Stats struct {
 	Elapsed       time.Duration
 	Inconsistent  int // contradictory deductions (nonzero only under noise)
 	EliminatedPro int // probes skipped by the safe-elimination window
+	// Pipeline carries the probe-engine counters when Config.Pipeline
+	// enabled the pipelined path.
+	Pipeline simnet.WindowStats
 }
 
 // Map is the result of a mapping run.
@@ -132,6 +143,10 @@ type Map struct {
 	// Series is the Fig 8 instrumentation when Config.Snapshots was set.
 	Series []Snapshot
 }
+
+// ErrDepthExceeded reports an invalid search-depth bound: a run configured
+// without a positive Depth (see WithDepth).
+var ErrDepthExceeded = errors.New("mapper: search depth bound invalid")
 
 // ErrTooManyVertices reports a run aborted by Config.MaxVertices.
 var ErrTooManyVertices = errors.New("mapper: model graph exceeded MaxVertices")
@@ -159,18 +174,26 @@ type run struct {
 	front  []job
 	stats  Stats
 	series []Snapshot
+	// win is the pipelined probe engine (nil when disabled or unsupported
+	// by the transport); ps streams the current exploration's probe pairs
+	// through it, and pre holds the responses collected so far, keyed by
+	// route string.
+	win *simnet.ProbeWindow
+	ps  *exploreStream
+	pre map[string]simnet.ProbeResponse
 }
 
-// Run executes the Berkeley algorithm from the given prober and returns the
-// resulting map.
-func Run(p simnet.Prober, cfg Config) (*Map, error) {
+// RunConfig executes the Berkeley algorithm from the given prober with an
+// explicit configuration. Most callers should use Run with options.
+func RunConfig(p simnet.Prober, cfg Config) (*Map, error) {
 	if cfg.Depth < 1 {
-		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d", cfg.Depth)
+		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d: %w", cfg.Depth, ErrDepthExceeded)
 	}
 	if cfg.MaxVertices == 0 {
 		cfg.MaxVertices = 1 << 20
 	}
 	r := &run{cfg: cfg, p: p, model: newModel()}
+	r.initPipeline()
 	start := p.Clock()
 
 	// INITIALIZATION (§3.1): the root host-vertex for the mapper itself and
@@ -203,6 +226,7 @@ func Run(p simnet.Prober, cfg Config) (*Map, error) {
 		r.stats.Probes = ns.Stats()
 	}
 	r.stats.Inconsistent = r.model.Inconsistencies
+	r.finishPipeline()
 
 	net, mapperID, err := r.export()
 	if err != nil {
@@ -252,7 +276,8 @@ func (r *run) explore(jb job) error {
 	retryOnly := r.cfg.Policy == RetryUnknown && root.explored
 
 	entry := jb.entry + shift // frame index of this route's entry port
-	for _, t := range r.turnSequence() {
+	r.beginStream(jb, r.turnSequence(), retryOnly)
+	for ti, t := range r.turnSequence() {
 		idx := entry + int(t)
 		if r.cfg.EliminateProbes {
 			lo, hi := root.window()
@@ -265,6 +290,7 @@ func (r *run) explore(jb job) error {
 			continue
 		}
 		probeStr := jb.route.Extend(t)
+		r.streamWant(root, entry, ti, probeStr)
 		resp := r.probePair(probeStr)
 		if r.cfg.Trace != nil {
 			desc := resp.Kind.String()
@@ -313,6 +339,7 @@ func (r *run) explore(jb job) error {
 		}
 	}
 	root.explored = true
+	r.endStream()
 	r.emit(TraceEvent{Kind: TraceExplore, Vertex: root.id})
 	r.stats.Explorations++
 	if r.cfg.Snapshots {
@@ -327,8 +354,18 @@ func (r *run) explore(jb job) error {
 }
 
 // probePair applies the configured probe order for one candidate turn,
-// skipping the second probe when the first answers.
+// skipping the second probe when the first answers. A response prefetched
+// by the pipelined engine is consumed instead of probing live; routes the
+// prefetch did not cover (possible when a mid-exploration merge rewrites
+// the frontier vertex) fall back to the serial probes, so the deduction
+// sequence never depends on the pipeline.
 func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
+	if r.pre != nil {
+		if resp, ok := r.pre[s.String()]; ok {
+			delete(r.pre, s.String())
+			return resp
+		}
+	}
 	if r.cfg.ProbeOrder == SwitchFirst {
 		if r.p.SwitchProbe(s) {
 			return simnet.ProbeResponse{Kind: simnet.RespSwitch}

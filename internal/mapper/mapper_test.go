@@ -11,7 +11,7 @@ import (
 
 // mapAndVerify runs the production algorithm over net from its first host
 // and asserts Theorem 1: the result is isomorphic to N−F.
-func mapAndVerify(t *testing.T, net *topology.Network, model simnet.Model, cfg func(*Config)) *Map {
+func mapAndVerify(t *testing.T, net *topology.Network, model simnet.Model, extra Option) *Map {
 	t.Helper()
 	if err := net.Validate(); err != nil {
 		t.Fatalf("generator produced invalid network: %v", err)
@@ -22,12 +22,8 @@ func mapAndVerify(t *testing.T, net *topology.Network, model simnet.Model, cfg f
 	}
 	h0 := hosts[0]
 	sn := simnet.New(net, model, simnet.DefaultTiming())
-	c := DefaultConfig(net.DepthBound(h0))
-	c.Snapshots = true
-	if cfg != nil {
-		cfg(&c)
-	}
-	m, err := Run(sn.Endpoint(h0), c)
+	m, err := Run(sn.Endpoint(h0),
+		WithDepth(net.DepthBound(h0)), WithSnapshots(true), extra)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

@@ -1,0 +1,81 @@
+package mapper
+
+import (
+	"sanmap/internal/simnet"
+)
+
+// Option mutates a Config; Run applies options over the paper-faithful
+// defaults (DefaultConfig). The functional-options constructor replaces the
+// historical DefaultConfig(depth)-plus-field-pokes idiom at call sites;
+// Config itself remains exported for programmatic composition (election,
+// workload) through RunConfig.
+type Option func(*Config)
+
+// WithDepth sets the maximum probe-string length ("SearchDepth"). Required:
+// a run without a depth fails with ErrDepthExceeded.
+func WithDepth(d int) Option { return func(c *Config) { c.Depth = d } }
+
+// WithPolicy sets the replicate re-exploration policy.
+func WithPolicy(p ReplicatePolicy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithProbeOrder sets host-versus-switch probe order per candidate turn.
+func WithProbeOrder(o ProbeOrder) Option { return func(c *Config) { c.ProbeOrder = o } }
+
+// WithTurnOrder sets the turn exploration heuristic.
+func WithTurnOrder(o TurnOrder) Option { return func(c *Config) { c.TurnOrder = o } }
+
+// WithEliminateProbes toggles §3.3's provably-safe probe elimination.
+func WithEliminateProbes(on bool) Option { return func(c *Config) { c.EliminateProbes = on } }
+
+// WithSkipKnownSlots toggles suppression of probes for occupied slots.
+func WithSkipKnownSlots(on bool) Option { return func(c *Config) { c.SkipKnownSlots = on } }
+
+// WithMaxVertices bounds the model graph (0 = default 1<<20).
+func WithMaxVertices(n int) Option { return func(c *Config) { c.MaxVertices = n } }
+
+// WithSnapshots enables the Fig 8 per-exploration instrumentation.
+func WithSnapshots(on bool) Option { return func(c *Config) { c.Snapshots = on } }
+
+// WithCancel installs the between-explorations cancellation poll.
+func WithCancel(f func() bool) Option { return func(c *Config) { c.Cancel = f } }
+
+// WithTrace installs the trace hook (see TraceWriter).
+func WithTrace(f func(TraceEvent)) Option { return func(c *Config) { c.Trace = f } }
+
+// WithPipeline enables the pipelined probe engine with the given in-flight
+// window and the response cache on. A window of 1 or less keeps the serial
+// path (byte-identical to the historical transcript); use
+// WithPipelineConfig for full control over retry, timeout and caching.
+func WithPipeline(window int) Option {
+	return func(c *Config) {
+		c.Pipeline = simnet.WindowConfig{Window: window, Cache: true}
+	}
+}
+
+// WithPipelineConfig sets the full pipelined-engine configuration.
+func WithPipelineConfig(wc simnet.WindowConfig) Option {
+	return func(c *Config) { c.Pipeline = wc }
+}
+
+// WithConfig replaces the whole configuration (a migration aid for callers
+// that assemble a Config programmatically); options after it still apply.
+func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }
+
+// BuildConfig resolves options over the defaults.
+func BuildConfig(opts ...Option) Config {
+	cfg := DefaultConfig(0)
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// Run executes the Berkeley algorithm from the given prober with the
+// paper-faithful defaults plus the supplied options:
+//
+//	m, err := mapper.Run(p, mapper.WithDepth(d), mapper.WithPipeline(8))
+func Run(p simnet.Prober, opts ...Option) (*Map, error) {
+	return RunConfig(p, BuildConfig(opts...))
+}

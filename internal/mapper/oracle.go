@@ -25,7 +25,7 @@ import (
 // isomorphic to all of N, not N−F).
 func OracleRun(p simnet.IDProber, depth int) (*Map, error) {
 	if depth < 1 {
-		return nil, fmt.Errorf("mapper: depth must be >= 1, got %d", depth)
+		return nil, fmt.Errorf("mapper: depth must be >= 1, got %d: %w", depth, ErrDepthExceeded)
 	}
 	start := p.Clock()
 	stats := Stats{}

@@ -71,7 +71,7 @@ func TestOracleProbeEconomy(t *testing.T) {
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 
-	berk, err := Run(simnet.NewDefault(net).Endpoint(h0), DefaultConfig(depth))
+	berk, err := Run(simnet.NewDefault(net).Endpoint(h0), WithDepth(depth))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,187 @@
+package mapper
+
+import (
+	"sanmap/internal/simnet"
+)
+
+// The pipelined explore path. The paper's cost analysis (§5.2) shows probe
+// time is dominated by sequential response timeouts: a miss costs the full
+// ResponseTimeout on top of the per-probe host overhead, and most frontier
+// probes miss. All candidate turns of one frontier switch are independent
+// probes, so the engine prefetches them through a simnet.ProbeWindow with W
+// probes in flight — paying the issue overhead serially but overlapping the
+// waits — and the serial deduction loop then consumes the prefetched
+// responses in its usual order. Because the quiescent transport's response
+// to a route is time-invariant, the resulting model (and therefore the
+// exported map) is byte-identical to the serial run's; only the virtual
+// clock and the speculative probe counts differ.
+
+// initPipeline activates the probe engine when configured and supported.
+func (r *run) initPipeline() {
+	if r.cfg.Pipeline.Window <= 1 {
+		return
+	}
+	ap, ok := r.p.(simnet.AsyncProber)
+	if !ok || !ap.Probes().Has(simnet.CapHost|simnet.CapSwitch) {
+		return
+	}
+	r.win = simnet.NewProbeWindow(ap, r.cfg.Pipeline)
+}
+
+// finishPipeline folds the engine counters into the run statistics.
+func (r *run) finishPipeline() {
+	if r.win == nil {
+		return
+	}
+	r.stats.Pipeline = r.win.Stats()
+	r.emit(TraceEvent{Kind: TracePipeline, Response: r.stats.Pipeline.String()})
+}
+
+// exploreStream drives one exploration's probe pairs through a
+// simnet.Stream: a sliding lookahead of first-order probes for the upcoming
+// candidate turns, with each pair's second-order probe submitted the moment
+// its first probe's miss is collected — so the window never drains between
+// phases and every response timeout overlaps the issue of later probes.
+// Candidates are filtered at submission time under the *current* §3.3
+// filters (feasible window, occupied slots); the filters only tighten as
+// the exploration proceeds, so speculative waste is bounded by the window
+// size, and a turn that passes the filters at consume time has always
+// already been submitted.
+type exploreStream struct {
+	st            *simnet.Stream
+	jb            job
+	retryOnly     bool
+	turns         []simnet.Turn
+	next          int
+	first, second simnet.ProbeKind
+	routes        []simnet.Route // tag -> route
+	tagTurn       []simnet.Turn  // tag -> candidate turn
+	phase2        []bool         // tag -> second-order probe issued
+}
+
+// beginStream opens the pipelined stream for one exploration.
+func (r *run) beginStream(jb job, turns []simnet.Turn, retryOnly bool) {
+	if r.win == nil {
+		return
+	}
+	first, second := simnet.ProbeHost, simnet.ProbeSwitch
+	if r.cfg.ProbeOrder == SwitchFirst {
+		first, second = second, first
+	}
+	r.ps = &exploreStream{st: r.win.Stream(), jb: jb, retryOnly: retryOnly,
+		turns: turns, first: first, second: second}
+	r.pre = make(map[string]simnet.ProbeResponse)
+}
+
+// endStream abandons the remaining lookahead and clears the prefetch state.
+func (r *run) endStream() {
+	if r.ps != nil {
+		r.ps.st.Abandon()
+		r.ps = nil
+	}
+	r.pre = nil
+}
+
+// fillStep advances the candidate cursor by one turn, submitting its
+// first-order probe when the turn passes the current filters.
+func (ps *exploreStream) fillStep(r *run, root *Vertex, entry int) {
+	t := ps.turns[ps.next]
+	ps.next++
+	idx := entry + int(t)
+	if r.cfg.EliminateProbes {
+		lo, hi := root.window()
+		if !feasible(idx, lo, hi) {
+			return
+		}
+	}
+	if root.occupied(idx) && (r.cfg.SkipKnownSlots || ps.retryOnly) {
+		return
+	}
+	tag := len(ps.routes)
+	ps.routes = append(ps.routes, ps.jb.route.Extend(t))
+	ps.tagTurn = append(ps.tagTurn, t)
+	ps.phase2 = append(ps.phase2, false)
+	ps.st.Submit(simnet.Probe{Kind: ps.first, Route: ps.routes[tag]}, tag)
+}
+
+// freeRide reports whether one more speculative submission costs nothing:
+// the clock has not yet caught up with the oldest pending completion, so
+// the stream would spend the submission's overhead waiting anyway. This
+// self-paces the lookahead to the transport's timeout/overhead ratio
+// instead of greedily saturating the window — greedy lookahead submits
+// probes the tightening filters would have eliminated.
+func (ps *exploreStream) freeRide(r *run) bool {
+	d, ok := ps.st.NextDone()
+	return ok && r.p.Clock() < d
+}
+
+// stale reports whether a tag's candidate turn has been ruled out by the
+// filters since its submission. The filters only tighten, so a stale turn
+// can never be demanded again — its pair needs no second-order probe.
+func (ps *exploreStream) stale(r *run, root *Vertex, entry int, tag int) bool {
+	idx := entry + int(ps.tagTurn[tag])
+	if r.cfg.EliminateProbes {
+		lo, hi := root.window()
+		if !feasible(idx, lo, hi) {
+			return true
+		}
+	}
+	return root.occupied(idx) && (r.cfg.SkipKnownSlots || ps.retryOnly)
+}
+
+// streamWant resolves the probe pair for the candidate at index ti of the
+// turn sequence (route s) into the prefetch map: it advances the candidate
+// cursor far enough to submit the demanded probe, tops the window up with
+// speculative lookahead only while that rides for free, and collects
+// results — submitting each pair's second-order probe the moment its first
+// probe's miss is retired, so the window never drains between phases. If
+// the stream runs dry without covering s (possible after a mid-exploration
+// merge), probePair falls back to serial probes.
+func (r *run) streamWant(root *Vertex, entry int, ti int, s simnet.Route) {
+	ps := r.ps
+	if ps == nil {
+		return
+	}
+	key := s.String()
+	for {
+		if _, ok := r.pre[key]; ok {
+			return
+		}
+		if ps.next <= ti && ps.st.Free() > 0 {
+			ps.fillStep(r, root, entry) // the demanded probe itself
+			continue
+		}
+		if ps.next > ti && ps.next < len(ps.turns) && ps.st.Free() > 0 && ps.freeRide(r) {
+			ps.fillStep(r, root, entry) // free speculative lookahead
+			continue
+		}
+		if ps.st.Len() == 0 {
+			return
+		}
+		tag, res := ps.st.Collect()
+		if !ps.phase2[tag] && !res.OK {
+			if ps.stale(r, root, entry, tag) {
+				continue // turn ruled out since submission; drop the pair
+			}
+			ps.phase2[tag] = true
+			ps.st.Submit(simnet.Probe{Kind: ps.second, Route: ps.routes[tag]}, tag)
+			continue
+		}
+		kind := ps.first
+		if ps.phase2[tag] {
+			kind = ps.second
+		}
+		r.pre[ps.routes[tag].String()] = pairResponse(kind, res)
+	}
+}
+
+// pairResponse folds one probe result into the §2.3 response alphabet.
+func pairResponse(kind simnet.ProbeKind, res simnet.ProbeResult) simnet.ProbeResponse {
+	if !res.OK {
+		return simnet.ProbeResponse{Kind: simnet.RespNothing}
+	}
+	if kind == simnet.ProbeHost {
+		return simnet.ProbeResponse{Kind: simnet.RespHost, Host: res.Host}
+	}
+	return simnet.ProbeResponse{Kind: simnet.RespSwitch}
+}

@@ -37,7 +37,7 @@ type RandomizedConfig struct {
 // RandomizedRun executes the coupon-collecting hybrid.
 func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) {
 	if cfg.Depth < 1 {
-		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d", cfg.Depth)
+		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d: %w", cfg.Depth, ErrDepthExceeded)
 	}
 	if cfg.Rng == nil {
 		return nil, fmt.Errorf("mapper: RandomizedConfig.Rng is required")
@@ -49,6 +49,7 @@ func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) 
 		cfg.MaxVertices = 1 << 20
 	}
 	r := &run{cfg: cfg.Config, p: p, model: newModel()}
+	r.initPipeline()
 	start := p.Clock()
 
 	h0, _ := r.model.hostVertex(p.LocalHost(), simnet.Route{})
@@ -58,8 +59,12 @@ func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) 
 	// Phase 1: coupon collecting. Each successful random probe of maximal
 	// depth yields a chain root → ... → host; walk it into the model,
 	// reusing vertices where slots are already known and creating fresh
-	// ones otherwise.
-	for i := 0; i < cfg.CouponProbes; i++ {
+	// ones otherwise. The random routes depend only on the Rng, so they are
+	// all drawn up front; with the pipelined engine active the whole batch
+	// goes through the window (the chains are walked in submission order,
+	// so the model is the same either way).
+	routes := make([]simnet.Route, cfg.CouponProbes)
+	for i := range routes {
 		route := make(simnet.Route, cfg.Depth)
 		for j := range route {
 			mag := 1 + cfg.Rng.Intn(cfg.MaxTurnMagnitude)
@@ -68,12 +73,28 @@ func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) 
 			}
 			route[j] = simnet.Turn(mag)
 		}
-		host, consumed, ok := p.TolerantHostProbe(route)
+		routes[i] = route
+	}
+	walk := func(route simnet.Route, host string, consumed int, ok bool) {
 		if !ok {
-			continue
+			return
 		}
 		r.walkChain(rootSwitch, route[:consumed], host)
 		r.model.processMerges()
+	}
+	if r.win != nil && r.win.Prober().Probes().Has(simnet.CapTolerant) {
+		batch := make([]simnet.Probe, len(routes))
+		for i, route := range routes {
+			batch[i] = simnet.Probe{Kind: simnet.ProbeTolerant, Route: route}
+		}
+		for i, res := range r.win.Do(batch) {
+			walk(routes[i], res.Host, res.Consumed, res.OK)
+		}
+	} else {
+		for _, route := range routes {
+			host, consumed, ok := p.TolerantHostProbe(route)
+			walk(route, host, consumed, ok)
+		}
 	}
 
 	// Phase 2: breadth-first completion over the dangling edges. Every live
@@ -108,6 +129,7 @@ func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) 
 		r.stats.Probes = ns.Stats()
 	}
 	r.stats.Inconsistent = r.model.Inconsistencies
+	r.finishPipeline()
 	net, mapperID, err := r.export()
 	if err != nil {
 		return nil, err

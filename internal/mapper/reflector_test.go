@@ -40,7 +40,7 @@ func mapAndVerifyReflector(t *testing.T, net *topology.Network) *Map {
 	t.Helper()
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
-	m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+	m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}

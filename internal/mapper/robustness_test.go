@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,38 @@ import (
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
+
+// TestSentinelErrors: the typed sentinels classify configuration and probe
+// failures through their wrapped chains, assertable with errors.Is.
+func TestSentinelErrors(t *testing.T) {
+	n := &topology.Network{}
+	s0 := n.AddSwitch("s0")
+	s1 := n.AddSwitch("s1")
+	h0 := n.AddHost("h0")
+	h1 := n.AddHost("h1")
+	n.MustConnect(h0, 0, s0, 2)
+	n.MustConnect(s0, 5, s1, 3)
+	n.MustConnect(s1, 6, h1, 0)
+	sn := simnet.NewDefault(n)
+	ep := sn.Endpoint(h0)
+
+	if _, err := Run(ep); !errors.Is(err, ErrDepthExceeded) {
+		t.Errorf("Run without WithDepth: err = %v, want ErrDepthExceeded", err)
+	}
+
+	do := func(p simnet.Probe) simnet.ProbeResult {
+		r := <-ep.Submit(p)
+		ep.Collect(r)
+		return r
+	}
+	if r := do(simnet.Probe{Kind: simnet.ProbeHost, Route: simnet.Route{1}}); !errors.Is(r.Err, simnet.ErrTimeout) {
+		t.Errorf("dead-end probe: err = %v, want simnet.ErrTimeout", r.Err)
+	}
+	sn.SetResponder(h1, false)
+	if r := do(simnet.Probe{Kind: simnet.ProbeHost, Route: simnet.Route{3, 3}}); !errors.Is(r.Err, simnet.ErrNoResponder) {
+		t.Errorf("silent host: err = %v, want simnet.ErrNoResponder", r.Err)
+	}
+}
 
 // TestMapMoreTopologyFamilies extends the Theorem 1 property test to the
 // classic interconnects the paper's introduction contrasts SANs with.
@@ -43,7 +76,7 @@ func TestMapWithFlakyResponses(t *testing.T) {
 				DropRate: rate,
 				Rng:      rand.New(rand.NewSource(seed + 99)),
 			}
-			m, err := Run(fp, DefaultConfig(net.DepthBound(h0)))
+			m, err := Run(fp, WithDepth(net.DepthBound(h0)))
 			if err != nil {
 				// An export failure would indicate a corrupted model; a
 				// clean error is acceptable only for vertex-budget aborts,
@@ -80,7 +113,7 @@ func TestMapZeroDropIsExact(t *testing.T) {
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	fp := &simnet.FlakyProber{Inner: sn.Endpoint(h0), DropRate: 0, Rng: rng}
-	m, err := Run(fp, DefaultConfig(net.DepthBound(h0)))
+	m, err := Run(fp, WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,12 +129,11 @@ func TestCancelAborts(t *testing.T) {
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	calls := 0
-	cfg := DefaultConfig(net.DepthBound(h0))
-	cfg.Cancel = func() bool {
+	cancel := func() bool {
 		calls++
 		return calls > 3
 	}
-	if _, err := Run(sn.Endpoint(h0), cfg); err != ErrCanceled {
+	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithCancel(cancel)); err != ErrCanceled {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }
@@ -114,7 +146,7 @@ func TestDeterminism(t *testing.T) {
 		net := topology.RandomConnected(5, 7, 3, rng)
 		h0 := net.Hosts()[0]
 		sn := simnet.NewDefault(net)
-		m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+		m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,9 +172,8 @@ func TestSwitchFirstProbeOrder(t *testing.T) {
 	net := topology.RandomConnected(5, 7, 2, rng)
 	run := func(order ProbeOrder) *Map {
 		sn := simnet.NewDefault(net)
-		cfg := DefaultConfig(net.DepthBound(net.Hosts()[0]))
-		cfg.ProbeOrder = order
-		m, err := Run(sn.Endpoint(net.Hosts()[0]), cfg)
+		m, err := Run(sn.Endpoint(net.Hosts()[0]),
+			WithDepth(net.DepthBound(net.Hosts()[0])), WithProbeOrder(order))
 		if err != nil {
 			t.Fatal(err)
 		}

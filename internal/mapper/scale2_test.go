@@ -26,7 +26,7 @@ func TestMapBeyondPaperScale(t *testing.T) {
 	}
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
-	m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+	m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func TestScaleClusters(t *testing.T) {
 		h0 := c.sys.Mapper()
 		depth := net.DepthBound(h0)
 		sn := simnet.NewDefault(net)
-		m, err := Run(sn.Endpoint(h0), DefaultConfig(depth))
+		m, err := Run(sn.Endpoint(h0), WithDepth(depth))
 		if err != nil {
 			t.Fatalf("%s: %v", c.name, err)
 		}

@@ -106,7 +106,7 @@ func TestTortureSweep(t *testing.T) {
 		for _, mc := range models {
 			h0 := net.Hosts()[0]
 			sn := simnet.New(net, mc.model, simnet.DefaultTiming())
-			m, err := Run(sn.Endpoint(h0), DefaultConfig(net.DepthBound(h0)))
+			m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
 			if err != nil {
 				t.Fatalf("seed %d %s: %v", seed, mc.name, err)
 			}

@@ -43,6 +43,9 @@ const (
 	TracePrune
 	// TraceExplore: a frontier switch finished exploration.
 	TraceExplore
+	// TracePipeline: the pipelined probe engine's end-of-run counters
+	// (Response carries the formatted simnet.WindowStats).
+	TracePipeline
 )
 
 // String names the kind.
@@ -58,6 +61,8 @@ func (k TraceKind) String() string {
 		return "prune"
 	case TraceExplore:
 		return "explore"
+	case TracePipeline:
+		return "pipeline"
 	}
 	return fmt.Sprintf("trace(%d)", uint8(k))
 }
@@ -75,6 +80,8 @@ func (e TraceEvent) Format() string {
 		return fmt.Sprintf("%12v prune    v%-4d", e.At, e.Vertex)
 	case TraceExplore:
 		return fmt.Sprintf("%12v explore  v%-4d done", e.At, e.Vertex)
+	case TracePipeline:
+		return fmt.Sprintf("%12v pipeline %s", e.At, e.Response)
 	}
 	return fmt.Sprintf("%12v %s", e.At, e.Kind)
 }

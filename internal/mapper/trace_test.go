@@ -21,9 +21,8 @@ func TestTraceEvents(t *testing.T) {
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	var events []TraceEvent
-	cfg := DefaultConfig(net.DepthBound(h0))
-	cfg.Trace = func(e TraceEvent) { events = append(events, e) }
-	if _, err := Run(sn.Endpoint(h0), cfg); err != nil {
+	trace := func(e TraceEvent) { events = append(events, e) }
+	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithTrace(trace)); err != nil {
 		t.Fatal(err)
 	}
 	counts := map[TraceKind]int{}
@@ -81,11 +80,11 @@ func TestTraceDisabledIsFree(t *testing.T) {
 	h0 := net.Hosts()[0]
 	run := func(trace bool) Stats {
 		sn := simnet.NewDefault(net)
-		cfg := DefaultConfig(net.DepthBound(h0))
+		opts := []Option{WithDepth(net.DepthBound(h0))}
 		if trace {
-			cfg.Trace = func(TraceEvent) {}
+			opts = append(opts, WithTrace(func(TraceEvent) {}))
 		}
-		m, err := Run(sn.Endpoint(h0), cfg)
+		m, err := Run(sn.Endpoint(h0), opts...)
 		if err != nil {
 			t.Fatal(err)
 		}

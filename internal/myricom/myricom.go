@@ -34,6 +34,9 @@ type Stats struct {
 	Compare int64 // switch-disambiguation comparison probes
 	Matches int64 // comparisons that identified a replicate
 	Elapsed time.Duration
+	// Pipeline carries the probe-engine counters when Config.Pipeline
+	// activated the pipelined explore path.
+	Pipeline simnet.WindowStats
 }
 
 // Total is the total message count, the paper's comparison metric.
@@ -54,6 +57,14 @@ type Config struct {
 	// Cancel, when non-nil, is polled between candidates; returning true
 	// aborts the run with ErrCanceled (election-mode passivation, §4.2).
 	Cancel func() bool
+	// Pipeline configures the pipelined probe engine. With Window > 1 and a
+	// transport implementing simnet.AsyncProber with raw/host/switch
+	// capability, each switch exploration issues its probes through a
+	// simnet.ProbeWindow in three phases (loop-cable probes for every turn,
+	// host probes for the loop misses, switch probes for the host misses) —
+	// exactly the probes the serial scan sends, so the map and the Fig 10
+	// message counts are unchanged; only the virtual time shrinks.
+	Pipeline simnet.WindowConfig
 }
 
 // ErrCanceled reports a run aborted by Config.Cancel.
@@ -115,6 +126,7 @@ type runner struct {
 	stats Stats
 	done  []*swRecord
 	edges []swEdge
+	win   *simnet.ProbeWindow
 }
 
 // Run executes the Myricom algorithm.
@@ -126,6 +138,12 @@ func Run(p simnet.RawProber, cfg Config) (*Map, error) {
 		cfg.MaxCandidates = 1 << 16
 	}
 	r := &runner{p: p, cfg: cfg}
+	if cfg.Pipeline.Window > 1 {
+		if ap, ok := p.(simnet.AsyncProber); ok &&
+			ap.Probes().Has(simnet.CapRaw|simnet.CapHost|simnet.CapSwitch) {
+			r.win = simnet.NewProbeWindow(ap, cfg.Pipeline)
+		}
+	}
 	start := p.Clock()
 
 	frontier := []candidate{{route: simnet.Route{}}}
@@ -163,6 +181,9 @@ func Run(p simnet.RawProber, cfg Config) (*Map, error) {
 	}
 
 	r.stats.Elapsed = p.Clock() - start
+	if r.win != nil {
+		r.stats.Pipeline = r.win.Stats()
+	}
 	return r.export()
 }
 
@@ -249,40 +270,125 @@ func sortByLenDiff(recs []*swRecord, n int) {
 	})
 }
 
+// preProbe holds the prefetched responses for one turn of an exploration.
+type preProbe struct {
+	loop               bool
+	host               string
+	hostOK             bool
+	sw                 bool
+	hostDone, swMapped bool
+}
+
+// prefetchExplore issues one exploration's probes through the pipelined
+// window in three phases mirroring the serial short-circuit order: the
+// loop-cable probe for every turn, host probes for the loop misses, switch
+// probes for the host misses. The serial scan's decisions depend only on
+// each turn's own responses, so this is exactly the probe set the serial
+// loop sends — same map, same Fig 10 counts, overlapped timeouts.
+func (r *runner) prefetchExplore(rec *swRecord, turns []simnet.Turn,
+	loopRoute func(simnet.Turn) simnet.Route) map[simnet.Turn]*preProbe {
+	if r.win == nil {
+		return nil
+	}
+	pre := make(map[simnet.Turn]*preProbe, len(turns))
+	batch := make([]simnet.Probe, len(turns))
+	for i, t := range turns {
+		batch[i] = simnet.Probe{Kind: simnet.ProbeRaw, Route: loopRoute(t)}
+	}
+	var hostTurns []simnet.Turn
+	for i, res := range r.win.Do(batch) {
+		pre[turns[i]] = &preProbe{loop: res.OK}
+		if !res.OK {
+			hostTurns = append(hostTurns, turns[i])
+		}
+	}
+	batch = batch[:0]
+	for _, t := range hostTurns {
+		batch = append(batch, simnet.Probe{Kind: simnet.ProbeHost, Route: rec.route.Extend(t)})
+	}
+	var swTurns []simnet.Turn
+	for i, res := range r.win.Do(batch) {
+		p := pre[hostTurns[i]]
+		p.hostDone = true
+		p.hostOK, p.host = res.OK, res.Host
+		if !res.OK {
+			swTurns = append(swTurns, hostTurns[i])
+		}
+	}
+	batch = batch[:0]
+	for _, t := range swTurns {
+		batch = append(batch, simnet.Probe{Kind: simnet.ProbeSwitch, Route: rec.route.Extend(t)})
+	}
+	for i, res := range r.win.Do(batch) {
+		p := pre[swTurns[i]]
+		p.swMapped = true
+		p.sw = res.OK
+	}
+	return pre
+}
+
 // explore probes all ports of a newly-accepted switch: loop-cable probes,
 // host probes, then switch probes for the remainder (up to 14 each, §4.2's
-// message accounting).
+// message accounting). With the pipelined engine active, the probes are
+// prefetched through the window and the loop below only applies them.
 func (r *runner) explore(rec *swRecord) []candidate {
 	var out []candidate
 	if len(rec.route) >= r.cfg.Depth {
 		return nil
 	}
 	revT := rec.route.Reversed()
-	for t := simnet.Turn(-simnet.MaxTurn); t <= simnet.MaxTurn; t++ {
-		if t == 0 {
-			continue
-		}
-		idx := int(t)
-		// Loop-cable probe: T t −t −T. A loopback plug reflects the message
-		// straight back in; −t returns it to the entry port; −T walks home.
+	// Loop-cable probe: T t −t −T. A loopback plug reflects the message
+	// straight back in; −t returns it to the entry port; −T walks home.
+	loopRoute := func(t simnet.Turn) simnet.Route {
 		probe := make(simnet.Route, 0, len(rec.route)*2+2)
 		probe = append(probe, rec.route...)
 		probe = append(probe, t, -t)
 		probe = append(probe, revT...)
+		return probe
+	}
+	turns := make([]simnet.Turn, 0, 2*simnet.MaxTurn)
+	for t := simnet.Turn(-simnet.MaxTurn); t <= simnet.MaxTurn; t++ {
+		if t != 0 {
+			turns = append(turns, t)
+		}
+	}
+	pre := r.prefetchExplore(rec, turns, loopRoute)
+	for _, t := range turns {
+		idx := int(t)
+		p := pre[t]
 		r.stats.Loop++
-		if r.p.RawLoopback(probe) {
+		loopHit := false
+		if p != nil {
+			loopHit = p.loop
+		} else {
+			loopHit = r.p.RawLoopback(loopRoute(t))
+		}
+		if loopHit {
 			rec.loopAt[idx] = true
 			rec.use(idx)
 			continue
 		}
 		r.stats.Host++
-		if host, ok := r.p.HostProbe(rec.route.Extend(t)); ok {
+		var host string
+		var hostHit bool
+		if p != nil && p.hostDone {
+			host, hostHit = p.host, p.hostOK
+		} else {
+			host, hostHit = r.p.HostProbe(rec.route.Extend(t))
+		}
+		if hostHit {
 			rec.hostAt[idx] = host
 			rec.use(idx)
 			continue
 		}
 		r.stats.Switch++
-		if r.p.SwitchProbe(rec.route.Extend(t)) {
+		swHit := false
+		if p != nil && p.swMapped {
+			swHit = p.sw
+		} else {
+			swHit = r.p.SwitchProbe(rec.route.Extend(t))
+		}
+		if swHit {
 			rec.use(idx)
 			rec.swCandAt[idx] = true
 			out = append(out, candidate{route: rec.route.Extend(t), parent: rec, parentIdx: idx})

@@ -84,7 +84,7 @@ func TestMyricomVsBerkeleyMessages(t *testing.T) {
 	depth := sys.Net.DepthBound(h0)
 
 	snB := simnet.NewDefault(sys.Net)
-	berk, err := mapper.Run(snB.Endpoint(h0), mapper.DefaultConfig(depth))
+	berk, err := mapper.Run(snB.Endpoint(h0), mapper.WithDepth(depth))
 	if err != nil {
 		t.Fatalf("berkeley: %v", err)
 	}

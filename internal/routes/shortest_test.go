@@ -101,7 +101,7 @@ func TestMappedRoutesWorkOnActualNetwork(t *testing.T) {
 		}
 		h0 := net.Hosts()[0]
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -139,7 +139,7 @@ func TestMappedRoutesOnNOW(t *testing.T) {
 	net := sys.Net
 	h0 := sys.Mapper()
 	sn := simnet.NewDefault(net)
-	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(net.DepthBound(h0)))
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -84,7 +84,7 @@ func TestRoutesOnMappedNetwork(t *testing.T) {
 	sys := cluster.CConfig(nil)
 	h0 := sys.Mapper()
 	sn := simnet.NewDefault(sys.Net)
-	m, err := mapper.Run(sn.Endpoint(h0), mapper.DefaultConfig(sys.Net.DepthBound(h0)))
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(sys.Net.DepthBound(h0)))
 	if err != nil {
 		t.Fatalf("mapping: %v", err)
 	}

@@ -12,6 +12,10 @@ import (
 // and elapsed time. Both the Berkeley and Myricom mappers run against this
 // interface, so the same algorithm code runs over the quiescent transport,
 // the discrete-event concurrent transport, and fault-injecting wrappers.
+//
+// Deprecated: new code should use the unified Probe request type through
+// AsyncProber (or SyncAdapter over it); Prober and its three extensions
+// remain as thin shims so existing call sites migrate incrementally.
 type Prober interface {
 	// SwitchProbe reports whether the loopback probe for turns returned.
 	SwitchProbe(turns Route) bool
@@ -25,6 +29,8 @@ type Prober interface {
 
 // RawProber extends Prober with the raw loopback primitive the Myricom
 // algorithm's comparison and loop-cable probes require.
+//
+// Deprecated: use Probe{Kind: ProbeRaw} through AsyncProber instead.
 type RawProber interface {
 	Prober
 	// RawLoopback sends an arbitrary routing address and reports whether
@@ -35,6 +41,8 @@ type RawProber interface {
 // IDProber extends Prober with the §6 self-identifying-switch oracle: a
 // switch probe whose response carries the switch's unique id and the
 // absolute entry port.
+//
+// Deprecated: use Probe{Kind: ProbeID} through AsyncProber instead.
 type IDProber interface {
 	Prober
 	// IDProbe reports the identity and entry port of the switch the probe
@@ -44,6 +52,8 @@ type IDProber interface {
 
 // TolerantProber extends Prober with the §6 tolerant host probe (hosts read
 // and answer messages that arrive with leftover routing flits).
+//
+// Deprecated: use Probe{Kind: ProbeTolerant} through AsyncProber instead.
 type TolerantProber interface {
 	Prober
 	// TolerantHostProbe sends a maximal-depth probe; consumed is the number
@@ -92,6 +102,31 @@ func (e *Endpoint) IDProbe(turns Route) (id, entryPort int, ok bool) {
 // TolerantHostProbe implements TolerantProber.
 func (e *Endpoint) TolerantHostProbe(route Route) (string, int, bool) {
 	return e.net.TolerantHostProbe(e.host, route)
+}
+
+// Submit implements AsyncProber: the probe is evaluated and its messages
+// accounted immediately (paying only the per-probe host overhead), while
+// the response completes at the returned result's Done time. The channel
+// already holds the result when Submit returns.
+func (e *Endpoint) Submit(p Probe) <-chan ProbeResult {
+	ch := make(chan ProbeResult, 1)
+	ch <- e.net.submit(e.host, p)
+	close(ch)
+	return ch
+}
+
+// Collect implements AsyncProber: advance the clock to the result's
+// completion time.
+func (e *Endpoint) Collect(r ProbeResult) { e.net.collect(r) }
+
+// Probes implements AsyncProber: the quiescent transport executes every
+// probe kind; the §6 oracle kinds require their hardware switches.
+func (e *Endpoint) Probes() ProbeCaps {
+	caps := CapHost | CapSwitch | CapRaw | CapTolerant
+	if e.net.selfID {
+		caps |= CapID
+	}
+	return caps
 }
 
 // Host returns the bound host id.

@@ -189,29 +189,153 @@ func (n *Net) transitTime(hops, turns int) time.Duration {
 		time.Duration(MessageBytes(turns))*n.timing.ByteTime
 }
 
+// submit executes one probe of any kind against the quiescent evaluator: it
+// classifies the response, bills the per-probe host overhead to the clock,
+// and computes the virtual completion time Done — but does NOT wait for the
+// response. collect (or the synchronous wrappers) advances the clock to
+// Done; keeping the two separate is what lets the pipelined engine overlap
+// many response timeouts while the serial methods remain byte-identical to
+// their historical accounting (overhead first, then wait).
+func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
+	r := ProbeResult{Probe: p}
+	var wait time.Duration
+	logKind := ""
+	switch p.Kind {
+	case ProbeSwitch:
+		if !p.Route.ValidProbe() {
+			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
+		}
+		route := p.Route.Loopback()
+		res := n.Eval(from, route)
+		r.OK = res.Outcome == Delivered && res.Dest == from
+		n.stats.SwitchProbes++
+		if r.OK {
+			n.stats.SwitchHits++
+			wait = n.transitTime(res.Hops, len(route))
+		} else {
+			r.Err = ErrTimeout
+		}
+		logKind = "switch"
+	case ProbeHost:
+		if !p.Route.ValidProbe() {
+			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
+		}
+		res := n.Eval(from, p.Route)
+		delivered := res.Outcome == Delivered
+		r.OK = delivered && n.Responds(res.Dest)
+		n.stats.HostProbes++
+		if r.OK {
+			n.stats.HostHits++
+			r.Host = n.topo.NameOf(res.Dest)
+			// Round trip: probe out plus reply back over the reversed route.
+			wait = 2 * n.transitTime(res.Hops, len(p.Route))
+		} else if delivered {
+			r.Err = ErrNoResponder
+		} else {
+			r.Err = ErrTimeout
+		}
+		logKind = "host"
+	case ProbeRaw:
+		if !p.Route.Valid() {
+			panic(fmt.Sprintf("simnet: invalid route %v", p.Route))
+		}
+		res := n.Eval(from, p.Route)
+		r.OK = res.Outcome == Delivered && res.Dest == from
+		n.stats.SwitchProbes++
+		if r.OK {
+			n.stats.SwitchHits++
+			wait = n.transitTime(res.Hops, len(p.Route))
+		} else {
+			r.Err = ErrTimeout
+		}
+		logKind = "raw"
+	case ProbeID:
+		if !n.selfID {
+			panic("simnet: IDProbe requires EnableSelfID (the §6 hardware extension)")
+		}
+		if !p.Route.ValidProbe() {
+			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
+		}
+		// The outbound prefix tells us which node reflects; the full
+		// loopback decides success exactly like a plain switch probe.
+		probe := n.Eval(from, p.Route)
+		route := p.Route.Loopback()
+		res := n.Eval(from, route)
+		r.OK = res.Outcome == Delivered && res.Dest == from &&
+			probe.Outcome == Stranded // the prefix parks on a switch
+		n.stats.SwitchProbes++
+		if r.OK {
+			n.stats.SwitchHits++
+			wait = n.transitTime(res.Hops, len(route))
+			r.SwitchID, r.EntryPort = int(probe.Dest), probe.EntryPort
+		} else {
+			r.Err = ErrTimeout
+		}
+	case ProbeTolerant:
+		if !p.Route.ValidProbe() {
+			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
+		}
+		res := n.Eval(from, p.Route)
+		delivered := false
+		switch res.Outcome {
+		case Delivered:
+			r.OK = n.Responds(res.Dest)
+			r.Consumed = len(p.Route)
+			delivered = true
+		case HitHostTooSoon:
+			r.OK = n.Responds(res.Dest)
+			r.Consumed = res.FailTurn
+			delivered = true
+		}
+		n.stats.HostProbes++
+		if r.OK {
+			n.stats.HostHits++
+			r.Host = n.topo.NameOf(res.Dest)
+			wait = 2 * n.transitTime(res.Hops, len(p.Route))
+		} else if delivered {
+			r.Err = ErrNoResponder
+		} else {
+			r.Err = ErrTimeout
+		}
+		logKind = "tolerant"
+	default:
+		r.Err = ErrUnsupported
+		r.Done = n.clock
+		return r
+	}
+	timeout := n.timing.ResponseTimeout
+	if p.Timeout > 0 {
+		timeout = p.Timeout
+	}
+	issue := n.clock
+	n.clock += n.timing.HostOverhead
+	if r.OK {
+		r.Done = n.clock + wait
+	} else {
+		r.Done = n.clock + timeout
+	}
+	r.Latency = r.Done - issue
+	if logKind != "" && n.probeLog != nil {
+		n.probeLog(logKind, from, p.Route, r.OK)
+	}
+	return r
+}
+
+// collect advances the clock to a submitted probe's completion time.
+func (n *Net) collect(r ProbeResult) {
+	if r.Done > n.clock {
+		n.clock = r.Done
+	}
+}
+
 // SwitchProbe sends the loopback probe for the given turn prefix (§2.3):
 // turns a1...ak 0 -ak...-a1. It reports whether the mapper received its own
 // loopback message, which proves the node k hops beyond the first switch is
 // a switch.
 func (n *Net) SwitchProbe(from topology.NodeID, turns Route) bool {
-	if !turns.ValidProbe() {
-		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
-	}
-	route := turns.Loopback()
-	res := n.Eval(from, route)
-	ok := res.Outcome == Delivered && res.Dest == from
-	n.stats.SwitchProbes++
-	n.clock += n.timing.HostOverhead
-	if ok {
-		n.stats.SwitchHits++
-		n.clock += n.transitTime(res.Hops, len(route))
-	} else {
-		n.clock += n.timing.ResponseTimeout
-	}
-	if n.probeLog != nil {
-		n.probeLog("switch", from, turns, ok)
-	}
-	return ok
+	r := n.submit(from, Probe{Kind: ProbeSwitch, Route: turns})
+	n.collect(r)
+	return r.OK
 }
 
 // HostProbe sends the probe a1...ak and reports the name of the responding
@@ -220,25 +344,9 @@ func (n *Net) SwitchProbe(from topology.NodeID, turns Route) bool {
 // probe's route in reverse (it carries its route, so the receiver can
 // invert it).
 func (n *Net) HostProbe(from topology.NodeID, turns Route) (host string, ok bool) {
-	if !turns.ValidProbe() {
-		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
-	}
-	res := n.Eval(from, turns)
-	ok = res.Outcome == Delivered && n.Responds(res.Dest)
-	n.stats.HostProbes++
-	n.clock += n.timing.HostOverhead
-	if ok {
-		n.stats.HostHits++
-		host = n.topo.NameOf(res.Dest)
-		// Round trip: probe out plus reply back over the reversed route.
-		n.clock += 2 * n.transitTime(res.Hops, len(turns))
-	} else {
-		n.clock += n.timing.ResponseTimeout
-	}
-	if n.probeLog != nil {
-		n.probeLog("host", from, turns, ok)
-	}
-	return host, ok
+	r := n.submit(from, Probe{Kind: ProbeHost, Route: turns})
+	n.collect(r)
+	return r.Host, r.OK
 }
 
 // IDProbe is the §6 "architectural support for self-identifying switches"
@@ -250,28 +358,9 @@ func (n *Net) HostProbe(from topology.NodeID, turns Route) (host string, ok bool
 // on the transport; the default Myrinet-faithful configuration has no such
 // mechanism ("Myrinet lacks a mechanism to query a switch directly").
 func (n *Net) IDProbe(from topology.NodeID, turns Route) (id int, entryPort int, ok bool) {
-	if !n.selfID {
-		panic("simnet: IDProbe requires EnableSelfID (the §6 hardware extension)")
-	}
-	if !turns.ValidProbe() {
-		panic(fmt.Sprintf("simnet: invalid probe prefix %v", turns))
-	}
-	// The outbound prefix tells us which node reflects; the full loopback
-	// decides success exactly like a plain switch probe.
-	probe := n.Eval(from, turns)
-	route := turns.Loopback()
-	res := n.Eval(from, route)
-	ok = res.Outcome == Delivered && res.Dest == from &&
-		probe.Outcome == Stranded // the prefix parks on a switch
-	n.stats.SwitchProbes++
-	n.clock += n.timing.HostOverhead
-	if ok {
-		n.stats.SwitchHits++
-		n.clock += n.transitTime(res.Hops, len(route))
-		return int(probe.Dest), probe.EntryPort, true
-	}
-	n.clock += n.timing.ResponseTimeout
-	return 0, 0, false
+	r := n.submit(from, Probe{Kind: ProbeID, Route: turns})
+	n.collect(r)
+	return r.SwitchID, r.EntryPort, r.OK
 }
 
 // EnableSelfID turns on the §6 hardware extension for this transport.
@@ -318,31 +407,9 @@ func (t Timing) TransitTime(hops, msgBytes int) time.Duration {
 // network actually applied, i.e. route[:consumed] is a valid host-probe
 // route to the responder.
 func (n *Net) TolerantHostProbe(from topology.NodeID, route Route) (host string, consumed int, ok bool) {
-	if !route.ValidProbe() {
-		panic(fmt.Sprintf("simnet: invalid probe prefix %v", route))
-	}
-	res := n.Eval(from, route)
-	switch res.Outcome {
-	case Delivered:
-		ok = n.Responds(res.Dest)
-		consumed = len(route)
-	case HitHostTooSoon:
-		ok = n.Responds(res.Dest)
-		consumed = res.FailTurn
-	}
-	n.stats.HostProbes++
-	n.clock += n.timing.HostOverhead
-	if ok {
-		n.stats.HostHits++
-		host = n.topo.NameOf(res.Dest)
-		n.clock += 2 * n.transitTime(res.Hops, len(route))
-	} else {
-		n.clock += n.timing.ResponseTimeout
-	}
-	if n.probeLog != nil {
-		n.probeLog("tolerant", from, route, ok)
-	}
-	return host, consumed, ok
+	r := n.submit(from, Probe{Kind: ProbeTolerant, Route: route})
+	n.collect(r)
+	return r.Host, r.Consumed, r.OK
 }
 
 // RawLoopback sends a message with an arbitrary routing address and reports
@@ -351,23 +418,9 @@ func (n *Net) TolerantHostProbe(from topology.NodeID, route Route) (host string,
 // (§4.1): comparison probes T1..Tn X −Sm..−S1 and loop-cable probes. The
 // message is counted as a switch-class probe.
 func (n *Net) RawLoopback(from topology.NodeID, route Route) bool {
-	if !route.Valid() {
-		panic(fmt.Sprintf("simnet: invalid route %v", route))
-	}
-	res := n.Eval(from, route)
-	ok := res.Outcome == Delivered && res.Dest == from
-	n.stats.SwitchProbes++
-	n.clock += n.timing.HostOverhead
-	if ok {
-		n.stats.SwitchHits++
-		n.clock += n.transitTime(res.Hops, len(route))
-	} else {
-		n.clock += n.timing.ResponseTimeout
-	}
-	if n.probeLog != nil {
-		n.probeLog("raw", from, route, ok)
-	}
-	return ok
+	r := n.submit(from, Probe{Kind: ProbeRaw, Route: route})
+	n.collect(r)
+	return r.OK
 }
 
 // ProbePair performs the paper's §2.3 "probe": the pair of the two tests on

@@ -1,0 +1,289 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// This file defines the unified probe request/response API that subsumes the
+// four historical prober interfaces (Prober, RawProber, IDProber,
+// TolerantProber). A probe is a value with a Kind; a transport reports which
+// kinds it supports through Probes(); and the asynchronous Submit/Collect
+// pair decouples issuing a probe from waiting for its response, which is
+// what lets the mappers overlap response timeouts (§6's parallel-probing
+// direction: sequential round trips, not wire time, dominate mapping cost).
+
+// Sentinel errors for probe outcomes. Transports wrap or return these so
+// callers can classify failures with errors.Is.
+var (
+	// ErrTimeout reports that a probe produced no response within the
+	// response timeout (the paper's "nothing" outcome).
+	ErrTimeout = errors.New("simnet: probe timed out")
+	// ErrNoResponder reports that a probe physically reached a host that
+	// runs no responder daemon — it still costs the full timeout, but the
+	// failure class matters to robustness analyses (Fig 9).
+	ErrNoResponder = errors.New("simnet: probe reached a silent host")
+	// ErrUnsupported reports a probe kind the transport cannot execute
+	// (see AsyncProber.Probes).
+	ErrUnsupported = errors.New("simnet: probe kind not supported by transport")
+)
+
+// ProbeKind enumerates the probe types of the unified API.
+type ProbeKind uint8
+
+const (
+	// ProbeHost is the §2.3 host probe: deliver along the route, a
+	// responding host answers with its name over the reversed route.
+	ProbeHost ProbeKind = iota
+	// ProbeSwitch is the §2.3 switch probe: the loopback message
+	// turns a1..ak 0 −ak..−a1 must return to the sender.
+	ProbeSwitch
+	// ProbeRaw sends an arbitrary routing address and succeeds when the
+	// message returns to the sender (Myricom comparison/loop-cable probes).
+	ProbeRaw
+	// ProbeID is the §6 self-identifying-switch oracle probe.
+	ProbeID
+	// ProbeTolerant is the §6 tolerant host probe (hosts answer messages
+	// arriving with leftover routing flits).
+	ProbeTolerant
+)
+
+// String names the kind.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeHost:
+		return "host"
+	case ProbeSwitch:
+		return "switch"
+	case ProbeRaw:
+		return "raw"
+	case ProbeID:
+		return "id"
+	case ProbeTolerant:
+		return "tolerant"
+	}
+	return fmt.Sprintf("probe(%d)", uint8(k))
+}
+
+// Probe is one probe request. For ProbeHost, ProbeSwitch, ProbeID and
+// ProbeTolerant the Route is the turn prefix a1..ak; for ProbeRaw it is the
+// complete routing address.
+type Probe struct {
+	Kind  ProbeKind
+	Route Route
+	// Timeout overrides the transport's response timeout when positive.
+	Timeout time.Duration
+}
+
+// ProbeResult is the response to one Probe.
+type ProbeResult struct {
+	// Probe echoes the request.
+	Probe Probe
+	// OK reports a response (host name, returned loopback, or id stamp).
+	OK bool
+	// Host is the responding host's unique name (ProbeHost/ProbeTolerant).
+	Host string
+	// Consumed is the number of turns the network applied before the
+	// responder was reached (ProbeTolerant).
+	Consumed int
+	// SwitchID and EntryPort carry the §6 self-identification stamp
+	// (ProbeID).
+	SwitchID  int
+	EntryPort int
+	// Err classifies a failure (ErrTimeout, ErrNoResponder,
+	// ErrUnsupported); nil when OK.
+	Err error
+	// Done is the virtual time at which the response (or timeout) completes.
+	Done time.Duration
+	// Latency is Done minus the submission time.
+	Latency time.Duration
+	// Cached marks results served from a ProbeWindow cache (no message was
+	// sent and no virtual time elapsed).
+	Cached bool
+}
+
+// ProbeCaps is the capability set a transport reports via Probes().
+type ProbeCaps uint16
+
+const (
+	// CapHost: the transport executes ProbeHost.
+	CapHost ProbeCaps = 1 << iota
+	// CapSwitch: the transport executes ProbeSwitch.
+	CapSwitch
+	// CapRaw: the transport executes ProbeRaw.
+	CapRaw
+	// CapID: the transport executes ProbeID (§6 hardware extension).
+	CapID
+	// CapTolerant: the transport executes ProbeTolerant (§6 firmware
+	// extension).
+	CapTolerant
+)
+
+// Has reports whether every capability in want is present.
+func (c ProbeCaps) Has(want ProbeCaps) bool { return c&want == want }
+
+// CapOf maps a probe kind to its capability bit.
+func CapOf(k ProbeKind) ProbeCaps {
+	switch k {
+	case ProbeHost:
+		return CapHost
+	case ProbeSwitch:
+		return CapSwitch
+	case ProbeRaw:
+		return CapRaw
+	case ProbeID:
+		return CapID
+	case ProbeTolerant:
+		return CapTolerant
+	}
+	return 0
+}
+
+// AsyncProber is the pipelined probe interface. Submit issues a probe —
+// paying only the per-probe host overhead — and returns a channel that
+// yields the eventual result; the caller's virtual clock does not wait for
+// the response. Collect synchronises the caller's clock with a result's
+// completion time; collecting results in submission order keeps every run
+// deterministic. The channel is buffered and already holds the result by
+// the time Submit returns, so receiving from it never blocks.
+//
+// Submit-then-immediately-Collect is arithmetically identical to the
+// synchronous probe methods, which is how the window=1 configuration
+// reproduces the serial transcript byte for byte.
+type AsyncProber interface {
+	// Submit issues a probe and returns its pending result.
+	Submit(p Probe) <-chan ProbeResult
+	// Collect advances the caller's virtual clock to the result's Done time
+	// (no-op if the clock is already past it).
+	Collect(r ProbeResult)
+	// Probes reports which probe kinds the transport supports.
+	Probes() ProbeCaps
+	// LocalHost is the unique name of the probing host.
+	LocalHost() string
+	// Clock is the prober's elapsed virtual time.
+	Clock() time.Duration
+}
+
+// SyncAdapter exposes the legacy synchronous prober methods on top of any
+// AsyncProber, so code written against Prober/RawProber/IDProber/
+// TolerantProber runs unchanged over a purely asynchronous transport.
+type SyncAdapter struct {
+	P AsyncProber
+}
+
+// do submits one probe and immediately collects it (the serial pattern).
+func (s SyncAdapter) do(p Probe) ProbeResult {
+	r := <-s.P.Submit(p)
+	s.P.Collect(r)
+	return r
+}
+
+// SwitchProbe implements Prober.
+func (s SyncAdapter) SwitchProbe(turns Route) bool {
+	return s.do(Probe{Kind: ProbeSwitch, Route: turns}).OK
+}
+
+// HostProbe implements Prober.
+func (s SyncAdapter) HostProbe(turns Route) (string, bool) {
+	r := s.do(Probe{Kind: ProbeHost, Route: turns})
+	return r.Host, r.OK
+}
+
+// RawLoopback implements RawProber.
+func (s SyncAdapter) RawLoopback(route Route) bool {
+	return s.do(Probe{Kind: ProbeRaw, Route: route}).OK
+}
+
+// IDProbe implements IDProber.
+func (s SyncAdapter) IDProbe(turns Route) (id, entryPort int, ok bool) {
+	r := s.do(Probe{Kind: ProbeID, Route: turns})
+	return r.SwitchID, r.EntryPort, r.OK
+}
+
+// TolerantHostProbe implements TolerantProber.
+func (s SyncAdapter) TolerantHostProbe(route Route) (string, int, bool) {
+	r := s.do(Probe{Kind: ProbeTolerant, Route: route})
+	return r.Host, r.Consumed, r.OK
+}
+
+// LocalHost implements Prober.
+func (s SyncAdapter) LocalHost() string { return s.P.LocalHost() }
+
+// Clock implements Prober.
+func (s SyncAdapter) Clock() time.Duration { return s.P.Clock() }
+
+// AsyncAdapter lifts a legacy synchronous Prober into the AsyncProber API.
+// The adapted transport executes each probe at Submit time and completes it
+// immediately (Done equals the post-probe clock), so it gains the unified
+// request type, capability reporting, caching and retry machinery — but not
+// the timeout-overlap speedup, which needs native Submit/Collect support.
+type AsyncAdapter struct {
+	P Prober
+}
+
+// Submit implements AsyncProber by running the probe synchronously.
+func (a AsyncAdapter) Submit(p Probe) <-chan ProbeResult {
+	ch := make(chan ProbeResult, 1)
+	r := ProbeResult{Probe: p}
+	issue := a.P.Clock()
+	switch p.Kind {
+	case ProbeHost:
+		r.Host, r.OK = a.P.HostProbe(p.Route)
+	case ProbeSwitch:
+		r.OK = a.P.SwitchProbe(p.Route)
+	case ProbeRaw:
+		if rp, ok := a.P.(RawProber); ok {
+			r.OK = rp.RawLoopback(p.Route)
+		} else {
+			r.Err = ErrUnsupported
+		}
+	case ProbeID:
+		if ip, ok := a.P.(IDProber); ok {
+			r.SwitchID, r.EntryPort, r.OK = ip.IDProbe(p.Route)
+		} else {
+			r.Err = ErrUnsupported
+		}
+	case ProbeTolerant:
+		if tp, ok := a.P.(TolerantProber); ok {
+			r.Host, r.Consumed, r.OK = tp.TolerantHostProbe(p.Route)
+		} else {
+			r.Err = ErrUnsupported
+		}
+	default:
+		r.Err = ErrUnsupported
+	}
+	if !r.OK && r.Err == nil {
+		r.Err = ErrTimeout
+	}
+	r.Done = a.P.Clock()
+	r.Latency = r.Done - issue
+	ch <- r
+	close(ch)
+	return ch
+}
+
+// Collect implements AsyncProber. The adapted probe already ran to
+// completion at Submit time, so there is nothing to wait for.
+func (a AsyncAdapter) Collect(ProbeResult) {}
+
+// Probes reports capabilities from the wrapped prober's method set.
+func (a AsyncAdapter) Probes() ProbeCaps {
+	caps := CapHost | CapSwitch
+	if _, ok := a.P.(RawProber); ok {
+		caps |= CapRaw
+	}
+	if _, ok := a.P.(IDProber); ok {
+		caps |= CapID
+	}
+	if _, ok := a.P.(TolerantProber); ok {
+		caps |= CapTolerant
+	}
+	return caps
+}
+
+// LocalHost implements AsyncProber.
+func (a AsyncAdapter) LocalHost() string { return a.P.LocalHost() }
+
+// Clock implements AsyncProber.
+func (a AsyncAdapter) Clock() time.Duration { return a.P.Clock() }

@@ -1,0 +1,244 @@
+package simnet
+
+import (
+	"fmt"
+	"time"
+)
+
+// WindowConfig parameterises a ProbeWindow.
+type WindowConfig struct {
+	// Window is the maximum number of in-flight probes. Values <= 1 degrade
+	// to strict submit-then-collect serial operation, which reproduces the
+	// synchronous transcript byte for byte.
+	Window int
+	// Retries is how many times a missed probe is re-submitted (serially,
+	// at collection time) before its failure is accepted. Useful over lossy
+	// transports; pointless over the deterministic quiescent net.
+	Retries int
+	// Timeout, when positive, overrides the transport's response timeout
+	// for every probe issued through the window.
+	Timeout time.Duration
+	// Cache enables the probe-response cache keyed by probe kind and route
+	// string: a repeated probe is answered from the cache at zero virtual
+	// cost and without sending a message.
+	Cache bool
+}
+
+// WindowStats counts what a ProbeWindow did.
+type WindowStats struct {
+	// Submitted counts probes actually handed to the transport (retries
+	// included, cache hits excluded).
+	Submitted int64
+	// CacheHits counts probes answered from the response cache.
+	CacheHits int64
+	// Retries counts re-submissions after a miss.
+	Retries int64
+	// MaxInFlight is the in-flight high-water mark.
+	MaxInFlight int
+	// TimeoutCost is virtual time spent waiting on probes that missed —
+	// the cost pipelining overlaps, and exactly what the window buys back.
+	TimeoutCost time.Duration
+}
+
+// String renders the counters on one line.
+func (s WindowStats) String() string {
+	return fmt.Sprintf("submitted=%d cache=%d retries=%d inflight≤%d timeout-cost=%v",
+		s.Submitted, s.CacheHits, s.Retries, s.MaxInFlight, s.TimeoutCost)
+}
+
+// ProbeWindow is the batching scheduler of the pipelined probe engine: it
+// slides a bounded window of in-flight probes over a batch, collecting
+// results strictly in submission order so that runs stay deterministic. The
+// point is §5.2's observation inverted: unanswered probes cost the full
+// response timeout, but with W probes in flight those timeouts overlap, so
+// a batch with many misses completes in roughly max(issue time, longest
+// wait) instead of their sum.
+//
+// A ProbeWindow is not safe for concurrent use; like the transports, its
+// concurrency is virtual.
+type ProbeWindow struct {
+	p     AsyncProber
+	cfg   WindowConfig
+	cache map[string]ProbeResult
+	stats WindowStats
+}
+
+// NewProbeWindow builds a window over a transport.
+func NewProbeWindow(p AsyncProber, cfg WindowConfig) *ProbeWindow {
+	if cfg.Window < 1 {
+		cfg.Window = 1
+	}
+	w := &ProbeWindow{p: p, cfg: cfg}
+	if cfg.Cache {
+		w.cache = make(map[string]ProbeResult)
+	}
+	return w
+}
+
+// Stats returns the engine counters accumulated so far.
+func (w *ProbeWindow) Stats() WindowStats { return w.stats }
+
+// Prober returns the underlying transport.
+func (w *ProbeWindow) Prober() AsyncProber { return w.p }
+
+// cacheKey identifies a probe for the response cache: kind plus route
+// string (the route string is unique per turn sequence).
+func cacheKey(p Probe) string { return p.Kind.String() + "|" + p.Route.String() }
+
+// Do issues the batch through the sliding window and returns one result per
+// probe, in submission order. Results for probes answered from the cache
+// carry Cached=true and zero latency.
+func (w *ProbeWindow) Do(batch []Probe) []ProbeResult {
+	out := make([]ProbeResult, len(batch))
+	st := w.Stream()
+	for i, p := range batch {
+		for st.Free() <= 0 {
+			tag, r := st.Collect()
+			out[tag] = r
+		}
+		st.Submit(p, i)
+	}
+	for st.Len() > 0 {
+		tag, r := st.Collect()
+		out[tag] = r
+	}
+	return out
+}
+
+// spending is one queued Stream entry: either a live in-flight probe (ch,
+// with peek holding its result once NextDone looked at it) or an instant
+// cache answer (cached) kept in the queue for ordering.
+type spending struct {
+	p      Probe
+	tag    int
+	ch     <-chan ProbeResult
+	peek   *ProbeResult
+	cached *ProbeResult
+}
+
+// Stream is the incremental interface to a ProbeWindow — the fully general
+// form of Do, for pipelines whose later probes depend on earlier responses
+// (e.g. a follow-up probe submitted the moment its predecessor's miss is
+// collected, while the rest of the window stays in flight). Callers submit
+// tagged probes as Free() allows and Collect results strictly in submission
+// order; cache and bounded retry apply exactly as in Do.
+type Stream struct {
+	w        *ProbeWindow
+	inflight []spending
+}
+
+// Stream opens an incremental submission stream over the window.
+func (w *ProbeWindow) Stream() *Stream { return &Stream{w: w} }
+
+// live counts entries occupying transport window slots (cache answers are
+// free).
+func (s *Stream) live() int {
+	n := 0
+	for _, e := range s.inflight {
+		if e.ch != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Free reports the remaining window capacity.
+func (s *Stream) Free() int { return s.w.cfg.Window - s.live() }
+
+// Len reports queued entries awaiting Collect.
+func (s *Stream) Len() int { return len(s.inflight) }
+
+// Submit enqueues one probe. A cache hit retires instantly without sending
+// a message; otherwise the probe is handed to the transport. Submit never
+// blocks — callers wanting overlap should stay within Free().
+func (s *Stream) Submit(p Probe, tag int) {
+	if s.w.cache != nil {
+		if c, ok := s.w.cache[cacheKey(p)]; ok {
+			s.w.stats.CacheHits++
+			c.Cached = true
+			c.Done = s.w.p.Clock()
+			c.Latency = 0
+			s.inflight = append(s.inflight, spending{p: p, tag: tag, cached: &c})
+			return
+		}
+	}
+	s.inflight = append(s.inflight, spending{p: p, tag: tag, ch: s.w.p.Submit(s.w.withTimeout(p))})
+	s.w.stats.Submitted++
+	if n := s.live(); n > s.w.stats.MaxInFlight {
+		s.w.stats.MaxInFlight = n
+	}
+}
+
+// NextDone peeks at the completion time of the oldest queued entry without
+// collecting it (the transport fills the result channel at Submit time, so
+// the peek never blocks). Schedulers use it to decide whether a further
+// speculative submission rides for free: as long as the clock has not
+// reached the oldest completion, issuing another probe overlaps time the
+// stream would spend waiting anyway.
+func (s *Stream) NextDone() (time.Duration, bool) {
+	if len(s.inflight) == 0 {
+		return 0, false
+	}
+	e := &s.inflight[0]
+	if e.cached != nil {
+		return e.cached.Done, true
+	}
+	if e.peek == nil {
+		r := <-e.ch
+		e.peek = &r
+	}
+	return e.peek.Done, true
+}
+
+// Collect retires the oldest entry: synchronise the clock with its
+// completion, run the bounded retry loop on a miss, cache the final result
+// and return it with the submitter's tag.
+func (s *Stream) Collect() (int, ProbeResult) {
+	e := s.inflight[0]
+	s.inflight = s.inflight[1:]
+	if e.cached != nil {
+		return e.tag, *e.cached
+	}
+	var r ProbeResult
+	if e.peek != nil {
+		r = *e.peek
+	} else {
+		r = <-e.ch
+	}
+	s.w.p.Collect(r)
+	if !r.OK {
+		s.w.stats.TimeoutCost += r.Latency
+	}
+	for attempt := 0; !r.OK && r.Err != ErrUnsupported && attempt < s.w.cfg.Retries; attempt++ {
+		s.w.stats.Retries++
+		s.w.stats.Submitted++
+		r = <-s.w.p.Submit(s.w.withTimeout(e.p))
+		s.w.p.Collect(r)
+		if !r.OK {
+			s.w.stats.TimeoutCost += r.Latency
+		}
+	}
+	if s.w.cache != nil {
+		s.w.cache[cacheKey(e.p)] = r
+	}
+	return e.tag, r
+}
+
+// Abandon drops every queued entry without collecting it: the messages were
+// sent and their overhead paid, but nobody waits for the responses. Used
+// when the consumer loses interest in its speculative lookahead.
+func (s *Stream) Abandon() { s.inflight = nil }
+
+// DoOne runs a single probe through the window (cache and retry apply; no
+// overlap, since there is nothing to overlap with).
+func (w *ProbeWindow) DoOne(p Probe) ProbeResult {
+	return w.Do([]Probe{p})[0]
+}
+
+// withTimeout applies the window-level timeout override.
+func (w *ProbeWindow) withTimeout(p Probe) Probe {
+	if w.cfg.Timeout > 0 && p.Timeout == 0 {
+		p.Timeout = w.cfg.Timeout
+	}
+	return p
+}

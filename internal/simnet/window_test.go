@@ -1,0 +1,175 @@
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"sanmap/internal/topology"
+)
+
+// transcript records every probe a Net issues, as the serial/pipelined
+// equivalence oracle.
+func transcript(sn *Net) *[]string {
+	var log []string
+	sn.SetProbeLog(func(kind string, _ topology.NodeID, r Route, ok bool) {
+		log = append(log, fmt.Sprintf("%s %s %v", kind, r, ok))
+	})
+	return &log
+}
+
+// TestWindowOneMatchesSerial: a ProbeWindow with window 1 reproduces the
+// synchronous methods' transcript byte for byte — same probes in the same
+// order, same message counters, same virtual clock.
+func TestWindowOneMatchesSerial(t *testing.T) {
+	serial, sh0, _ := probeNet(t)
+	piped, ph0, _ := probeNet(t)
+	slog, plog := transcript(serial), transcript(piped)
+
+	serial.HostProbe(sh0, Route{3, 3})
+	serial.HostProbe(sh0, Route{1})
+	serial.SwitchProbe(sh0, Route{3})
+	serial.SwitchProbe(sh0, Route{3, 3})
+	serial.RawLoopback(sh0, Route{3, 1, -1, -3})
+
+	w := NewProbeWindow(piped.Endpoint(ph0), WindowConfig{Window: 1})
+	w.Do([]Probe{
+		{Kind: ProbeHost, Route: Route{3, 3}},
+		{Kind: ProbeHost, Route: Route{1}},
+		{Kind: ProbeSwitch, Route: Route{3}},
+		{Kind: ProbeSwitch, Route: Route{3, 3}},
+		{Kind: ProbeRaw, Route: Route{3, 1, -1, -3}},
+	})
+
+	if fmt.Sprint(*slog) != fmt.Sprint(*plog) {
+		t.Errorf("transcripts differ:\nserial:    %v\npipelined: %v", *slog, *plog)
+	}
+	if serial.Clock() != piped.Clock() {
+		t.Errorf("clocks differ: serial %v, pipelined %v", serial.Clock(), piped.Clock())
+	}
+	if serial.Stats() != piped.Stats() {
+		t.Errorf("counters differ: serial %+v, pipelined %+v", serial.Stats(), piped.Stats())
+	}
+}
+
+// TestWindowOverlapsTimeouts: with W probes in flight, W misses cost about
+// one timeout instead of W — §5.2's dominant cost term, overlapped.
+func TestWindowOverlapsTimeouts(t *testing.T) {
+	misses := []Probe{
+		{Kind: ProbeHost, Route: Route{1}},
+		{Kind: ProbeHost, Route: Route{2}},
+		{Kind: ProbeHost, Route: Route{4}},
+		{Kind: ProbeHost, Route: Route{5}},
+		{Kind: ProbeHost, Route: Route{-1}},
+		{Kind: ProbeHost, Route: Route{-2}},
+		{Kind: ProbeHost, Route: Route{-3}},
+		{Kind: ProbeHost, Route: Route{6}},
+	}
+	serial, sh0, _ := probeNet(t)
+	ws := NewProbeWindow(serial.Endpoint(sh0), WindowConfig{Window: 1})
+	ws.Do(misses)
+
+	piped, ph0, _ := probeNet(t)
+	wp := NewProbeWindow(piped.Endpoint(ph0), WindowConfig{Window: 8})
+	wp.Do(misses)
+
+	tm := serial.Timing()
+	wantSerial := 8 * (tm.HostOverhead + tm.ResponseTimeout)
+	if serial.Clock() != wantSerial {
+		t.Errorf("serial clock %v, want %v", serial.Clock(), wantSerial)
+	}
+	wantPiped := 8*tm.HostOverhead + tm.ResponseTimeout
+	if piped.Clock() != wantPiped {
+		t.Errorf("pipelined clock %v, want %v", piped.Clock(), wantPiped)
+	}
+	if 2*piped.Clock() >= serial.Clock() {
+		t.Errorf("pipelining did not halve the batch time: %v vs %v",
+			piped.Clock(), serial.Clock())
+	}
+	if got := wp.Stats().MaxInFlight; got != 8 {
+		t.Errorf("MaxInFlight = %d, want 8", got)
+	}
+	if got := wp.Stats().TimeoutCost; got != 8*(tm.HostOverhead+tm.ResponseTimeout) {
+		t.Errorf("TimeoutCost = %v, want %v", got, 8*(tm.HostOverhead+tm.ResponseTimeout))
+	}
+}
+
+// TestWindowCache: a repeated probe is answered from the cache — identical
+// response, no message, no virtual time.
+func TestWindowCache(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	w := NewProbeWindow(sn.Endpoint(h0), WindowConfig{Window: 4, Cache: true})
+	first := w.DoOne(Probe{Kind: ProbeHost, Route: Route{3, 3}})
+	if !first.OK || first.Host != "h1" || first.Cached {
+		t.Fatalf("first probe: %+v", first)
+	}
+	mark := sn.Clock()
+	again := w.DoOne(Probe{Kind: ProbeHost, Route: Route{3, 3}})
+	if !again.Cached || !again.OK || again.Host != first.Host || again.Latency != 0 {
+		t.Errorf("cached probe: %+v", again)
+	}
+	if sn.Clock() != mark {
+		t.Errorf("cache hit advanced the clock by %v", sn.Clock()-mark)
+	}
+	st := w.Stats()
+	if st.Submitted != 1 || st.CacheHits != 1 {
+		t.Errorf("stats %+v, want 1 submitted / 1 cache hit", st)
+	}
+	if sn.Stats().HostProbes != 1 {
+		t.Errorf("transport saw %d host probes, want 1", sn.Stats().HostProbes)
+	}
+}
+
+// dropFirst fails the first host probe (after paying its real cost), then
+// behaves normally — a deterministic single-loss transport.
+type dropFirst struct {
+	*Endpoint
+	dropped bool
+}
+
+func (d *dropFirst) HostProbe(turns Route) (string, bool) {
+	if !d.dropped {
+		d.dropped = true
+		d.Endpoint.HostProbe(turns)
+		return "", false
+	}
+	return d.Endpoint.HostProbe(turns)
+}
+
+// TestWindowRetryAfterTimeout: the bounded retry resubmits a missed probe
+// and surfaces the eventual response.
+func TestWindowRetryAfterTimeout(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	w := NewProbeWindow(AsyncAdapter{P: &dropFirst{Endpoint: sn.Endpoint(h0)}},
+		WindowConfig{Window: 4, Retries: 1})
+	r := w.DoOne(Probe{Kind: ProbeHost, Route: Route{3, 3}})
+	if !r.OK || r.Host != "h1" {
+		t.Fatalf("retried probe: %+v", r)
+	}
+	st := w.Stats()
+	if st.Retries != 1 || st.Submitted != 2 {
+		t.Errorf("stats %+v, want 1 retry / 2 submitted", st)
+	}
+}
+
+// TestProbeErrorClassification: the sentinel errors distinguish the three
+// failure classes.
+func TestProbeErrorClassification(t *testing.T) {
+	sn, h0, h1 := probeNet(t)
+	ep := sn.Endpoint(h0)
+	do := func(p Probe) ProbeResult {
+		r := <-ep.Submit(p)
+		ep.Collect(r)
+		return r
+	}
+	if r := do(Probe{Kind: ProbeHost, Route: Route{1}}); !errors.Is(r.Err, ErrTimeout) {
+		t.Errorf("dead-end probe: err = %v, want ErrTimeout", r.Err)
+	}
+	sn.SetResponder(h1, false)
+	if r := do(Probe{Kind: ProbeHost, Route: Route{3, 3}}); !errors.Is(r.Err, ErrNoResponder) {
+		t.Errorf("silent-host probe: err = %v, want ErrNoResponder", r.Err)
+	}
+	if r := do(Probe{Kind: ProbeKind(99)}); !errors.Is(r.Err, ErrUnsupported) {
+		t.Errorf("bogus kind: err = %v, want ErrUnsupported", r.Err)
+	}
+}

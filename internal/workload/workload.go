@@ -161,7 +161,7 @@ func MapUnderTraffic(net *topology.Network, mapperHost topology.NodeID,
 	var mapErr error
 	var took time.Duration
 	eng.Spawn("mapper", func(p *desim.Proc) {
-		out, mapErr = mapper.Run(cn.Endpoint(mapperHost, p), mcfg)
+		out, mapErr = mapper.RunConfig(cn.Endpoint(mapperHost, p), mcfg)
 		took = p.Now()
 	})
 	eng.Run()
