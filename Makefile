@@ -4,7 +4,7 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet test race bench ci
+.PHONY: build vet test race bench bench-smoke bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -22,4 +22,19 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
-ci: build vet test race
+# bench-smoke runs every benchmark once and pushes the output through the
+# sanbench parser — catching benchmarks that panic, b.Fatal, or emit
+# malformed measurement lines, without paying for steady-state timing.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run ^$$ . | $(GO) run ./cmd/sanbench > /dev/null
+
+# bench-baseline records a benchstat-compatible JSON baseline for the
+# current revision: BENCH_<rev>.json. Compare later with
+#   go run ./cmd/sanbench -text BENCH_<rev>.json > old.txt && benchstat old.txt new.txt
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+bench-baseline:
+	$(GO) test -bench . -benchtime 100x -run ^$$ . | \
+		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
+	@echo wrote BENCH_$(REV).json
+
+ci: build vet test race bench-smoke

@@ -12,6 +12,7 @@ import (
 
 	"sanmap/internal/cluster"
 	"sanmap/internal/election"
+	"sanmap/internal/experiments"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
 	"sanmap/internal/routes"
@@ -94,6 +95,7 @@ func BenchmarkMapElectionC(b *testing.B) {
 	sys := cluster.CConfig(nil)
 	depth := sys.Net.DepthBound(sys.Mapper())
 	var sim float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := election.Run(sys.Net, election.Config{
 			Model:  simnet.CircuitModel,
@@ -114,6 +116,7 @@ func BenchmarkMapInstrumentedCAB(b *testing.B) {
 	sys := cluster.CABConfig(nil)
 	depth := sys.Net.DepthBound(sys.Mapper())
 	var last *mapper.Map
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn := simnet.NewDefault(sys.Net)
 		m, err := mapper.Run(sn.Endpoint(sys.Mapper()),
@@ -135,6 +138,7 @@ func BenchmarkMapSingleResponderC(b *testing.B) {
 	h0 := sys.Mapper()
 	depth := sys.Net.DepthBound(h0)
 	var last *mapper.Map
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn := simnet.NewDefault(sys.Net)
 		for _, h := range sys.Net.Hosts() {
@@ -398,17 +402,68 @@ func BenchmarkRandomizedHybrid(b *testing.B) {
 	})
 }
 
+// BenchmarkRandomizedTrials runs batches of independent hybrid trials
+// through the experiments.Sweep worker pool, serial vs parallel — the
+// randomized-trial counterpart of the Fig 7/9/10 sweeps. Results are
+// deterministic per trial seed, so both lanes do identical work.
+func BenchmarkRandomizedTrials(b *testing.B) {
+	const trials, coupons, seed = 8, 200, 3
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"serial", 1}, {"parallel4", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			var probes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RandomizedTrials(trials, coupons, seed, bc.workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				probes = 0
+				for _, r := range res {
+					probes += r.Probes
+				}
+			}
+			b.ReportMetric(float64(probes), "probes/op")
+		})
+	}
+}
+
 // ------------------------------------------------------------ micro-level
 
-// BenchmarkEvalRoute measures the simulator's inner loop.
+// BenchmarkEvalRoute measures the simulator's inner loop (the steady-state
+// regime: repeated probes from one source, as the mapper's frontier issues
+// them). The alloc report locks the zero-allocation property.
 func BenchmarkEvalRoute(b *testing.B) {
 	sys := cluster.CABConfig(nil)
 	sn := simnet.NewDefault(sys.Net)
 	h0 := sys.Mapper()
 	route := simnet.Route{1, -2, 3, -1, 2, -3, 1}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sn.Eval(h0, route)
+	}
+}
+
+// BenchmarkEvalRouteColdCache is the same walk with the route-prefix memo
+// defeated every iteration (alternating sources), measuring the full
+// traversal cost rather than the exact-repeat fast path.
+func BenchmarkEvalRouteColdCache(b *testing.B) {
+	sys := cluster.CABConfig(nil)
+	sn := simnet.NewDefault(sys.Net)
+	hosts := sys.Net.Hosts()
+	h0, h1 := hosts[0], hosts[1]
+	route := simnet.Route{1, -2, 3, -1, 2, -3, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i&1 == 0 {
+			sn.Eval(h0, route)
+		} else {
+			sn.Eval(h1, route)
+		}
 	}
 }
 
@@ -417,6 +472,7 @@ func BenchmarkEvalRoute(b *testing.B) {
 func BenchmarkDepthBound(b *testing.B) {
 	sys := cluster.CABConfig(nil)
 	h0 := sys.Mapper()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Net.DepthBound(h0)
 	}
@@ -441,18 +497,36 @@ func BenchmarkWormholePermutation(b *testing.B) {
 		tab  *routes.Table
 	}{{"shortest", naive}, {"updown", safe}} {
 		b.Run(bc.name, func(b *testing.B) {
+			// Precompute every shift's injection list so the timed loop
+			// measures the hold-and-wait simulation, not route-table lookups.
+			type inj struct {
+				src topology.NodeID
+				r   simnet.Route
+			}
+			var shifts [][]inj
+			for shift := 1; shift < len(hosts); shift++ {
+				var list []inj
+				for j, src := range hosts {
+					dst := hosts[(j+shift)%len(hosts)]
+					if dst == src {
+						continue
+					}
+					r, ok := bc.tab.Route(src, dst)
+					if !ok {
+						b.Fatalf("no route %v -> %v", src, dst)
+					}
+					list = append(list, inj{src, r})
+				}
+				shifts = append(shifts, list)
+			}
+			b.ResetTimer()
 			dead := 0
 			for i := 0; i < b.N; i++ {
 				dead = 0
-				for shift := 1; shift < len(hosts); shift++ {
+				for _, list := range shifts {
 					s := wormsim.New(net, simnet.DefaultTiming())
-					for j, src := range hosts {
-						dst := hosts[(j+shift)%len(hosts)]
-						if dst == src {
-							continue
-						}
-						r, _ := bc.tab.Route(src, dst)
-						if err := s.Inject(0, src, r); err != nil {
+					for _, in := range list {
+						if err := s.Inject(0, in.src, in.r); err != nil {
 							b.Fatal(err)
 						}
 					}

@@ -1,0 +1,74 @@
+// Command sanbench converts `go test -bench` output into a JSON baseline
+// file (and back). The JSON form is what the repo commits as
+// BENCH_<rev>.json; the -text mode re-renders a baseline in the standard
+// benchmark text format so it can be fed straight to benchstat against a
+// fresh run.
+//
+// Usage:
+//
+//	go test -bench . -run '^$' . | sanbench -rev $(git rev-parse --short HEAD) -o BENCH_abc1234.json
+//	sanbench -text BENCH_abc1234.json > old.txt   # benchstat old.txt new.txt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sanmap/internal/stats"
+)
+
+func main() {
+	rev := flag.String("rev", "", "revision label to embed in the JSON baseline")
+	out := flag.String("o", "", "output file (default stdout)")
+	text := flag.String("text", "", "render this JSON baseline back to benchmark text instead of parsing")
+	flag.Parse()
+
+	var err error
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, cerr := os.Create(*out)
+		if cerr != nil {
+			die("%v", cerr)
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil && cerr != nil {
+				die("%v", cerr)
+			}
+		}()
+		w = f
+	}
+
+	if *text != "" {
+		data, rerr := os.ReadFile(*text)
+		if rerr != nil {
+			die("%v", rerr)
+		}
+		var set stats.BenchSet
+		if err = json.Unmarshal(data, &set); err != nil {
+			die("%s: %v", *text, err)
+		}
+		if _, err = io.WriteString(w, stats.FormatBench(&set)); err != nil {
+			die("%v", err)
+		}
+		return
+	}
+
+	set, perr := stats.ParseBench(os.Stdin)
+	if perr != nil {
+		die("%v", perr)
+	}
+	set.Rev = *rev
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err = enc.Encode(set); err != nil {
+		die("%v", err)
+	}
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sanbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	sanexp [-fig all|3|4|5|6|7|8|9|10|routes] [-runs N] [-window W] [-step N] [-seed N] [-dot]
+//	sanexp [-fig all|3|4|5|6|7|8|9|10|routes] [-runs N] [-window W] [-step N] [-seed N] [-parallel P] [-dot]
 //
 // Every report prints the measured values next to the paper's, so the
 // shape comparison is visible at a glance. Timings are virtual (see
@@ -29,7 +29,10 @@ func main() {
 	depth := flag.Int("depth", 0, "probe depth for the Fig 9 sweep (0 = the Q+D bound)")
 	dotOut := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII for figs 4 and 5")
 	tsvDir := flag.String("tsv", "", "also write Fig 8/9 series as TSV files into this directory")
+	parallel := flag.Int("parallel", 1, "worker pool size for the Fig 7/9/10 sweeps (0 = one per CPU); output is identical for any value")
 	flag.Parse()
+
+	workers := experiments.DefaultWorkers(*parallel)
 
 	want := func(name string) bool { return *fig == "all" || *fig == name }
 	ran := false
@@ -81,7 +84,7 @@ func main() {
 	}
 	if want("7") {
 		ran = true
-		rows, err := experiments.Fig7Windowed(*runs, *window)
+		rows, err := experiments.Fig7Sweep(*runs, *window, workers)
 		if err != nil {
 			fail("fig 7", err)
 		}
@@ -102,7 +105,7 @@ func main() {
 	}
 	if want("9") {
 		ran = true
-		ordered, random, err := experiments.Fig9AtDepth(*step, *seed, *depth)
+		ordered, random, err := experiments.Fig9Sweep(*step, *seed, *depth, workers)
 		if err != nil {
 			fail("fig 9", err)
 		}
@@ -115,7 +118,7 @@ func main() {
 	}
 	if want("10") {
 		ran = true
-		rows, err := experiments.Fig10()
+		rows, err := experiments.Fig10Sweep(workers)
 		if err != nil {
 			fail("fig 10", err)
 		}

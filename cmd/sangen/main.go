@@ -7,7 +7,8 @@
 //
 //	sangen -gen now-cab -o cab.san
 //	sangen -gen random:8,20,4 -seed 7 -analyze
-//	sangen -gen fattree:6x4 -tail 2 -analyze   # adds a hostless F region
+//	sangen -gen fattree:6x4 -tail 2 -analyze      # adds a hostless F region
+//	sangen -gen now-cab -analyze -parallel 8      # per-host Q table, 8 workers
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"math/rand"
 	"os"
 
+	"sanmap/internal/experiments"
 	"sanmap/internal/genspec"
 	"sanmap/internal/topology"
 )
@@ -27,6 +29,7 @@ func main() {
 	tail := flag.Int("tail", 0, "attach a hostless switch tail of this length (creates F)")
 	loops := flag.Int("loops", 0, "add this many loopback plugs on free switch ports")
 	analyze := flag.Bool("analyze", false, "print D, Q, |F| and other analysis parameters")
+	parallel := flag.Int("parallel", 1, "worker pool size for the -analyze per-host Q table (0 = one per CPU); output is identical for any value")
 	flag.Parse()
 
 	rng := rand.New(rand.NewSource(*seed))
@@ -80,6 +83,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "  |F|             = %d\n", len(undef))
 		fmt.Fprintf(os.Stderr, "  switch-bridges  = %d\n", len(net.SwitchBridges()))
 		fmt.Fprintf(os.Stderr, "  loopback plugs  = %d\n", len(net.Reflectors()))
+
+		// Per-host probe bounds: the Q each candidate mapper host would
+		// need, computed through the parallel sweep runner (one min-cost
+		// flow sweep per host; output is identical for any worker count).
+		rows, err := experiments.HostQTable(net, experiments.DefaultWorkers(*parallel))
+		if err != nil {
+			die("host Q table: %v", err)
+		}
+		minQ, maxQ, sum := rows[0], rows[0], 0
+		for _, r := range rows {
+			if r.Q < minQ.Q {
+				minQ = r
+			}
+			if r.Q > maxQ.Q {
+				maxQ = r
+			}
+			sum += r.Q
+		}
+		fmt.Fprintf(os.Stderr, "  per-host Q      = %d (%s) .. %d (%s), avg %.1f over %d hosts\n",
+			minQ.Q, minQ.Host, maxQ.Q, maxQ.Host, float64(sum)/float64(len(rows)), len(rows))
 	}
 }
 

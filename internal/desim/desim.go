@@ -8,15 +8,16 @@
 package desim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
+
+	"sanmap/internal/eventq"
 )
 
 // Engine schedules processes over virtual time.
 type Engine struct {
 	now    time.Duration
-	events eventHeap
+	events *eventq.Heap[event]
 	seq    int64
 	// yield receives a token whenever the running process blocks or ends.
 	yield   chan struct{}
@@ -26,7 +27,7 @@ type Engine struct {
 
 // New returns an idle engine at time zero.
 func New() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{yield: make(chan struct{}), events: eventq.New(eventLess)}
 }
 
 // Proc is the handle a process uses to interact with virtual time.
@@ -50,23 +51,19 @@ type event struct {
 	start func(*Proc) // non-nil for process launches
 }
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders by virtual time, sequence number breaking ties so equal
+// timestamps dispatch in scheduling order.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
 
 func (e *Engine) push(ev event) {
 	ev.seq = e.seq
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.events.Push(ev)
 }
 
 // Spawn registers a process to start at the current virtual time (or at
@@ -95,7 +92,7 @@ func (e *Engine) Run() time.Duration {
 	}
 	e.started = true
 	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(event)
+		ev := e.events.Pop()
 		if ev.p.dead {
 			continue
 		}

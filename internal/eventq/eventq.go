@@ -1,0 +1,96 @@
+// Package eventq provides a typed binary min-heap for discrete-event
+// simulators. Unlike container/heap, whose interface methods force every
+// Push/Pop through an `any` conversion (one heap allocation per event for
+// value types), this heap is generic over the element type: events are
+// stored inline in a slice and no boxing ever happens. The desim engine and
+// the wormsim hold-and-wait simulator both schedule through it; their event
+// types stay plain structs.
+package eventq
+
+// Heap is a typed binary min-heap ordered by the less function given to New.
+// The zero value is not usable; construct with New. Heaps are not safe for
+// concurrent use.
+type Heap[T any] struct {
+	less  func(a, b T) bool
+	items []T
+}
+
+// New returns an empty heap ordered by less (a min-heap when less is
+// "strictly before").
+func New[T any](less func(a, b T) bool) *Heap[T] {
+	return &Heap[T]{less: less}
+}
+
+// Len reports the number of queued items.
+func (h *Heap[T]) Len() int { return len(h.items) }
+
+// Push inserts v. Amortised O(log n), zero allocations once the backing
+// slice has grown to the high-water mark.
+func (h *Heap[T]) Push(v T) {
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum item. It panics on an empty heap;
+// guard with Len.
+func (h *Heap[T]) Pop() T {
+	n := len(h.items) - 1
+	top := h.items[0]
+	h.items[0] = h.items[n]
+	var zero T
+	h.items[n] = zero // release references held by pointerful event types
+	h.items = h.items[:n]
+	if n > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// Peek returns the minimum item without removing it; ok is false when the
+// heap is empty.
+func (h *Heap[T]) Peek() (v T, ok bool) {
+	if len(h.items) == 0 {
+		return v, false
+	}
+	return h.items[0], true
+}
+
+// Reset empties the heap but keeps the backing slice, so a reused simulator
+// re-fills it without reallocating.
+func (h *Heap[T]) Reset() {
+	var zero T
+	for i := range h.items {
+		h.items[i] = zero
+	}
+	h.items = h.items[:0]
+}
+
+func (h *Heap[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap[T]) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < n && h.less(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+}

@@ -1,0 +1,101 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHeapOrdering(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	rng := rand.New(rand.NewSource(1))
+	var want []int
+	for i := 0; i < 1000; i++ {
+		v := rng.Intn(500)
+		h.Push(v)
+		want = append(want, v)
+	}
+	sort.Ints(want)
+	for i, w := range want {
+		if got := h.Pop(); got != w {
+			t.Fatalf("pop %d = %d, want %d", i, got, w)
+		}
+	}
+	if h.Len() != 0 {
+		t.Errorf("len = %d after draining", h.Len())
+	}
+}
+
+func TestHeapStabilityViaSeq(t *testing.T) {
+	// Discrete-event heaps break ties with a sequence number; equal
+	// timestamps must come out in insertion order.
+	type ev struct {
+		at  int
+		seq int
+	}
+	h := New(func(a, b ev) bool {
+		if a.at != b.at {
+			return a.at < b.at
+		}
+		return a.seq < b.seq
+	})
+	for seq := 0; seq < 64; seq++ {
+		h.Push(ev{at: seq % 4, seq: seq})
+	}
+	prev := ev{at: -1, seq: -1}
+	for h.Len() > 0 {
+		e := h.Pop()
+		if e.at < prev.at || (e.at == prev.at && e.seq < prev.seq) {
+			t.Fatalf("out of order: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestHeapPeekAndReset(t *testing.T) {
+	h := New(func(a, b int) bool { return a < b })
+	if _, ok := h.Peek(); ok {
+		t.Error("Peek on empty heap reported ok")
+	}
+	h.Push(3)
+	h.Push(1)
+	if v, ok := h.Peek(); !ok || v != 1 {
+		t.Errorf("Peek = %d, %v; want 1, true", v, ok)
+	}
+	if h.Len() != 2 {
+		t.Errorf("Peek consumed an item: len %d", h.Len())
+	}
+	h.Reset()
+	if h.Len() != 0 {
+		t.Errorf("len after Reset = %d", h.Len())
+	}
+	h.Push(7)
+	if got := h.Pop(); got != 7 {
+		t.Errorf("pop after Reset = %d", got)
+	}
+}
+
+// TestHeapNoBoxingAllocs locks the property the package exists for: pushes
+// and pops after warm-up perform no allocations at all.
+func TestHeapNoBoxingAllocs(t *testing.T) {
+	type ev struct {
+		at  int64
+		seq int64
+	}
+	h := New(func(a, b ev) bool { return a.at < b.at })
+	for i := 0; i < 128; i++ {
+		h.Push(ev{at: int64(128 - i)})
+	}
+	h.Reset()
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			h.Push(ev{at: int64(64 - i), seq: int64(i)})
+		}
+		for h.Len() > 0 {
+			h.Pop()
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AllocsPerRun = %v, want 0", allocs)
+	}
+}

@@ -20,7 +20,6 @@ import (
 
 	"sanmap/internal/cluster"
 	"sanmap/internal/dot"
-	"sanmap/internal/election"
 	"sanmap/internal/isomorph"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
@@ -216,71 +215,10 @@ func Fig7(runs int) ([]Fig7Row, error) {
 }
 
 // Fig7Windowed is Fig7 with an explicit pipeline window (values <= 1 make
-// the pipelined column degenerate to a serial rerun).
+// the pipelined column degenerate to a serial rerun). The trials run
+// serially; Fig7Sweep spreads them over a worker pool.
 func Fig7Windowed(runs, window int) ([]Fig7Row, error) {
-	paper := map[string][2]string{
-		"C":     {"248 / 256 / 265", "277 / 278 / 282"},
-		"C+A":   {"499 / 522 / 555", "569 / 577 / 587"},
-		"C+A+B": {"981 / 1011 / 1208", "1065 / 1298 / 3332"},
-	}
-	builders := []struct {
-		name  string
-		build func(*rand.Rand) *cluster.System
-	}{
-		{"C", cluster.CConfig},
-		{"C+A", cluster.CAConfig},
-		{"C+A+B", cluster.CABConfig},
-	}
-	var out []Fig7Row
-	for _, bl := range builders {
-		row := Fig7Row{System: bl.name,
-			PaperMaster: paper[bl.name][0], PaperElection: paper[bl.name][1]}
-		for run := 0; run < runs; run++ {
-			rng := rand.New(rand.NewSource(int64(run) + 1))
-			sys := bl.build(rng)
-			net := sys.Net
-			h0 := sys.Mapper()
-			depth := net.DepthBound(h0)
-
-			sn := simnet.NewDefault(net)
-			m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
-			if err != nil {
-				return nil, fmt.Errorf("%s master run %d: %w", bl.name, run, err)
-			}
-			if err := isomorph.MustEqualCore(m.Network, net); err != nil {
-				return nil, fmt.Errorf("%s master run %d: %w", bl.name, run, err)
-			}
-			row.Master.Add(m.Stats.Elapsed)
-
-			snP := simnet.NewDefault(net)
-			mp, err := mapper.Run(snP.Endpoint(h0),
-				mapper.WithDepth(depth), mapper.WithPipeline(window))
-			if err != nil {
-				return nil, fmt.Errorf("%s pipelined run %d: %w", bl.name, run, err)
-			}
-			if err := isomorph.MustEqualCore(mp.Network, net); err != nil {
-				return nil, fmt.Errorf("%s pipelined run %d: %w", bl.name, run, err)
-			}
-			row.Pipelined.Add(mp.Stats.Elapsed)
-			row.Pipeline = mp.Stats.Pipeline
-
-			res, err := election.Run(net, election.Config{
-				Model:  simnet.CircuitModel,
-				Timing: simnet.DefaultTiming(),
-				Mapper: mapper.DefaultConfig(depth),
-				Rng:    rand.New(rand.NewSource(int64(run)*7919 + 17)),
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s election run %d: %w", bl.name, run, err)
-			}
-			if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
-				return nil, fmt.Errorf("%s election run %d: %w", bl.name, run, err)
-			}
-			row.Election.Add(res.Elapsed)
-		}
-		out = append(out, row)
-	}
-	return out, nil
+	return Fig7Sweep(runs, window, 1)
 }
 
 // FormatFig7 renders the table, plus the pipelined-engine extension column
@@ -362,73 +300,10 @@ func Fig9(step int, seed int64) (ordered, random []Fig9Point, err error) {
 // Fig9AtDepth is Fig9 with an explicit probe depth (0 = the proven Q+D
 // bound). The paper does not state its production depth; smaller depths
 // shrink the replicate tail that dominates the low-responder points, which
-// is the sensitivity EXPERIMENTS.md discusses.
+// is the sensitivity EXPERIMENTS.md discusses. The per-k mappings run
+// serially; Fig9Sweep spreads them over a worker pool.
 func Fig9AtDepth(step int, seed int64, depth int) (ordered, random []Fig9Point, err error) {
-	if step < 1 {
-		step = 1
-	}
-	run := func(order []topology.NodeID, sys *cluster.System) ([]Fig9Point, error) {
-		net := sys.Net
-		h0 := sys.Mapper()
-		if depth == 0 {
-			depth = net.DepthBound(h0)
-		}
-		// Sample k = 1, 1+step, ... and always include the full-system
-		// point (every host responding).
-		total := len(order) + 1
-		var ks []int
-		for k := 1; k <= total; k += step {
-			ks = append(ks, k)
-		}
-		if ks[len(ks)-1] != total {
-			ks = append(ks, total)
-		}
-		var pts []Fig9Point
-		for _, k := range ks {
-			sn := simnet.NewDefault(net)
-			responding := map[topology.NodeID]bool{h0: true}
-			for i := 0; i < k-1 && i < len(order); i++ {
-				responding[order[i]] = true
-			}
-			for _, h := range net.Hosts() {
-				if !responding[h] {
-					sn.SetResponder(h, false)
-				}
-			}
-			m, err := mapper.Run(sn.Endpoint(h0),
-				mapper.WithDepth(depth), mapper.WithMaxVertices(1<<21))
-			if err != nil {
-				return nil, fmt.Errorf("k=%d: %w", k, err)
-			}
-			pts = append(pts, Fig9Point{Responders: k, Time: m.Stats.Elapsed,
-				Probes: m.Stats.Probes.TotalProbes()})
-		}
-		return pts, nil
-	}
-
-	sys := cluster.CABConfig(nil)
-	var hosts []topology.NodeID
-	for _, h := range sys.Net.Hosts() {
-		if h != sys.Mapper() {
-			hosts = append(hosts, h)
-		}
-	}
-	// Ordered: hosts come out of the builder in subcluster order (C, A, B),
-	// matching "additional mappers were run in order of increasing node
-	// number ... filling out each subcluster completely".
-	ordered, err = run(hosts, sys)
-	if err != nil {
-		return nil, nil, err
-	}
-	shuffled := append([]topology.NodeID(nil), hosts...)
-	rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
-		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
-	})
-	random, err = run(shuffled, sys)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ordered, random, nil
+	return Fig9Sweep(step, seed, depth, 1)
 }
 
 // FormatFig9 renders the two curves and the paper's landmarks.
@@ -484,36 +359,10 @@ var fig10Paper = map[string][6]int64{
 
 // Fig10 runs the Myricom algorithm on the three systems (packet collision
 // model — the regime the firmware mapper is designed for) and the Berkeley
-// algorithm for the ratio comparisons of §5.4.
+// algorithm for the ratio comparisons of §5.4. The systems run serially;
+// Fig10Sweep spreads them over a worker pool.
 func Fig10() ([]Fig10Row, error) {
-	var out []Fig10Row
-	for _, ns := range Systems(0) {
-		net := ns.Sys.Net
-		h0 := ns.Sys.Mapper()
-		depth := net.DepthBound(h0)
-
-		snM := simnet.New(net, simnet.PacketModel, simnet.DefaultTiming())
-		my, err := myricom.Run(snM.Endpoint(h0), myricom.DefaultConfig(depth))
-		if err != nil {
-			return nil, fmt.Errorf("%s myricom: %w", ns.Name, err)
-		}
-		if err := isomorph.MustEqualCore(my.Network, net); err != nil {
-			return nil, fmt.Errorf("%s myricom map: %w", ns.Name, err)
-		}
-		snB := simnet.NewDefault(net)
-		berk, err := mapper.Run(snB.Endpoint(h0), mapper.WithDepth(depth))
-		if err != nil {
-			return nil, fmt.Errorf("%s berkeley: %w", ns.Name, err)
-		}
-		out = append(out, Fig10Row{
-			System:   ns.Name,
-			Stats:    my.Stats,
-			Berkeley: berk.Stats.Probes.TotalProbes(),
-			BerkTime: berk.Stats.Elapsed,
-			Paper:    fig10Paper[ns.Name],
-		})
-	}
-	return out, nil
+	return Fig10Sweep(1)
 }
 
 // FormatFig10 renders the table with the §5.4 ratios.

@@ -412,8 +412,8 @@ func (m *Model) prune(keepHost string) int {
 	pruned := 0
 	for {
 		deleted := false
-		for _, v := range m.liveVertices() {
-			if v.kind == topology.SwitchNode && v.degree() <= 1 {
+		for _, v := range m.verts {
+			if !v.deleted && v.kind == topology.SwitchNode && m.degree(v) <= 1 {
 				m.deleteVertex(v)
 				pruned++
 				deleted = true
@@ -423,8 +423,8 @@ func (m *Model) prune(keepHost string) int {
 			break
 		}
 	}
-	for _, v := range m.liveVertices() {
-		if v.kind == topology.HostNode && v.degree() == 0 && v.name != keepHost {
+	for _, v := range m.verts {
+		if !v.deleted && v.kind == topology.HostNode && m.degree(v) == 0 && v.name != keepHost {
 			m.deleteVertex(v)
 			pruned++
 		}

@@ -62,6 +62,9 @@ type Edge struct {
 	a, b    *Vertex
 	ai, bi  int
 	deleted bool
+	// mark is the edge-enumeration stamp: equal to Model.markGen when this
+	// edge was visited by the current walk (no per-walk map allocations).
+	mark uint32
 }
 
 // otherSide returns the endpoint of e opposite to (v, idx).
@@ -91,6 +94,12 @@ type Model struct {
 	liveEdges int
 
 	merges []mergeTask
+
+	// markGen is bumped per edge-enumeration walk (merge, degree, delete);
+	// edges stamped with it form the walk's visited set. edgeScratch is the
+	// reusable buffer those walks collect into.
+	markGen     uint32
+	edgeScratch []*Edge
 
 	// Inconsistencies counts deductions that contradicted each other — a
 	// vertex asked to merge with itself under a non-zero offset, which is
@@ -234,16 +243,17 @@ func (m *Model) mergeInto(ra, rb *Vertex, s int) {
 		ra.name = rb.name
 	}
 	// Detach rb's edges, rewrite their rb sides, and re-file them under ra.
-	seen := make(map[*Edge]bool)
-	var edges []*Edge
+	m.markGen++
+	edges := m.edgeScratch[:0]
 	for _, es := range rb.slots {
 		for _, e := range es {
-			if !e.deleted && !seen[e] {
-				seen[e] = true
+			if !e.deleted && e.mark != m.markGen {
+				e.mark = m.markGen
 				edges = append(edges, e)
 			}
 		}
 	}
+	m.edgeScratch = edges
 	rb.slots = nil
 	rb.forward = ra
 	rb.fshift = s
@@ -328,15 +338,15 @@ func (v *Vertex) occupied(j int) bool { return liveAny(v.slots[j]) }
 
 // degree counts live edges incident to v (self-loops count twice, matching
 // switch-port usage).
-func (v *Vertex) degree() int {
+func (m *Model) degree(v *Vertex) int {
 	d := 0
-	seen := make(map[*Edge]bool)
+	m.markGen++
 	for _, es := range v.slots {
 		for _, e := range es {
-			if e.deleted || seen[e] {
+			if e.deleted || e.mark == m.markGen {
 				continue
 			}
-			seen[e] = true
+			e.mark = m.markGen
 			d++
 			if e.a == e.b {
 				d++
@@ -362,11 +372,11 @@ func (m *Model) deleteVertex(v *Vertex) {
 	if v.deleted {
 		return
 	}
-	seen := make(map[*Edge]bool)
+	m.markGen++
 	for _, es := range v.slots {
 		for _, e := range es {
-			if !e.deleted && !seen[e] {
-				seen[e] = true
+			if !e.deleted && e.mark != m.markGen {
+				e.mark = m.markGen
 				e.deleted = true
 				m.liveEdges--
 				// Remove from the far side's slot list lazily: liveAny and

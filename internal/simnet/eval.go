@@ -115,109 +115,229 @@ type Result struct {
 // OK reports whether the message was delivered to a host.
 func (r Result) OK() bool { return r.Outcome == Delivered }
 
-// evalScratch holds reusable buffers for route evaluation.
+// EvalCacheStats counts the route-prefix memo's behaviour (see evalScratch).
+type EvalCacheStats struct {
+	// Hits counts evaluations that resumed from memoized traversal state
+	// (including exact repeats of the previous route).
+	Hits int64
+	// Misses counts evaluations walked in full from the source.
+	Misses int64
+	// TurnsSaved counts routing turns answered from the memo instead of
+	// being traversed.
+	TurnsSaved int64
+	// TurnsWalked counts routing turns actually traversed.
+	TurnsWalked int64
+}
+
+// HitRate reports Hits / (Hits + Misses), or 0 before any evaluation.
+func (s EvalCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders the counters on one line.
+func (s EvalCacheStats) String() string {
+	return fmt.Sprintf("evals=%d hits=%d (%.0f%%) turns-saved=%d turns-walked=%d",
+		s.Hits+s.Misses, s.Hits, 100*s.HitRate(), s.TurnsSaved, s.TurnsWalked)
+}
+
+// stepState is the walker's position after applying some prefix of a route:
+// the end the message last arrived at, and how many directed hops it has
+// traversed (the prefix of evalScratch.hops that belongs to it).
+type stepState struct {
+	cur   topology.End
+	nhops int32
+}
+
+// evalScratch holds the reusable buffers and the route-prefix memo for one
+// evaluator. Successive probes from a mapping frontier share long route
+// prefixes (every candidate turn extends the same frontier route, and a
+// switch probe's loopback starts with the host probe's route), so the memo
+// keeps the per-turn traversal state of the most recent walk; the next
+// evaluation resumes after the longest common prefix and only walks its
+// novel suffix. The memo is keyed on source host, collision model, the
+// Net's responder epoch and the topology's structural version, so any
+// reconfiguration invalidates it. All buffers are reused across calls; in
+// steady state an evaluation performs zero heap allocations. A Net is not
+// safe for concurrent use — see ConcurrentNet.
 type evalScratch struct {
+	// hops is the directed-hop trace of the current walk (shared between
+	// the live walk and the memo: a resumed walk truncates it to the common
+	// prefix and appends from there).
 	hops []DirectedHop
+
+	valid   bool            // memo holds a usable previous walk
+	from    topology.NodeID // memo key: source host
+	model   Model           // memo key: collision model
+	epoch   uint64          // memo key: Net state epoch
+	topoVer uint64          // memo key: topology.Network.Version
+	route   Route           // the previous route (owned copy, buffer reused)
+	// states[i] is the walker position after applying i turns of route;
+	// states[0] follows the hop out of the source host. len(states)-1 is the
+	// number of turns the previous walk applied before terminating.
+	states     []stepState
+	result     Result // result of the previous walk (for exact repeats)
+	resultHops int    // len(hops) when result was produced
+	stats      EvalCacheStats
+}
+
+// step outcomes of traverse.
+const (
+	stepOK = iota
+	stepNoWire
+	stepCollision
+)
+
+// traverse crosses the wire at (node, outPort), appending the directed hop
+// on success. Loopback plugs reflect the message back into the same port;
+// they occupy a synthetic directed edge so collision semantics still apply.
+func (s *evalScratch) traverse(topo *topology.Network, node topology.NodeID, outPort int, span int) (topology.End, int) {
+	fromEnd := topology.End{Node: node, Port: outPort}
+	var hop DirectedHop
+	var dest topology.End
+	wi := topo.WireAt(node, outPort)
+	switch {
+	case wi >= 0:
+		w := topo.WireByIndex(wi)
+		hop = DirectedHop{Wire: wi, FromA: w.A == fromEnd}
+		dest = w.Other(fromEnd)
+	case topo.ReflectorAt(node, outPort):
+		// A loopback plug is a cable from the port back to itself:
+		// successive crossings by one worm alternate direction, exactly
+		// like out-and-back over a two-ended wire, so a probe may bounce
+		// off it once (out + back) under the circuit model but not twice.
+		key := -2 - (int(node)*topology.SwitchPorts + outPort)
+		crossings := 0
+		for _, h := range s.hops {
+			if h.Wire == key {
+				crossings++
+			}
+		}
+		hop = DirectedHop{Wire: key, FromA: crossings%2 == 0}
+		dest = fromEnd
+	default:
+		return topology.End{}, stepNoWire
+	}
+	// Self-collision: directed edge still occupied by our own body.
+	if span > 1 {
+		n := len(s.hops)
+		lo := 0
+		if span < n {
+			lo = n - (span - 1)
+		}
+		for i := lo; i < n; i++ {
+			if s.hops[i] == hop {
+				return topology.End{}, stepCollision
+			}
+		}
+	}
+	s.hops = append(s.hops, hop)
+	return dest, stepOK
+}
+
+// finish records the walk's outcome in the memo and returns it.
+func (s *evalScratch) finish(res Result) Result {
+	s.result = res
+	s.resultHops = len(s.hops)
+	s.valid = true
+	return res
 }
 
 // evalRoute walks the message path of §2.2 from host `from` with the given
-// routing address, under collision model m. The traversed directed hops are
-// appended into scratch (reused across calls; a Net is not safe for
-// concurrent use — see ConcurrentNet).
-func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Model, scratch *evalScratch) Result {
+// routing address, under collision model m, resuming from the memoized
+// prefix of the previous walk when the keys match (see evalScratch).
+func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Model, s *evalScratch, epoch uint64) Result {
 	if topo.KindOf(from) != topology.HostNode {
 		panic(fmt.Sprintf("simnet: source %d is not a host", from))
 	}
-	scratch.hops = scratch.hops[:0]
-	wire0 := topo.WireAt(from, topology.HostPort)
-	if wire0 < 0 {
-		return Result{Outcome: SourceUnwired, Dest: from, FailTurn: -1}
-	}
-	cur := topology.End{Node: from, Port: topology.HostPort}
-	// traverse crosses the wire at (cur.Node, outPort); returns false on
-	// self-collision. Loopback plugs reflect the message back into the same
-	// port; they occupy a synthetic directed edge so collision semantics
-	// still apply.
-	traverse := func(outPort int) (topology.End, bool, bool) {
-		fromEnd := topology.End{Node: cur.Node, Port: outPort}
-		var hop DirectedHop
-		var dest topology.End
-		wi := topo.WireAt(cur.Node, outPort)
-		switch {
-		case wi >= 0:
-			w := topo.WireByIndex(wi)
-			hop = DirectedHop{Wire: wi, FromA: w.A == fromEnd}
-			dest = w.Other(fromEnd)
-		case topo.ReflectorAt(cur.Node, outPort):
-			// A loopback plug is a cable from the port back to itself:
-			// successive crossings by one worm alternate direction, exactly
-			// like out-and-back over a two-ended wire, so a probe may
-			// bounce off it once (out + back) under the circuit model but
-			// not twice.
-			key := -2 - (int(cur.Node)*topology.SwitchPorts + outPort)
-			crossings := 0
-			for _, h := range scratch.hops {
-				if h.Wire == key {
-					crossings++
-				}
-			}
-			hop = DirectedHop{Wire: key, FromA: crossings%2 == 0}
-			dest = fromEnd
-		default:
-			return topology.End{}, false, true // no wire
+
+	resume := -1
+	if s.valid && s.from == from && s.model == m && s.epoch == epoch && s.topoVer == topo.Version() {
+		// Longest common prefix with the previous route.
+		maxCmp := len(route)
+		if len(s.route) < maxCmp {
+			maxCmp = len(s.route)
 		}
-		// Self-collision: directed edge still occupied by our own body.
-		n := len(scratch.hops)
-		lo := 0
-		if m.Span < n {
-			lo = n - (m.Span - 1)
+		lcp := 0
+		for lcp < maxCmp && route[lcp] == s.route[lcp] {
+			lcp++
 		}
-		if m.Span > 1 {
-			for i := lo; i < n; i++ {
-				if scratch.hops[i] == hop {
-					return topology.End{}, false, false // collision
-				}
-			}
+		if lcp == len(route) && len(route) == len(s.route) {
+			// Exact repeat: replay the previous result without walking.
+			s.stats.Hits++
+			s.stats.TurnsSaved += int64(len(route))
+			s.hops = s.hops[:s.resultHops]
+			return s.result
 		}
-		scratch.hops = append(scratch.hops, hop)
-		return dest, true, true
+		// Resume after the common prefix, bounded by how far the previous
+		// walk got before terminating (a failed walk has no state beyond
+		// its failure turn).
+		resume = lcp
+		if walked := len(s.states) - 1; resume > walked {
+			resume = walked
+		}
 	}
 
-	// First hop: out of the source host.
-	next, ok, _ := traverse(topology.HostPort)
-	if !ok {
-		// A host's only wire cannot self-collide on the first hop.
-		return Result{Outcome: NoSuchWire, Dest: from, FailTurn: -1}
-	}
-	cur = next
-
-	for i, turn := range route {
-		if topo.KindOf(cur.Node) == topology.HostNode {
-			return Result{Outcome: HitHostTooSoon, Dest: cur.Node, EntryPort: cur.Port,
-				Hops: len(scratch.hops), FailTurn: i}
+	var cur topology.End
+	start := 0
+	if resume >= 0 {
+		s.stats.Hits++
+		s.stats.TurnsSaved += int64(resume)
+		st := s.states[resume]
+		cur = st.cur
+		s.hops = s.hops[:st.nhops]
+		s.states = s.states[:resume+1]
+		s.route = append(s.route[:resume], route[resume:]...)
+		start = resume
+	} else {
+		s.stats.Misses++
+		s.valid = false
+		s.hops = s.hops[:0]
+		if topo.WireAt(from, topology.HostPort) < 0 {
+			return Result{Outcome: SourceUnwired, Dest: from, FailTurn: -1}
 		}
-		out := cur.Port + int(turn)
-		if out < 0 || out >= topo.NumPorts(cur.Node) {
-			return Result{Outcome: IllegalTurn, Dest: cur.Node, EntryPort: cur.Port,
-				Hops: len(scratch.hops), FailTurn: i}
-		}
-		next, wired, noCollision := traverse(out)
-		if !noCollision {
-			return Result{Outcome: SelfCollision, Dest: cur.Node, EntryPort: cur.Port,
-				Hops: len(scratch.hops), FailTurn: i}
-		}
-		if !wired {
-			return Result{Outcome: NoSuchWire, Dest: cur.Node, EntryPort: cur.Port,
-				Hops: len(scratch.hops), FailTurn: i}
+		// First hop: out of the source host (cannot self-collide).
+		next, status := s.traverse(topo, from, topology.HostPort, m.Span)
+		if status != stepOK {
+			return Result{Outcome: NoSuchWire, Dest: from, FailTurn: -1}
 		}
 		cur = next
+		s.states = append(s.states[:0], stepState{cur: cur, nhops: int32(len(s.hops))})
+		s.route = append(s.route[:0], route...)
+		s.from, s.model, s.epoch, s.topoVer = from, m, epoch, topo.Version()
 	}
 
-	out := Result{Dest: cur.Node, EntryPort: cur.Port, Hops: len(scratch.hops), FailTurn: -1}
-	if topo.KindOf(cur.Node) == topology.HostNode {
-		out.Outcome = Delivered
-	} else {
-		out.Outcome = Stranded
+	for i := start; i < len(route); i++ {
+		if topo.KindOf(cur.Node) == topology.HostNode {
+			return s.finish(Result{Outcome: HitHostTooSoon, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(s.hops), FailTurn: i})
+		}
+		out := cur.Port + int(route[i])
+		if out < 0 || out >= topo.NumPorts(cur.Node) {
+			return s.finish(Result{Outcome: IllegalTurn, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(s.hops), FailTurn: i})
+		}
+		next, status := s.traverse(topo, cur.Node, out, m.Span)
+		if status == stepCollision {
+			return s.finish(Result{Outcome: SelfCollision, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(s.hops), FailTurn: i})
+		}
+		if status == stepNoWire {
+			return s.finish(Result{Outcome: NoSuchWire, Dest: cur.Node, EntryPort: cur.Port,
+				Hops: len(s.hops), FailTurn: i})
+		}
+		cur = next
+		s.states = append(s.states, stepState{cur: cur, nhops: int32(len(s.hops))})
+		s.stats.TurnsWalked++
 	}
-	return out
+
+	res := Result{Dest: cur.Node, EntryPort: cur.Port, Hops: len(s.hops), FailTurn: -1}
+	if topo.KindOf(cur.Node) == topology.HostNode {
+		res.Outcome = Delivered
+	} else {
+		res.Outcome = Stranded
+	}
+	return s.finish(res)
 }

@@ -81,6 +81,12 @@ type Net struct {
 	clock   time.Duration
 	stats   Stats
 	scratch evalScratch
+	// epoch counts responder/configuration changes; the route-prefix memo in
+	// scratch is keyed on it (plus the topology's structural version), so any
+	// state change invalidates memoized traversal automatically.
+	epoch uint64
+	// loopBuf is the reusable buffer for loopback route expansion in submit.
+	loopBuf Route
 	// responder marks hosts running a mapper daemon; only they answer
 	// host-probes. Hosts absent from the map respond (default true).
 	silent map[topology.NodeID]bool
@@ -145,7 +151,18 @@ func (n *Net) SetResponder(h topology.NodeID, responds bool) {
 	} else {
 		n.silent[h] = true
 	}
+	n.epoch++
 }
+
+// Reconfigure bumps the transport's state epoch, invalidating any memoized
+// route-traversal state. Structural topology edits (Connect, AddReflector,
+// RemoveWire) are detected automatically through the topology's version
+// counter; call Reconfigure after out-of-band changes the transport cannot
+// observe.
+func (n *Net) Reconfigure() { n.epoch++ }
+
+// EvalCacheStats returns the route-prefix memo's hit/miss counters.
+func (n *Net) EvalCacheStats() EvalCacheStats { return n.scratch.stats }
 
 // Responds reports whether host h answers host-probes.
 func (n *Net) Responds(h topology.NodeID) bool { return !n.silent[h] }
@@ -158,12 +175,12 @@ func (n *Net) SetProbeLog(f func(kind string, from topology.NodeID, r Route, ok 
 // Eval evaluates a raw route without sending a probe (no clock or counter
 // effects). Exposed for tests, route verification and tooling.
 func (n *Net) Eval(from topology.NodeID, route Route) Result {
-	return evalRoute(n.topo, from, route, n.model, &n.scratch)
+	return evalRoute(n.topo, from, route, n.model, &n.scratch, n.epoch)
 }
 
 // EvalModel evaluates a route under an explicit collision model.
 func (n *Net) EvalModel(from topology.NodeID, route Route, m Model) Result {
-	return evalRoute(n.topo, from, route, m, &n.scratch)
+	return evalRoute(n.topo, from, route, m, &n.scratch, n.epoch)
 }
 
 // EvalPath evaluates a route and additionally returns the directed hops the
@@ -171,7 +188,7 @@ func (n *Net) EvalModel(from topology.NodeID, route Route, m Model) Result {
 // freshly allocated. Used by the discrete-event transport, which needs the
 // exact links a worm occupies to model contention.
 func (n *Net) EvalPath(from topology.NodeID, route Route) (Result, []DirectedHop) {
-	res := evalRoute(n.topo, from, route, n.model, &n.scratch)
+	res := evalRoute(n.topo, from, route, n.model, &n.scratch, n.epoch)
 	return res, append([]DirectedHop(nil), n.scratch.hops...)
 }
 
@@ -205,13 +222,13 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidProbe() {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
-		route := p.Route.Loopback()
-		res := n.Eval(from, route)
+		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
+		res := n.Eval(from, n.loopBuf)
 		r.OK = res.Outcome == Delivered && res.Dest == from
 		n.stats.SwitchProbes++
 		if r.OK {
 			n.stats.SwitchHits++
-			wait = n.transitTime(res.Hops, len(route))
+			wait = n.transitTime(res.Hops, len(n.loopBuf))
 		} else {
 			r.Err = ErrTimeout
 		}
@@ -259,14 +276,14 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		// The outbound prefix tells us which node reflects; the full
 		// loopback decides success exactly like a plain switch probe.
 		probe := n.Eval(from, p.Route)
-		route := p.Route.Loopback()
-		res := n.Eval(from, route)
+		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
+		res := n.Eval(from, n.loopBuf)
 		r.OK = res.Outcome == Delivered && res.Dest == from &&
 			probe.Outcome == Stranded // the prefix parks on a switch
 		n.stats.SwitchProbes++
 		if r.OK {
 			n.stats.SwitchHits++
-			wait = n.transitTime(res.Hops, len(route))
+			wait = n.transitTime(res.Hops, len(n.loopBuf))
 			r.SwitchID, r.EntryPort = int(probe.Dest), probe.EntryPort
 		} else {
 			r.Err = ErrTimeout

@@ -66,11 +66,19 @@ func (r Route) Reversed() Route {
 // and retrace home. The mapper receiving this message back proves the
 // reflecting node is a switch.
 func (r Route) Loopback() Route {
-	out := make(Route, 0, 2*len(r)+1)
-	out = append(out, r...)
-	out = append(out, 0)
-	out = append(out, r.Reversed()...)
-	return out
+	return r.AppendLoopback(make(Route, 0, 2*len(r)+1))
+}
+
+// AppendLoopback appends the loopback expansion of r (§2.3: r, 0, reversed
+// r) to dst and returns the extended slice. It is the allocation-free form
+// of Loopback for hot paths that own a reusable buffer.
+func (r Route) AppendLoopback(dst Route) Route {
+	dst = append(dst, r...)
+	dst = append(dst, 0)
+	for i := len(r) - 1; i >= 0; i-- {
+		dst = append(dst, -r[i])
+	}
+	return dst
 }
 
 // Extend returns a copy of r with turn t appended.

@@ -173,3 +173,63 @@ func TestProbeErrorClassification(t *testing.T) {
 		t.Errorf("bogus kind: err = %v, want ErrUnsupported", r.Err)
 	}
 }
+
+// TestWindowMixedRetryTimeoutCache drives one window through every outcome
+// class at once — a retried-then-successful probe, a permanent timeout that
+// exhausts its retry budget, and a plain success — and checks the counters
+// and the cache's treatment of each.
+func TestWindowMixedRetryTimeoutCache(t *testing.T) {
+	sn, h0, _ := probeNet(t)
+	w := NewProbeWindow(AsyncAdapter{P: &dropFirst{Endpoint: sn.Endpoint(h0)}},
+		WindowConfig{Window: 4, Retries: 1, Cache: true})
+
+	batch := []Probe{
+		{Kind: ProbeHost, Route: Route{3, 3}}, // dropped once, succeeds on retry
+		{Kind: ProbeHost, Route: Route{1}},    // dead end: times out, retries, times out
+		{Kind: ProbeSwitch, Route: Route{3}},  // succeeds outright
+	}
+	res := w.Do(batch)
+	if !res[0].OK || res[0].Host != "h1" {
+		t.Fatalf("retried probe: %+v", res[0])
+	}
+	if res[1].OK || !errors.Is(res[1].Err, ErrTimeout) {
+		t.Fatalf("dead-end probe: %+v", res[1])
+	}
+	if !res[2].OK {
+		t.Fatalf("switch probe: %+v", res[2])
+	}
+	st := w.Stats()
+	// 3 first attempts + 2 retries (the dropped probe and the dead end).
+	if st.Submitted != 5 || st.Retries != 2 || st.CacheHits != 0 {
+		t.Fatalf("after mixed batch: %+v", st)
+	}
+
+	// Replays: every final outcome — success AND exhausted failure — was
+	// cached, so the same batch costs no messages and no virtual time.
+	mark := sn.Clock()
+	res = w.Do(batch)
+	if !res[0].Cached || !res[0].OK || res[0].Host != "h1" {
+		t.Errorf("cached success: %+v", res[0])
+	}
+	if !res[1].Cached || res[1].OK || !errors.Is(res[1].Err, ErrTimeout) {
+		t.Errorf("cached failure: %+v", res[1])
+	}
+	if !res[2].Cached || !res[2].OK {
+		t.Errorf("cached switch probe: %+v", res[2])
+	}
+	for i, r := range res {
+		if r.Latency != 0 {
+			t.Errorf("cached probe %d paid latency %v", i, r.Latency)
+		}
+	}
+	if sn.Clock() != mark {
+		t.Errorf("cache replay advanced the clock by %v", sn.Clock()-mark)
+	}
+	st = w.Stats()
+	if st.Submitted != 5 || st.CacheHits != 3 {
+		t.Errorf("after replay: %+v", st)
+	}
+	if sn.Stats().HostProbes != 4 {
+		t.Errorf("transport saw %d host probes, want 4", sn.Stats().HostProbes)
+	}
+}

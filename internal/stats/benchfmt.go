@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one `go test -bench` measurement line: a benchmark name
+// (with the -P GOMAXPROCS suffix kept, as benchstat expects), an iteration
+// count, and a set of (unit -> value) metrics such as ns/op, B/op,
+// allocs/op, or custom b.ReportMetric units like probes/op.
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// BenchSet is a parsed benchmark run: the `key: value` configuration lines
+// (goos, goarch, pkg, cpu) plus every measurement, in input order. Rev is
+// filled by the caller (typically a VCS revision) and rides along in the
+// JSON so baseline files are self-describing.
+type BenchSet struct {
+	Rev     string            `json:"rev,omitempty"`
+	Config  map[string]string `json:"config,omitempty"`
+	Results []BenchResult     `json:"results"`
+}
+
+// ParseBench reads `go test -bench` output. Unrecognised lines (test chatter,
+// PASS/ok trailers) are skipped; malformed Benchmark lines are an error so a
+// truncated run can't masquerade as a baseline.
+func ParseBench(r io.Reader) (*BenchSet, error) {
+	set := &BenchSet{Config: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "Benchmark"):
+			res, err := parseBenchLine(line)
+			if err != nil {
+				return nil, err
+			}
+			set.Results = append(set.Results, res)
+		case isBenchConfig(line):
+			k, v, _ := strings.Cut(line, ":")
+			set.Config[k] = strings.TrimSpace(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(set.Results) == 0 {
+		return nil, fmt.Errorf("benchfmt: no Benchmark lines in input")
+	}
+	return set, nil
+}
+
+// isBenchConfig recognises the `key: value` preamble go test prints before
+// measurements. Keys are lowercase words (goos, goarch, pkg, cpu).
+func isBenchConfig(line string) bool {
+	k, _, ok := strings.Cut(line, ":")
+	if !ok || k == "" {
+		return false
+	}
+	for _, c := range k {
+		if (c < 'a' || c > 'z') && (c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+func parseBenchLine(line string) (BenchResult, error) {
+	f := strings.Fields(line)
+	// Name iterations, then (value, unit) pairs.
+	if len(f) < 4 || len(f)%2 != 0 {
+		return BenchResult{}, fmt.Errorf("benchfmt: malformed line %q", line)
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, fmt.Errorf("benchfmt: bad iteration count in %q: %v", line, err)
+	}
+	res := BenchResult{Name: f[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return BenchResult{}, fmt.Errorf("benchfmt: bad value in %q: %v", line, err)
+		}
+		res.Metrics[f[i+1]] = v
+	}
+	return res, nil
+}
+
+// canonical metric order for FormatBench; anything else follows sorted.
+var benchUnitOrder = map[string]int{"ns/op": 0, "MB/s": 1, "B/op": 2, "allocs/op": 3}
+
+// FormatBench renders the set back into the text format benchstat and
+// `benchcmp`-style tools consume, so a JSON baseline can be compared against
+// a fresh run with stock tooling.
+func FormatBench(set *BenchSet) string {
+	var b strings.Builder
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if v, ok := set.Config[k]; ok {
+			fmt.Fprintf(&b, "%s: %s\n", k, v)
+		}
+	}
+	for _, r := range set.Results {
+		units := make([]string, 0, len(r.Metrics))
+		for u := range r.Metrics {
+			units = append(units, u)
+		}
+		sort.Slice(units, func(i, j int) bool {
+			oi, iok := benchUnitOrder[units[i]]
+			oj, jok := benchUnitOrder[units[j]]
+			if iok != jok {
+				return iok
+			}
+			if iok && jok && oi != oj {
+				return oi < oj
+			}
+			return units[i] < units[j]
+		})
+		fmt.Fprintf(&b, "%s\t%d", r.Name, r.Iterations)
+		for _, u := range units {
+			fmt.Fprintf(&b, "\t%s %s", strconv.FormatFloat(r.Metrics[u], 'f', -1, 64), u)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

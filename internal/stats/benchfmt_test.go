@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+const benchSample = `goos: linux
+goarch: amd64
+pkg: sanmap
+cpu: AMD EPYC
+BenchmarkEvalRoute-8   	95019072	        10.05 ns/op	       0 B/op	       0 allocs/op
+BenchmarkRandomizedTrials/serial-8	       1	 4834210 ns/op	      5015 probes/op
+PASS
+ok  	sanmap	2.872s
+`
+
+func TestParseBench(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Config["goos"] != "linux" || set.Config["cpu"] != "AMD EPYC" {
+		t.Errorf("config = %v", set.Config)
+	}
+	if len(set.Results) != 2 {
+		t.Fatalf("got %d results, want 2", len(set.Results))
+	}
+	r := set.Results[0]
+	if r.Name != "BenchmarkEvalRoute-8" || r.Iterations != 95019072 {
+		t.Errorf("result 0: %+v", r)
+	}
+	if r.Metrics["ns/op"] != 10.05 || r.Metrics["allocs/op"] != 0 {
+		t.Errorf("metrics 0: %v", r.Metrics)
+	}
+	if m := set.Results[1].Metrics; m["probes/op"] != 5015 {
+		t.Errorf("custom metric lost: %v", m)
+	}
+}
+
+func TestParseBenchErrors(t *testing.T) {
+	for _, in := range []string{
+		"PASS\nok sanmap 1s\n",                 // no measurements
+		"BenchmarkX-8 notanumber 1 ns/op\n",    // bad iterations
+		"BenchmarkX-8 10 fast ns/op\n",         // bad value
+		"BenchmarkX-8 10 3.5\n",                // value with no unit
+	} {
+		if _, err := ParseBench(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseBench(%q) = nil error", in)
+		}
+	}
+}
+
+// TestBenchRoundTrip: parse -> format -> parse is the identity, so a JSON
+// baseline re-rendered for benchstat means what the original run measured.
+func TestBenchRoundTrip(t *testing.T) {
+	set, err := ParseBench(strings.NewReader(benchSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatBench(set)
+	again, err := ParseBench(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, text)
+	}
+	if len(again.Results) != len(set.Results) {
+		t.Fatalf("result count changed: %d -> %d", len(set.Results), len(again.Results))
+	}
+	for i := range set.Results {
+		a, b := set.Results[i], again.Results[i]
+		if a.Name != b.Name || a.Iterations != b.Iterations {
+			t.Errorf("result %d header changed: %+v -> %+v", i, a, b)
+		}
+		for u, v := range a.Metrics {
+			if b.Metrics[u] != v {
+				t.Errorf("result %d metric %s: %v -> %v", i, u, v, b.Metrics[u])
+			}
+		}
+	}
+	if !strings.Contains(text, "goos: linux") {
+		t.Errorf("config lines missing:\n%s", text)
+	}
+}

@@ -104,7 +104,16 @@ type Network struct {
 	dead   []bool
 	nDead  int
 	byName map[string]NodeID
+	// version counts structural mutations (nodes, wires, reflectors). Route
+	// evaluators key their memoized traversal state on it, so reconfiguring
+	// a network invalidates caches automatically.
+	version uint64
 }
+
+// Version reports the structural mutation counter: it changes whenever a
+// node, wire or loopback plug is added or a wire removed. Equal versions of
+// the same Network value guarantee identical routing behaviour.
+func (n *Network) Version() uint64 { return n.version }
 
 // AddHost appends a host with the given unique name and returns its id.
 // Host names are the unique identifiers probes report (§2.3: "Hosts are
@@ -135,6 +144,7 @@ func (n *Network) addNode(kind Kind, name string, ports int) NodeID {
 		p[i] = NoWire
 	}
 	n.nodes = append(n.nodes, node{kind: kind, name: name, ports: p})
+	n.version++
 	return NodeID(len(n.nodes) - 1)
 }
 
@@ -156,6 +166,7 @@ func (n *Network) Connect(a NodeID, ap int, b NodeID, bp int) (int, error) {
 	n.dead = append(n.dead, false)
 	n.nodes[a].ports[ap] = w
 	n.nodes[b].ports[bp] = w
+	n.version++
 	return int(w), nil
 }
 
@@ -224,6 +235,7 @@ func (n *Network) AddReflector(id NodeID, port int) error {
 		n.nodes[id].reflect = make([]bool, len(n.nodes[id].ports))
 	}
 	n.nodes[id].reflect[port] = true
+	n.version++
 	return nil
 }
 
@@ -257,6 +269,7 @@ func (n *Network) RemoveWire(w int) error {
 	n.nodes[wire.B.Node].ports[wire.B.Port] = NoWire
 	n.dead[w] = true
 	n.nDead++
+	n.version++
 	return nil
 }
 
@@ -410,10 +423,11 @@ func (n *Network) HostSwitch(h NodeID) (sw NodeID, port int, ok bool) {
 // Clone returns a deep copy of the network.
 func (n *Network) Clone() *Network {
 	c := &Network{
-		nodes: make([]node, len(n.nodes)),
-		wires: append([]Wire(nil), n.wires...),
-		dead:  append([]bool(nil), n.dead...),
-		nDead: n.nDead,
+		nodes:   make([]node, len(n.nodes)),
+		wires:   append([]Wire(nil), n.wires...),
+		dead:    append([]bool(nil), n.dead...),
+		nDead:   n.nDead,
+		version: n.version,
 	}
 	for i, nd := range n.nodes {
 		c.nodes[i] = node{kind: nd.kind, name: nd.name, ports: append([]int32(nil), nd.ports...)}

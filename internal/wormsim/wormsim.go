@@ -17,10 +17,10 @@
 package wormsim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
+	"sanmap/internal/eventq"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -54,6 +54,9 @@ type worm struct {
 	waitStart time.Duration
 	dead      bool
 	done      bool
+	// mark is the cycle-detection stamp: equal to Sim.cycleGen when this
+	// worm was visited by the current inCycle walk.
+	mark uint32
 }
 
 // Sim is a one-shot wormhole simulation: inject worms, Run, read Stats.
@@ -66,9 +69,12 @@ type Sim struct {
 	waiters map[simnet.DirectedHop][]*worm
 	worms   []*worm
 
-	events eventHeap
+	events *eventq.Heap[event]
 	seq    int64
 	now    time.Duration
+	// cycleGen is bumped per inCycle walk; worms stamped with it are the
+	// walk's visited set (no per-call map allocation).
+	cycleGen uint32
 
 	stats Stats
 }
@@ -83,6 +89,7 @@ func New(net *topology.Network, timing simnet.Timing) *Sim {
 		timing:  timing,
 		owner:   make(map[simnet.DirectedHop]*worm),
 		waiters: make(map[simnet.DirectedHop][]*worm),
+		events:  eventq.New(eventLess),
 	}
 }
 
@@ -101,27 +108,17 @@ const (
 	evBreak                    // deadlock timeout fired
 )
 
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders by virtual time, sequence number breaking ties so equal
+// timestamps dispatch in scheduling order.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 func (s *Sim) push(at time.Duration, w *worm, kind eventKind) {
-	heap.Push(&s.events, event{at: at, seq: s.seq, w: w, kind: kind})
+	s.events.Push(event{at: at, seq: s.seq, w: w, kind: kind})
 	s.seq++
 }
 
@@ -143,7 +140,7 @@ func (s *Sim) Inject(at time.Duration, src topology.NodeID, route simnet.Route) 
 // Run processes events to completion and returns the statistics.
 func (s *Sim) Run() Stats {
 	for s.events.Len() > 0 {
-		ev := heap.Pop(&s.events).(event)
+		ev := s.events.Pop()
 		s.now = ev.at
 		w := ev.w
 		if w.dead || w.done {
@@ -240,7 +237,9 @@ func (s *Sim) release(w *worm) {
 // inCycle reports whether w participates in a circular wait: follow
 // "waits-for link owned by" edges from w; a return to w is a deadlock.
 func (s *Sim) inCycle(w *worm) bool {
-	seen := make(map[*worm]bool)
+	// Generation stamps replace a per-call visited map: a worm whose mark
+	// equals the current generation has been seen in this walk.
+	s.cycleGen++
 	cur := w
 	for {
 		if cur.next >= len(cur.hops) || !cur.blocked {
@@ -253,10 +252,10 @@ func (s *Sim) inCycle(w *worm) bool {
 		if holder == w {
 			return true
 		}
-		if seen[holder] {
+		if holder.mark == s.cycleGen {
 			return false // a cycle not through w; its own detection handles it
 		}
-		seen[holder] = true
+		holder.mark = s.cycleGen
 		cur = holder
 	}
 }
