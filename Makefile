@@ -4,13 +4,22 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet test race bench bench-smoke bench-baseline ci
+.PHONY: build vet lint test race bench bench-smoke bench-baseline ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# lint runs go vet plus the repo's own analyzers (cmd/sanlint: determinism,
+# hotpath, epochcheck, senterr — see DESIGN.md §8), then checks that the
+# tree is gofmt-clean and go.mod/go.sum are tidy.
+lint: vet
+	$(GO) run ./cmd/sanlint ./...
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) mod tidy -diff
 
 test:
 	$(GO) test ./...
@@ -37,4 +46,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build vet test race bench-smoke
+ci: build lint test race bench-smoke

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
@@ -74,36 +75,47 @@ func main() {
 	}
 
 	if *analyze {
-		h0 := net.Hosts()[0]
-		q, undef := net.Q(h0)
-		fmt.Fprintf(os.Stderr, "analysis: %v\n", net)
-		fmt.Fprintf(os.Stderr, "  diameter D      = %d\n", net.Diameter())
-		fmt.Fprintf(os.Stderr, "  probe bound Q   = %d (from %s)\n", q, net.NameOf(h0))
-		fmt.Fprintf(os.Stderr, "  search depth    = %d (Q+D)\n", q+net.Diameter())
-		fmt.Fprintf(os.Stderr, "  |F|             = %d\n", len(undef))
-		fmt.Fprintf(os.Stderr, "  switch-bridges  = %d\n", len(net.SwitchBridges()))
-		fmt.Fprintf(os.Stderr, "  loopback plugs  = %d\n", len(net.Reflectors()))
-
-		// Per-host probe bounds: the Q each candidate mapper host would
-		// need, computed through the parallel sweep runner (one min-cost
-		// flow sweep per host; output is identical for any worker count).
-		rows, err := experiments.HostQTable(net, experiments.DefaultWorkers(*parallel))
-		if err != nil {
-			die("host Q table: %v", err)
+		if err := printAnalysis(os.Stderr, net, *parallel); err != nil {
+			die("%v", err)
 		}
-		minQ, maxQ, sum := rows[0], rows[0], 0
-		for _, r := range rows {
-			if r.Q < minQ.Q {
-				minQ = r
-			}
-			if r.Q > maxQ.Q {
-				maxQ = r
-			}
-			sum += r.Q
-		}
-		fmt.Fprintf(os.Stderr, "  per-host Q      = %d (%s) .. %d (%s), avg %.1f over %d hosts\n",
-			minQ.Q, minQ.Host, maxQ.Q, maxQ.Host, float64(sum)/float64(len(rows)), len(rows))
 	}
+}
+
+// printAnalysis writes the §3.1.4 analysis parameters of net to w. The
+// output is a pure function of the network: it is byte-identical across
+// runs and worker counts (the regression test in main_test.go holds it to
+// that).
+func printAnalysis(w io.Writer, net *topology.Network, parallel int) error {
+	h0 := net.Hosts()[0]
+	q, undef := net.Q(h0)
+	fmt.Fprintf(w, "analysis: %v\n", net)
+	fmt.Fprintf(w, "  diameter D      = %d\n", net.Diameter())
+	fmt.Fprintf(w, "  probe bound Q   = %d (from %s)\n", q, net.NameOf(h0))
+	fmt.Fprintf(w, "  search depth    = %d (Q+D)\n", q+net.Diameter())
+	fmt.Fprintf(w, "  |F|             = %d\n", len(undef))
+	fmt.Fprintf(w, "  switch-bridges  = %d\n", len(net.SwitchBridges()))
+	fmt.Fprintf(w, "  loopback plugs  = %d\n", len(net.Reflectors()))
+
+	// Per-host probe bounds: the Q each candidate mapper host would
+	// need, computed through the parallel sweep runner (one min-cost
+	// flow sweep per host; output is identical for any worker count).
+	rows, err := experiments.HostQTable(net, experiments.DefaultWorkers(parallel))
+	if err != nil {
+		return fmt.Errorf("host Q table: %w", err)
+	}
+	minQ, maxQ, sum := rows[0], rows[0], 0
+	for _, r := range rows {
+		if r.Q < minQ.Q {
+			minQ = r
+		}
+		if r.Q > maxQ.Q {
+			maxQ = r
+		}
+		sum += r.Q
+	}
+	fmt.Fprintf(w, "  per-host Q      = %d (%s) .. %d (%s), avg %.1f over %d hosts\n",
+		minQ.Q, minQ.Host, maxQ.Q, maxQ.Host, float64(sum)/float64(len(rows)), len(rows))
+	return nil
 }
 
 func die(format string, args ...any) {

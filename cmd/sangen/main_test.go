@@ -1,0 +1,35 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/genspec"
+)
+
+// TestAnalysisByteIdentical holds -analyze to its documented contract: the
+// report is a pure function of the network, byte-identical across runs and
+// across worker counts.
+func TestAnalysisByteIdentical(t *testing.T) {
+	analysis := func(parallel int) []byte {
+		res, err := genspec.Build("random:8,20,4", rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("genspec.Build: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := printAnalysis(&buf, res.Net, parallel); err != nil {
+			t.Fatalf("printAnalysis: %v", err)
+		}
+		return buf.Bytes()
+	}
+	serial := analysis(1)
+	again := analysis(1)
+	wide := analysis(4)
+	if !bytes.Equal(serial, again) {
+		t.Errorf("analysis output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", serial, again)
+	}
+	if !bytes.Equal(serial, wide) {
+		t.Errorf("analysis output differs across worker counts:\n--- workers=1\n%s\n--- workers=4\n%s", serial, wide)
+	}
+}

@@ -1,0 +1,113 @@
+// Command sanlint is the repo's multichecker: it runs the four sanlint
+// analyzers (determinism, hotpath, epochcheck, senterr) over the packages
+// matched by the given patterns (default ./...) and exits non-zero if any
+// diagnostic is reported. `make lint` runs it over the whole tree.
+//
+// Diagnostics print in the familiar vet format:
+//
+//	path/to/file.go:12:3: hotpath: make allocates
+//
+// The determinism analyzer is scoped to the packages whose output feeds the
+// reproducibility guarantee (experiments, mapper, dot, isomorph); the other
+// three run everywhere.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"sanmap/internal/analysis"
+	"sanmap/internal/analysis/determinism"
+	"sanmap/internal/analysis/epochcheck"
+	"sanmap/internal/analysis/hotpath"
+	"sanmap/internal/analysis/senterr"
+)
+
+// always runs over every matched package.
+var always = []*analysis.Analyzer{
+	hotpath.Analyzer,
+	epochcheck.Analyzer,
+	senterr.Analyzer,
+}
+
+// determinismScope lists the import-path suffixes where map-iteration order
+// and global randomness leak into published artifacts (maps, DOT renderings,
+// experiment tables). Elsewhere the rules would mostly flag benign code.
+var determinismScope = []string{
+	"internal/experiments",
+	"internal/mapper",
+	"internal/dot",
+	"internal/isomorph",
+}
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: sanlint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the sanlint analyzers over the given package patterns (default ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range append(append([]*analysis.Analyzer(nil), always...), determinism.Analyzer) {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(wd, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, pkg := range pkgs {
+		analyzers := always
+		if inDeterminismScope(pkg.ImportPath) {
+			analyzers = append(append([]*analysis.Analyzer(nil), always...), determinism.Analyzer)
+		}
+		diags, err := analysis.Run([]*analysis.Package{pkg}, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			pos := pkg.Fset.Position(d.Pos)
+			name := pos.Filename
+			if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+			fmt.Printf("%s:%d:%d: %s: %s\n", name, pos.Line, pos.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "sanlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+func inDeterminismScope(importPath string) bool {
+	for _, suffix := range determinismScope {
+		if strings.HasSuffix(importPath, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sanlint:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,138 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// modelled on golang.org/x/tools/go/analysis. The repo vendors no external
+// modules, so the subset of the x/tools API that the sanlint analyzers need
+// is reimplemented here on top of the standard library: an Analyzer is a
+// named check with a Run function, a Pass hands it one type-checked package,
+// and diagnostics are collected positions with messages.
+//
+// The framework also defines the `//sanlint:` annotation grammar shared by
+// the analyzers (see DESIGN.md §8):
+//
+//	//sanlint:hotpath    on a function: the body must be allocation-free
+//	//sanlint:epoch      on a struct field: the invalidation counter
+//	//sanlint:topostate  on a struct field: writes must bump the epoch field
+//
+// Annotations are directive comments (no space after //), so gofmt leaves
+// them alone, exactly like //go:noinline.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one static check. Run is invoked once per package and
+// reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and fixture expectations.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Run executes the check over one type-checked package.
+	Run func(*Pass) error
+}
+
+// A Diagnostic is one finding, anchored to a source position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// A Pass connects an Analyzer to one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the parsed files of the package, including in-package
+	// _test.go files (external test packages are not loaded).
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diagnostics []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diagnostics = append(p.diagnostics, Diagnostic{
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+		Analyzer: p.Analyzer.Name,
+	})
+}
+
+// Run applies each analyzer to each package and returns every diagnostic,
+// sorted by file position. The error aggregates analyzer failures (not
+// findings; findings are the diagnostics).
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	var errs []string
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			if err := a.Run(pass); err != nil {
+				errs = append(errs, fmt.Sprintf("%s on %s: %v", a.Name, pkg.ImportPath, err))
+				continue
+			}
+			diags = append(diags, pass.diagnostics...)
+		}
+		sortDiagnostics(pkg.Fset, diags)
+	}
+	if len(errs) > 0 {
+		return diags, fmt.Errorf("analysis: %s", strings.Join(errs, "; "))
+	}
+	return diags, nil
+}
+
+func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+}
+
+// annotationPrefix introduces every sanlint directive comment.
+const annotationPrefix = "//sanlint:"
+
+// HasAnnotation reports whether the comment group carries the directive
+// //sanlint:<name>. Directive comments must start the line exactly (no
+// leading space after //), mirroring the //go: convention.
+func HasAnnotation(cg *ast.CommentGroup, name string) bool {
+	if cg == nil {
+		return false
+	}
+	want := annotationPrefix + name
+	for _, c := range cg.List {
+		text := strings.TrimSpace(c.Text)
+		if text == want {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldHasAnnotation checks both the doc comment above a struct field and
+// the trailing comment on its line.
+func FieldHasAnnotation(f *ast.Field, name string) bool {
+	return HasAnnotation(f.Doc, name) || HasAnnotation(f.Comment, name)
+}
+
+// FuncIsHotpath reports whether the function declaration is annotated
+// //sanlint:hotpath.
+func FuncIsHotpath(fd *ast.FuncDecl) bool { return HasAnnotation(fd.Doc, "hotpath") }

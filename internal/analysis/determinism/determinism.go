@@ -1,0 +1,482 @@
+// Package determinism defines the sanlint analyzer that guards the repo's
+// headline reproducibility property: identical inputs produce byte-identical
+// maps, figures and DOT renderings, on any worker count. Three failure
+// classes are flagged:
+//
+//   - wall-clock reads: time.Now threads real time into virtual-time
+//     experiments;
+//   - the global math/rand generator: rand.Int, rand.Shuffle et al. draw
+//     from process-global state; randomized experiments must thread an
+//     explicit *rand.Rand so a seed reproduces the run;
+//   - order-sensitive map iteration: `for k, v := range m` visits keys in
+//     randomized order, so a body that publishes anything order-dependent
+//     makes output differ run to run.
+//
+// A map-range body is order-sensitive when it contains (with K/V the range
+// variables and anything derived from them tainted):
+//
+//	D1  append to a slice declared outside the loop, unless that slice is
+//	    passed to a sort.* / slices.Sort* call later in the same function
+//	    (the collect-then-sort idiom);
+//	D2  a write to an output sink: fmt.Print*/Fprint*, strings.Builder or
+//	    bytes.Buffer Write methods, io.WriteString, or a channel send;
+//	D3  a return statement referencing a tainted variable (which mismatch
+//	    is reported first depends on iteration order);
+//	D4  any other call passing a tainted value — except builtins,
+//	    conversions, sort calls, panic arguments, and calls in condition
+//	    position (if/for/switch conditions are pure-read by convention:
+//	    think liveAny(es) guards). Effectful callees invoked per-element
+//	    observe iteration order; pure per-key uses in condition position do
+//	    not.
+//
+// Pure accumulation — counters, min/max folds, writes into other maps —
+// passes: those are order-independent.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"sanmap/internal/analysis"
+)
+
+// Analyzer flags nondeterministic constructs: wall-clock time, the global
+// math/rand generator, and order-sensitive map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "experiments must be reproducible: no time.Now, no global " +
+		"math/rand, no map iteration that publishes order-dependent output",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkGlobalSource(pass, n)
+		case *ast.RangeStmt:
+			if isMapType(pass.TypesInfo.TypeOf(n.X)) {
+				checkMapRange(pass, body, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkGlobalSource flags time.Now and package-level math/rand functions.
+func checkGlobalSource(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	// Methods (e.g. (*rand.Rand).Intn) have a receiver; only package-level
+	// functions draw from global state.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(), "time.Now is nondeterministic; thread the virtual clock (simnet.Net.Clock) or an explicit time source")
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, ...) build explicit
+		// generators — that is exactly the sanctioned pattern.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		pass.Reportf(call.Pos(), "global math/rand %s draws from process-global state; thread an explicit *rand.Rand so the seed reproduces the run", fn.Name())
+	}
+}
+
+// checkMapRange applies the D1–D4 sink rules to one map-range loop.
+func checkMapRange(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	taint := make(map[types.Object]bool)
+	addTaint := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				taint[obj] = true
+			} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+				taint[obj] = true
+			}
+		}
+	}
+	if rs.Key != nil {
+		addTaint(rs.Key)
+	}
+	if rs.Value != nil {
+		addTaint(rs.Value)
+	}
+	// Propagate taint through assignments inside the body until stable:
+	// v := expr(tainted) taints v; inner `range tainted` taints its vars.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					if len(n.Rhs) == len(n.Lhs) {
+						rhs = n.Rhs[i]
+					} else if len(n.Rhs) == 1 {
+						rhs = n.Rhs[0]
+					}
+					if rhs == nil || !mentionsTaint(pass, taint, rhs) {
+						continue
+					}
+					if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+						obj := pass.TypesInfo.Defs[id]
+						if obj == nil {
+							obj = pass.TypesInfo.Uses[id]
+						}
+						if obj != nil && !taint[obj] {
+							taint[obj] = true
+							changed = true
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n != rs && mentionsTaint(pass, taint, n.X) {
+					for _, e := range []ast.Expr{n.Key, n.Value} {
+						if e == nil {
+							continue
+						}
+						if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+							if obj := pass.TypesInfo.Defs[id]; obj != nil && !taint[obj] {
+								taint[obj] = true
+								changed = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	v := &rangeVisitor{pass: pass, funcBody: funcBody, rs: rs, taint: taint}
+	v.stmt(rs.Body)
+}
+
+// rangeVisitor walks a map-range body tracking condition position.
+type rangeVisitor struct {
+	pass     *analysis.Pass
+	funcBody *ast.BlockStmt
+	rs       *ast.RangeStmt
+	taint    map[types.Object]bool
+}
+
+// stmt dispatches over statements. Condition expressions (if/for/switch)
+// are deliberately not visited: calls there are read-only guards, exempt
+// from D4 by design.
+func (v *rangeVisitor) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			v.stmt(st)
+		}
+	case *ast.IfStmt:
+		v.stmt(s.Init)
+		// Condition position: calls there are read-only guards (D4 exempt).
+		v.stmt(s.Body)
+		v.stmt(s.Else)
+	case *ast.ForStmt:
+		v.stmt(s.Init)
+		v.stmt(s.Post)
+		v.stmt(s.Body)
+	case *ast.RangeStmt:
+		v.stmt(s.Body)
+	case *ast.SwitchStmt:
+		v.stmt(s.Init)
+		v.stmt(s.Body)
+	case *ast.TypeSwitchStmt:
+		v.stmt(s.Init)
+		v.stmt(s.Body)
+	case *ast.CaseClause:
+		for _, st := range s.Body {
+			v.stmt(st)
+		}
+	case *ast.SendStmt:
+		v.pass.Reportf(s.Pos(), "channel send inside map iteration publishes values in randomized order (D2); collect and sort first")
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if mentionsTaint(v.pass, v.taint, r) {
+				v.pass.Reportf(s.Pos(), "return inside map iteration depends on which key is visited first (D3); iterate sorted keys")
+				return
+			}
+		}
+		for _, r := range s.Results {
+			v.expr(r)
+		}
+	case *ast.AssignStmt:
+		for _, rhs := range s.Rhs {
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				v.checkAppend(s, call)
+			}
+			v.expr(rhs)
+		}
+		for _, lhs := range s.Lhs {
+			v.expr(lhs)
+		}
+	case *ast.ExprStmt:
+		v.expr(s.X)
+	case *ast.IncDecStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		// Order-independent or control-only.
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				v.checkCallSink(call)
+			}
+			return true
+		})
+	case *ast.DeferStmt:
+		v.checkCallSink(s.Call)
+	case *ast.GoStmt:
+		v.checkCallSink(s.Call)
+	case *ast.LabeledStmt:
+		v.stmt(s.Stmt)
+	case *ast.SelectStmt:
+		v.stmt(s.Body)
+	case *ast.CommClause:
+		for _, st := range s.Body {
+			v.stmt(st)
+		}
+	}
+}
+
+// expr scans an expression for call sinks, exempting calls in condition
+// position (the caller routes conditions around this).
+func (v *rangeVisitor) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if isPanicCall(v.pass, call) {
+				return false
+			}
+			if v.checkCallSink(call) {
+				return false // one finding per call chain is enough
+			}
+		}
+		return true
+	})
+}
+
+// checkAppend handles D1: append into a slice declared outside the loop.
+func (v *rangeVisitor) checkAppend(as *ast.AssignStmt, call *ast.CallExpr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if b, ok := v.pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return
+	}
+	if len(call.Args) == 0 {
+		return
+	}
+	target, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		// Appends into selector/index targets (receiver fields etc.) are
+		// out of D1's scope; D4 still sees effectful calls.
+		return
+	}
+	obj := v.pass.TypesInfo.Uses[target]
+	if obj == nil {
+		return
+	}
+	// Declared inside the loop body: loop-local accumulation, fine.
+	if v.rs.Body.Pos() <= obj.Pos() && obj.Pos() <= v.rs.Body.End() {
+		return
+	}
+	if sortedLater(v.pass, v.funcBody, v.rs, obj) {
+		return
+	}
+	v.pass.Reportf(call.Pos(), "append to %s inside map iteration records keys in randomized order (D1); sort it before use (collect-then-sort)", target.Name)
+}
+
+// checkCallSink handles D2 and D4 for one call; it reports whether a
+// diagnostic was emitted.
+func (v *rangeVisitor) checkCallSink(call *ast.CallExpr) bool {
+	if tv, ok := v.pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		return false // conversion
+	}
+	if kind := outputSink(v.pass, call); kind != "" {
+		v.pass.Reportf(call.Pos(), "%s inside map iteration writes in randomized key order (D2); iterate sorted keys", kind)
+		return true
+	}
+	if isSortCall(v.pass, call) || isPureFormat(v.pass, call) {
+		return false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if _, ok := v.pass.TypesInfo.Uses[fun].(*types.Builtin); ok {
+			return false
+		}
+	}
+	// D4: effectful call fed by the iteration.
+	tainted := false
+	for _, a := range call.Args {
+		if mentionsTaint(v.pass, v.taint, a) {
+			tainted = true
+			break
+		}
+	}
+	if !tainted {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && mentionsTaint(v.pass, v.taint, sel.X) {
+			tainted = true
+		}
+	}
+	if tainted {
+		v.pass.Reportf(call.Pos(), "call passes map-iteration state to an effectful function in randomized order (D4); iterate sorted keys or move the call out of the loop")
+	}
+	return tainted
+}
+
+// outputSink classifies calls that write ordered output (D2).
+func outputSink(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := sig.Recv().Type()
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+		}
+		if named, ok := recv.(*types.Named); ok {
+			owner := named.Obj()
+			if owner.Pkg() != nil && strings.HasPrefix(fn.Name(), "Write") {
+				switch owner.Pkg().Path() + "." + owner.Name() {
+				case "strings.Builder", "bytes.Buffer":
+					return owner.Name() + "." + fn.Name()
+				}
+			}
+		}
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		if strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint") {
+			return "fmt." + fn.Name()
+		}
+	case "io":
+		if fn.Name() == "WriteString" {
+			return "io.WriteString"
+		}
+	}
+	return ""
+}
+
+// sortedLater reports whether obj is passed to a sort call positioned after
+// the range statement in the same function (collect-then-sort idiom).
+func sortedLater(pass *analysis.Pass, funcBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() || !isSortCall(pass, call) {
+			return !found
+		}
+		for _, a := range call.Args {
+			ast.Inspect(a, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isPureFormat recognises fmt.Sprint*/Errorf: they only build values, so
+// they are not D4 sinks themselves — whatever consumes the result is.
+func isPureFormat(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	return strings.HasPrefix(fn.Name(), "Sprint") || fn.Name() == "Errorf"
+}
+
+// isSortCall recognises sort.* and slices.Sort* calls.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		return true
+	case "slices":
+		return strings.HasPrefix(fn.Name(), "Sort")
+	}
+	return false
+}
+
+// mentionsTaint reports whether the expression references a tainted object.
+func mentionsTaint(pass *analysis.Pass, taint map[types.Object]bool, e ast.Expr) bool {
+	if e == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && taint[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func isPanicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}

@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), determinism.Analyzer, "determinism")
+}

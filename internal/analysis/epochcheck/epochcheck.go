@@ -1,0 +1,284 @@
+// Package epochcheck defines the sanlint analyzer that enforces the
+// cache-invalidation contract of the route-prefix memo (internal/simnet/
+// eval.go): memoized traversal state is keyed on an epoch/version counter,
+// so every mutation of the guarded state must bump the counter in the same
+// method — a forgotten bump silently serves stale routes.
+//
+// The contract is declared in the code with field annotations:
+//
+//	type Net struct {
+//		topo *topology.Network //sanlint:topostate
+//		...
+//		epoch uint64 //sanlint:epoch
+//	}
+//
+// Any method of the annotated struct that writes a //sanlint:topostate
+// field of its receiver (plain assignment, op-assignment, ++/--, or
+// delete()) must, in the same function body, either write the
+// //sanlint:epoch field directly or call another method of the same type
+// that does. Constructors and functions building other instances are out of
+// scope: only writes rooted at the receiver are checked.
+package epochcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"sanmap/internal/analysis"
+)
+
+// Analyzer enforces epoch bumps on annotated topology-bearing state.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochcheck",
+	Doc: "methods writing //sanlint:topostate fields must bump the " +
+		"//sanlint:epoch counter in the same function (cache invalidation)",
+	Run: run,
+}
+
+// contract is the annotation set of one struct type.
+type contract struct {
+	epochField string
+	guarded    map[string]bool
+}
+
+func run(pass *analysis.Pass) error {
+	contracts := collectContracts(pass)
+	if len(contracts) == 0 {
+		return nil
+	}
+
+	// First pass: which methods bump the epoch field of their receiver
+	// (directly) — these are valid bump delegates, e.g. Net.Reconfigure.
+	bumpers := make(map[*types.Func]bool)
+	forEachMethod(pass, contracts, func(fd *ast.FuncDecl, fn *types.Func, recv types.Object, c *contract) {
+		if writesField(pass, fd.Body, recv, c.epochField) {
+			bumpers[fn] = true
+		}
+	})
+
+	// Second pass: guarded writes must be accompanied by a bump (direct
+	// write or a call to a bumping method on the same receiver).
+	forEachMethod(pass, contracts, func(fd *ast.FuncDecl, fn *types.Func, recv types.Object, c *contract) {
+		writes := guardedWrites(pass, fd.Body, recv, c)
+		if len(writes) == 0 {
+			return
+		}
+		if bumpers[fn] || callsBumper(pass, fd.Body, recv, bumpers) {
+			return
+		}
+		for _, w := range writes {
+			pass.Reportf(w.pos, "method %s writes topology-bearing field %s but never bumps epoch field %s",
+				fn.Name(), w.field, c.epochField)
+		}
+	})
+	return nil
+}
+
+// collectContracts finds annotated struct types: named type -> contract.
+func collectContracts(pass *analysis.Pass) map[*types.TypeName]*contract {
+	out := make(map[*types.TypeName]*contract)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				c := &contract{guarded: make(map[string]bool)}
+				for _, field := range st.Fields.List {
+					epoch := analysis.FieldHasAnnotation(field, "epoch")
+					guarded := analysis.FieldHasAnnotation(field, "topostate")
+					if !epoch && !guarded {
+						continue
+					}
+					for _, name := range field.Names {
+						if epoch {
+							c.epochField = name.Name
+						}
+						if guarded {
+							c.guarded[name.Name] = true
+						}
+					}
+				}
+				if c.epochField == "" && len(c.guarded) == 0 {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				if c.epochField == "" {
+					pass.Reportf(ts.Pos(), "struct %s has //sanlint:topostate fields but no //sanlint:epoch field", ts.Name.Name)
+					continue
+				}
+				out[tn] = c
+			}
+		}
+	}
+	return out
+}
+
+// forEachMethod invokes fn for every method declaration whose receiver's
+// base type carries a contract.
+func forEachMethod(pass *analysis.Pass, contracts map[*types.TypeName]*contract,
+	visit func(*ast.FuncDecl, *types.Func, types.Object, *contract)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) != 1 || names[0].Name == "_" {
+				continue
+			}
+			recv := pass.TypesInfo.Defs[names[0]]
+			if recv == nil {
+				continue
+			}
+			tn := receiverTypeName(recv.Type())
+			if tn == nil {
+				continue
+			}
+			c, ok := contracts[tn]
+			if !ok {
+				continue
+			}
+			visit(fd, fn, recv, c)
+		}
+	}
+}
+
+// receiverTypeName unwraps *T / T receivers to the named type's TypeName.
+func receiverTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}
+
+type write struct {
+	pos   token.Pos
+	field string
+}
+
+// guardedWrites returns the guarded-field writes rooted at the receiver.
+func guardedWrites(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object, c *contract) []write {
+	var out []write
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if f := receiverField(pass, lhs, recv); f != "" && c.guarded[f] {
+					out = append(out, write{pos: lhs.Pos(), field: f})
+				}
+			}
+		case *ast.IncDecStmt:
+			if f := receiverField(pass, n.X, recv); f != "" && c.guarded[f] {
+				out = append(out, write{pos: n.Pos(), field: f})
+			}
+		case *ast.CallExpr:
+			// delete(recv.f, k) mutates a guarded map.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if f := receiverField(pass, n.Args[0], recv); f != "" && c.guarded[f] {
+						out = append(out, write{pos: n.Pos(), field: f})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// writesField reports whether body assigns or ++/--es recv.<field>.
+func writesField(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object, field string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if receiverField(pass, lhs, recv) == field {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if receiverField(pass, n.X, recv) == field {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// callsBumper reports whether body calls a method on recv that is known to
+// bump the epoch (e.g. n.Reconfigure()).
+func callsBumper(pass *analysis.Pass, body *ast.BlockStmt, recv types.Object, bumpers map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		base, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || pass.TypesInfo.Uses[base] != recv {
+			return !found
+		}
+		if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok && bumpers[fn] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// receiverField returns the first-level field name when expr is a write
+// target rooted at the receiver: recv.f, recv.f[i], recv.f[i].g, ... — the
+// field of the receiver through which the mutation flows.
+func receiverField(pass *analysis.Pass, expr ast.Expr, recv types.Object) string {
+	// Walk down to the base, remembering the selector closest to the root.
+	var first *ast.SelectorExpr
+	e := ast.Unparen(expr)
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			first = x
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			if first != nil && pass.TypesInfo.Uses[x] == recv {
+				return first.Sel.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package epochcheck_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/epochcheck"
+)
+
+func TestEpochcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), epochcheck.Analyzer, "epochcheck")
+}

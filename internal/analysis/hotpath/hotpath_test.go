@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), hotpath.Analyzer, "hotpath")
+}

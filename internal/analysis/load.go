@@ -1,0 +1,208 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+)
+
+// A Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath  string
+	Dir         string
+	Standard    bool
+	DepOnly     bool
+	GoFiles     []string
+	TestGoFiles []string
+	TestImports []string
+}
+
+// Load resolves the patterns with the go command (run in dir; "" means the
+// current directory), parses every matched package plus its in-module
+// dependencies, and type-checks them from source in dependency order.
+// Standard-library imports are satisfied from compiler export data, so no
+// network access or third-party machinery is needed. In-package test files
+// of the matched packages are included; external _test packages are not.
+//
+// Only the packages matched by the patterns themselves (not dependencies)
+// are returned.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+
+	// In-package test files may import module packages outside the plain
+	// dependency closure; list those too (their deps join the same map).
+	known := make(map[string]*listedPackage, len(listed))
+	for _, lp := range listed {
+		known[lp.ImportPath] = lp
+	}
+	var extra []string
+	seen := make(map[string]bool)
+	for _, lp := range listed {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		for _, imp := range lp.TestImports {
+			if _, ok := known[imp]; !ok && !seen[imp] && imp != "C" {
+				seen[imp] = true
+				extra = append(extra, imp)
+			}
+		}
+	}
+	if len(extra) > 0 {
+		more, err := goList(dir, extra...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range more {
+			if _, ok := known[lp.ImportPath]; !ok {
+				lp.DepOnly = true
+				known[lp.ImportPath] = lp
+				listed = append(listed, lp)
+			}
+		}
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	std := importer.Default()
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		if pkg, ok := checked[path]; ok {
+			return pkg, nil
+		}
+		return std.Import(path)
+	})
+
+	check := func(lp *listedPackage, withTests bool) (*Package, error) {
+		files := lp.GoFiles
+		if withTests {
+			files = append(append([]string(nil), lp.GoFiles...), lp.TestGoFiles...)
+		}
+		var parsed []*ast.File
+		for _, name := range files {
+			f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+			}
+			parsed = append(parsed, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		tpkg, err := conf.Check(lp.ImportPath, fset, parsed, info)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: type-check %s: %w", lp.ImportPath, err)
+		}
+		return &Package{
+			ImportPath: lp.ImportPath,
+			Dir:        lp.Dir,
+			Fset:       fset,
+			Files:      parsed,
+			Types:      tpkg,
+			TypesInfo:  info,
+		}, nil
+	}
+
+	// Phase 1: type-check the plain build closure, no test files. `go list
+	// -deps` emits packages in dependency order within each invocation, and
+	// test-only imports (the second invocation) never depend on being checked
+	// before their importers here because test files are excluded.
+	plain := make(map[string]*Package)
+	for _, lp := range listed {
+		if lp.Standard {
+			continue
+		}
+		pkg, err := check(lp, false)
+		if err != nil {
+			return nil, err
+		}
+		checked[lp.ImportPath] = pkg.Types
+		plain[lp.ImportPath] = pkg
+	}
+
+	// Phase 2: re-check each target that has in-package test files, now with
+	// those files included. Every module package — including test-only
+	// imports of later targets — is in `checked`, so ordering no longer
+	// matters. The re-check shadows the phase-1 entry only for this
+	// package's own Pass; importers still see the phase-1 result, which is
+	// identical for exported declarations.
+	var out []*Package
+	for _, lp := range listed {
+		if lp.Standard || lp.DepOnly {
+			continue
+		}
+		pkg := plain[lp.ImportPath]
+		if len(lp.TestGoFiles) > 0 {
+			var err error
+			pkg, err = check(lp, true)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// goList runs `go list -deps -json` over the patterns in dir.
+func goList(dir string, patterns ...string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,TestGoFiles,TestImports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	dec := json.NewDecoder(&stdout)
+	var out []*listedPackage
+	for {
+		lp := new(listedPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		out = append(out, lp)
+	}
+	return out, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,95 @@
+// Package senterr defines the sanlint analyzer that forbids comparing
+// sentinel errors with == or !=. The Prober API's sentinels (ErrTimeout,
+// ErrNoResponder, ErrUnsupported, the mapper's ErrCanceled family, ...) may
+// be wrapped by transports and retry layers, so identity comparison silently
+// stops matching; errors.Is is the contract.
+package senterr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sanmap/internal/analysis"
+)
+
+// Analyzer flags ==/!= comparisons and switch cases whose operand is a
+// package-level error variable named Err*.
+var Analyzer = &analysis.Analyzer{
+	Name: "senterr",
+	Doc: "sentinel errors must be compared with errors.Is, never == or != " +
+		"(wrapped errors break identity comparison)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if name := sentinelName(pass, n.X); name != "" {
+					pass.Reportf(n.Pos(), "sentinel error %s compared with %s; use errors.Is", name, n.Op)
+				} else if name := sentinelName(pass, n.Y); name != "" {
+					pass.Reportf(n.Pos(), "sentinel error %s compared with %s; use errors.Is", name, n.Op)
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil || !isErrorType(pass.TypesInfo.TypeOf(n.Tag)) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, v := range cc.List {
+						if name := sentinelName(pass, v); name != "" {
+							pass.Reportf(v.Pos(), "sentinel error %s used as switch case (identity comparison); use errors.Is", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports the name of the sentinel error the expression refers
+// to, or "". A sentinel is a package-level variable of type error whose name
+// starts with Err (the stdlib and repo convention).
+func sentinelName(pass *analysis.Pass, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	obj := pass.TypesInfo.Uses[id]
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	// Package-level: the variable's parent scope is its package scope.
+	if v.Parent() != v.Pkg().Scope() {
+		return ""
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || !isErrorType(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// isErrorType reports whether t is the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

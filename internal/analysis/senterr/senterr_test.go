@@ -1,0 +1,12 @@
+package senterr_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/senterr"
+)
+
+func TestSenterr(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), senterr.Analyzer, "senterr")
+}

@@ -1,0 +1,56 @@
+// Package epochcheck holds fixtures for the epochcheck analyzer: methods
+// writing //sanlint:topostate fields must bump the //sanlint:epoch field.
+package epochcheck
+
+// Net mirrors the shape of simnet.Net: guarded topology-bearing state plus
+// an epoch counter keying a memo.
+type Net struct {
+	links  []int          //sanlint:topostate
+	silent map[int]bool   //sanlint:topostate
+	names  map[int]string //sanlint:topostate
+	clock  int            // unguarded
+	epoch  uint64         //sanlint:epoch
+}
+
+// Reconfigure is a bump delegate: it writes the epoch directly.
+func (n *Net) Reconfigure() { n.epoch++ }
+
+// Good: direct bump in the same method.
+func (n *Net) AddLink(l int) {
+	n.links = append(n.links, l)
+	n.epoch++
+}
+
+// Good: bump through a delegate method.
+func (n *Net) SetSilent(h int) {
+	if n.silent == nil {
+		n.silent = make(map[int]bool)
+	}
+	n.silent[h] = true
+	n.Reconfigure()
+}
+
+// Good: unguarded fields need no bump.
+func (n *Net) Tick() { n.clock++ }
+
+// Good: writes rooted at another instance are out of scope.
+func (n *Net) Clone() *Net {
+	c := &Net{}
+	c.links = append([]int(nil), n.links...)
+	return c
+}
+
+// Bad: mutates guarded state without bumping.
+func (n *Net) RemoveLink() {
+	n.links = n.links[:len(n.links)-1] // want "method RemoveLink writes topology-bearing field links but never bumps epoch field epoch"
+}
+
+// Bad: delete on a guarded map without bumping.
+func (n *Net) ClearSilent(h int) {
+	delete(n.silent, h) // want "method ClearSilent writes topology-bearing field silent but never bumps epoch field epoch"
+}
+
+// Bad: indexed write into a guarded map without bumping.
+func (n *Net) Rename(id int, name string) {
+	n.names[id] = name // want "method Rename writes topology-bearing field names but never bumps epoch field epoch"
+}

@@ -1,0 +1,88 @@
+// Package hotpath holds fixtures for the hotpath analyzer: functions
+// annotated //sanlint:hotpath must stay allocation-free.
+package hotpath
+
+import "fmt"
+
+// scratch mimics the eval kernel's reusable buffer owner.
+type scratch struct {
+	hops   []int
+	lookup map[int]int
+}
+
+// sink defeats "unused" only; it is not part of the checked surface.
+var sink any
+
+//sanlint:hotpath
+func (s *scratch) reset() {
+	s.hops = s.hops[:0]
+}
+
+// Good: appends rooted at the receiver or a parameter reuse owned buffers,
+// struct literals stay on the stack, and panic guards may format freely.
+//
+//sanlint:hotpath
+func (s *scratch) step(buf []int, v int) []int {
+	if v < 0 {
+		panic(fmt.Sprintf("hotpath: negative step %d", v))
+	}
+	s.hops = append(s.hops, v)
+	buf = append(buf, v)
+	type pair struct{ a, b int }
+	p := pair{a: v, b: v}
+	s.reset()
+	return append(buf, p.a)
+}
+
+// Bad: every allocation class the analyzer guards against.
+//
+//sanlint:hotpath
+func (s *scratch) badAllocs(v int) {
+	m := map[int]int{v: v} // want "composite literal allocates a map"
+	_ = m
+	xs := []int{v} // want "composite literal allocates a slice"
+	_ = xs
+	s.lookup = make(map[int]int) // want "make allocates"
+	p := new(int)                // want "new allocates"
+	_ = p
+}
+
+//sanlint:hotpath
+func (s *scratch) badAppend(v int) {
+	var local []int
+	local = append(local, v) // want "append to a slice not owned by the receiver or a parameter"
+	_ = local
+}
+
+//sanlint:hotpath
+func (s *scratch) badClosure() func() int {
+	n := 0
+	return func() int { // want "function literal may escape"
+		n++
+		return n
+	}
+}
+
+//sanlint:hotpath
+func (s *scratch) badBoxing(v int) {
+	sink = any(v) // want "conversion to interface type any boxes its operand"
+}
+
+//sanlint:hotpath
+func (s *scratch) badDefer() {
+	defer s.reset() // want "defer allocates and delays the hot path"
+	go s.reset()    // want "goroutine launch on the hot path"
+}
+
+//sanlint:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// helper is deliberately unannotated.
+func helper(v int) int { return v + 1 }
+
+//sanlint:hotpath
+func badCallee(v int) int {
+	return helper(v) // want "call to unannotated same-package function helper"
+}

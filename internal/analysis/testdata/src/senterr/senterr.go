@@ -1,0 +1,57 @@
+// Package senterr holds fixtures for the senterr analyzer: sentinel errors
+// must be matched with errors.Is, never compared by identity.
+package senterr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinels in the repo convention: package-level error vars named Err*.
+var (
+	ErrTimeout     = errors.New("probe timed out")
+	ErrNoResponder = errors.New("silent host")
+)
+
+// errInternal is package-level but not exported-sentinel-named; identity
+// comparison of it is outside this analyzer's contract.
+var errInternal = errors.New("internal")
+
+func probe() error { return fmt.Errorf("wrapped: %w", ErrTimeout) }
+
+// Bad: identity comparisons of sentinels.
+func bad() int {
+	err := probe()
+	if err == ErrTimeout { // want "sentinel error ErrTimeout compared with ==; use errors.Is"
+		return 1
+	}
+	if ErrNoResponder != err { // want "sentinel error ErrNoResponder compared with !=; use errors.Is"
+		return 2
+	}
+	switch err {
+	case ErrTimeout: // want "sentinel error ErrTimeout used as switch case"
+		return 3
+	case nil:
+		return 4
+	}
+	return 0
+}
+
+// Good: errors.Is, nil comparisons, and non-sentinel identity checks.
+func good() int {
+	err := probe()
+	if errors.Is(err, ErrTimeout) {
+		return 1
+	}
+	if err == nil {
+		return 2
+	}
+	if err == errInternal {
+		return 3
+	}
+	var localErr = errors.New("local")
+	if err == localErr {
+		return 4
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+package dot_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/dot"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// mapToDOT runs the Berkeley mapper from the first host and renders the
+// resulting map as DOT and ASCII.
+func mapToDOT(t *testing.T, net *topology.Network) (string, string) {
+	t.Helper()
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
+	if err != nil {
+		t.Fatalf("mapper.Run: %v", err)
+	}
+	return dot.Graph(m.Network, "map"), dot.ASCII(m.Network)
+}
+
+// TestRenderByteIdentical is the reproducibility gate the determinism
+// analyzer backs statically: two independent mapper runs over the same
+// network must render byte-identical DOT and ASCII. Go randomizes map
+// iteration order per range statement even within one process, so a single
+// re-run catches order-dependent export paths.
+func TestRenderByteIdentical(t *testing.T) {
+	topos := []struct {
+		name  string
+		build func() *topology.Network
+	}{
+		{"mesh", func() *topology.Network {
+			return topology.Mesh(3, 3, 2, rand.New(rand.NewSource(5)))
+		}},
+		{"fattree", func() *topology.Network {
+			return topology.RandomConnected(5, 7, 2, rand.New(rand.NewSource(9)))
+		}},
+	}
+	for _, tc := range topos {
+		t.Run(tc.name, func(t *testing.T) {
+			g1, a1 := mapToDOT(t, tc.build())
+			g2, a2 := mapToDOT(t, tc.build())
+			if g1 != g2 {
+				t.Errorf("DOT output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", g1, g2)
+			}
+			if a1 != a2 {
+				t.Errorf("ASCII output differs between identical runs:\n--- run 1\n%s\n--- run 2\n%s", a1, a2)
+			}
+		})
+	}
+}

@@ -39,7 +39,7 @@ func BerkeleyAlgo(cfg mapper.Config) Algo {
 		cfg := cfg
 		cfg.Cancel = cancel
 		m, err := mapper.RunConfig(ep, cfg)
-		if err == mapper.ErrCanceled {
+		if errors.Is(err, mapper.ErrCanceled) {
 			return nil, errPassivated
 		}
 		return m, err
@@ -52,7 +52,7 @@ func MyricomAlgo(cfg myricom.Config) Algo {
 		cfg := cfg
 		cfg.Cancel = cancel
 		m, err := myricom.Run(ep, cfg)
-		if err == myricom.ErrCanceled {
+		if errors.Is(err, myricom.ErrCanceled) {
 			return nil, errPassivated
 		}
 		if err != nil {

@@ -22,10 +22,14 @@ func New[T any](less func(a, b T) bool) *Heap[T] {
 }
 
 // Len reports the number of queued items.
+//
+//sanlint:hotpath
 func (h *Heap[T]) Len() int { return len(h.items) }
 
 // Push inserts v. Amortised O(log n), zero allocations once the backing
 // slice has grown to the high-water mark.
+//
+//sanlint:hotpath
 func (h *Heap[T]) Push(v T) {
 	h.items = append(h.items, v)
 	h.up(len(h.items) - 1)
@@ -33,6 +37,8 @@ func (h *Heap[T]) Push(v T) {
 
 // Pop removes and returns the minimum item. It panics on an empty heap;
 // guard with Len.
+//
+//sanlint:hotpath
 func (h *Heap[T]) Pop() T {
 	n := len(h.items) - 1
 	top := h.items[0]
@@ -48,6 +54,8 @@ func (h *Heap[T]) Pop() T {
 
 // Peek returns the minimum item without removing it; ok is false when the
 // heap is empty.
+//
+//sanlint:hotpath
 func (h *Heap[T]) Peek() (v T, ok bool) {
 	if len(h.items) == 0 {
 		return v, false
@@ -57,6 +65,8 @@ func (h *Heap[T]) Peek() (v T, ok bool) {
 
 // Reset empties the heap but keeps the backing slice, so a reused simulator
 // re-fills it without reallocating.
+//
+//sanlint:hotpath
 func (h *Heap[T]) Reset() {
 	var zero T
 	for i := range h.items {
@@ -65,6 +75,7 @@ func (h *Heap[T]) Reset() {
 	h.items = h.items[:0]
 }
 
+//sanlint:hotpath
 func (h *Heap[T]) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -76,6 +87,7 @@ func (h *Heap[T]) up(i int) {
 	}
 }
 
+//sanlint:hotpath
 func (h *Heap[T]) down(i int) {
 	n := len(h.items)
 	for {

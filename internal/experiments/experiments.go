@@ -193,8 +193,8 @@ func FormatFig6(rows []Fig6Row) string {
 
 // Fig7Row is one row of the mapping-times table.
 type Fig7Row struct {
-	System   string
-	Master   stats.Durations
+	System string
+	Master stats.Durations
 	// Pipelined is the master-mode time with the pipelined probe engine
 	// active (an extension beyond the paper — the serial Master column is
 	// the paper-comparable one).

@@ -53,9 +53,16 @@ func Check(a, b *topology.Network) (ok bool, reason string) {
 	for _, s := range gb.sig {
 		countB[s]++
 	}
-	for s, c := range countA {
-		if countB[s] != c {
-			return false, fmt.Sprintf("signature multiset differs for %q: %d vs %d", s, c, countB[s])
+	// Report the lexically first differing signature so the reason string is
+	// stable across runs (map iteration order is randomized).
+	sigs := make([]string, 0, len(countA))
+	for s := range countA {
+		sigs = append(sigs, s)
+	}
+	sort.Strings(sigs)
+	for _, s := range sigs {
+		if countB[s] != countA[s] {
+			return false, fmt.Sprintf("signature multiset differs for %q: %d vs %d", s, countA[s], countB[s])
 		}
 	}
 

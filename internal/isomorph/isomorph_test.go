@@ -54,8 +54,11 @@ func TestIsomorphicScrambles(t *testing.T) {
 func TestNotIsomorphicAfterMutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	net := topology.Mesh(3, 2, 2, rng)
-	mutations := map[string]func(*topology.Network) bool{
-		"remove a wire": func(c *topology.Network) bool {
+	mutations := []struct {
+		name   string
+		mutate func(*topology.Network) bool
+	}{
+		{"remove a wire", func(c *topology.Network) bool {
 			// Remove a switch-switch wire (keep host names intact).
 			removed := false
 			c.WiresIndexed(func(wi int, w topology.Wire) {
@@ -69,8 +72,8 @@ func TestNotIsomorphicAfterMutation(t *testing.T) {
 				}
 			})
 			return removed
-		},
-		"add a switch": func(c *topology.Network) bool {
+		}},
+		{"add a switch", func(c *topology.Network) bool {
 			s := c.AddSwitch("")
 			for _, other := range c.Switches() {
 				if other != s && c.FreePort(other) >= 0 {
@@ -79,8 +82,8 @@ func TestNotIsomorphicAfterMutation(t *testing.T) {
 				}
 			}
 			return false
-		},
-		"rewire": func(c *topology.Network) bool {
+		}},
+		{"rewire", func(c *topology.Network) bool {
 			// Move one switch-switch wire to different endpoints, changing
 			// the multiset of adjacencies.
 			var cand int = -1
@@ -112,18 +115,18 @@ func TestNotIsomorphicAfterMutation(t *testing.T) {
 				}
 			}
 			return false
-		},
+		}},
 	}
-	for name, mutate := range mutations {
+	for _, m := range mutations {
 		c := net.Clone()
-		if !mutate(c) {
-			t.Fatalf("%s: mutation did not apply", name)
+		if !m.mutate(c) {
+			t.Fatalf("%s: mutation did not apply", m.name)
 		}
 		if ok, _ := Check(net, c); ok {
 			// The rewire mutation can occasionally produce a graph that is
 			// genuinely isomorphic; the others cannot.
-			if name != "rewire" {
-				t.Errorf("%s: mutated copy still isomorphic", name)
+			if m.name != "rewire" {
+				t.Errorf("%s: mutated copy still isomorphic", m.name)
 			}
 		}
 	}

@@ -44,14 +44,17 @@ func TestMapWithF(t *testing.T) {
 // cut-through (and trivially packet) routing with F empty, the map is
 // isomorphic to the full network.
 func TestMapCollisionModels(t *testing.T) {
-	models := map[string]simnet.Model{
-		"packet":     simnet.PacketModel,
-		"cutthrough": simnet.CutThroughModel,
-		"circuit":    simnet.CircuitModel,
+	models := []struct {
+		name  string
+		model simnet.Model
+	}{
+		{"packet", simnet.PacketModel},
+		{"cutthrough", simnet.CutThroughModel},
+		{"circuit", simnet.CircuitModel},
 	}
-	for name, model := range models {
-		model := model
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range models {
+		model := tc.model
+		t.Run(tc.name, func(t *testing.T) {
 			tested := 0
 			for seed := int64(200); seed < 230 && tested < 12; seed++ {
 				rng := rand.New(rand.NewSource(seed))

@@ -2,6 +2,7 @@ package mapper
 
 import (
 	"fmt"
+	"sort"
 
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
@@ -22,6 +23,9 @@ type tnode struct {
 	name   string
 	route  simnet.Route
 	parent *tnode
+	// turn is the turn under which this node hangs off its parent (0 for
+	// the root host and the root switch).
+	turn simnet.Turn
 	// children maps the discovering turn to the child vertex; together with
 	// the parent edge at relative index 0 this is the neighbors array.
 	children map[simnet.Turn]*tnode
@@ -88,6 +92,7 @@ func LabelRun(p simnet.Prober, depth int) (*Map, error) {
 			} else {
 				continue
 			}
+			child.turn = t
 			v.children[t] = child
 			all = append(all, child)
 		}
@@ -210,6 +215,20 @@ func LabelRun(p simnet.Prober, depth int) (*Map, error) {
 	}
 
 	// Export to a topology.Network, normalising indices per class window.
+	// Iterate edges by sorted canonical key so switch naming and wire order
+	// do not depend on map iteration order.
+	edgeKeys := make([][4]int, 0, len(edgeSet))
+	for k := range edgeSet {
+		edgeKeys = append(edgeKeys, k)
+	}
+	sort.Slice(edgeKeys, func(i, j int) bool {
+		for x := 0; x < 4; x++ {
+			if edgeKeys[i][x] != edgeKeys[j][x] {
+				return edgeKeys[i][x] < edgeKeys[j][x]
+			}
+		}
+		return false
+	})
 	net := &topology.Network{}
 	classNode := make(map[*tnode]topology.NodeID)
 	classLo := make(map[*tnode]int)
@@ -228,7 +247,8 @@ func LabelRun(p simnet.Prober, depth int) (*Map, error) {
 			maxIdx[c] = i
 		}
 	}
-	for _, e := range edgeSet {
+	for _, k := range edgeKeys {
+		e := edgeSet[k]
 		if dead[e.a] || dead[e.b] {
 			continue
 		}
@@ -251,7 +271,8 @@ func LabelRun(p simnet.Prober, depth int) (*Map, error) {
 		classLo[c] = -minIdx[c]
 		return id
 	}
-	for _, e := range edgeSet {
+	for _, k := range edgeKeys {
+		e := edgeSet[k]
 		if dead[e.a] || dead[e.b] {
 			continue
 		}
@@ -301,12 +322,7 @@ func turnOf(n *tnode) simnet.Turn {
 	if n.parent == nil {
 		return 0
 	}
-	for t, c := range n.parent.children {
-		if c == n {
-			return t
-		}
-	}
-	return 0
+	return n.turn
 }
 
 // kindOfClass returns the node kind of the class root.

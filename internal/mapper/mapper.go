@@ -3,6 +3,7 @@ package mapper
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sanmap/internal/simnet"
@@ -468,9 +469,17 @@ func exportModel(model *Model, localHost string) (*topology.Network, topology.No
 		return lo
 	}
 	seen := make(map[*Edge]bool)
+	var slotIdx []int
 	for _, v := range model.liveVertices() {
-		for _, es := range v.slots {
-			for _, e := range es {
+		// Walk slots in sorted index order: wire creation order (and with it
+		// the exported byte stream) must not depend on map iteration order.
+		slotIdx = slotIdx[:0]
+		for i := range v.slots {
+			slotIdx = append(slotIdx, i)
+		}
+		sort.Ints(slotIdx)
+		for _, i := range slotIdx {
+			for _, e := range v.slots[i] {
 				if e.deleted || seen[e] {
 					continue
 				}

@@ -13,6 +13,7 @@ package mapper
 
 import (
 	"fmt"
+	"sort"
 
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
@@ -97,9 +98,12 @@ type Model struct {
 
 	// markGen is bumped per edge-enumeration walk (merge, degree, delete);
 	// edges stamped with it form the walk's visited set. edgeScratch is the
-	// reusable buffer those walks collect into.
+	// reusable buffer those walks collect into, and slotScratch holds the
+	// sorted slot indices that keep those walks independent of map
+	// iteration order.
 	markGen     uint32
 	edgeScratch []*Edge
+	slotScratch []int
 
 	// Inconsistencies counts deductions that contradicted each other — a
 	// vertex asked to merge with itself under a non-zero offset, which is
@@ -243,10 +247,18 @@ func (m *Model) mergeInto(ra, rb *Vertex, s int) {
 		ra.name = rb.name
 	}
 	// Detach rb's edges, rewrite their rb sides, and re-file them under ra.
+	// Slots are walked in sorted index order so the re-filing order (and
+	// with it the exported wire order) is reproducible.
 	m.markGen++
 	edges := m.edgeScratch[:0]
-	for _, es := range rb.slots {
-		for _, e := range es {
+	slots := m.slotScratch[:0]
+	for i := range rb.slots {
+		slots = append(slots, i)
+	}
+	sort.Ints(slots)
+	m.slotScratch = slots
+	for _, i := range slots {
+		for _, e := range rb.slots[i] {
 			if !e.deleted && e.mark != m.markGen {
 				e.mark = m.markGen
 				edges = append(edges, e)
@@ -401,8 +413,14 @@ func (m *Model) check() error {
 		if v.deleted {
 			continue
 		}
-		for idx, es := range v.slots {
-			for _, e := range es {
+		// Sorted slot order keeps the reported violation stable across runs.
+		idxs := make([]int, 0, len(v.slots))
+		for idx := range v.slots {
+			idxs = append(idxs, idx)
+		}
+		sort.Ints(idxs)
+		for _, idx := range idxs {
+			for _, e := range v.slots[idx] {
 				if e.deleted {
 					continue
 				}

@@ -84,16 +84,19 @@ func TestPipelineWindowOneIsSerial(t *testing.T) {
 // engine active across the isomorph-checked topology families.
 func TestPipelinedMapFamilies(t *testing.T) {
 	rng := rand.New(rand.NewSource(88))
-	nets := map[string]*topology.Network{
-		"star":      topology.Star(4, 3, rng),
-		"mesh":      topology.Mesh(3, 3, 2, rng),
-		"torus":     topology.Torus(3, 3, 2, rng),
-		"hypercube": topology.Hypercube(3, 2, rng),
-		"fattree":   topology.RandomConnected(5, 7, 2, rng),
+	nets := []struct {
+		name string
+		net  *topology.Network
+	}{
+		{"star", topology.Star(4, 3, rng)},
+		{"mesh", topology.Mesh(3, 3, 2, rng)},
+		{"torus", topology.Torus(3, 3, 2, rng)},
+		{"hypercube", topology.Hypercube(3, 2, rng)},
+		{"fattree", topology.RandomConnected(5, 7, 2, rng)},
 	}
-	for name, net := range nets {
-		net := net
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range nets {
+		net := tc.net
+		t.Run(tc.name, func(t *testing.T) {
 			serial := mapAndVerify(t, net, simnet.CircuitModel, nil)
 			piped := mapAndVerify(t, net, simnet.CircuitModel, WithPipeline(8))
 			if !bytes.Equal(exportBytes(t, serial), exportBytes(t, piped)) {

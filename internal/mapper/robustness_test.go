@@ -46,15 +46,18 @@ func TestSentinelErrors(t *testing.T) {
 // classic interconnects the paper's introduction contrasts SANs with.
 func TestMapMoreTopologyFamilies(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	nets := map[string]*topology.Network{
-		"mesh":      topology.Mesh(3, 3, 2, rng),
-		"torus":     topology.Torus(3, 3, 2, rng),
-		"hypercube": topology.Hypercube(3, 2, rng),
-		"line-long": topology.Line(7, 1, rng),
+	nets := []struct {
+		name string
+		net  *topology.Network
+	}{
+		{"mesh", topology.Mesh(3, 3, 2, rng)},
+		{"torus", topology.Torus(3, 3, 2, rng)},
+		{"hypercube", topology.Hypercube(3, 2, rng)},
+		{"line-long", topology.Line(7, 1, rng)},
 	}
-	for name, net := range nets {
-		net := net
-		t.Run(name, func(t *testing.T) {
+	for _, tc := range nets {
+		net := tc.net
+		t.Run(tc.name, func(t *testing.T) {
 			mapAndVerify(t, net, simnet.CircuitModel, nil)
 		})
 	}
@@ -133,7 +136,7 @@ func TestCancelAborts(t *testing.T) {
 		calls++
 		return calls > 3
 	}
-	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithCancel(cancel)); err != ErrCanceled {
+	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithCancel(cancel)); !errors.Is(err, ErrCanceled) {
 		t.Fatalf("err = %v, want ErrCanceled", err)
 	}
 }

@@ -193,6 +193,8 @@ const (
 // traverse crosses the wire at (node, outPort), appending the directed hop
 // on success. Loopback plugs reflect the message back into the same port;
 // they occupy a synthetic directed edge so collision semantics still apply.
+//
+//sanlint:hotpath
 func (s *evalScratch) traverse(topo *topology.Network, node topology.NodeID, outPort int, span int) (topology.End, int) {
 	fromEnd := topology.End{Node: node, Port: outPort}
 	var hop DirectedHop
@@ -238,6 +240,8 @@ func (s *evalScratch) traverse(topo *topology.Network, node topology.NodeID, out
 }
 
 // finish records the walk's outcome in the memo and returns it.
+//
+//sanlint:hotpath
 func (s *evalScratch) finish(res Result) Result {
 	s.result = res
 	s.resultHops = len(s.hops)
@@ -248,6 +252,8 @@ func (s *evalScratch) finish(res Result) Result {
 // evalRoute walks the message path of §2.2 from host `from` with the given
 // routing address, under collision model m, resuming from the memoized
 // prefix of the previous walk when the keys match (see evalScratch).
+//
+//sanlint:hotpath
 func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Model, s *evalScratch, epoch uint64) Result {
 	if topo.KindOf(from) != topology.HostNode {
 		panic(fmt.Sprintf("simnet: source %d is not a host", from))

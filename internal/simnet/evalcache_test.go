@@ -190,12 +190,12 @@ func TestEvalZeroAllocs(t *testing.T) {
 	n, h0, _ := lineNet(t)
 	sn := NewDefault(n)
 	routes := []Route{
-		{3, 3},       // delivered
-		{3, 1},       // no such wire at s1
-		{3, 3, 1},    // hit host too soon
-		{3},          // stranded
-		{6},          // illegal turn
-		{3, 3},       // exact repeat
+		{3, 3},    // delivered
+		{3, 1},    // no such wire at s1
+		{3, 3, 1}, // hit host too soon
+		{3},       // stranded
+		{6},       // illegal turn
+		{3, 3},    // exact repeat
 	}
 	// Warm up: grow every scratch buffer to its high-water mark.
 	for _, r := range routes {

@@ -75,21 +75,22 @@ func (s Stats) Hits() int64 { return s.HostHits + s.SwitchHits }
 // builds on it for the election, parallel-mapping and cross-traffic
 // experiments.
 type Net struct {
-	topo    *topology.Network
-	model   Model
-	timing  Timing
+	topo    *topology.Network //sanlint:topostate
+	model   Model             //sanlint:topostate
+	timing  Timing            //sanlint:topostate
 	clock   time.Duration
 	stats   Stats
 	scratch evalScratch
 	// epoch counts responder/configuration changes; the route-prefix memo in
 	// scratch is keyed on it (plus the topology's structural version), so any
-	// state change invalidates memoized traversal automatically.
-	epoch uint64
+	// state change invalidates memoized traversal automatically. epochcheck
+	// enforces that every method writing a topostate field bumps it.
+	epoch uint64 //sanlint:epoch
 	// loopBuf is the reusable buffer for loopback route expansion in submit.
 	loopBuf Route
 	// responder marks hosts running a mapper daemon; only they answer
 	// host-probes. Hosts absent from the map respond (default true).
-	silent map[topology.NodeID]bool
+	silent map[topology.NodeID]bool //sanlint:topostate
 	// probeLog, when non-nil, receives every probe issued (testing hook).
 	probeLog func(kind string, from topology.NodeID, r Route, ok bool)
 	// selfID enables the §6 self-identifying-switch oracle (IDProbe).
@@ -174,11 +175,15 @@ func (n *Net) SetProbeLog(f func(kind string, from topology.NodeID, r Route, ok 
 
 // Eval evaluates a raw route without sending a probe (no clock or counter
 // effects). Exposed for tests, route verification and tooling.
+//
+//sanlint:hotpath
 func (n *Net) Eval(from topology.NodeID, route Route) Result {
 	return evalRoute(n.topo, from, route, n.model, &n.scratch, n.epoch)
 }
 
 // EvalModel evaluates a route under an explicit collision model.
+//
+//sanlint:hotpath
 func (n *Net) EvalModel(from topology.NodeID, route Route, m Model) Result {
 	return evalRoute(n.topo, from, route, m, &n.scratch, n.epoch)
 }

@@ -1,6 +1,7 @@
 package simnet
 
 import (
+	"errors"
 	"fmt"
 	"time"
 )
@@ -209,7 +210,7 @@ func (s *Stream) Collect() (int, ProbeResult) {
 	if !r.OK {
 		s.w.stats.TimeoutCost += r.Latency
 	}
-	for attempt := 0; !r.OK && r.Err != ErrUnsupported && attempt < s.w.cfg.Retries; attempt++ {
+	for attempt := 0; !r.OK && !errors.Is(r.Err, ErrUnsupported) && attempt < s.w.cfg.Retries; attempt++ {
 		s.w.stats.Retries++
 		s.w.stats.Submitted++
 		r = <-s.w.p.Submit(s.w.withTimeout(e.p))

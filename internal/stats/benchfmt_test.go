@@ -40,10 +40,10 @@ func TestParseBench(t *testing.T) {
 
 func TestParseBenchErrors(t *testing.T) {
 	for _, in := range []string{
-		"PASS\nok sanmap 1s\n",                 // no measurements
-		"BenchmarkX-8 notanumber 1 ns/op\n",    // bad iterations
-		"BenchmarkX-8 10 fast ns/op\n",         // bad value
-		"BenchmarkX-8 10 3.5\n",                // value with no unit
+		"PASS\nok sanmap 1s\n",              // no measurements
+		"BenchmarkX-8 notanumber 1 ns/op\n", // bad iterations
+		"BenchmarkX-8 10 fast ns/op\n",      // bad value
+		"BenchmarkX-8 10 3.5\n",             // value with no unit
 	} {
 		if _, err := ParseBench(strings.NewReader(in)); err == nil {
 			t.Errorf("ParseBench(%q) = nil error", in)

@@ -98,16 +98,17 @@ type node struct {
 // for concurrent mutation; the simulator and mappers treat them as
 // read-only once built.
 type Network struct {
-	nodes []node
-	wires []Wire
+	nodes []node //sanlint:topostate
+	wires []Wire //sanlint:topostate
 	// dead marks wires removed by RemoveWire so indices stay stable.
-	dead   []bool
-	nDead  int
-	byName map[string]NodeID
+	dead   []bool            //sanlint:topostate
+	nDead  int               //sanlint:topostate
+	byName map[string]NodeID //sanlint:topostate
 	// version counts structural mutations (nodes, wires, reflectors). Route
 	// evaluators key their memoized traversal state on it, so reconfiguring
-	// a network invalidates caches automatically.
-	version uint64
+	// a network invalidates caches automatically. epochcheck enforces that
+	// every method writing a topostate field bumps it.
+	version uint64 //sanlint:epoch
 }
 
 // Version reports the structural mutation counter: it changes whenever a

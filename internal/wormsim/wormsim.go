@@ -117,6 +117,7 @@ func eventLess(a, b event) bool {
 	return a.seq < b.seq
 }
 
+//sanlint:hotpath
 func (s *Sim) push(at time.Duration, w *worm, kind eventKind) {
 	s.events.Push(event{at: at, seq: s.seq, w: w, kind: kind})
 	s.seq++
@@ -138,6 +139,8 @@ func (s *Sim) Inject(at time.Duration, src topology.NodeID, route simnet.Route) 
 }
 
 // Run processes events to completion and returns the statistics.
+//
+//sanlint:hotpath
 func (s *Sim) Run() Stats {
 	for s.events.Len() > 0 {
 		ev := s.events.Pop()
@@ -162,6 +165,8 @@ func (s *Sim) Run() Stats {
 }
 
 // acquire attempts to take w's next link.
+//
+//sanlint:hotpath
 func (s *Sim) acquire(w *worm) {
 	if w.next >= len(w.hops) {
 		// All links held; the head is at the destination. Deliver after
@@ -199,6 +204,8 @@ func (s *Sim) acquire(w *worm) {
 }
 
 // deliver completes a worm and releases its circuit.
+//
+//sanlint:hotpath
 func (s *Sim) deliver(w *worm) {
 	w.done = true
 	s.stats.Delivered++
@@ -206,6 +213,8 @@ func (s *Sim) deliver(w *worm) {
 }
 
 // kill destroys a deadlocked worm (the hardware's deadlock break).
+//
+//sanlint:hotpath
 func (s *Sim) kill(w *worm) {
 	w.dead = true
 	w.blocked = false
@@ -214,6 +223,8 @@ func (s *Sim) kill(w *worm) {
 }
 
 // release frees all links w holds and reschedules the first waiter of each.
+//
+//sanlint:hotpath
 func (s *Sim) release(w *worm) {
 	for _, link := range w.holding {
 		if s.owner[link] == w {
@@ -236,6 +247,8 @@ func (s *Sim) release(w *worm) {
 
 // inCycle reports whether w participates in a circular wait: follow
 // "waits-for link owned by" edges from w; a return to w is a deadlock.
+//
+//sanlint:hotpath
 func (s *Sim) inCycle(w *worm) bool {
 	// Generation stamps replace a per-call visited map: a worm whose mark
 	// equals the current generation has been seen in this walk.
