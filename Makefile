@@ -4,7 +4,7 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet lint test race bench bench-smoke bench-baseline ci
+.PHONY: build vet lint test race chaos bench bench-smoke bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,15 @@ race:
 	$(GO) vet ./...
 	$(GO) test -race $(RACE_PKGS)
 
+# chaos is the golden-seed fault-injection lane: deterministic schedules,
+# byte-reproducible logs, self-healing remaps checked against the surviving
+# core (see DESIGN.md §9). Every test here pins fixed seeds, so a failure is
+# a real regression, never flake.
+chaos:
+	$(GO) test -run 'Chaos|Fault|Heal|Remap|Backoff|Crash|Injector|Classify|LinkFilter' \
+		./internal/faults/... ./internal/mapper/... ./internal/simnet/... \
+		./internal/wormsim/... ./internal/election/... ./internal/experiments/...
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
@@ -46,4 +55,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint test race bench-smoke
+ci: build lint test race chaos bench-smoke

@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure to reproduce: all, 3, 4, 5, 6, 7, 8, 9, 10, routes")
+	fig := flag.String("fig", "all", "which figure to reproduce: all, 3, 4, 5, 6, 7, 8, 9, 10, routes, chaos")
 	runs := flag.Int("runs", 5, "repetitions for the Fig 7 timing table")
 	window := flag.Int("window", 8, "pipelined probe window for the Fig 7 pipelined column (1 = serial)")
 	step := flag.Int("step", 5, "responder sweep granularity for Fig 9")
@@ -123,6 +123,18 @@ func main() {
 			fail("fig 10", err)
 		}
 		section(experiments.FormatFig10(rows))
+	}
+	if want("chaos") {
+		ran = true
+		seeds := make([]uint64, *runs)
+		for i := range seeds {
+			seeds[i] = uint64(*seed) + uint64(i)
+		}
+		rows, err := experiments.ChaosSweep(seeds, workers)
+		if err != nil {
+			fail("chaos", err)
+		}
+		section(experiments.FormatChaos(rows))
 	}
 	if want("routes") {
 		ran = true

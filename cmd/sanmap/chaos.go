@@ -1,0 +1,113 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"sanmap/internal/faults"
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// parseChaos parses the -chaos spec: comma-separated key=value pairs, e.g.
+// "seed=7", "seed=3,cuts=2,flaps=1,loss=0.02". Unknown keys are errors.
+func parseChaos(spec string, net *topology.Network, h0 topology.NodeID) (faults.Schedule, error) {
+	p := faults.Profile{Protect: h0}
+	seed := uint64(1)
+	for _, kv := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return faults.Schedule{}, fmt.Errorf("chaos: %q is not key=value", kv)
+		}
+		var err error
+		switch k {
+		case "seed":
+			seed, err = strconv.ParseUint(v, 10, 64)
+		case "cuts":
+			p.Cuts, err = strconv.Atoi(v)
+		case "flaps":
+			p.Flaps, err = strconv.Atoi(v)
+		case "kills":
+			p.SwitchKills, err = strconv.Atoi(v)
+		case "restart":
+			p.Restart, err = strconv.ParseBool(v)
+		case "loss":
+			p.LossRate, err = strconv.ParseFloat(v, 64)
+		case "trunc":
+			p.TruncRate, err = strconv.ParseFloat(v, 64)
+		case "cross":
+			p.CrossRate, err = strconv.ParseFloat(v, 64)
+		case "window":
+			var ms float64
+			ms, err = strconv.ParseFloat(v, 64)
+			p.Window = time.Duration(ms * float64(time.Millisecond))
+		default:
+			return faults.Schedule{}, fmt.Errorf("chaos: unknown key %q", k)
+		}
+		if err != nil {
+			return faults.Schedule{}, fmt.Errorf("chaos: bad value for %s: %v", k, err)
+		}
+	}
+	if p.Cuts == 0 && p.Flaps == 0 && p.SwitchKills == 0 &&
+		p.LossRate == 0 && p.TruncRate == 0 && p.CrossRate == 0 {
+		// Bare "seed=N" gets a default mixed fault load.
+		p.Cuts, p.Flaps, p.LossRate = 1, 1, 0.02
+	}
+	return faults.Generate(net, seed, p), nil
+}
+
+// runChaos maps the network under an injected fault schedule with the
+// self-healing pipeline: map, force any remaining scheduled faults, remap
+// incrementally, and report the degraded result against the surviving core.
+func runChaos(spec string, net *topology.Network, h0 topology.NodeID,
+	model simnet.Model, depth int, verbose bool) error {
+	sched, err := parseChaos(spec, net, h0)
+	if err != nil {
+		return err
+	}
+	sn := simnet.New(net, model, simnet.DefaultTiming())
+	inj := faults.Attach(sn, sched)
+
+	// Healing routes can need more depth than the clean bound once cuts
+	// lengthen the surviving paths.
+	s, err := mapper.NewSession(sn.Endpoint(h0),
+		mapper.WithDepth(depth+net.NumSwitches()), mapper.WithConfirm(2))
+	if err != nil {
+		return err
+	}
+	if _, err := s.Map(); err != nil {
+		return fmt.Errorf("initial map: %v", err)
+	}
+	inj.ApplyAll() // any faults the map phase outran land now
+	sn.Reconfigure()
+	res, err := s.Remap()
+	if err != nil {
+		return fmt.Errorf("remap: %v", err)
+	}
+
+	fmt.Printf("chaos: %d scheduled events, rates loss=%.3g trunc=%.3g cross=%.3g (seed %d)\n",
+		len(sched.Events), sched.LossRate, sched.TruncRate, sched.CrossRate, sched.Seed)
+	want := faults.SurvivingCore(sn.Topology(), h0)
+	fmt.Printf("surviving core: %v\n", want)
+	fmt.Printf("healed map:     %v\n", res.Network)
+	fmt.Printf("confidence %.3f partial=%v contradictions=%d suspects=%d\n",
+		res.Confidence, res.Partial, res.Stats.Contradictions, len(res.Suspect))
+	if ok, reason := isomorph.Check(res.Network, want); ok {
+		fmt.Println("verification: healed map is isomorphic to the surviving core")
+	} else {
+		sim := isomorph.Compare(res.Network, want)
+		fmt.Printf("verification: degraded (%s); similarity %.3f\n", reason, sim.Score())
+	}
+	if verbose {
+		fmt.Print("injected fault log:\n", faults.FormatLog(inj.Log()))
+		fmt.Println("mapper fault log:")
+		for _, o := range res.FaultLog {
+			fmt.Println("  " + o.String())
+		}
+	}
+	return nil
+}

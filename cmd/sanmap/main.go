@@ -5,7 +5,7 @@
 //
 //	sanmap [-topo file | -gen spec] [-algo berkeley|myricom|label|random]
 //	       [-model circuit|cutthrough|packet] [-depth N] [-mapper host]
-//	       [-routes] [-dot] [-v]
+//	       [-routes] [-dot] [-v] [-chaos seed=N[,cuts=N,flaps=N,kills=N,loss=F,...]]
 //
 // The topology comes either from a file in the topology text format
 // (-topo) or from a generator spec (-gen), e.g.:
@@ -45,6 +45,7 @@ func main() {
 	traceOut := flag.Bool("trace", false, "stream mapper trace events to stderr (berkeley/random only)")
 	seed := flag.Int64("seed", 1, "seed for randomised algorithms and port embeddings")
 	window := flag.Int("window", 1, "pipelined probe window (1 = serial; berkeley/random only)")
+	chaos := flag.String("chaos", "", "map under injected faults with self-healing, e.g. seed=3 or seed=3,cuts=2,loss=0.02")
 	flag.Parse()
 
 	net, utility, err := loadTopology(*topoFile, *gen, *seed)
@@ -58,6 +59,12 @@ func main() {
 	d := *depth
 	if d == 0 {
 		d = net.DepthBound(h0)
+	}
+	if *chaos != "" {
+		if err := runChaos(*chaos, net, h0, parseModel(*model), d, *verbose); err != nil {
+			die("chaos: %v", err)
+		}
+		return
 	}
 	m, err := runAlgo(*algo, net, h0, parseModel(*model), d, *seed, *traceOut, *window)
 	if err != nil {

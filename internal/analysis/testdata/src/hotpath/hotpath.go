@@ -8,6 +8,9 @@ import "fmt"
 type scratch struct {
 	hops   []int
 	lookup map[int]int
+	// filter mimics the fault layer's injection hook: a cold func-valued
+	// field the hot path consults behind a nil check.
+	filter func(int) bool
 }
 
 // sink defeats "unused" only; it is not part of the checked surface.
@@ -32,6 +35,20 @@ func (s *scratch) step(buf []int, v int) []int {
 	p := pair{a: v, b: v}
 	s.reset()
 	return append(buf, p.a)
+}
+
+// Good: the nil-injector fast path. A call through a func-valued field is
+// not a call to an unannotated same-package function, so a hot path may
+// gate optional fault hooks behind a nil check with zero diagnostics — the
+// pattern simnet's injection points and wormsim's link filter rely on.
+//
+//sanlint:hotpath
+func (s *scratch) gated(v int) bool {
+	if s.filter != nil && s.filter(v) {
+		return false
+	}
+	s.hops = append(s.hops, v)
+	return true
 }
 
 // Bad: every allocation class the analyzer guards against.

@@ -11,6 +11,12 @@ import (
 var (
 	ErrTimeout     = errors.New("probe timed out")
 	ErrNoResponder = errors.New("silent host")
+	// Fault-layer sentinels: injected failures wrap both a classification
+	// sentinel and the transport sentinel the mapper observes, so callers
+	// must use errors.Is — identity can never match the wrapped chain.
+	ErrLinkDown   = errors.New("link down")
+	ErrSwitchDead = errors.New("switch dead")
+	ErrTruncated  = errors.New("worm truncated")
 )
 
 // errInternal is package-level but not exported-sentinel-named; identity
@@ -52,6 +58,39 @@ func good() int {
 	var localErr = errors.New("local")
 	if err == localErr {
 		return 4
+	}
+	return 0
+}
+
+// inject mimics the fault layer: the returned error wraps the ground-truth
+// classification sentinel AND the transport-level sentinel together.
+func inject() error {
+	return fmt.Errorf("probe lost on cut link: %w (%w)", ErrLinkDown, ErrTimeout)
+}
+
+// Bad: identity comparison can never see through the double wrap.
+func badInjected() int {
+	err := inject()
+	if err == ErrLinkDown { // want "sentinel error ErrLinkDown compared with ==; use errors.Is"
+		return 1
+	}
+	if err == ErrSwitchDead { // want "sentinel error ErrSwitchDead compared with ==; use errors.Is"
+		return 2
+	}
+	if ErrTruncated == err { // want "sentinel error ErrTruncated compared with ==; use errors.Is"
+		return 3
+	}
+	return 0
+}
+
+// Good: errors.Is classifies both wrapped sentinels independently.
+func goodInjected() int {
+	err := inject()
+	if errors.Is(err, ErrLinkDown) && errors.Is(err, ErrTimeout) {
+		return 1
+	}
+	if errors.Is(err, ErrSwitchDead) || errors.Is(err, ErrTruncated) {
+		return 2
 	}
 	return 0
 }

@@ -227,6 +227,15 @@ func (e *Endpoint) Probes() simnet.ProbeCaps {
 	return simnet.CapHost | simnet.CapSwitch | simnet.CapRaw
 }
 
+// Sleep implements simnet.Sleeper: retry-backoff waits advance the bound
+// process's virtual clock, so other processes' traffic keeps flowing while
+// this endpoint backs off.
+func (e *Endpoint) Sleep(d time.Duration) {
+	if d > 0 {
+		e.proc.Sleep(d)
+	}
+}
+
 // SwitchProbe implements simnet.Prober.
 func (e *Endpoint) SwitchProbe(turns simnet.Route) bool {
 	r := e.submit(simnet.Probe{Kind: simnet.ProbeSwitch, Route: turns})

@@ -1,0 +1,116 @@
+package election
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"sanmap/internal/isomorph"
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestElectionSurvivesLeaderCrash is the failure mode election mode exists
+// for (§4.2): the would-be leader — the highest-addressed host — dies while
+// mapping. Its lease is revoked, a passivated mapper notices the vacancy,
+// resumes, and completes the map; the network still gets mapped with no
+// single point of failure.
+func TestElectionSurvivesLeaderCrash(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := topology.Star(4, 3, rng)
+	depth := net.DepthBound(net.Hosts()[0])
+	const seed = 42
+
+	mkConfig := func() Config {
+		return Config{
+			Model:  simnet.CircuitModel,
+			Timing: simnet.DefaultTiming(),
+			Mapper: mapper.DefaultConfig(depth),
+			Rng:    rand.New(rand.NewSource(seed)),
+		}
+	}
+
+	// Dry run with the same seed to learn which host draws the highest
+	// address: that planned winner is the one we kill mid-map.
+	dry, err := Run(net, mkConfig())
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	doomed := dry.Winner
+
+	cfg := mkConfig()
+	cfg.Crash = map[string]time.Duration{doomed: 2 * time.Millisecond}
+	res, err := Run(net, cfg)
+	if err != nil {
+		t.Fatalf("election with crash: %v", err)
+	}
+
+	if res.Crashed != 1 {
+		t.Fatalf("expected the leader's mapper to die mid-map, Crashed=%d "+
+			"(crash scheduled too late?)", res.Crashed)
+	}
+	if res.Winner == doomed {
+		t.Fatalf("dead host %s won the election", doomed)
+	}
+	if res.Completed == 0 {
+		t.Fatalf("no mapper completed after the leader crash")
+	}
+	if res.Crashed+res.Passivated+res.Completed != net.NumHosts() {
+		t.Errorf("accounting: %d crashed + %d passivated + %d completed != %d hosts",
+			res.Crashed, res.Passivated, res.Completed, net.NumHosts())
+	}
+	if err := res.Map.Network.Validate(); err != nil {
+		t.Fatalf("survivor's map invalid: %v", err)
+	}
+	// The dead host answers nothing, so the survivor's map legitimately
+	// omits it; everything else must match the real network.
+	if err := isomorph.MustEqualCoreIgnoring(res.Map.Network, net,
+		map[string]bool{doomed: true}); err != nil {
+		t.Errorf("survivor's map (ignoring crashed %s): %v", doomed, err)
+	}
+}
+
+// TestElectionCrashOfLoser: a crash of a host that was going to passivate
+// anyway must not disturb the outcome — same winner, correct map.
+func TestElectionCrashOfLoser(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := topology.Star(4, 3, rng)
+	depth := net.DepthBound(net.Hosts()[0])
+	const seed = 7
+
+	mkConfig := func() Config {
+		return Config{
+			Model:  simnet.CircuitModel,
+			Timing: simnet.DefaultTiming(),
+			Mapper: mapper.DefaultConfig(depth),
+			Rng:    rand.New(rand.NewSource(seed)),
+		}
+	}
+	dry, err := Run(net, mkConfig())
+	if err != nil {
+		t.Fatalf("dry run: %v", err)
+	}
+	// Kill any host that is not the planned winner.
+	victim := ""
+	for _, h := range net.Hosts() {
+		if name := net.NameOf(h); name != dry.Winner {
+			victim = name
+			break
+		}
+	}
+
+	cfg := mkConfig()
+	cfg.Crash = map[string]time.Duration{victim: 1 * time.Millisecond}
+	res, err := Run(net, cfg)
+	if err != nil {
+		t.Fatalf("election with loser crash: %v", err)
+	}
+	if res.Winner != dry.Winner {
+		t.Errorf("loser crash changed the winner: %s vs %s", res.Winner, dry.Winner)
+	}
+	if err := isomorph.MustEqualCoreIgnoring(res.Map.Network, net,
+		map[string]bool{victim: true}); err != nil {
+		t.Errorf("winner's map (ignoring crashed %s): %v", victim, err)
+	}
+}

@@ -31,24 +31,27 @@ import (
 // cancel is the passivation poll the election machinery supplies. Both the
 // Berkeley and the Myricom algorithm fit ("both algorithms have two
 // operational modes", §4.2); see BerkeleyAlgo and MyricomAlgo.
-type Algo func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error)
+type Algo func(ep simnet.RawProber, cancel func() bool) (*mapper.Result, error)
 
 // BerkeleyAlgo adapts the Berkeley mapper for election mode.
 func BerkeleyAlgo(cfg mapper.Config) Algo {
-	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error) {
+	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Result, error) {
 		cfg := cfg
 		cfg.Cancel = cancel
 		m, err := mapper.RunConfig(ep, cfg)
 		if errors.Is(err, mapper.ErrCanceled) {
 			return nil, errPassivated
 		}
-		return m, err
+		if err != nil {
+			return nil, err
+		}
+		return &mapper.Result{Map: m, Confidence: 1}, nil
 	}
 }
 
 // MyricomAlgo adapts the Myricom mapper for election mode.
 func MyricomAlgo(cfg myricom.Config) Algo {
-	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Map, error) {
+	return func(ep simnet.RawProber, cancel func() bool) (*mapper.Result, error) {
 		cfg := cfg
 		cfg.Cancel = cancel
 		m, err := myricom.Run(ep, cfg)
@@ -58,7 +61,7 @@ func MyricomAlgo(cfg myricom.Config) Algo {
 		if err != nil {
 			return nil, err
 		}
-		return &mapper.Map{Network: m.Network, Mapper: m.Mapper}, nil
+		return &mapper.Result{Map: &mapper.Map{Network: m.Network, Mapper: m.Mapper}, Confidence: 1}, nil
 	}
 }
 
@@ -81,18 +84,31 @@ type Config struct {
 	Rng *rand.Rand
 	// MaxStagger bounds the random daemon start offsets.
 	MaxStagger time.Duration
+	// Crash schedules host failures by host name: at the given virtual
+	// time the host stops mapping AND stops answering probes — the single
+	// point of failure §4.2's election mode exists to survive. When the
+	// crashed host held the leadership lease, its lease entries are reset
+	// so passivated mappers can detect the vacancy and resume.
+	Crash map[string]time.Duration
+	// ResumePoll is how often a passivated mapper re-checks its leadership
+	// lease when crashes are scheduled (default 5ms). Without scheduled
+	// crashes passivation is final and the poll never runs, preserving the
+	// historical behaviour exactly.
+	ResumePoll time.Duration
 }
 
 // Result summarises one election run.
 type Result struct {
 	// Winner is the elected leader's host name.
 	Winner string
-	// Map is the leader's completed map.
-	Map *mapper.Map
+	// Map is the leader's completed map, with its degradation report.
+	Map *mapper.Result
 	// Elapsed is the virtual time at which the leader finished mapping.
 	Elapsed time.Duration
 	// Passivated counts mappers that yielded before completing.
 	Passivated int
+	// Crashed counts mappers lost to scheduled host crashes.
+	Crashed int
 	// Completed counts mappers that ran to completion (the winner, plus any
 	// that finished before hearing from a better one).
 	Completed int
@@ -108,10 +124,29 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 	if cfg.MaxStagger == 0 {
 		cfg.MaxStagger = 500 * time.Microsecond
 	}
+	if cfg.ResumePoll == 0 {
+		cfg.ResumePoll = 5 * time.Millisecond
+	}
 	hosts := net.Hosts()
 	if len(hosts) < 2 {
 		return nil, fmt.Errorf("election: need at least two hosts")
 	}
+	crashing := 0
+	for _, h := range hosts {
+		if _, ok := cfg.Crash[net.NameOf(h)]; ok {
+			crashing++
+		}
+	}
+	if crashing != len(cfg.Crash) {
+		return nil, fmt.Errorf("election: Crash names a host the network does not have")
+	}
+	if crashing >= len(hosts) {
+		return nil, fmt.Errorf("election: every host is scheduled to crash")
+	}
+	// resume turns on the self-healing protocol: passivated mappers poll
+	// their lease and take over when the leader dies. Off without crashes,
+	// keeping the historical single-pass behaviour byte for byte.
+	resume := crashing > 0
 
 	// Interface addresses: a random permutation; the maximum wins.
 	addr := make(map[topology.NodeID]uint64, len(hosts))
@@ -132,9 +167,32 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 	cn := connet.New(net, cfg.Model, cfg.Timing)
 	// heard[h] is the highest interface address host h has seen.
 	heard := make(map[topology.NodeID]uint64, len(hosts))
+	crashed := make(map[topology.NodeID]bool, crashing)
 
 	res := &Result{Winner: net.NameOf(winner)}
 	var runErr error
+	var done bool       // some mapper ran to completion
+	var bestAddr uint64 // highest completer address (resume mode)
+
+	for _, h := range hosts {
+		h := h
+		at, doomed := cfg.Crash[net.NameOf(h)]
+		if !doomed {
+			continue
+		}
+		eng.SpawnAt(at, net.NameOf(h)+".crash", func(p *desim.Proc) {
+			crashed[h] = true
+			cn.Quiet().SetResponder(h, false)
+			// Revoke the dead host's leases in deterministic host order, so
+			// passivated mappers notice the vacancy at their next poll.
+			for _, x := range hosts {
+				if heard[x] == addr[h] {
+					heard[x] = 0
+				}
+			}
+		})
+	}
+
 	for _, h := range hosts {
 		h := h
 		start := time.Duration(cfg.Rng.Int63n(int64(cfg.MaxStagger)))
@@ -150,26 +208,59 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 					heard[src] = addr[dst]
 				}
 			}
-			m, err := algo(ep, func() bool { return heard[h] > addr[h] })
-			switch {
-			case err == errPassivated:
-				res.Passivated++
-			case err != nil:
-				if runErr == nil {
-					runErr = fmt.Errorf("election: mapper at %s: %w", net.NameOf(h), err)
-				}
-			default:
-				res.Completed++
-				if h == winner {
-					res.Map = m
-					res.Elapsed = p.Now()
+			defer func() {
+				st := ep.Stats()
+				res.Probes.HostProbes += st.HostProbes
+				res.Probes.HostHits += st.HostHits
+				res.Probes.SwitchProbes += st.SwitchProbes
+				res.Probes.SwitchHits += st.SwitchHits
+			}()
+			for {
+				m, err := algo(ep, func() bool { return crashed[h] || heard[h] > addr[h] })
+				switch {
+				case err == errPassivated:
+					if crashed[h] {
+						res.Crashed++
+						return
+					}
+					if !resume {
+						res.Passivated++
+						return
+					}
+					// Hold as a warm standby: if the lease clears (the
+					// leader died before anyone completed), restart mapping.
+					for heard[h] > addr[h] && !done && !crashed[h] {
+						p.Sleep(cfg.ResumePoll)
+					}
+					if heard[h] > addr[h] || done || crashed[h] {
+						res.Passivated++
+						return
+					}
+					continue
+				case err != nil:
+					if runErr == nil {
+						runErr = fmt.Errorf("election: mapper at %s: %w", net.NameOf(h), err)
+					}
+					return
+				default:
+					res.Completed++
+					done = true
+					if resume {
+						// The planned winner may be dead; leadership goes to
+						// the highest-addressed mapper that finished.
+						if addr[h] > bestAddr {
+							bestAddr = addr[h]
+							res.Winner = net.NameOf(h)
+							res.Map = m
+							res.Elapsed = p.Now()
+						}
+					} else if h == winner {
+						res.Map = m
+						res.Elapsed = p.Now()
+					}
+					return
 				}
 			}
-			st := ep.Stats()
-			res.Probes.HostProbes += st.HostProbes
-			res.Probes.HostHits += st.HostHits
-			res.Probes.SwitchProbes += st.SwitchProbes
-			res.Probes.SwitchHits += st.SwitchHits
 		})
 	}
 	eng.Run()

@@ -1,0 +1,148 @@
+package faults
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+// Profile shapes a generated fault schedule. The zero value means "no
+// structural events"; rates are copied into the schedule verbatim.
+type Profile struct {
+	// Cuts is the number of permanent link cuts. Only switch-switch wires
+	// that are not bridges at cut time are eligible, so the cuts thin the
+	// network without disconnecting it — the regime where the healed map
+	// must still be isomorphic to the surviving core.
+	Cuts int
+	// Flaps is the number of transient link cuts: each flapped wire is
+	// restored FlapDown after it drops.
+	Flaps int
+	// FlapDown is how long a flapped link stays down (default 2ms).
+	FlapDown time.Duration
+	// SwitchKills is the number of switches killed mid-run.
+	SwitchKills int
+	// Restart restores killed switches RestartAfter after their death.
+	Restart bool
+	// RestartAfter is the switch restart delay (default 5ms).
+	RestartAfter time.Duration
+	// Window bounds event times: all initial events land in (0, Window]
+	// (default 10ms — early in a map, so healing has faults to find).
+	Window time.Duration
+	// Protect, when not topology.None, shields the named host's attachment
+	// switch from SwitchKills (killing the mapper's own first hop turns
+	// every probe into a miss, a scenario tested separately).
+	Protect topology.NodeID
+
+	// Stochastic per-probe rates, copied into the Schedule.
+	LossRate  float64
+	TruncRate float64
+	CrossRate float64
+}
+
+// Generate draws a reproducible fault schedule for the network from the
+// seed. The same (network, seed, profile) triple always yields the same
+// schedule; event times and victims come from a seeded PRNG only.
+func Generate(net *topology.Network, seed uint64, p Profile) Schedule {
+	if p.FlapDown <= 0 {
+		p.FlapDown = 2 * time.Millisecond
+	}
+	if p.RestartAfter <= 0 {
+		p.RestartAfter = 5 * time.Millisecond
+	}
+	if p.Window <= 0 {
+		p.Window = 10 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	at := func() time.Duration {
+		return time.Duration(1 + rng.Int63n(int64(p.Window)))
+	}
+
+	// The sandbox tracks the post-cut structure so bridge recomputation
+	// sees earlier cuts; used guards wires claimed by any event.
+	sandbox := net.Clone()
+	used := make(map[int]bool)
+	var events []Event
+
+	for c := 0; c < p.Cuts; c++ {
+		cands := cuttable(sandbox, used)
+		if len(cands) == 0 {
+			break
+		}
+		w := cands[rng.Intn(len(cands))]
+		if err := sandbox.RemoveWire(w); err != nil {
+			continue
+		}
+		used[w] = true
+		events = append(events, Event{At: at(), Kind: LinkCut, Wire: w})
+	}
+	for f := 0; f < p.Flaps; f++ {
+		cands := cuttable(sandbox, used)
+		if len(cands) == 0 {
+			break
+		}
+		w := cands[rng.Intn(len(cands))]
+		used[w] = true // flaps restore, but never overlap another event's wire
+		down := at()
+		events = append(events,
+			Event{At: down, Kind: LinkCut, Wire: w},
+			Event{At: down + p.FlapDown, Kind: LinkRestore, Wire: w})
+	}
+	if p.SwitchKills > 0 {
+		protect := topology.None
+		if p.Protect != topology.None {
+			if end, ok := net.Neighbor(p.Protect, 0); ok {
+				protect = end.Node
+			}
+		}
+		var switches []topology.NodeID
+		for _, nid := range sandbox.Switches() {
+			if nid != protect {
+				switches = append(switches, nid)
+			}
+		}
+		for k := 0; k < p.SwitchKills && len(switches) > 0; k++ {
+			j := rng.Intn(len(switches))
+			victim := switches[j]
+			switches = append(switches[:j], switches[j+1:]...)
+			down := at()
+			events = append(events, Event{At: down, Kind: SwitchDown, Node: victim})
+			if p.Restart {
+				events = append(events, Event{At: down + p.RestartAfter, Kind: SwitchUp, Node: victim})
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return Schedule{
+		Events:    events,
+		LossRate:  p.LossRate,
+		TruncRate: p.TruncRate,
+		CrossRate: p.CrossRate,
+		Seed:      seed,
+	}
+}
+
+// cuttable lists switch-switch wires that are not bridges of the sandbox
+// and not already claimed, in ascending index order.
+func cuttable(sandbox *topology.Network, used map[int]bool) []int {
+	bridge := make(map[int]bool)
+	for _, b := range sandbox.Bridges() {
+		bridge[b] = true
+	}
+	var out []int
+	sandbox.WiresIndexed(func(idx int, w topology.Wire) {
+		if used[idx] || bridge[idx] {
+			return
+		}
+		if sandbox.KindOf(w.A.Node) != topology.SwitchNode || sandbox.KindOf(w.B.Node) != topology.SwitchNode {
+			return
+		}
+		if w.A.Node == w.B.Node {
+			return // self-loop cables are not connectivity
+		}
+		out = append(out, idx)
+	})
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,228 @@
+package mapper
+
+import (
+	"errors"
+	"sort"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Session is a fault-tolerant mapping session: a run whose model graph
+// survives across calls, so a network change can be healed incrementally
+// (§5: "it is possible to update an existing map much faster than mapping
+// from scratch"). Map performs the initial exploration; Remap verifies the
+// committed map against the live network, drops edges that no longer
+// answer, re-explores the contradicted regions over fresh routes, and
+// deletes whatever the surviving map can no longer reach.
+type Session struct {
+	r *run
+}
+
+// NewSession builds a self-healing session over the prober. SelfHeal is
+// forced on (it is the session's reason to exist); the remaining options
+// are as for Run.
+func NewSession(p simnet.Prober, opts ...Option) (*Session, error) {
+	cfg := BuildConfig(opts...)
+	cfg.SelfHeal = true
+	r, err := newRun(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{r: r}, nil
+}
+
+// Map runs the initial exploration and returns the tolerant Result. The
+// session keeps the model for later Remap calls.
+func (s *Session) Map() (*Result, error) {
+	if err := s.r.runLoop(); err != nil {
+		return nil, err
+	}
+	return s.r.result()
+}
+
+// healRounds bounds the verify→re-explore iterations of one Remap: each
+// round can only churn regions another fault touched, so a handful suffices
+// on any schedule the fault budget would tolerate anyway.
+const healRounds = 4
+
+// Remap heals the committed map against the current network: it sweeps the
+// model (verifying every committed edge with a freshly derived route),
+// drops edges that fail twice, re-explores the switches they touched, and
+// repeats until a sweep finds nothing wrong, the round bound trips, or the
+// fault budget is spent. Because occupied surviving slots are skipped and
+// verification costs one probe per live edge, an incremental Remap after a
+// small fault is far cheaper than a from-scratch run.
+func (s *Session) Remap() (*Result, error) {
+	for round := 0; round < healRounds; round++ {
+		if s.r.budgetExhausted() {
+			s.r.partial = true
+			s.r.observe("budget-exhausted", nil)
+			break
+		}
+		dropped, err := s.r.sweep()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.r.runLoop(); err != nil {
+			return nil, err
+		}
+		if dropped == 0 {
+			break
+		}
+	}
+	return s.r.result()
+}
+
+// RunResult is the tolerant analogue of Run: one self-healing Map() over a
+// fresh session.
+func RunResult(p simnet.Prober, opts ...Option) (*Result, error) {
+	s, err := NewSession(p, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Map()
+}
+
+// sweepItem is one BFS visit of the verification sweep: a committed switch
+// vertex, the fresh route that reaches it, and the frame index of the port
+// that route enters through.
+type sweepItem struct {
+	v     *Vertex
+	entry int
+	route simnet.Route
+}
+
+// sweep walks the committed model breadth-first from the mapper's
+// attachment switch, re-deriving a fresh route for every vertex it reaches
+// (the committed edges themselves define the route: slot i out of a vertex
+// entered at index e is turn i−e), and verifies each committed edge with
+// one expected-kind probe. An edge that fails twice is dropped and both
+// ends are re-enqueued for scoped re-exploration over their fresh routes —
+// NOT their (possibly fault-crossing) discovery routes. Live switch
+// vertices the BFS never reaches are unreachable over committed edges and
+// are deleted; prune cleans up the stranded hosts. Returns the number of
+// edges dropped.
+func (r *run) sweep() (int, error) {
+	hv, ok := r.model.hostByName[r.p.LocalHost()]
+	if !ok {
+		return 0, errors.New("mapper: mapping host missing from session model")
+	}
+	h0, _ := find(hv)
+	var rootEdge *Edge
+	for _, e := range h0.slots[0] {
+		if !e.deleted {
+			rootEdge = e
+			break
+		}
+	}
+	if rootEdge == nil {
+		return 0, nil // never attached; nothing committed to verify
+	}
+	rootV, rootIdx := rootEdge.otherSide(h0, 0)
+	rootV, shift := find(rootV)
+	rootIdx += shift
+
+	dropped := 0
+	queue := []sweepItem{{v: rootV, entry: rootIdx, route: simnet.Route{}}}
+	visited := map[*Vertex]bool{rootV: true}
+	checked := map[*Edge]bool{rootEdge: true}
+	var slotIdx []int
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		v := it.v
+		if v.deleted {
+			continue
+		}
+		// Sorted slot order: the sweep's probe sequence must not depend on
+		// map iteration order.
+		slotIdx = slotIdx[:0]
+		for i := range v.slots {
+			slotIdx = append(slotIdx, i)
+		}
+		sort.Ints(slotIdx)
+		for _, i := range slotIdx {
+			for _, e := range v.slots[i] {
+				if e.deleted || checked[e] {
+					continue
+				}
+				checked[e] = true
+				if e.a == e.b {
+					continue // loopback cable: no distinct far side to confirm
+				}
+				t := i - it.entry
+				if t == 0 || t > simnet.MaxTurn || t < -simnet.MaxTurn {
+					continue // unroutable from this entry; another visit may cover it
+				}
+				if len(it.route) >= r.cfg.Depth {
+					continue
+				}
+				far, fidx := e.otherSide(v, i)
+				far, fshift := find(far)
+				fidx += fshift
+				probeStr := it.route.Extend(simnet.Turn(t))
+				ok := r.verifyEdge(far, probeStr)
+				if !ok {
+					ok = r.verifyEdge(far, probeStr) // one confirmation retry
+				}
+				if !ok {
+					r.model.dropEdge(e)
+					dropped++
+					r.stats.Contradictions++
+					r.observe("edge-drop", probeStr)
+					r.reexploreAt(v, it.route, it.entry)
+					continue
+				}
+				if far.kind == topology.SwitchNode && !visited[far] {
+					visited[far] = true
+					queue = append(queue, sweepItem{v: far, entry: fidx, route: probeStr})
+				}
+			}
+		}
+	}
+
+	for _, v := range r.model.liveVertices() {
+		if v.kind == topology.SwitchNode && !visited[v] {
+			r.observe("unreachable-drop", v.probe)
+			r.model.deleteVertex(v)
+		}
+	}
+	return dropped, nil
+}
+
+// verifyEdge sends the one probe whose answer the committed edge predicts:
+// the far host's name for host edges, a switch loopback for switch edges.
+func (r *run) verifyEdge(far *Vertex, s simnet.Route) bool {
+	if far.kind == topology.HostNode {
+		host, ok := r.p.HostProbe(s)
+		return ok && host == far.name
+	}
+	return r.p.SwitchProbe(s)
+}
+
+// reexploreAt re-enqueues v for exploration over a known-fresh route,
+// subject to the same per-vertex staleness cap as markStale.
+func (r *run) reexploreAt(v *Vertex, route simnet.Route, entry int) {
+	if v.deleted || v.kind != topology.SwitchNode {
+		return
+	}
+	if r.staleCount == nil || r.staleCount[v] >= staleLimit {
+		return
+	}
+	r.staleCount[v]++
+	v.explored = false
+	r.stats.Reexplored++
+	r.observe("re-explore", route)
+	r.front = append(r.front, job{v: v, route: route, entry: entry})
+}
+
+// dropEdge deletes one committed edge in place (both slot lists skip
+// deleted edges lazily, exactly as deleteVertex relies on).
+func (m *Model) dropEdge(e *Edge) {
+	if e.deleted {
+		return
+	}
+	e.deleted = true
+	m.liveEdges--
+}

@@ -90,6 +90,23 @@ type Config struct {
 	// byte-identical to the serial one. Window <= 1 (the zero value) keeps
 	// the strictly serial path.
 	Pipeline simnet.WindowConfig
+	// Confirm, when > 1, requires K-of-N probe confirmation before an edge
+	// is committed to the model: a response that would create an edge must
+	// be observed Confirm times within 2×Confirm−1 samples of the same
+	// probe string, otherwise the turn is treated as "nothing". Values of 0
+	// or 1 commit on the first response — the paper's quiescent behaviour,
+	// byte-identical to historical runs.
+	Confirm int
+	// FaultBudget, when > 0, bounds the contradictions a run tolerates
+	// before it stops exploring and reports a partial result (Sessions turn
+	// that into Result.Partial rather than an error).
+	FaultBudget int
+	// SelfHeal enables contradiction-triggered incremental re-exploration:
+	// a deduction that contradicts the committed model marks the vertices
+	// involved stale and re-enqueues them for a scoped re-explore instead
+	// of silently poisoning the model. Sessions set it; the plain Run path
+	// leaves it off and stays byte-identical to historical behaviour.
+	SelfHeal bool
 }
 
 // DefaultConfig returns the paper-faithful production configuration; the
@@ -126,6 +143,12 @@ type Stats struct {
 	Elapsed       time.Duration
 	Inconsistent  int // contradictory deductions (nonzero only under noise)
 	EliminatedPro int // probes skipped by the safe-elimination window
+	// Contradictions counts deductions that disagreed with the committed
+	// model during a self-healing run; Reexplored counts the scoped
+	// re-explorations those contradictions (and verification sweeps)
+	// scheduled. Both stay zero on the legacy quiescent path.
+	Contradictions int
+	Reexplored     int
 	// Pipeline carries the probe-engine counters when Config.Pipeline
 	// enabled the pipelined path.
 	Pipeline simnet.WindowStats
@@ -175,6 +198,7 @@ type run struct {
 	front  []job
 	stats  Stats
 	series []Snapshot
+	start  time.Duration
 	// win is the pipelined probe engine (nil when disabled or unsupported
 	// by the transport); ps streams the current exploration's probe pairs
 	// through it, and pre holds the responses collected so far, keyed by
@@ -182,11 +206,35 @@ type run struct {
 	win *simnet.ProbeWindow
 	ps  *exploreStream
 	pre map[string]simnet.ProbeResponse
+	// Self-healing state (SelfHeal runs only): partial marks a run stopped
+	// by an exhausted fault budget; obs is the mapper-side fault log;
+	// staleCount bounds per-vertex re-explorations so a persistently lying
+	// region cannot loop the run forever.
+	partial    bool
+	obs        []Observation
+	staleCount map[*Vertex]int
 }
+
+// staleLimit bounds how many times one vertex may be re-enqueued stale.
+const staleLimit = 3
 
 // RunConfig executes the Berkeley algorithm from the given prober with an
 // explicit configuration. Most callers should use Run with options.
 func RunConfig(p simnet.Prober, cfg Config) (*Map, error) {
+	r, err := newRun(p, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.runLoop(); err != nil {
+		return nil, err
+	}
+	return r.finish()
+}
+
+// newRun validates the configuration and performs INITIALIZATION (§3.1):
+// the root host-vertex for the mapper itself and its adjacent
+// switch-vertex; the frontier starts with that switch.
+func newRun(p simnet.Prober, cfg Config) (*run, error) {
 	if cfg.Depth < 1 {
 		return nil, fmt.Errorf("mapper: Depth must be at least 1, got %d: %w", cfg.Depth, ErrDepthExceeded)
 	}
@@ -194,36 +242,57 @@ func RunConfig(p simnet.Prober, cfg Config) (*Map, error) {
 		cfg.MaxVertices = 1 << 20
 	}
 	r := &run{cfg: cfg, p: p, model: newModel()}
+	if cfg.SelfHeal {
+		r.staleCount = make(map[*Vertex]int)
+		r.model.onInconsistency = r.noteContradiction
+	}
 	r.initPipeline()
-	start := p.Clock()
+	r.start = p.Clock()
 
-	// INITIALIZATION (§3.1): the root host-vertex for the mapper itself and
-	// its adjacent switch-vertex; the frontier starts with that switch.
 	h0, _ := r.model.hostVertex(p.LocalHost(), simnet.Route{})
 	rootSwitch := r.model.newVertex(topology.SwitchNode, "", simnet.Route{})
 	// The host's single wire is the switch's entry port, relative index 0.
 	r.model.addEdge(h0, 0, rootSwitch, 0)
 	r.front = append(r.front, job{v: rootSwitch, route: simnet.Route{}})
+	return r, nil
+}
 
-	// EXPLORE + MERGE, interleaved per §3.3 modification 1.
+// runLoop drains the frontier: EXPLORE + MERGE, interleaved per §3.3
+// modification 1. A self-healing run whose contradictions exceed the fault
+// budget stops early and marks the run partial instead of erroring.
+func (r *run) runLoop() error {
 	for len(r.front) > 0 {
-		if cfg.Cancel != nil && cfg.Cancel() {
-			return nil, ErrCanceled
+		if r.cfg.Cancel != nil && r.cfg.Cancel() {
+			return ErrCanceled
+		}
+		if r.budgetExhausted() {
+			r.partial = true
+			r.observe("budget-exhausted", nil)
+			r.front = r.front[:0]
+			break
 		}
 		jb := r.front[0]
 		r.front = r.front[1:]
 		if err := r.explore(jb); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return nil
+}
 
-	// PRUNE (§3.1): repeatedly delete switch-vertices of degree ≤ 1; this
-	// removes both unexplored deep frontier leftovers and the replicated
-	// fringes of F.
+// budgetExhausted reports whether the configured fault budget is spent.
+func (r *run) budgetExhausted() bool {
+	return r.cfg.FaultBudget > 0 && r.stats.Contradictions > r.cfg.FaultBudget
+}
+
+// finish runs PRUNE (§3.1) — repeatedly delete switch-vertices of degree
+// ≤ 1, removing both unexplored deep frontier leftovers and the replicated
+// fringes of F — then snapshots the statistics and exports the model.
+func (r *run) finish() (*Map, error) {
 	r.prune()
 
-	r.stats.Elapsed = p.Clock() - start
-	if ns, ok := p.(interface{ Stats() simnet.Stats }); ok {
+	r.stats.Elapsed = r.p.Clock() - r.start
+	if ns, ok := r.p.(interface{ Stats() simnet.Stats }); ok {
 		r.stats.Probes = ns.Stats()
 	}
 	r.stats.Inconsistent = r.model.Inconsistencies
@@ -234,6 +303,35 @@ func RunConfig(p simnet.Prober, cfg Config) (*Map, error) {
 		return nil, err
 	}
 	return &Map{Network: net, Mapper: mapperID, Stats: r.stats, Series: r.series}, nil
+}
+
+// noteContradiction handles one contradictory deduction on a self-healing
+// run: count it against the budget and mark both involved regions stale.
+func (r *run) noteContradiction(a, b *Vertex) {
+	r.stats.Contradictions++
+	r.observe("contradiction", nil)
+	r.markStale(a)
+	r.markStale(b)
+}
+
+// markStale flags a vertex for scoped incremental re-exploration: its
+// explored bit is cleared and a fresh frontier job re-enqueued over its
+// discovery route. Each vertex is re-enqueued at most staleLimit times so a
+// persistently contradicting region degrades into suspect edges instead of
+// an endless probe loop.
+func (r *run) markStale(v *Vertex) {
+	root, _ := find(v)
+	if root.deleted || root.kind != topology.SwitchNode {
+		return
+	}
+	if r.staleCount == nil || r.staleCount[root] >= staleLimit {
+		return
+	}
+	r.staleCount[root]++
+	root.explored = false
+	r.stats.Reexplored++
+	r.observe("re-explore", root.probe)
+	r.front = append(r.front, job{v: root, route: root.probe})
 }
 
 // turnSequence returns the candidate turns in configured order.
@@ -364,9 +462,14 @@ func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
 	if r.pre != nil {
 		if resp, ok := r.pre[s.String()]; ok {
 			delete(r.pre, s.String())
-			return resp
+			return r.confirmResponse(s, resp)
 		}
 	}
+	return r.confirmResponse(s, r.probeOnce(s))
+}
+
+// probeOnce issues one live probe pair in the configured order.
+func (r *run) probeOnce(s simnet.Route) simnet.ProbeResponse {
 	if r.cfg.ProbeOrder == SwitchFirst {
 		if r.p.SwitchProbe(s) {
 			return simnet.ProbeResponse{Kind: simnet.RespSwitch}
@@ -381,6 +484,30 @@ func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
 	}
 	if r.p.SwitchProbe(s) {
 		return simnet.ProbeResponse{Kind: simnet.RespSwitch}
+	}
+	return simnet.ProbeResponse{Kind: simnet.RespNothing}
+}
+
+// confirmResponse implements K-of-N commit confirmation (Config.Confirm):
+// a response that would create an edge must be reproduced Confirm times
+// within 2×Confirm−1 samples of the same probe string before it is
+// believed, otherwise the slot is treated as "nothing" this round. Null
+// responses are never confirmed — a lost probe only delays discovery, it
+// cannot forge an edge. With Confirm <= 1 the first response wins, exactly
+// as before.
+func (r *run) confirmResponse(s simnet.Route, first simnet.ProbeResponse) simnet.ProbeResponse {
+	k := r.cfg.Confirm
+	if k <= 1 || first.Kind == simnet.RespNothing {
+		return first
+	}
+	votes := make(map[simnet.ProbeResponse]int, 2)
+	votes[first] = 1
+	for samples := 1; samples < 2*k-1; samples++ {
+		resp := r.probeOnce(s)
+		votes[resp]++
+		if votes[resp] >= k {
+			return resp
+		}
 	}
 	return simnet.ProbeResponse{Kind: simnet.RespNothing}
 }

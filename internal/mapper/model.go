@@ -114,6 +114,20 @@ type Model struct {
 	// onMerge and onDelete are optional observability hooks (trace.go).
 	onMerge  func(into, victim, shift int)
 	onDelete func(id int)
+	// onInconsistency, when non-nil, observes every contradictory deduction
+	// as it is counted, with the two (root) vertices involved. The
+	// self-healing run uses it to mark the contradicted region stale and
+	// schedule a scoped re-explore.
+	onInconsistency func(a, b *Vertex)
+}
+
+// noteInconsistency counts one contradictory deduction and notifies the
+// observer hook.
+func (m *Model) noteInconsistency(a, b *Vertex) {
+	m.Inconsistencies++
+	if m.onInconsistency != nil {
+		m.onInconsistency(a, b)
+	}
 }
 
 type mergeTask struct {
@@ -218,7 +232,7 @@ func (m *Model) processMerges() {
 		s := t.shift + sa - sb
 		if ra == rb {
 			if s != 0 {
-				m.Inconsistencies++
+				m.noteInconsistency(ra, rb)
 			}
 			continue
 		}
@@ -240,7 +254,14 @@ func (m *Model) mergeInto(ra, rb *Vertex, s int) {
 	if ra.kind != rb.kind {
 		// A switch claimed to be a host (or vice versa): impossible under
 		// quiescent probing; count and refuse.
-		m.Inconsistencies++
+		m.noteInconsistency(ra, rb)
+		return
+	}
+	if rb.name != "" && ra.name != "" && ra.name != rb.name {
+		// Two distinct uniquely-named hosts asked to merge: the anchors the
+		// whole deduction scheme rests on (§2.3 "hosts are uniquely
+		// identified") contradict each other. Count and refuse.
+		m.noteInconsistency(ra, rb)
 		return
 	}
 	if rb.name != "" && ra.name == "" {

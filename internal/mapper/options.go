@@ -57,6 +57,19 @@ func WithPipelineConfig(wc simnet.WindowConfig) Option {
 	return func(c *Config) { c.Pipeline = wc }
 }
 
+// WithConfirm sets K-of-N probe confirmation: an edge-creating response
+// must repeat k times within 2k−1 samples before it is believed. k <= 1
+// keeps the single-shot quiescent behaviour.
+func WithConfirm(k int) Option { return func(c *Config) { c.Confirm = k } }
+
+// WithFaultBudget bounds the contradictions a run tolerates before it stops
+// exploring and reports a partial result (0 = unbounded).
+func WithFaultBudget(n int) Option { return func(c *Config) { c.FaultBudget = n } }
+
+// WithSelfHeal toggles contradiction-triggered incremental re-exploration.
+// NewSession turns it on by default.
+func WithSelfHeal(on bool) Option { return func(c *Config) { c.SelfHeal = on } }
+
 // WithConfig replaces the whole configuration (a migration aid for callers
 // that assemble a Config programmatically); options after it still apply.
 func WithConfig(cfg Config) Option { return func(c *Config) { *c = cfg } }

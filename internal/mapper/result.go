@@ -1,0 +1,200 @@
+package mapper
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// Observation is one mapper-side fault-log entry: the run's own record of
+// a contradiction noticed, a region re-explored, an edge dropped or a
+// budget exhausted, in virtual-time order. It complements the injector's
+// ground-truth log (internal/faults): the injector records what actually
+// happened to the network, the Observation log what the mapper deduced.
+type Observation struct {
+	At    time.Duration
+	What  string
+	Probe string // route string involved, "" when not applicable
+}
+
+// String renders one log line.
+func (o Observation) String() string {
+	if o.Probe == "" {
+		return fmt.Sprintf("%v %s", o.At, o.What)
+	}
+	return fmt.Sprintf("%v %s probe=%s", o.At, o.What, o.Probe)
+}
+
+// observe appends one entry to the run's fault log (self-healing runs
+// only; the legacy path keeps no log).
+func (r *run) observe(what string, probe simnet.Route) {
+	if !r.cfg.SelfHeal {
+		return
+	}
+	o := Observation{At: r.p.Clock(), What: what}
+	if probe != nil {
+		o.Probe = probe.String()
+	}
+	r.obs = append(r.obs, o)
+}
+
+// Result is the partial-map result of a fault-tolerant mapping run. It
+// embeds the classic Map and adds the degradation report: instead of
+// erroring out when the network misbehaves, a Session returns the best map
+// it could assemble together with how much of it to believe.
+type Result struct {
+	*Map
+	// Confidence is liveEdges/(liveEdges+contradictions+suspects), scaled
+	// by ½ when the run was cut short — 1.0 exactly on a clean quiescent
+	// run, degrading towards 0 as deductions had to be thrown away (see
+	// DESIGN.md §9 for the definition's rationale).
+	Confidence float64
+	// Partial marks a run stopped by its fault budget: the graph covers
+	// only the explored region.
+	Partial bool
+	// Suspect lists deductions dropped at export because they conflicted
+	// (two edges claiming one port, unexportable wiring), sorted.
+	Suspect []string
+	// FaultLog is the mapper's own record of contradictions, re-explores
+	// and dropped edges, in virtual-time order.
+	FaultLog []Observation
+}
+
+// result assembles a Result from the run's current model: prune, tolerant
+// export, confidence. Unlike the strict export path, conflicting
+// deductions are skipped and reported instead of failing the run.
+func (r *run) result() (*Result, error) {
+	r.prune()
+	r.stats.Elapsed = r.p.Clock() - r.start
+	if ns, ok := r.p.(interface{ Stats() simnet.Stats }); ok {
+		r.stats.Probes = ns.Stats()
+	}
+	r.stats.Inconsistent = r.model.Inconsistencies
+	r.finishPipeline()
+
+	net, mapperID, suspects, err := exportTolerant(r.model, r.p.LocalHost())
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range suspects {
+		r.observe("suspect-edge", nil)
+		_ = s
+	}
+	edges := net.NumWires()
+	bad := r.stats.Contradictions + len(suspects)
+	conf := 1.0
+	if edges+bad > 0 {
+		conf = float64(edges) / float64(edges+bad)
+	}
+	if r.partial {
+		conf *= 0.5
+	}
+	return &Result{
+		Map:        &Map{Network: net, Mapper: mapperID, Stats: r.stats, Series: r.series},
+		Confidence: conf,
+		Partial:    r.partial,
+		Suspect:    suspects,
+		FaultLog:   r.obs,
+	}, nil
+}
+
+// exportTolerant converts a model graph into a topology.Network like
+// exportModel, but degrades instead of failing: when a slot holds several
+// live edges (an unresolved contradiction) only the oldest is exported,
+// and wiring the strict exporter would reject is skipped. Every dropped
+// deduction is reported in suspects (sorted).
+func exportTolerant(model *Model, localHost string) (*topology.Network, topology.NodeID, []string, error) {
+	net := &topology.Network{}
+	ids := make(map[*Vertex]topology.NodeID)
+	swCount := 0
+	for _, v := range model.liveVertices() {
+		if v.kind == topology.HostNode {
+			ids[v] = net.AddHost(v.name)
+		} else {
+			ids[v] = net.AddSwitch(fmt.Sprintf("m%d", swCount))
+			swCount++
+		}
+	}
+	var suspects []string
+	portOf := make(map[*Vertex]int)
+	base := func(v *Vertex) int {
+		if p0, ok := portOf[v]; ok {
+			return p0
+		}
+		lo, hi := v.window()
+		if lo > hi {
+			lo = 0 // inconsistent window (possible only under noise)
+		}
+		portOf[v] = lo
+		return lo
+	}
+	desc := func(e *Edge) string {
+		name := func(v *Vertex) string {
+			if v.name != "" {
+				return v.name
+			}
+			return fmt.Sprintf("s%d", v.id)
+		}
+		return fmt.Sprintf("%s[%d]--%s[%d]", name(e.a), e.ai, name(e.b), e.bi)
+	}
+	seen := make(map[*Edge]bool)
+	var slotIdx []int
+	for _, v := range model.liveVertices() {
+		slotIdx = slotIdx[:0]
+		for i := range v.slots {
+			slotIdx = append(slotIdx, i)
+		}
+		sort.Ints(slotIdx)
+		for _, i := range slotIdx {
+			// One actual port holds one actual cable: with several live
+			// edges claiming the slot, trust the oldest deduction and mark
+			// the rest suspect.
+			taken := false
+			for _, e := range v.slots[i] {
+				if e.deleted || seen[e] {
+					if seen[e] && !e.deleted {
+						taken = true
+					}
+					continue
+				}
+				if taken {
+					seen[e] = true
+					suspects = append(suspects, desc(e))
+					continue
+				}
+				seen[e] = true
+				taken = true
+				pa, pb := e.ai, e.bi
+				if e.a.kind == topology.SwitchNode {
+					pa += base(e.a)
+				} else {
+					pa = 0
+				}
+				if e.b.kind == topology.SwitchNode {
+					pb += base(e.b)
+				} else {
+					pb = 0
+				}
+				if e.a == e.b && pa == pb {
+					if err := net.AddReflector(ids[e.a], pa); err != nil {
+						suspects = append(suspects, desc(e))
+					}
+					continue
+				}
+				if _, err := net.Connect(ids[e.a], pa, ids[e.b], pb); err != nil {
+					suspects = append(suspects, desc(e))
+				}
+			}
+		}
+	}
+	mapperID := net.Lookup(localHost)
+	if mapperID == topology.None {
+		return nil, 0, nil, errors.New("mapper: mapping host missing from its own map")
+	}
+	sort.Strings(suspects)
+	return net, mapperID, suspects, nil
+}

@@ -87,6 +87,10 @@ func (e *Endpoint) LocalHost() string { return e.net.topo.NameOf(e.host) }
 // Clock implements Prober.
 func (e *Endpoint) Clock() time.Duration { return e.net.Clock() }
 
+// Sleep advances the virtual clock by d without probing, implementing the
+// optional Sleeper interface the ProbeWindow uses to realise backoff waits.
+func (e *Endpoint) Sleep(d time.Duration) { e.net.AdvanceClock(d) }
+
 // Stats exposes the transport's probe counters (picked up by the mappers'
 // run statistics).
 func (e *Endpoint) Stats() Stats { return e.net.Stats() }

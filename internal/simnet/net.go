@@ -95,6 +95,30 @@ type Net struct {
 	probeLog func(kind string, from topology.NodeID, r Route, ok bool)
 	// selfID enables the §6 self-identifying-switch oracle (IDProbe).
 	selfID bool
+	// injector, when non-nil, is the fault-injection hook consulted around
+	// every probe (see Injector). The nil check keeps the fault-free
+	// configuration on the zero-allocation fast path.
+	injector Injector
+}
+
+// Injector is the fault-injection hook the transport consults around every
+// probe. Implementations live outside the evaluation hot path (see
+// internal/faults); every use is guarded by a nil check so a transport with
+// no injector installed behaves — and allocates — exactly as before.
+type Injector interface {
+	// Advance applies every scheduled fault with virtual time <= now. It is
+	// called before the probe is evaluated, so a fault scheduled at t
+	// affects the first probe issued at or after t.
+	Advance(now time.Duration)
+	// FilterProbe inspects one classified probe and may override its
+	// outcome: a non-nil error turns the probe into a miss carrying that
+	// error (a response suppressed in flight, or a failure attributed to
+	// injected ground truth). kind is the probe kind, route the route the
+	// evaluator actually walked (loopback-expanded for switch-class
+	// probes), ok the pre-fault verdict; res is the evaluator's result and
+	// hops the directed hops the message traversed. route, res and hops
+	// alias transport scratch state and are valid only during the call.
+	FilterProbe(kind ProbeKind, route Route, ok bool, res Result, hops []DirectedHop) error
 }
 
 // New wraps a topology in a quiescent transport with the given collision
@@ -152,6 +176,14 @@ func (n *Net) SetResponder(h topology.NodeID, responds bool) {
 	} else {
 		n.silent[h] = true
 	}
+	n.epoch++
+}
+
+// SetInjector installs (nil removes) the fault-injection hook. The epoch is
+// bumped because the injector may mutate routing-relevant state from its
+// very first Advance.
+func (n *Net) SetInjector(i Injector) {
+	n.injector = i
 	n.epoch++
 }
 
@@ -219,8 +251,19 @@ func (n *Net) transitTime(hops, turns int) time.Duration {
 // many response timeouts while the serial methods remain byte-identical to
 // their historical accounting (overhead first, then wait).
 func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
+	if n.injector != nil {
+		n.injector.Advance(n.clock)
+	}
 	r := ProbeResult{Probe: p}
 	var wait time.Duration
+	// eval is the decisive evaluator verdict for the fault filter, and
+	// evRoute the route that verdict walked (p.Route, or the loopback
+	// expansion for switch-class probes). hostClass selects the Fig 6
+	// counter pair, billed after the filter so injected faults are counted
+	// as the misses they produce.
+	var eval Result
+	evRoute := p.Route
+	hostClass := false
 	logKind := ""
 	switch p.Kind {
 	case ProbeSwitch:
@@ -228,12 +271,11 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
-		res := n.Eval(from, n.loopBuf)
-		r.OK = res.Outcome == Delivered && res.Dest == from
-		n.stats.SwitchProbes++
+		eval = n.Eval(from, n.loopBuf)
+		evRoute = n.loopBuf
+		r.OK = eval.Outcome == Delivered && eval.Dest == from
 		if r.OK {
-			n.stats.SwitchHits++
-			wait = n.transitTime(res.Hops, len(n.loopBuf))
+			wait = n.transitTime(eval.Hops, len(n.loopBuf))
 		} else {
 			r.Err = ErrTimeout
 		}
@@ -242,15 +284,14 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidProbe() {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
-		res := n.Eval(from, p.Route)
-		delivered := res.Outcome == Delivered
-		r.OK = delivered && n.Responds(res.Dest)
-		n.stats.HostProbes++
+		eval = n.Eval(from, p.Route)
+		delivered := eval.Outcome == Delivered
+		r.OK = delivered && n.Responds(eval.Dest)
+		hostClass = true
 		if r.OK {
-			n.stats.HostHits++
-			r.Host = n.topo.NameOf(res.Dest)
+			r.Host = n.topo.NameOf(eval.Dest)
 			// Round trip: probe out plus reply back over the reversed route.
-			wait = 2 * n.transitTime(res.Hops, len(p.Route))
+			wait = 2 * n.transitTime(eval.Hops, len(p.Route))
 		} else if delivered {
 			r.Err = ErrNoResponder
 		} else {
@@ -261,12 +302,10 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.Valid() {
 			panic(fmt.Sprintf("simnet: invalid route %v", p.Route))
 		}
-		res := n.Eval(from, p.Route)
-		r.OK = res.Outcome == Delivered && res.Dest == from
-		n.stats.SwitchProbes++
+		eval = n.Eval(from, p.Route)
+		r.OK = eval.Outcome == Delivered && eval.Dest == from
 		if r.OK {
-			n.stats.SwitchHits++
-			wait = n.transitTime(res.Hops, len(p.Route))
+			wait = n.transitTime(eval.Hops, len(p.Route))
 		} else {
 			r.Err = ErrTimeout
 		}
@@ -282,13 +321,12 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		// loopback decides success exactly like a plain switch probe.
 		probe := n.Eval(from, p.Route)
 		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
-		res := n.Eval(from, n.loopBuf)
-		r.OK = res.Outcome == Delivered && res.Dest == from &&
+		eval = n.Eval(from, n.loopBuf)
+		evRoute = n.loopBuf
+		r.OK = eval.Outcome == Delivered && eval.Dest == from &&
 			probe.Outcome == Stranded // the prefix parks on a switch
-		n.stats.SwitchProbes++
 		if r.OK {
-			n.stats.SwitchHits++
-			wait = n.transitTime(res.Hops, len(n.loopBuf))
+			wait = n.transitTime(eval.Hops, len(n.loopBuf))
 			r.SwitchID, r.EntryPort = int(probe.Dest), probe.EntryPort
 		} else {
 			r.Err = ErrTimeout
@@ -297,23 +335,22 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidProbe() {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
-		res := n.Eval(from, p.Route)
+		eval = n.Eval(from, p.Route)
 		delivered := false
-		switch res.Outcome {
+		switch eval.Outcome {
 		case Delivered:
-			r.OK = n.Responds(res.Dest)
+			r.OK = n.Responds(eval.Dest)
 			r.Consumed = len(p.Route)
 			delivered = true
 		case HitHostTooSoon:
-			r.OK = n.Responds(res.Dest)
-			r.Consumed = res.FailTurn
+			r.OK = n.Responds(eval.Dest)
+			r.Consumed = eval.FailTurn
 			delivered = true
 		}
-		n.stats.HostProbes++
+		hostClass = true
 		if r.OK {
-			n.stats.HostHits++
-			r.Host = n.topo.NameOf(res.Dest)
-			wait = 2 * n.transitTime(res.Hops, len(p.Route))
+			r.Host = n.topo.NameOf(eval.Dest)
+			wait = 2 * n.transitTime(eval.Hops, len(p.Route))
 		} else if delivered {
 			r.Err = ErrNoResponder
 		} else {
@@ -324,6 +361,30 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		r.Err = ErrUnsupported
 		r.Done = n.clock
 		return r
+	}
+	if n.injector != nil {
+		if ierr := n.injector.FilterProbe(p.Kind, evRoute, r.OK, eval, n.scratch.hops); ierr != nil {
+			// The probe (or its response) was destroyed: everything the
+			// evaluation learned is unobservable, and the miss costs the
+			// full response timeout.
+			r.OK = false
+			r.Host = ""
+			r.Consumed = 0
+			r.SwitchID, r.EntryPort = 0, 0
+			r.Err = ierr
+			wait = 0
+		}
+	}
+	if hostClass {
+		n.stats.HostProbes++
+		if r.OK {
+			n.stats.HostHits++
+		}
+	} else {
+		n.stats.SwitchProbes++
+		if r.OK {
+			n.stats.SwitchHits++
+		}
 	}
 	timeout := n.timing.ResponseTimeout
 	if p.Timeout > 0 {

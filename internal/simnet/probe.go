@@ -27,6 +27,11 @@ var (
 	// ErrUnsupported reports a probe kind the transport cannot execute
 	// (see AsyncProber.Probes).
 	ErrUnsupported = errors.New("simnet: probe kind not supported by transport")
+	// ErrTruncated reports a probe worm cut short in flight — a dropped
+	// tail flit or CRC failure destroyed the message before it reached its
+	// destination. Observable only under fault injection; the mapper sees
+	// it as "nothing" but robustness analyses classify it separately.
+	ErrTruncated = errors.New("simnet: probe worm truncated in flight")
 )
 
 // ProbeKind enumerates the probe types of the unified API.

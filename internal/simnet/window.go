@@ -23,6 +23,28 @@ type WindowConfig struct {
 	// string: a repeated probe is answered from the cache at zero virtual
 	// cost and without sending a message.
 	Cache bool
+	// Backoff, when positive, replaces immediate retry resubmission with
+	// capped exponential backoff: the k-th retry of a probe waits
+	// Backoff<<k (bounded by BackoffCap) plus a deterministic jitter of up
+	// to ±¼ of that base before resubmitting. The wait is virtual time —
+	// transports implementing Sleeper consume it on their clock — and is
+	// charged to WindowStats.TimeoutCost either way.
+	Backoff time.Duration
+	// BackoffCap bounds the exponential growth (default 8×Backoff).
+	BackoffCap time.Duration
+	// Seed drives the deterministic backoff jitter; windows created with
+	// the same seed replay the same retry schedule.
+	Seed uint64
+	// RouteBudget, when positive, bounds the total retries spent on any
+	// single route over the window's lifetime: a persistently dead route
+	// stops consuming retry probes once its budget is exhausted.
+	RouteBudget int
+}
+
+// Sleeper is optionally implemented by transports whose virtual clock can
+// advance without probing; the window uses it to realise backoff waits.
+type Sleeper interface {
+	Sleep(d time.Duration)
 }
 
 // WindowStats counts what a ProbeWindow did.
@@ -38,13 +60,22 @@ type WindowStats struct {
 	MaxInFlight int
 	// TimeoutCost is virtual time spent waiting on probes that missed —
 	// the cost pipelining overlaps, and exactly what the window buys back.
+	// Backoff waits are included (they are time lost to misses too).
 	TimeoutCost time.Duration
+	// BackoffWait is the portion of TimeoutCost spent in retry backoff.
+	BackoffWait time.Duration
+	// BudgetDenied counts retries suppressed by an exhausted route budget.
+	BudgetDenied int64
 }
 
 // String renders the counters on one line.
 func (s WindowStats) String() string {
-	return fmt.Sprintf("submitted=%d cache=%d retries=%d inflight≤%d timeout-cost=%v",
+	out := fmt.Sprintf("submitted=%d cache=%d retries=%d inflight≤%d timeout-cost=%v",
 		s.Submitted, s.CacheHits, s.Retries, s.MaxInFlight, s.TimeoutCost)
+	if s.BackoffWait > 0 || s.BudgetDenied > 0 {
+		out += fmt.Sprintf(" backoff=%v budget-denied=%d", s.BackoffWait, s.BudgetDenied)
+	}
+	return out
 }
 
 // ProbeWindow is the batching scheduler of the pipelined probe engine: it
@@ -62,6 +93,10 @@ type ProbeWindow struct {
 	cfg   WindowConfig
 	cache map[string]ProbeResult
 	stats WindowStats
+	// routeSpent tracks retries charged per route (RouteBudget > 0 only);
+	// jitterSeq numbers backoff draws so jitter is deterministic per window.
+	routeSpent map[string]int
+	jitterSeq  uint64
 }
 
 // NewProbeWindow builds a window over a transport.
@@ -69,11 +104,43 @@ func NewProbeWindow(p AsyncProber, cfg WindowConfig) *ProbeWindow {
 	if cfg.Window < 1 {
 		cfg.Window = 1
 	}
+	if cfg.Backoff > 0 && cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = 8 * cfg.Backoff
+	}
 	w := &ProbeWindow{p: p, cfg: cfg}
 	if cfg.Cache {
 		w.cache = make(map[string]ProbeResult)
 	}
+	if cfg.RouteBudget > 0 {
+		w.routeSpent = make(map[string]int)
+	}
 	return w
+}
+
+// mix64 is the splitmix64 finalizer: a deterministic seeded hash used for
+// backoff jitter (no global rand, no wall clock — the runs stay replayable).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// backoffWait computes the capped exponential base for retry attempt (0-based)
+// and applies the window's deterministic jitter of up to ±¼ of the base.
+func (w *ProbeWindow) backoffWait(attempt int) time.Duration {
+	base := w.cfg.BackoffCap
+	if attempt < 16 {
+		if b := w.cfg.Backoff << uint(attempt); b < base {
+			base = b
+		}
+	}
+	w.jitterSeq++
+	if span := int64(base) / 2; span > 0 {
+		jitter := time.Duration(mix64(w.cfg.Seed+w.jitterSeq)%uint64(span+1)) - base/4
+		base += jitter
+	}
+	return base
 }
 
 // Stats returns the engine counters accumulated so far.
@@ -211,6 +278,22 @@ func (s *Stream) Collect() (int, ProbeResult) {
 		s.w.stats.TimeoutCost += r.Latency
 	}
 	for attempt := 0; !r.OK && !errors.Is(r.Err, ErrUnsupported) && attempt < s.w.cfg.Retries; attempt++ {
+		if s.w.routeSpent != nil {
+			key := cacheKey(e.p)
+			if s.w.routeSpent[key] >= s.w.cfg.RouteBudget {
+				s.w.stats.BudgetDenied++
+				break
+			}
+			s.w.routeSpent[key]++
+		}
+		if s.w.cfg.Backoff > 0 {
+			wait := s.w.backoffWait(attempt)
+			if sl, ok := s.w.p.(Sleeper); ok {
+				sl.Sleep(wait)
+			}
+			s.w.stats.TimeoutCost += wait
+			s.w.stats.BackoffWait += wait
+		}
 		s.w.stats.Retries++
 		s.w.stats.Submitted++
 		r = <-s.w.p.Submit(s.w.withTimeout(e.p))

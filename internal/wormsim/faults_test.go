@@ -1,0 +1,59 @@
+package wormsim
+
+import (
+	"math/rand"
+	"testing"
+
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+// TestLinkFilterKillsWorms: with a link taken out of service after route
+// computation, worms whose path crosses it are destroyed instead of
+// delivered; worms avoiding the link are unaffected, and a nil filter
+// restores full delivery.
+func TestLinkFilterKillsWorms(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := topology.Ring(5, 1, rng)
+	tab, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(deadWire int) Stats {
+		s := New(net, simnet.DefaultTiming())
+		if deadWire >= 0 {
+			s.SetLinkFilter(func(h simnet.DirectedHop) bool { return h.Wire == deadWire })
+		}
+		injectPermutation(t, s, net, tab, 1)
+		return s.Run()
+	}
+
+	clean := run(-1)
+	if clean.Delivered != clean.Injected {
+		t.Fatalf("nil filter run lost worms: %+v", clean)
+	}
+
+	// Find a wire at least one route crosses: use the first hop of the
+	// first host's route to its shifted partner.
+	hosts := net.Hosts()
+	route, _ := tab.Route(hosts[0], hosts[1%len(hosts)])
+	eval := simnet.New(net, simnet.PacketModel, simnet.DefaultTiming())
+	_, hops := eval.EvalPath(hosts[0], route)
+	if len(hops) == 0 {
+		t.Fatalf("route has no hops")
+	}
+	dead := hops[1].Wire // a switch-side link, not the host's own cable
+
+	faulty := run(dead)
+	if faulty.Deadlocked == 0 {
+		t.Errorf("no worm died crossing the dead link: %+v", faulty)
+	}
+	if faulty.Delivered == 0 {
+		t.Errorf("every worm died — the filter killed paths that avoid the link: %+v", faulty)
+	}
+	if faulty.Delivered+faulty.Deadlocked != faulty.Injected {
+		t.Errorf("worms unaccounted for: %+v", faulty)
+	}
+}

@@ -72,6 +72,10 @@ type Sim struct {
 	events *eventq.Heap[event]
 	seq    int64
 	now    time.Duration
+	// down, when non-nil, reports links the fault layer has taken out of
+	// service; a worm that tries to acquire one is destroyed on the spot
+	// (the flit hits a dead port and the hardware drops the message).
+	down func(simnet.DirectedHop) bool
 	// cycleGen is bumped per inCycle walk; worms stamped with it are the
 	// walk's visited set (no per-call map allocation).
 	cycleGen uint32
@@ -92,6 +96,12 @@ func New(net *topology.Network, timing simnet.Timing) *Sim {
 		events:  eventq.New(eventLess),
 	}
 }
+
+// SetLinkFilter installs the link-outage predicate consulted on every
+// acquisition. A nil filter (the default) restores fault-free behaviour;
+// the nil check is a branch on a cold field, so the acquire hot path stays
+// allocation-free and analyzer-clean either way.
+func (s *Sim) SetLinkFilter(down func(simnet.DirectedHop) bool) { s.down = down }
 
 type event struct {
 	at   time.Duration
@@ -176,6 +186,10 @@ func (s *Sim) acquire(w *worm) {
 		return
 	}
 	link := w.hops[w.next]
+	if s.down != nil && s.down(link) {
+		s.kill(w)
+		return
+	}
 	if holder, busy := s.owner[link]; busy && holder != w {
 		if !w.blocked {
 			w.blocked = true
