@@ -4,7 +4,7 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet lint test race chaos bench bench-smoke bench-baseline ci
+.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,19 @@ lint: vet
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) mod tidy -diff
+
+# trace-smoke is the golden-trace lane: a chaos run on a pinned seed must
+# emit a Chrome trace sidecar byte-identical to the checked-in fixture
+# (see OBSERVABILITY.md). Catches nondeterminism anywhere in the mapper,
+# fault or telemetry stack. Regenerate the fixture after an intentional
+# change with:
+#   $(GO) run ./cmd/sanmap -gen now-c -chaos seed=3 -trace cmd/sanmap/testdata/trace-chaos-seed3.json
+trace-smoke:
+	@tmp=$$(mktemp); \
+	$(GO) run ./cmd/sanmap -gen now-c -chaos seed=3 -trace $$tmp > /dev/null && \
+	diff -u cmd/sanmap/testdata/trace-chaos-seed3.json $$tmp && \
+	echo "trace-smoke: golden chaos trace is byte-identical"; \
+	status=$$?; rm -f $$tmp; exit $$status
 
 test:
 	$(GO) test ./...
@@ -55,4 +68,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint test race chaos bench-smoke
+ci: build lint trace-smoke test race chaos bench-smoke

@@ -4,10 +4,16 @@
 // Usage:
 //
 //	sanexp [-fig all|3|4|5|6|7|8|9|10|routes] [-runs N] [-window W] [-step N] [-seed N] [-parallel P] [-dot]
+//	       [-trace file.json] [-metrics file]
 //
 // Every report prints the measured values next to the paper's, so the
 // shape comparison is visible at a glance. Timings are virtual (see
 // simnet.Timing); message counts are algorithmic properties.
+//
+// The telemetry flags (internal/obs, OBSERVABILITY.md) record the Fig 8
+// mapping run: `sanexp -fig 8 -trace out.json` writes a Chrome
+// trace_event sidecar of the model-graph growth run, byte-identical for
+// the same seed.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 
 	"sanmap/internal/experiments"
 	"sanmap/internal/mapper"
+	"sanmap/internal/obs"
 )
 
 func main() {
@@ -30,6 +37,7 @@ func main() {
 	dotOut := flag.Bool("dot", false, "emit Graphviz DOT instead of ASCII for figs 4 and 5")
 	tsvDir := flag.String("tsv", "", "also write Fig 8/9 series as TSV files into this directory")
 	parallel := flag.Int("parallel", 1, "worker pool size for the Fig 7/9/10 sweeps (0 = one per CPU); output is identical for any value")
+	tele := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
 
 	workers := experiments.DefaultWorkers(*parallel)
@@ -40,6 +48,9 @@ func main() {
 	fail := func(name string, err error) {
 		fmt.Fprintf(os.Stderr, "sanexp: %s: %v\n", name, err)
 		os.Exit(1)
+	}
+	if err := tele.Begin(); err != nil {
+		fail("telemetry", err)
 	}
 	section := func(s string) {
 		fmt.Println(strings.Repeat("=", 78))
@@ -92,7 +103,7 @@ func main() {
 	}
 	if want("8") {
 		ran = true
-		series, err := experiments.Fig8()
+		series, err := experiments.Fig8Obs(tele.Tracer, tele.Metrics)
 		if err != nil {
 			fail("fig 8", err)
 		}
@@ -148,6 +159,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sanexp: unknown figure %q\n", *fig)
 		flag.Usage()
 		os.Exit(2)
+	}
+	if err := tele.Finish(); err != nil {
+		fail("telemetry", err)
 	}
 }
 

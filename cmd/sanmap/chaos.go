@@ -9,6 +9,7 @@ import (
 	"sanmap/internal/faults"
 	"sanmap/internal/isomorph"
 	"sanmap/internal/mapper"
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -64,18 +65,19 @@ func parseChaos(spec string, net *topology.Network, h0 topology.NodeID) (faults.
 // self-healing pipeline: map, force any remaining scheduled faults, remap
 // incrementally, and report the degraded result against the surviving core.
 func runChaos(spec string, net *topology.Network, h0 topology.NodeID,
-	model simnet.Model, depth int, verbose bool) error {
+	model simnet.Model, depth int, verbose bool, tele *obs.Flags) error {
 	sched, err := parseChaos(spec, net, h0)
 	if err != nil {
 		return err
 	}
 	sn := simnet.New(net, model, simnet.DefaultTiming())
-	inj := faults.Attach(sn, sched)
+	inj := faults.Attach(sn, sched).Instrument(tele.Tracer, tele.Metrics)
 
 	// Healing routes can need more depth than the clean bound once cuts
 	// lengthen the surviving paths.
 	s, err := mapper.NewSession(sn.Endpoint(h0),
-		mapper.WithDepth(depth+net.NumSwitches()), mapper.WithConfirm(2))
+		mapper.WithDepth(depth+net.NumSwitches()), mapper.WithConfirm(2),
+		mapper.WithTracer(tele.Tracer), mapper.WithMetrics(tele.Metrics))
 	if err != nil {
 		return err
 	}

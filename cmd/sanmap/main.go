@@ -6,6 +6,14 @@
 //	sanmap [-topo file | -gen spec] [-algo berkeley|myricom|label|random]
 //	       [-model circuit|cutthrough|packet] [-depth N] [-mapper host]
 //	       [-routes] [-dot] [-v] [-chaos seed=N[,cuts=N,flaps=N,kills=N,loss=F,...]]
+//	       [-trace file.json] [-metrics file] [-tracelog]
+//
+// The telemetry flags are the unified observability surface (see
+// internal/obs and OBSERVABILITY.md): -trace writes a Chrome trace_event
+// JSON sidecar of the run (load it in chrome://tracing or Perfetto),
+// -metrics the metrics registry as text, -cpuprofile/-memprofile pprof
+// profiles of the simulator itself. -tracelog is the legacy live text
+// stream of mapper events to stderr.
 //
 // The topology comes either from a file in the topology text format
 // (-topo) or from a generator spec (-gen), e.g.:
@@ -27,6 +35,7 @@ import (
 	"sanmap/internal/isomorph"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
+	"sanmap/internal/obs"
 	"sanmap/internal/routes"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
@@ -42,11 +51,15 @@ func main() {
 	doRoutes := flag.Bool("routes", false, "compute and verify UP*/DOWN* routes from the map")
 	dotOut := flag.Bool("dot", false, "print the mapped network as Graphviz DOT")
 	verbose := flag.Bool("v", false, "print probe statistics")
-	traceOut := flag.Bool("trace", false, "stream mapper trace events to stderr (berkeley/random only)")
+	traceOut := flag.Bool("tracelog", false, "stream mapper trace events to stderr (berkeley/random only)")
 	seed := flag.Int64("seed", 1, "seed for randomised algorithms and port embeddings")
 	window := flag.Int("window", 1, "pipelined probe window (1 = serial; berkeley/random only)")
 	chaos := flag.String("chaos", "", "map under injected faults with self-healing, e.g. seed=3 or seed=3,cuts=2,loss=0.02")
+	tele := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Begin(); err != nil {
+		die("%v", err)
+	}
 
 	net, utility, err := loadTopology(*topoFile, *gen, *seed)
 	if err != nil {
@@ -61,14 +74,20 @@ func main() {
 		d = net.DepthBound(h0)
 	}
 	if *chaos != "" {
-		if err := runChaos(*chaos, net, h0, parseModel(*model), d, *verbose); err != nil {
+		if err := runChaos(*chaos, net, h0, parseModel(*model), d, *verbose, tele); err != nil {
 			die("chaos: %v", err)
+		}
+		if err := tele.Finish(); err != nil {
+			die("%v", err)
 		}
 		return
 	}
-	m, err := runAlgo(*algo, net, h0, parseModel(*model), d, *seed, *traceOut, *window)
+	m, err := runAlgo(*algo, net, h0, parseModel(*model), d, *seed, *traceOut, *window, tele)
 	if err != nil {
 		die("mapping: %v", err)
+	}
+	if err := tele.Finish(); err != nil {
+		die("%v", err)
 	}
 
 	fmt.Printf("actual network: %v (diameter %d)\n", net, net.Diameter())
@@ -175,9 +194,10 @@ func parseModel(s string) simnet.Model {
 }
 
 func runAlgo(algo string, net *topology.Network, h0 topology.NodeID,
-	model simnet.Model, depth int, seed int64, trace bool, window int) (*mapper.Map, error) {
+	model simnet.Model, depth int, seed int64, trace bool, window int, tele *obs.Flags) (*mapper.Map, error) {
 	sn := simnet.New(net, model, simnet.DefaultTiming())
-	opts := []mapper.Option{mapper.WithDepth(depth), mapper.WithPipeline(window)}
+	opts := []mapper.Option{mapper.WithDepth(depth), mapper.WithPipeline(window),
+		mapper.WithTracer(tele.Tracer), mapper.WithMetrics(tele.Metrics)}
 	if trace {
 		opts = append(opts, mapper.WithTrace(mapper.TraceWriter(os.Stderr)))
 	}

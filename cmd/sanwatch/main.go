@@ -9,6 +9,11 @@
 // Usage:
 //
 //	sanwatch [-gen spec] [-epochs N] [-churn N] [-seed N]
+//	         [-trace file.json] [-metrics file]
+//
+// The telemetry flags (internal/obs, OBSERVABILITY.md) record every epoch
+// onto one timeline: a cat-"watch" span per epoch, each on its own track,
+// with the epochs' mapping metrics aggregated in the registry.
 package main
 
 import (
@@ -17,9 +22,11 @@ import (
 	"math/rand"
 	"os"
 
+	"sanmap/internal/faults"
 	"sanmap/internal/genspec"
 	"sanmap/internal/isomorph"
 	"sanmap/internal/mapper"
+	"sanmap/internal/obs"
 	"sanmap/internal/routes"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
@@ -30,9 +37,16 @@ func main() {
 	epochs := flag.Int("epochs", 6, "number of mapping epochs")
 	churn := flag.Int("churn", 2, "random mutations between epochs")
 	seed := flag.Int64("seed", 1, "seed for the mutation sequence")
+	tele := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if err := tele.Begin(); err != nil {
+		die("%v", err)
+	}
 
-	rng := rand.New(rand.NewSource(*seed))
+	// The mutation stream draws from the repo's seeding convention (the
+	// splitmix64 source defined in internal/faults), not math/rand's
+	// default LCG source.
+	rng := rand.New(faults.NewSource(uint64(*seed)))
 	res, err := genspec.Build(*gen, rng)
 	if err != nil {
 		die("%v", err)
@@ -52,10 +66,16 @@ func main() {
 			die("epoch %d: no mapping host left", epoch)
 		}
 		sn := simnet.NewDefault(net)
-		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)))
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(net.DepthBound(h0)),
+			mapper.WithTracer(tele.Tracer), mapper.WithMetrics(tele.Metrics))
 		if err != nil {
 			die("epoch %d: mapping: %v", epoch, err)
 		}
+		// Each epoch is its own virtual timeline (the transport clock
+		// restarts at zero), so epochs land on separate tracks instead of
+		// pretending to share one.
+		tele.Tracer.OnTrack(epoch+1).Span("watch", "epoch", 0, m.Stats.Elapsed,
+			obs.Int("epoch", epoch), obs.Int("probes", int(m.Stats.Probes.TotalProbes())))
 		verdict := "map ≅ N-F"
 		if err := isomorph.MustEqualCore(m.Network, net); err != nil {
 			verdict = "MISMATCH: " + err.Error()
@@ -77,6 +97,9 @@ func main() {
 		}
 		fmt.Printf("epoch %d: %v mapped in %v with %d probes; %s\n         change: %s\n         %s\n",
 			epoch, m.Network, m.Stats.Elapsed, m.Stats.Probes.TotalProbes(), verdict, change, routeState)
+	}
+	if err := tele.Finish(); err != nil {
+		die("%v", err)
 	}
 }
 

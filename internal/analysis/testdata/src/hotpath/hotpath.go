@@ -103,3 +103,74 @@ func helper(v int) int { return v + 1 }
 func badCallee(v int) int {
 	return helper(v) // want "call to unannotated same-package function helper"
 }
+
+// The metrics fast path (internal/obs's contract, in miniature): handles
+// are registered once at setup and mutated through annotated, nil-safe
+// methods, so an instrumented hot function stays diagnostic-free.
+
+// counter mimics an obs.Counter handle: pre-registered, nil-safe.
+type counter struct{ v int64 }
+
+//sanlint:hotpath
+func (c *counter) inc() {
+	if c == nil {
+		return
+	}
+	c.v++
+}
+
+//sanlint:hotpath
+func (c *counter) add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v += d
+}
+
+// histogram mimics an obs.Histogram: fixed buckets owned by the handle.
+type histogram struct {
+	bounds []int64
+	counts []int64
+}
+
+//sanlint:hotpath
+func (h *histogram) observe(v int64) {
+	if h == nil {
+		return
+	}
+	for i, b := range h.bounds {
+		if v < b {
+			h.counts[i]++
+			return
+		}
+	}
+}
+
+// metrics holds the pre-registered handles a subsystem stores at setup.
+type metrics struct {
+	submitted *counter
+	missWait  *histogram
+}
+
+// Good: the instrumented fast path — counter add and histogram observe
+// through pre-registered handles are annotated calls on owned state.
+//
+//sanlint:hotpath
+func (m *metrics) fastPath(latency int64) {
+	m.submitted.inc()
+	m.submitted.add(1)
+	m.missWait.observe(latency)
+}
+
+// register is the setup-time path: deliberately unannotated, it may
+// allocate freely — which is exactly why the hot path must not call it.
+func register(name string) *counter { return &counter{} }
+
+// Bad: lazy registration — looking a handle up (or creating it) inside
+// the hot function instead of storing it at setup.
+//
+//sanlint:hotpath
+func (m *metrics) badLazyRegister(kind string) {
+	c := register("probe." + kind) // want "string concatenation allocates" "call to unannotated same-package function register"
+	c.inc()
+}

@@ -23,6 +23,7 @@ import (
 	"sanmap/internal/desim"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -68,6 +69,15 @@ func MyricomAlgo(cfg myricom.Config) Algo {
 // errPassivated is the internal signal that a mapper yielded.
 var errPassivated = errors.New("election: passivated")
 
+// electionMetrics is the run's obs handle set (nil no-op handles when
+// Config.Metrics is nil), mirroring the Result counters.
+type electionMetrics struct {
+	passivated *obs.Counter
+	crashed    *obs.Counter
+	completed  *obs.Counter
+	transfers  *obs.Counter
+}
+
 // Config parameterises an election-mode run.
 type Config struct {
 	Model  simnet.Model
@@ -95,6 +105,16 @@ type Config struct {
 	// crashes passivation is final and the poll never runs, preserving the
 	// historical behaviour exactly.
 	ResumePoll time.Duration
+	// Tracer, when non-nil, records the run onto the unified observability
+	// layer (internal/obs): one cat-"election" span per participant
+	// mapper, each host on its own track so the virtually-concurrent
+	// lifetimes render as separate rows, plus instants "passivate",
+	// "resume", "crash", "complete" and "lead".
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, counts the run into the registry (names
+	// under "election.") and is inherited by the per-host Mapper config
+	// unless that sets its own.
+	Metrics *obs.Registry
 }
 
 // Result summarises one election run.
@@ -161,7 +181,16 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 
 	algo := cfg.Algorithm
 	if algo == nil {
+		if cfg.Mapper.Metrics == nil {
+			cfg.Mapper.Metrics = cfg.Metrics
+		}
 		algo = BerkeleyAlgo(cfg.Mapper)
+	}
+	em := electionMetrics{
+		passivated: cfg.Metrics.Counter("election.passivated"),
+		crashed:    cfg.Metrics.Counter("election.crashed"),
+		completed:  cfg.Metrics.Counter("election.completed"),
+		transfers:  cfg.Metrics.Counter("election.transfers"),
 	}
 	eng := desim.New()
 	cn := connet.New(net, cfg.Model, cfg.Timing)
@@ -174,14 +203,15 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 	var done bool       // some mapper ran to completion
 	var bestAddr uint64 // highest completer address (resume mode)
 
-	for _, h := range hosts {
-		h := h
+	for hi, h := range hosts {
+		hi, h := hi, h
 		at, doomed := cfg.Crash[net.NameOf(h)]
 		if !doomed {
 			continue
 		}
 		eng.SpawnAt(at, net.NameOf(h)+".crash", func(p *desim.Proc) {
 			crashed[h] = true
+			cfg.Tracer.OnTrack(hi+1).Instant("election", "crash", p.Now(), obs.String("host", net.NameOf(h)))
 			cn.Quiet().SetResponder(h, false)
 			// Revoke the dead host's leases in deterministic host order, so
 			// passivated mappers notice the vacancy at their next poll.
@@ -193,10 +223,18 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 		})
 	}
 
-	for _, h := range hosts {
-		h := h
+	for hi, h := range hosts {
+		hi, h := hi, h
 		start := time.Duration(cfg.Rng.Int63n(int64(cfg.MaxStagger)))
 		eng.SpawnAt(start, net.NameOf(h), func(p *desim.Proc) {
+			// Each participant records onto its own track: the mapper
+			// lifetimes are virtually concurrent and would otherwise
+			// overlap unreadably on one Chrome row.
+			track := cfg.Tracer.OnTrack(hi + 1)
+			began := p.Now()
+			defer func() {
+				track.Span("election", "mapper", began, p.Now(), obs.String("host", net.NameOf(h)))
+			}()
 			ep := cn.Endpoint(h, p)
 			ep.OnHostProbe = func(src, dst topology.NodeID) {
 				// The probe carries src's address; the response carries
@@ -221,10 +259,13 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 				case err == errPassivated:
 					if crashed[h] {
 						res.Crashed++
+						em.crashed.Inc()
 						return
 					}
+					track.Instant("election", "passivate", p.Now(), obs.String("host", net.NameOf(h)))
 					if !resume {
 						res.Passivated++
+						em.passivated.Inc()
 						return
 					}
 					// Hold as a warm standby: if the lease clears (the
@@ -234,8 +275,10 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 					}
 					if heard[h] > addr[h] || done || crashed[h] {
 						res.Passivated++
+						em.passivated.Inc()
 						return
 					}
+					track.Instant("election", "resume", p.Now(), obs.String("host", net.NameOf(h)))
 					continue
 				case err != nil:
 					if runErr == nil {
@@ -244,6 +287,8 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 					return
 				default:
 					res.Completed++
+					em.completed.Inc()
+					track.Instant("election", "complete", p.Now(), obs.String("host", net.NameOf(h)))
 					done = true
 					if resume {
 						// The planned winner may be dead; leadership goes to
@@ -253,10 +298,17 @@ func Run(net *topology.Network, cfg Config) (*Result, error) {
 							res.Winner = net.NameOf(h)
 							res.Map = m
 							res.Elapsed = p.Now()
+							if h != winner {
+								// Leadership moved off the planned winner —
+								// the crash the election mode survives.
+								em.transfers.Inc()
+							}
+							track.Instant("election", "lead", p.Now(), obs.String("host", net.NameOf(h)))
 						}
 					} else if h == winner {
 						res.Map = m
 						res.Elapsed = p.Now()
+						track.Instant("election", "lead", p.Now(), obs.String("host", net.NameOf(h)))
 					}
 					return
 				}

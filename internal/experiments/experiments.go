@@ -23,6 +23,7 @@ import (
 	"sanmap/internal/isomorph"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
+	"sanmap/internal/obs"
 	"sanmap/internal/routes"
 	"sanmap/internal/simnet"
 	"sanmap/internal/stats"
@@ -52,11 +53,18 @@ type NamedSystem struct {
 
 // mapOnce runs the Berkeley mapper on sys and verifies Theorem 1.
 func mapOnce(sys *cluster.System, snapshots bool) (*mapper.Map, *simnet.Net, error) {
+	return mapOnceObs(sys, snapshots, nil, nil)
+}
+
+// mapOnceObs is mapOnce with the run recorded onto the observability
+// layer (either argument may be nil).
+func mapOnceObs(sys *cluster.System, snapshots bool, tr *obs.Tracer, reg *obs.Registry) (*mapper.Map, *simnet.Net, error) {
 	net := sys.Net
 	h0 := sys.Mapper()
 	sn := simnet.NewDefault(net)
 	m, err := mapper.Run(sn.Endpoint(h0),
-		mapper.WithDepth(net.DepthBound(h0)), mapper.WithSnapshots(snapshots))
+		mapper.WithDepth(net.DepthBound(h0)), mapper.WithSnapshots(snapshots),
+		mapper.WithTracer(tr), mapper.WithMetrics(reg))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -248,7 +256,15 @@ func FormatFig7(rows []Fig7Row) string {
 // Fig8 runs an instrumented mapping of C+A+B and returns the per-switch-
 // exploration series of model-graph nodes, edges and frontier size.
 func Fig8() ([]mapper.Snapshot, error) {
-	m, _, err := mapOnce(Systems(0)[2].Sys, true)
+	return Fig8Obs(nil, nil)
+}
+
+// Fig8Obs is Fig8 with the mapping run recorded onto the observability
+// layer: the trace carries the explore/prune spans and per-probe instants
+// whose density Fig 8's growth curve summarises. Either argument may be
+// nil.
+func Fig8Obs(tr *obs.Tracer, reg *obs.Registry) ([]mapper.Snapshot, error) {
+	m, _, err := mapOnceObs(Systems(0)[2].Sys, true, tr, reg)
 	if err != nil {
 		return nil, err
 	}

@@ -1,32 +1,13 @@
-// Package faults is the deterministic fault-injection layer for the
-// simulated network: the machinery for exercising exactly the regime the
-// paper's Theorem 1 assumes away. §2 proves the mapping algorithm correct
-// only for a quiescent, fault-free network and §5 concedes that Myricom's
-// production mapper must instead survive links and switches that die or
-// appear mid-map; this package injects those conditions on purpose, on a
-// schedule, reproducibly.
-//
-// Faults are declared as a Schedule in virtual time: structural events
-// (link cuts, link restores, switch death and restart) applied when the
-// transport's clock reaches their timestamps, plus per-probe stochastic
-// faults (response loss, worm truncation, cross-traffic collisions) decided
-// by a seeded hash of the probe sequence number. Nothing reads the wall
-// clock or global rand, so a (topology, schedule) pair replays the same
-// byte-identical run forever — which is what makes golden chaos tests and
-// the `make chaos` CI lane possible.
-//
-// The Injector implements simnet.Injector by mutating the topology itself
-// (RemoveWire / Connect): the topology's structural version feeds the
-// evaluator's memo key, so fault application invalidates cached route state
-// automatically, with no extra bookkeeping in the hot path.
 package faults
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"time"
 
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -169,6 +150,21 @@ type Injector struct {
 	downEnds map[topology.End]EventKind
 
 	log []Record
+
+	// obs mirror (Instrument): tr receives one cat-"faults" instant per
+	// record; m classifies records into counters. Both stay nil-safe
+	// no-ops on an uninstrumented injector.
+	tr *obs.Tracer
+	m  injectorMetrics
+}
+
+// injectorMetrics is the injector's obs handle set.
+type injectorMetrics struct {
+	applied *obs.Counter
+	noop    *obs.Counter
+	loss    *obs.Counter
+	trunc   *obs.Counter
+	cross   *obs.Counter
 }
 
 // NewInjector prepares an injector over the transport's topology. The
@@ -199,6 +195,23 @@ func Attach(net *simnet.Net, sched Schedule) *Injector {
 	return i
 }
 
+// Instrument mirrors the injector's fault log onto the unified
+// observability layer: every Record additionally lands on tr as a
+// cat-"faults" instant and is classified into the faults.* counters of
+// reg (see internal/obs). Either argument may be nil. Returns the
+// injector for chaining: faults.Attach(net, sched).Instrument(tr, reg).
+func (i *Injector) Instrument(tr *obs.Tracer, reg *obs.Registry) *Injector {
+	i.tr = tr
+	i.m = injectorMetrics{
+		applied: reg.Counter("faults.events.applied"),
+		noop:    reg.Counter("faults.events.noop"),
+		loss:    reg.Counter("faults.probe.loss"),
+		trunc:   reg.Counter("faults.probe.trunc"),
+		cross:   reg.Counter("faults.probe.cross"),
+	}
+	return i
+}
+
 // Log returns the fault records accumulated so far, in virtual-time order.
 func (i *Injector) Log() []Record { return i.log }
 
@@ -226,6 +239,35 @@ func (i *Injector) Advance(now time.Duration) {
 
 func (i *Injector) record(at time.Duration, what string, wire int, node topology.NodeID, seq uint64) {
 	i.log = append(i.log, Record{At: at, What: what, Wire: wire, Node: node, Seq: seq})
+	switch {
+	case strings.HasSuffix(what, "-noop"):
+		i.m.noop.Inc()
+	case what == "probe-loss":
+		i.m.loss.Inc()
+	case what == "probe-trunc":
+		i.m.trunc.Inc()
+	case what == "cross-collision":
+		i.m.cross.Inc()
+	default:
+		i.m.applied.Inc()
+	}
+	if i.tr != nil {
+		var args [3]obs.Arg
+		n := 0
+		if wire >= 0 {
+			args[n] = obs.Int("wire", wire)
+			n++
+		}
+		if node != topology.None {
+			args[n] = obs.Int("node", int(node))
+			n++
+		}
+		if seq > 0 {
+			args[n] = obs.Int64("probe", int64(seq))
+			n++
+		}
+		i.tr.Instant("faults", what, at, args[:n]...)
+	}
 }
 
 // apply performs one structural event. Impossible events (cutting an

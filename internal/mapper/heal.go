@@ -104,6 +104,10 @@ type sweepItem struct {
 // are deleted; prune cleans up the stranded hosts. Returns the number of
 // edges dropped.
 func (r *run) sweep() (int, error) {
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Begin("mapper", "sweep", r.p.Clock())
+		defer func() { r.cfg.Tracer.End(r.p.Clock()) }()
+	}
 	hv, ok := r.model.hostByName[r.p.LocalHost()]
 	if !ok {
 		return 0, errors.New("mapper: mapping host missing from session model")
@@ -170,6 +174,7 @@ func (r *run) sweep() (int, error) {
 					r.model.dropEdge(e)
 					dropped++
 					r.stats.Contradictions++
+					r.m.contradictions.Inc()
 					r.observe("edge-drop", probeStr)
 					r.reexploreAt(v, it.route, it.entry)
 					continue
@@ -213,6 +218,7 @@ func (r *run) reexploreAt(v *Vertex, route simnet.Route, entry int) {
 	r.staleCount[v]++
 	v.explored = false
 	r.stats.Reexplored++
+	r.m.reexplored.Inc()
 	r.observe("re-explore", route)
 	r.front = append(r.front, job{v: v, route: route, entry: entry})
 }

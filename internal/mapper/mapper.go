@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -81,7 +82,23 @@ type Config struct {
 	Cancel func() bool
 	// Trace, when non-nil, receives a TraceEvent for every probe,
 	// discovery, merge, prune and exploration (see TraceWriter).
+	//
+	// Deprecated: install an obs.Tracer via Tracer (WithTracer) instead;
+	// it records the same events plus the phase spans, and its writers
+	// produce both the Chrome trace_event export and the text log. The
+	// hook remains for callers that filter events programmatically.
 	Trace func(TraceEvent)
+	// Tracer, when non-nil, records the run onto the unified observability
+	// layer: phase spans ("explore-phase", "explore", "prune", "sweep")
+	// and one instant per TraceEvent, all under cat "mapper" (the
+	// self-healing fault log additionally lands under cat "heal"). See
+	// internal/obs.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, is the obs registry the run counts into
+	// (names under "mapper.", see internal/obs) alongside the Stats
+	// struct. The pipelined probe engine inherits it unless
+	// Pipeline.Metrics is set explicitly.
+	Metrics *obs.Registry
 	// Pipeline configures the pipelined probe engine. With Window > 1 and a
 	// transport that implements simnet.AsyncProber, the explorer prefetches
 	// all independent probes of each frontier slot-window through a
@@ -213,6 +230,36 @@ type run struct {
 	partial    bool
 	obs        []Observation
 	staleCount map[*Vertex]int
+	// m holds the run's pre-registered obs handles (nil handles when
+	// Config.Metrics is nil — updates are then no-ops).
+	m runMetrics
+}
+
+// runMetrics is the mapper's obs handle set, mirroring the Stats fields
+// that describe deduction work (probe-engine counters live with the
+// window; transport counters with the net).
+type runMetrics struct {
+	explorations   *obs.Counter
+	merges         *obs.Counter
+	pruned         *obs.Counter
+	eliminated     *obs.Counter
+	contradictions *obs.Counter
+	reexplored     *obs.Counter
+	exploreTime    *obs.Histogram
+}
+
+// registerRunMetrics resolves the run's handles in reg (nil reg hands out
+// nil no-op handles).
+func registerRunMetrics(reg *obs.Registry) runMetrics {
+	return runMetrics{
+		explorations:   reg.Counter("mapper.explorations"),
+		merges:         reg.Counter("mapper.merges"),
+		pruned:         reg.Counter("mapper.pruned"),
+		eliminated:     reg.Counter("mapper.eliminated"),
+		contradictions: reg.Counter("mapper.contradictions"),
+		reexplored:     reg.Counter("mapper.reexplored"),
+		exploreTime:    reg.Histogram("mapper.explore.time", obs.DefaultBuckets()),
+	}
 }
 
 // staleLimit bounds how many times one vertex may be re-enqueued stale.
@@ -241,7 +288,7 @@ func newRun(p simnet.Prober, cfg Config) (*run, error) {
 	if cfg.MaxVertices == 0 {
 		cfg.MaxVertices = 1 << 20
 	}
-	r := &run{cfg: cfg, p: p, model: newModel()}
+	r := &run{cfg: cfg, p: p, model: newModel(), m: registerRunMetrics(cfg.Metrics)}
 	if cfg.SelfHeal {
 		r.staleCount = make(map[*Vertex]int)
 		r.model.onInconsistency = r.noteContradiction
@@ -261,6 +308,10 @@ func newRun(p simnet.Prober, cfg Config) (*run, error) {
 // modification 1. A self-healing run whose contradictions exceed the fault
 // budget stops early and marks the run partial instead of erroring.
 func (r *run) runLoop() error {
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Begin("mapper", "explore-phase", r.p.Clock())
+		defer func() { r.cfg.Tracer.End(r.p.Clock()) }()
+	}
 	for len(r.front) > 0 {
 		if r.cfg.Cancel != nil && r.cfg.Cancel() {
 			return ErrCanceled
@@ -309,6 +360,7 @@ func (r *run) finish() (*Map, error) {
 // run: count it against the budget and mark both involved regions stale.
 func (r *run) noteContradiction(a, b *Vertex) {
 	r.stats.Contradictions++
+	r.m.contradictions.Inc()
 	r.observe("contradiction", nil)
 	r.markStale(a)
 	r.markStale(b)
@@ -330,6 +382,7 @@ func (r *run) markStale(v *Vertex) {
 	r.staleCount[root]++
 	root.explored = false
 	r.stats.Reexplored++
+	r.m.reexplored.Inc()
 	r.observe("re-explore", root.probe)
 	r.front = append(r.front, job{v: root, route: root.probe})
 }
@@ -374,6 +427,12 @@ func (r *run) explore(jb job) error {
 	}
 	retryOnly := r.cfg.Policy == RetryUnknown && root.explored
 
+	began := r.p.Clock()
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Begin("mapper", "explore", began,
+			obs.Int("vertex", root.id), obs.String("route", jb.route.String()))
+		defer func() { r.cfg.Tracer.End(r.p.Clock()) }()
+	}
 	entry := jb.entry + shift // frame index of this route's entry port
 	r.beginStream(jb, r.turnSequence(), retryOnly)
 	for ti, t := range r.turnSequence() {
@@ -382,6 +441,7 @@ func (r *run) explore(jb job) error {
 			lo, hi := root.window()
 			if !feasible(idx, lo, hi) {
 				r.stats.EliminatedPro++
+				r.m.eliminated.Inc()
 				continue
 			}
 		}
@@ -391,7 +451,7 @@ func (r *run) explore(jb job) error {
 		probeStr := jb.route.Extend(t)
 		r.streamWant(root, entry, ti, probeStr)
 		resp := r.probePair(probeStr)
-		if r.cfg.Trace != nil {
+		if r.tracing() {
 			desc := resp.Kind.String()
 			if resp.Kind == simnet.RespHost {
 				desc = "host:" + resp.Host
@@ -420,13 +480,14 @@ func (r *run) explore(jb job) error {
 			r.emit(TraceEvent{Kind: TraceDiscover, Vertex: w.id, Probe: probeStr})
 		}
 		before := r.model.liveVerts
-		if r.cfg.Trace != nil {
+		if r.tracing() {
 			r.model.onMerge = func(into, victim, shift int) {
 				r.emit(TraceEvent{Kind: TraceMerge, Vertex: into, Other: victim, Shift: shift})
 			}
 		}
 		r.model.processMerges()
 		r.stats.Merges += before - r.model.liveVerts
+		r.m.merges.Add(int64(before - r.model.liveVerts))
 		// Re-resolve: the vertex we are exploring may itself have merged.
 		newRoot, newShift := find(jb.v)
 		if newRoot != root {
@@ -441,6 +502,8 @@ func (r *run) explore(jb job) error {
 	r.endStream()
 	r.emit(TraceEvent{Kind: TraceExplore, Vertex: root.id})
 	r.stats.Explorations++
+	r.m.explorations.Inc()
+	r.m.exploreTime.Observe(r.p.Clock() - began)
 	if r.cfg.Snapshots {
 		r.series = append(r.series, Snapshot{
 			Exploration: r.stats.Explorations,
@@ -516,12 +579,18 @@ func (r *run) confirmResponse(s simnet.Route, first simnet.ProbeResponse) simnet
 // and degree(v) = 1, delete" — repeated until stable. Degree-0 switches
 // (fully disconnected by earlier deletions) are removed as well.
 func (r *run) prune() {
-	if r.cfg.Trace != nil {
+	if r.tracing() {
 		r.model.onDelete = func(id int) {
 			r.emit(TraceEvent{Kind: TracePrune, Vertex: id})
 		}
 	}
-	r.stats.PrunedVerts += r.model.prune(r.p.LocalHost())
+	if r.cfg.Tracer != nil {
+		r.cfg.Tracer.Begin("mapper", "prune", r.p.Clock())
+		defer func() { r.cfg.Tracer.End(r.p.Clock()) }()
+	}
+	pruned := r.model.prune(r.p.LocalHost())
+	r.stats.PrunedVerts += pruned
+	r.m.pruned.Add(int64(pruned))
 	// Final snapshot after the prune, mirroring Fig 8's plummet.
 	if r.cfg.Snapshots {
 		r.series = append(r.series, Snapshot{

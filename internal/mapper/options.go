@@ -1,6 +1,7 @@
 package mapper
 
 import (
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 )
 
@@ -40,7 +41,18 @@ func WithSnapshots(on bool) Option { return func(c *Config) { c.Snapshots = on }
 func WithCancel(f func() bool) Option { return func(c *Config) { c.Cancel = f } }
 
 // WithTrace installs the trace hook (see TraceWriter).
+//
+// Deprecated: prefer WithTracer; the hook remains for callers that filter
+// events programmatically.
 func WithTrace(f func(TraceEvent)) Option { return func(c *Config) { c.Trace = f } }
+
+// WithTracer records the run onto an obs.Tracer: phase spans plus one
+// instant per trace event (see Config.Tracer).
+func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }
+
+// WithMetrics counts the run into an obs.Registry alongside Stats (see
+// Config.Metrics).
+func WithMetrics(reg *obs.Registry) Option { return func(c *Config) { c.Metrics = reg } }
 
 // WithPipeline enables the pipelined probe engine with the given in-flight
 // window and the response cache on. A window of 1 or less keeps the serial

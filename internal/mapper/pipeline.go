@@ -17,6 +17,8 @@ import (
 // clock and the speculative probe counts differ.
 
 // initPipeline activates the probe engine when configured and supported.
+// The engine inherits the run's metrics registry unless the window config
+// names its own, so one WithMetrics covers both layers.
 func (r *run) initPipeline() {
 	if r.cfg.Pipeline.Window <= 1 {
 		return
@@ -24,6 +26,9 @@ func (r *run) initPipeline() {
 	ap, ok := r.p.(simnet.AsyncProber)
 	if !ok || !ap.Probes().Has(simnet.CapHost|simnet.CapSwitch) {
 		return
+	}
+	if r.cfg.Pipeline.Metrics == nil {
+		r.cfg.Pipeline.Metrics = r.cfg.Metrics
 	}
 	r.win = simnet.NewProbeWindow(ap, r.cfg.Pipeline)
 }

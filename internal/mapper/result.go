@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -30,7 +31,8 @@ func (o Observation) String() string {
 }
 
 // observe appends one entry to the run's fault log (self-healing runs
-// only; the legacy path keeps no log).
+// only; the legacy path keeps no log) and mirrors it onto the tracer as a
+// cat-"heal" instant.
 func (r *run) observe(what string, probe simnet.Route) {
 	if !r.cfg.SelfHeal {
 		return
@@ -40,6 +42,13 @@ func (r *run) observe(what string, probe simnet.Route) {
 		o.Probe = probe.String()
 	}
 	r.obs = append(r.obs, o)
+	if r.cfg.Tracer != nil {
+		if o.Probe != "" {
+			r.cfg.Tracer.Instant("heal", what, o.At, obs.String("route", o.Probe))
+		} else {
+			r.cfg.Tracer.Instant("heal", what, o.At)
+		}
+	}
 }
 
 // Result is the partial-map result of a fault-tolerant mapping run. It

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 )
 
@@ -12,6 +13,13 @@ import (
 // — the kind of log the paper's own Fig 8 instrumentation recorded ("the
 // number of nodes and edges in the model graph ... were recorded after a
 // frontier switch was explored").
+//
+// TraceEvent predates the unified observability layer and is kept as a
+// thin shim over it: the run records every event onto Config.Tracer (an
+// obs.Tracer, cat "mapper") and additionally converts it into a TraceEvent
+// for the legacy Config.Trace hook. New callers should prefer WithTracer;
+// the Chrome trace_event export and the deterministic text log both come
+// from the tracer, not from this type.
 type TraceEvent struct {
 	Kind TraceKind
 	// At is the virtual time of the event.
@@ -67,38 +75,67 @@ func (k TraceKind) String() string {
 	return fmt.Sprintf("trace(%d)", uint8(k))
 }
 
-// Format renders the event as one log line.
-func (e TraceEvent) Format() string {
+// obsEvent converts the event into its obs representation: the instant
+// name under cat "mapper" plus the key=value args. This is the one place
+// the per-kind payloads are spelled out; both renderings (the tracer's
+// exports and the legacy Format) go through it.
+func (e TraceEvent) obsEvent() (name string, args []obs.Arg) {
 	switch e.Kind {
 	case TraceProbe:
-		return fmt.Sprintf("%12v probe    %-18s -> %s", e.At, e.Probe, e.Response)
+		return "probe", []obs.Arg{obs.String("route", e.Probe.String()), obs.String("resp", e.Response)}
 	case TraceDiscover:
-		return fmt.Sprintf("%12v discover v%-4d via %s", e.At, e.Vertex, e.Probe)
+		return "discover", []obs.Arg{obs.Int("vertex", e.Vertex), obs.String("route", e.Probe.String())}
 	case TraceMerge:
-		return fmt.Sprintf("%12v merge    v%-4d <- v%d (shift %+d)", e.At, e.Vertex, e.Other, e.Shift)
+		return "merge", []obs.Arg{obs.Int("into", e.Vertex), obs.Int("victim", e.Other), obs.String("shift", fmt.Sprintf("%+d", e.Shift))}
 	case TracePrune:
-		return fmt.Sprintf("%12v prune    v%-4d", e.At, e.Vertex)
+		return "prune", []obs.Arg{obs.Int("vertex", e.Vertex)}
 	case TraceExplore:
-		return fmt.Sprintf("%12v explore  v%-4d done", e.At, e.Vertex)
+		return "explore-done", []obs.Arg{obs.Int("vertex", e.Vertex)}
 	case TracePipeline:
-		return fmt.Sprintf("%12v pipeline %s", e.At, e.Response)
+		return "pipeline", []obs.Arg{obs.String("stats", e.Response)}
 	}
-	return fmt.Sprintf("%12v %s", e.At, e.Kind)
+	return e.Kind.String(), nil
+}
+
+// Format renders the event as one log line.
+//
+// Deprecated: the line is obs.FormatLine over the event's obs
+// representation; use Config.Tracer and Tracer.WriteText for whole-run
+// logs.
+func (e TraceEvent) Format() string {
+	name, args := e.obsEvent()
+	return obs.FormatLine(e.At, "mapper", name, args...)
 }
 
 // TraceWriter returns a trace hook that writes formatted events to w —
 // plug it into Config.Trace.
+//
+// Deprecated: prefer WithTracer plus Tracer.WriteText, which also covers
+// phase spans and the other subsystems' categories.
 func TraceWriter(w io.Writer) func(TraceEvent) {
 	return func(e TraceEvent) {
 		fmt.Fprintln(w, e.Format())
 	}
 }
 
-// emit sends an event to the configured trace hook.
+// tracing reports whether emit has anywhere to deliver events, so probe
+// sites can skip building descriptions nobody will read.
+func (r *run) tracing() bool {
+	return r.cfg.Trace != nil || r.cfg.Tracer != nil
+}
+
+// emit timestamps an event and delivers it: as an instant on the obs
+// tracer and, when the legacy hook is installed, as a TraceEvent.
 func (r *run) emit(e TraceEvent) {
-	if r.cfg.Trace == nil {
+	if !r.tracing() {
 		return
 	}
 	e.At = r.p.Clock()
-	r.cfg.Trace(e)
+	if r.cfg.Tracer != nil {
+		name, args := e.obsEvent()
+		r.cfg.Tracer.Instant("mapper", name, e.At, args...)
+	}
+	if r.cfg.Trace != nil {
+		r.cfg.Trace(e)
+	}
 }

@@ -1,10 +1,12 @@
 package mapper
 
 import (
+	"bytes"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
 )
@@ -69,6 +71,71 @@ func TestTraceEvents(t *testing.T) {
 	}
 	if strings.Count(out, "\n") != 5 {
 		t.Errorf("want 5 lines:\n%s", out)
+	}
+}
+
+// TestTraceChromeByteIdentity: two identical seeded runs recorded onto
+// fresh tracers export byte-identical Chrome trace_event JSON — the
+// property the trace-smoke CI lane and the golden fixtures build on.
+func TestTraceChromeByteIdentity(t *testing.T) {
+	record := func() []byte {
+		rng := rand.New(rand.NewSource(7))
+		net := topology.Ring(4, 2, rng)
+		h0 := net.Hosts()[0]
+		sn := simnet.NewDefault(net)
+		tr := obs.NewTracer()
+		reg := obs.NewRegistry()
+		if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)),
+			WithTracer(tr), WithMetrics(reg), WithPipeline(4)); err != nil {
+			t.Fatal(err)
+		}
+		var trace, metrics bytes.Buffer
+		if err := tr.WriteChrome(&trace); err != nil {
+			t.Fatal(err)
+		}
+		if err := reg.WriteText(&metrics); err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() == 0 {
+			t.Fatal("traced run recorded no events")
+		}
+		return append(trace.Bytes(), metrics.Bytes()...)
+	}
+	if a, b := record(), record(); !bytes.Equal(a, b) {
+		t.Errorf("identical seeded runs diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestTracerSeesSpans: the obs tracer receives the phase spans and the
+// per-event instants, and the registry the mapper.* counters.
+func TestTracerSeesSpans(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := topology.Ring(4, 2, rng)
+	h0 := net.Hosts()[0]
+	sn := simnet.NewDefault(net)
+	tr := obs.NewTracer()
+	reg := obs.NewRegistry()
+	m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithTracer(tr), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mapper.explore-phase", "mapper.explore ", "mapper.prune", "mapper.probe", "mapper.discover", "mapper.explore-done",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace text lacks %q:\n%s", want, out)
+		}
+	}
+	if got := reg.Counter("mapper.explorations").Value(); got != int64(m.Stats.Explorations) {
+		t.Errorf("mapper.explorations=%d, Stats.Explorations=%d", got, m.Stats.Explorations)
+	}
+	if got := reg.Counter("mapper.merges").Value(); got != int64(m.Stats.Merges) {
+		t.Errorf("mapper.merges=%d, Stats.Merges=%d", got, m.Stats.Merges)
 	}
 }
 

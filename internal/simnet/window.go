@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"sanmap/internal/obs"
 )
 
 // WindowConfig parameterises a ProbeWindow.
@@ -39,6 +41,12 @@ type WindowConfig struct {
 	// single route over the window's lifetime: a persistently dead route
 	// stops consuming retry probes once its budget is exhausted.
 	RouteBudget int
+	// Metrics, when non-nil, is the obs registry the window registers its
+	// counters in (names under "probe.window.", see internal/obs). Several
+	// windows handed the same registry share handles and therefore
+	// aggregate; nil gets a private registry, preserving the historical
+	// per-window Stats semantics.
+	Metrics *obs.Registry
 }
 
 // Sleeper is optionally implemented by transports whose virtual clock can
@@ -92,11 +100,40 @@ type ProbeWindow struct {
 	p     AsyncProber
 	cfg   WindowConfig
 	cache map[string]ProbeResult
-	stats WindowStats
+	m     windowMetrics
 	// routeSpent tracks retries charged per route (RouteBudget > 0 only);
 	// jitterSeq numbers backoff draws so jitter is deterministic per window.
 	routeSpent map[string]int
 	jitterSeq  uint64
+}
+
+// windowMetrics holds the window's pre-registered obs handles — the
+// counters behind WindowStats. Handles, not fields: the hot path updates
+// them with zero allocation, and a shared registry (WindowConfig.Metrics)
+// aggregates several windows into one telemetry sidecar.
+type windowMetrics struct {
+	submitted    *obs.Counter
+	cacheHits    *obs.Counter
+	retries      *obs.Counter
+	budgetDenied *obs.Counter
+	timeoutCost  *obs.Counter // virtual ns lost to misses
+	backoffWait  *obs.Counter // portion of the above spent in backoff
+	maxInFlight  *obs.Gauge
+	missWait     *obs.Histogram
+}
+
+// registerWindowMetrics resolves the window's handles in reg.
+func registerWindowMetrics(reg *obs.Registry) windowMetrics {
+	return windowMetrics{
+		submitted:    reg.Counter("probe.window.submitted"),
+		cacheHits:    reg.Counter("probe.window.cache.hits"),
+		retries:      reg.Counter("probe.window.retries"),
+		budgetDenied: reg.Counter("probe.window.budget.denied"),
+		timeoutCost:  reg.Counter("probe.window.timeout.cost.ns"),
+		backoffWait:  reg.Counter("probe.window.backoff.wait.ns"),
+		maxInFlight:  reg.Gauge("probe.window.inflight.max"),
+		missWait:     reg.Histogram("probe.window.miss.wait", obs.DefaultBuckets()),
+	}
 }
 
 // NewProbeWindow builds a window over a transport.
@@ -107,7 +144,11 @@ func NewProbeWindow(p AsyncProber, cfg WindowConfig) *ProbeWindow {
 	if cfg.Backoff > 0 && cfg.BackoffCap <= 0 {
 		cfg.BackoffCap = 8 * cfg.Backoff
 	}
-	w := &ProbeWindow{p: p, cfg: cfg}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	w := &ProbeWindow{p: p, cfg: cfg, m: registerWindowMetrics(reg)}
 	if cfg.Cache {
 		w.cache = make(map[string]ProbeResult)
 	}
@@ -143,8 +184,20 @@ func (w *ProbeWindow) backoffWait(attempt int) time.Duration {
 	return base
 }
 
-// Stats returns the engine counters accumulated so far.
-func (w *ProbeWindow) Stats() WindowStats { return w.stats }
+// Stats returns the engine counters accumulated so far, assembled from
+// the obs handles. With a shared WindowConfig.Metrics registry the values
+// aggregate across every window registered in it.
+func (w *ProbeWindow) Stats() WindowStats {
+	return WindowStats{
+		Submitted:    w.m.submitted.Value(),
+		CacheHits:    w.m.cacheHits.Value(),
+		Retries:      w.m.retries.Value(),
+		MaxInFlight:  int(w.m.maxInFlight.Value()),
+		TimeoutCost:  w.m.timeoutCost.DurationValue(),
+		BackoffWait:  w.m.backoffWait.DurationValue(),
+		BudgetDenied: w.m.budgetDenied.Value(),
+	}
+}
 
 // Prober returns the underlying transport.
 func (w *ProbeWindow) Prober() AsyncProber { return w.p }
@@ -222,7 +275,7 @@ func (s *Stream) Len() int { return len(s.inflight) }
 func (s *Stream) Submit(p Probe, tag int) {
 	if s.w.cache != nil {
 		if c, ok := s.w.cache[cacheKey(p)]; ok {
-			s.w.stats.CacheHits++
+			s.w.m.cacheHits.Inc()
 			c.Cached = true
 			c.Done = s.w.p.Clock()
 			c.Latency = 0
@@ -231,10 +284,8 @@ func (s *Stream) Submit(p Probe, tag int) {
 		}
 	}
 	s.inflight = append(s.inflight, spending{p: p, tag: tag, ch: s.w.p.Submit(s.w.withTimeout(p))})
-	s.w.stats.Submitted++
-	if n := s.live(); n > s.w.stats.MaxInFlight {
-		s.w.stats.MaxInFlight = n
-	}
+	s.w.m.submitted.Inc()
+	s.w.m.maxInFlight.SetMax(int64(s.live()))
 }
 
 // NextDone peeks at the completion time of the oldest queued entry without
@@ -275,13 +326,14 @@ func (s *Stream) Collect() (int, ProbeResult) {
 	}
 	s.w.p.Collect(r)
 	if !r.OK {
-		s.w.stats.TimeoutCost += r.Latency
+		s.w.m.timeoutCost.AddDuration(r.Latency)
+		s.w.m.missWait.Observe(r.Latency)
 	}
 	for attempt := 0; !r.OK && !errors.Is(r.Err, ErrUnsupported) && attempt < s.w.cfg.Retries; attempt++ {
 		if s.w.routeSpent != nil {
 			key := cacheKey(e.p)
 			if s.w.routeSpent[key] >= s.w.cfg.RouteBudget {
-				s.w.stats.BudgetDenied++
+				s.w.m.budgetDenied.Inc()
 				break
 			}
 			s.w.routeSpent[key]++
@@ -291,15 +343,16 @@ func (s *Stream) Collect() (int, ProbeResult) {
 			if sl, ok := s.w.p.(Sleeper); ok {
 				sl.Sleep(wait)
 			}
-			s.w.stats.TimeoutCost += wait
-			s.w.stats.BackoffWait += wait
+			s.w.m.timeoutCost.AddDuration(wait)
+			s.w.m.backoffWait.AddDuration(wait)
 		}
-		s.w.stats.Retries++
-		s.w.stats.Submitted++
+		s.w.m.retries.Inc()
+		s.w.m.submitted.Inc()
 		r = <-s.w.p.Submit(s.w.withTimeout(e.p))
 		s.w.p.Collect(r)
 		if !r.OK {
-			s.w.stats.TimeoutCost += r.Latency
+			s.w.m.timeoutCost.AddDuration(r.Latency)
+			s.w.m.missWait.Observe(r.Latency)
 		}
 	}
 	if s.w.cache != nil {

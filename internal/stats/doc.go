@@ -1,0 +1,17 @@
+// Package stats provides the small summary helpers the experiment harness
+// uses: min/avg/max aggregation over repeated runs (the format of the
+// paper's Fig 7) and simple series utilities for Fig 8/9-style plots.
+//
+// Durations accumulates repeated virtual-time measurements and reports
+// Min/Avg/Max/Median — the Fig 7 table cells. Series collects (x, y)
+// points and renders them as TSV or as the crude ASCII plots the sanexp
+// figures print. benchfmt.go parses `go test -bench` output lines
+// (including the repo's custom probes/op and sim-ms/op metrics) for
+// cmd/sanbench's baseline snapshots.
+//
+// Scope note: this package summarises *experiment outputs* after a run
+// completes. Live run telemetry — per-probe counters, phase spans,
+// virtual-time histograms — belongs to internal/obs (see
+// OBSERVABILITY.md); the experiment harness reads obs registries and
+// feeds the numbers here for presentation.
+package stats

@@ -1,6 +1,3 @@
-// Package stats provides the small summary helpers the experiment harness
-// uses: min/avg/max aggregation over repeated runs (the format of the
-// paper's Fig 7) and simple series utilities for Fig 8/9-style plots.
 package stats
 
 import (
