@@ -4,7 +4,7 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-baseline ci
+.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-large bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,17 @@ bench:
 bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run ^$$ . | $(GO) run ./cmd/sanbench > /dev/null
 
+# bench-large is the datacenter-scale lane (DESIGN.md §11): the 1004-switch
+# fat-tree must map inside the 10-second wall-clock gate and re-render
+# byte-identically (TestMapFatTree1k), the CSR traversals must stay
+# allocation-free (TestIndexZeroAlloc), and the fattree-1k benchmark runs
+# once through the sanbench parser so the lane lands in recorded baselines.
+bench-large:
+	$(GO) test -run TestMapFatTree1k -v ./internal/mapper/
+	$(GO) test -run TestIndexZeroAlloc ./internal/topology/
+	$(GO) test -bench 'FatTree1k|Index.*1k' -benchtime 1x -run ^$$ . | \
+		$(GO) run ./cmd/sanbench > /dev/null
+
 # bench-baseline records a benchstat-compatible JSON baseline for the
 # current revision: BENCH_<rev>.json. Compare later with
 #   go run ./cmd/sanbench -text BENCH_<rev>.json > old.txt && benchstat old.txt new.txt
@@ -68,4 +79,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint trace-smoke test race chaos bench-smoke
+ci: build lint trace-smoke test race chaos bench-smoke bench-large

@@ -202,7 +202,7 @@ func BenchmarkRoutesCAB(b *testing.B) {
 // label algorithm on a small network (the label variant is exponential).
 func BenchmarkAblationLabelsVsMerge(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.RandomConnected(3, 4, 1, rng)
+	net := topology.MustRandomConnected(3, 4, 1, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 	if depth > 8 {
@@ -367,7 +367,7 @@ func BenchmarkAblationDepth(b *testing.B) {
 // expander-ish topology.
 func BenchmarkRandomizedHybrid(b *testing.B) {
 	rng := rand.New(rand.NewSource(3))
-	net := topology.Hypercube(4, 1, rng)
+	net := topology.MustHypercube(4, 1, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 	b.Run("bfs", func(b *testing.B) {
@@ -467,6 +467,63 @@ func BenchmarkEvalRouteColdCache(b *testing.B) {
 	}
 }
 
+// fatTree1k is the PR-6 scale lane's fabric: 960 leaves, one host each,
+// 44 auto-sized spines — 1004 switches, the smallest configuration past
+// the 1k-switch bar. Deterministic (nil rng), so probe counts are stable.
+func fatTree1k() *topology.Network {
+	return topology.MustFatTree2(topology.FatTree2Spec{LeafSwitches: 960, HostsPerLeaf: 1}, nil)
+}
+
+// BenchmarkMapFatTree1k is the fattree-1k lane: a full Berkeley mapping of
+// the 1004-switch fat-tree. On a fat tree the diameter (6) bounds route
+// depth far better than the generic Q+D bound, which is what keeps the
+// probe count in the low hundreds of thousands.
+func BenchmarkMapFatTree1k(b *testing.B) {
+	net := fatTree1k()
+	h0 := net.Hosts()[0]
+	depth := net.Diameter() + 2
+	var last *mapper.Map
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sn := simnet.NewDefault(net)
+		m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = m
+	}
+	b.StopTimer()
+	reportMap(b, last)
+}
+
+// BenchmarkIndexBFS1k measures one arena BFS over the 1k fabric's CSR
+// index — the inner loop of ChooseRoot, Diameter and the mapper's
+// depth selection. ReportAllocs doubles as the zero-alloc gate.
+func BenchmarkIndexBFS1k(b *testing.B) {
+	net := fatTree1k()
+	ix := net.Index()
+	dist := make([]int32, ix.NumNodes())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.BFSInto(0, dist)
+	}
+}
+
+// BenchmarkIndexDiameter1k is the all-pairs eccentricity sweep on the 1k
+// fabric, the heaviest pure-graph analysis the tools run.
+func BenchmarkIndexDiameter1k(b *testing.B) {
+	net := fatTree1k()
+	ix := net.Index()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := ix.Diameter(); d != 6 {
+			b.Fatalf("diameter %d, want 6", d)
+		}
+	}
+}
+
 // BenchmarkDepthBound measures the Q+D computation (min-cost flows per
 // node) on the full system.
 func BenchmarkDepthBound(b *testing.B) {
@@ -482,7 +539,7 @@ func BenchmarkDepthBound(b *testing.B) {
 // on a torus under hold-and-wait switching, naive vs UP*/DOWN* routes.
 func BenchmarkWormholePermutation(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.Torus(4, 4, 1, rng)
+	net := topology.MustTorus(4, 4, 1, rng)
 	naive, err := routes.ShortestPaths(net)
 	if err != nil {
 		b.Fatal(err)

@@ -9,6 +9,7 @@
 //	sangen -gen random:8,20,4 -seed 7 -analyze
 //	sangen -gen fattree:6x4 -tail 2 -analyze      # adds a hostless F region
 //	sangen -gen now-cab -analyze -parallel 8      # per-host Q table, 8 workers
+//	sangen -list                                  # enumerate registered generators
 package main
 
 import (
@@ -24,14 +25,20 @@ import (
 )
 
 func main() {
-	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs)
+	gen := flag.String("gen", "now-c", "generator spec (see -list)")
 	out := flag.String("o", "", "output file (default stdout)")
 	seed := flag.Int64("seed", 1, "random seed for port embeddings")
 	tail := flag.Int("tail", 0, "attach a hostless switch tail of this length (creates F)")
 	loops := flag.Int("loops", 0, "add this many loopback plugs on free switch ports")
 	analyze := flag.Bool("analyze", false, "print D, Q, |F| and other analysis parameters")
 	parallel := flag.Int("parallel", 1, "worker pool size for the -analyze per-host Q table (0 = one per CPU); output is identical for any value")
+	list := flag.Bool("list", false, "list registered generators and exit")
 	flag.Parse()
+
+	if *list {
+		listGenerators(os.Stdout)
+		return
+	}
 
 	rng := rand.New(rand.NewSource(*seed))
 	res, err := genspec.Build(*gen, rng)
@@ -78,6 +85,18 @@ func main() {
 		if err := printAnalysis(os.Stderr, net, *parallel); err != nil {
 			die("%v", err)
 		}
+	}
+}
+
+// listGenerators enumerates the genspec registry, one generator per line.
+func listGenerators(w io.Writer) {
+	for _, name := range genspec.Names() {
+		g, _ := genspec.Lookup(name)
+		desc := ""
+		if d, ok := g.(genspec.Describer); ok {
+			desc = d.Describe()
+		}
+		fmt.Fprintf(w, "%-22s %s\n", genspec.UsageOf(g), desc)
 	}
 }
 

@@ -12,8 +12,8 @@
 // internal/obs and OBSERVABILITY.md): -trace writes a Chrome trace_event
 // JSON sidecar of the run (load it in chrome://tracing or Perfetto),
 // -metrics the metrics registry as text, -cpuprofile/-memprofile pprof
-// profiles of the simulator itself. -tracelog is the legacy live text
-// stream of mapper events to stderr.
+// profiles of the simulator itself. -tracelog dumps the run's
+// deterministic text log (spans and mapper events) to stderr afterwards.
 //
 // The topology comes either from a file in the topology text format
 // (-topo) or from a generator spec (-gen), e.g.:
@@ -43,7 +43,7 @@ import (
 
 func main() {
 	topoFile := flag.String("topo", "", "topology file (text format)")
-	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs)
+	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs())
 	algo := flag.String("algo", "berkeley", "mapping algorithm: berkeley, myricom, label, random")
 	model := flag.String("model", "circuit", "collision model: circuit, cutthrough, packet")
 	depth := flag.Int("depth", 0, "probe depth (0 = computed Q+D bound)")
@@ -51,7 +51,7 @@ func main() {
 	doRoutes := flag.Bool("routes", false, "compute and verify UP*/DOWN* routes from the map")
 	dotOut := flag.Bool("dot", false, "print the mapped network as Graphviz DOT")
 	verbose := flag.Bool("v", false, "print probe statistics")
-	traceOut := flag.Bool("tracelog", false, "stream mapper trace events to stderr (berkeley/random only)")
+	traceOut := flag.Bool("tracelog", false, "dump the run's trace text log to stderr (berkeley/random only)")
 	seed := flag.Int64("seed", 1, "seed for randomised algorithms and port embeddings")
 	window := flag.Int("window", 1, "pipelined probe window (1 = serial; berkeley/random only)")
 	chaos := flag.String("chaos", "", "map under injected faults with self-healing, e.g. seed=3 or seed=3,cuts=2,loss=0.02")
@@ -196,29 +196,41 @@ func parseModel(s string) simnet.Model {
 func runAlgo(algo string, net *topology.Network, h0 topology.NodeID,
 	model simnet.Model, depth int, seed int64, trace bool, window int, tele *obs.Flags) (*mapper.Map, error) {
 	sn := simnet.New(net, model, simnet.DefaultTiming())
+	// -tracelog records onto the telemetry tracer (allocating a private one
+	// when -trace is off) and dumps the deterministic text log afterwards.
+	tr := tele.Tracer
+	if trace && tr == nil {
+		tr = obs.NewTracer()
+	}
 	opts := []mapper.Option{mapper.WithDepth(depth), mapper.WithPipeline(window),
-		mapper.WithTracer(tele.Tracer), mapper.WithMetrics(tele.Metrics)}
-	if trace {
-		opts = append(opts, mapper.WithTrace(mapper.TraceWriter(os.Stderr)))
-	}
-	switch algo {
-	case "berkeley":
-		return mapper.Run(sn.Endpoint(h0), opts...)
-	case "label":
-		return mapper.LabelRun(sn.Endpoint(h0), depth)
-	case "random":
-		return mapper.RandomizedRun(sn.Endpoint(h0), mapper.RandomizedConfig{
-			Config:       mapper.BuildConfig(opts...),
-			CouponProbes: 32 * net.NumSwitches(),
-			Rng:          rand.New(rand.NewSource(seed)),
-		})
-	case "myricom":
-		my, err := myricom.Run(sn.Endpoint(h0), myricom.DefaultConfig(depth))
-		if err != nil {
-			return nil, err
+		mapper.WithTracer(tr), mapper.WithMetrics(tele.Metrics)}
+	run := func() (*mapper.Map, error) {
+		switch algo {
+		case "berkeley":
+			return mapper.Run(sn.Endpoint(h0), opts...)
+		case "label":
+			return mapper.LabelRun(sn.Endpoint(h0), depth)
+		case "random":
+			return mapper.RandomizedRun(sn.Endpoint(h0), mapper.RandomizedConfig{
+				Config:       mapper.BuildConfig(opts...),
+				CouponProbes: 32 * net.NumSwitches(),
+				Rng:          rand.New(rand.NewSource(seed)),
+			})
+		case "myricom":
+			my, err := myricom.Run(sn.Endpoint(h0), myricom.DefaultConfig(depth))
+			if err != nil {
+				return nil, err
+			}
+			// Adapt to the common result shape for printing.
+			return &mapper.Map{Network: my.Network, Mapper: my.Mapper}, nil
 		}
-		// Adapt to the common result shape for printing.
-		return &mapper.Map{Network: my.Network, Mapper: my.Mapper}, nil
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
-	return nil, fmt.Errorf("unknown algorithm %q", algo)
+	m, err := run()
+	if trace && err == nil && tr != nil {
+		if werr := tr.WriteText(os.Stderr); werr != nil {
+			return nil, werr
+		}
+	}
+	return m, err
 }

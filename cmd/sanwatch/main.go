@@ -33,7 +33,7 @@ import (
 )
 
 func main() {
-	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs)
+	gen := flag.String("gen", "now-c", "generator spec: "+genspec.Specs())
 	epochs := flag.Int("epochs", 6, "number of mapping epochs")
 	churn := flag.Int("churn", 2, "random mutations between epochs")
 	seed := flag.Int64("seed", 1, "seed for the mutation sequence")

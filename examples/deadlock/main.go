@@ -52,7 +52,7 @@ func run(net *topology.Network, tab *routes.Table, label string) {
 
 func main() {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.Torus(4, 4, 1, rng)
+	net := topology.MustTorus(4, 4, 1, rng)
 	fmt.Printf("permutation traffic on a 4x4 torus (%v), all %d shifts\n\n",
 		net, net.NumHosts()-1)
 

@@ -22,7 +22,7 @@ func main() {
 	// switches, 1 root. Ports are assigned randomly — the mapper never
 	// learns absolute port numbers, only relative turns.
 	rng := rand.New(rand.NewSource(42))
-	net := topology.FatTree(topology.FatTreeSpec{
+	net := topology.MustFatTree(topology.FatTreeSpec{
 		LeafSwitches: 4, HostsPerLeaf: 3,
 		MidSwitches: 2, RootSwitches: 1,
 		UplinksPerLeaf: 2, UplinksPerMid: 2,

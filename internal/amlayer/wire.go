@@ -58,6 +58,10 @@ func (p *WireProber) LocalHost() string { return p.net.sn.Topology().NameOf(p.ho
 // Clock implements simnet.Prober.
 func (p *WireProber) Clock() time.Duration { return p.net.sn.Clock() }
 
+// MaxPorts reports the fabric's largest port count, so mappers can
+// discover the switch radix to plan for.
+func (p *WireProber) MaxPorts() int { return p.net.sn.Topology().MaxPorts() }
+
 // Stats exposes the underlying transport counters.
 func (p *WireProber) Stats() simnet.Stats { return p.net.sn.Stats() }
 

@@ -47,7 +47,7 @@ func TestMapOverWireTransport(t *testing.T) {
 // identical to the built-in prober — same probe counts, isomorphic maps.
 func TestWireMatchesBuiltinTransport(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	net := topology.RandomConnected(4, 6, 2, rng)
+	net := topology.MustRandomConnected(4, 6, 2, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 
@@ -75,7 +75,7 @@ func TestWireMatchesBuiltinTransport(t *testing.T) {
 // degrades gracefully (valid, possibly incomplete map; no contradictions).
 func TestWireCorruption(t *testing.T) {
 	rng := rand.New(rand.NewSource(10))
-	net := topology.Star(3, 3, rng)
+	net := topology.MustStar(3, 3, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	w := amlayer.NewWireNet(sn)

@@ -162,6 +162,65 @@ func (m *metrics) fastPath(latency int64) {
 	m.missWait.observe(latency)
 }
 
+// The CSR index fast path (internal/topology's contract, in miniature):
+// flat adjacency arrays with per-node offsets plus scratch arenas sized at
+// build time, so accessors reslice owned arrays and traversals append only
+// to receiver-rooted buffers.
+
+// csrIndex mimics topology.Index: off/nbr are the packed adjacency, queue
+// is the reusable BFS arena.
+type csrIndex struct {
+	off   []int32
+	nbr   []int32
+	queue []int32
+}
+
+// Good: accessors that reslice the index's own arrays allocate nothing.
+//
+//sanlint:hotpath
+func (ix *csrIndex) neighbors(id int) []int32 {
+	return ix.nbr[ix.off[id]:ix.off[id+1]]
+}
+
+//sanlint:hotpath
+func (ix *csrIndex) degree(id int) int {
+	return int(ix.off[id+1] - ix.off[id])
+}
+
+// Good: arena-style BFS — the queue appends are rooted at the receiver
+// (capacity sized at build time) and dist is caller-owned.
+//
+//sanlint:hotpath
+func (ix *csrIndex) bfsInto(src int32, dist []int32) []int32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	ix.queue = append(ix.queue[:0], src)
+	for head := 0; head < len(ix.queue); head++ {
+		u := ix.queue[head]
+		for _, v := range ix.neighbors(int(u)) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				ix.queue = append(ix.queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Bad: a traversal that sizes fresh scratch per call instead of reusing
+// the index's arenas — the allocation pattern the CSR rework removed.
+//
+//sanlint:hotpath
+func (ix *csrIndex) badFreshScratch(src int32) []int32 {
+	dist := make([]int32, len(ix.off)-1) // want "make allocates"
+	var queue []int32
+	queue = append(queue, src) // want "append to a slice not owned by the receiver or a parameter"
+	_ = queue
+	return dist
+}
+
 // register is the setup-time path: deliberately unannotated, it may
 // allocate freely — which is exactly why the hot path must not call it.
 func register(name string) *counter { return &counter{} }

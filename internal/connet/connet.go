@@ -115,6 +115,10 @@ func (e *Endpoint) LocalHost() string { return e.net.quiet.Topology().NameOf(e.h
 // Clock implements simnet.Prober: the process's virtual time.
 func (e *Endpoint) Clock() time.Duration { return e.proc.Now() }
 
+// MaxPorts reports the fabric's largest port count, so mappers can
+// discover the switch radix to plan for.
+func (e *Endpoint) MaxPorts() int { return e.net.quiet.Topology().MaxPorts() }
+
 // Stats implements the optional probe-counter interface.
 func (e *Endpoint) Stats() simnet.Stats { return e.stats }
 

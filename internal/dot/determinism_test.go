@@ -34,10 +34,10 @@ func TestRenderByteIdentical(t *testing.T) {
 		build func() *topology.Network
 	}{
 		{"mesh", func() *topology.Network {
-			return topology.Mesh(3, 3, 2, rand.New(rand.NewSource(5)))
+			return topology.MustMesh(3, 3, 2, rand.New(rand.NewSource(5)))
 		}},
 		{"fattree", func() *topology.Network {
-			return topology.RandomConnected(5, 7, 2, rand.New(rand.NewSource(9)))
+			return topology.MustRandomConnected(5, 7, 2, rand.New(rand.NewSource(9)))
 		}},
 	}
 	for _, tc := range topos {

@@ -10,7 +10,7 @@ import (
 
 func TestGraphDOT(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	n := topology.Star(2, 2, rng)
+	n := topology.MustStar(2, 2, rng)
 	sw := n.Switches()[0]
 	if p := n.FreePort(sw); p >= 0 {
 		if err := n.AddReflector(sw, p); err != nil {
@@ -36,7 +36,7 @@ func TestGraphDOT(t *testing.T) {
 
 func TestASCII(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	n := topology.Star(2, 2, rng) // hub switch carries no hosts: level 2
+	n := topology.MustStar(2, 2, rng) // hub switch carries no hosts: level 2
 	out := ASCII(n)
 	if !strings.Contains(out, "4 hosts, 3 switches") {
 		t.Errorf("summary missing:\n%s", out)

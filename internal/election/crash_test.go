@@ -18,7 +18,7 @@ import (
 // single point of failure.
 func TestElectionSurvivesLeaderCrash(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	net := topology.Star(4, 3, rng)
+	net := topology.MustStar(4, 3, rng)
 	depth := net.DepthBound(net.Hosts()[0])
 	const seed = 42
 
@@ -75,7 +75,7 @@ func TestElectionSurvivesLeaderCrash(t *testing.T) {
 // anyway must not disturb the outcome — same winner, correct map.
 func TestElectionCrashOfLoser(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	net := topology.Star(4, 3, rng)
+	net := topology.MustStar(4, 3, rng)
 	depth := net.DepthBound(net.Hosts()[0])
 	const seed = 7
 

@@ -33,7 +33,7 @@ func runElection(t *testing.T, net *topology.Network, seed int64) *Result {
 // despite contention with the other (eventually passivated) mappers.
 func TestElectionProducesCorrectMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.Star(4, 3, rng)
+	net := topology.MustStar(4, 3, rng)
 	res := runElection(t, net, 42)
 	if err := isomorph.MustEqualCore(res.Map.Network, net); err != nil {
 		t.Fatalf("winner's map: %v", err)
@@ -78,7 +78,7 @@ func TestElectionSlowerThanMaster(t *testing.T) {
 // election mode.
 func TestElectionVariance(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	net := topology.Star(3, 3, rng)
+	net := topology.MustStar(3, 3, rng)
 	times := map[time.Duration]bool{}
 	for seed := int64(0); seed < 4; seed++ {
 		res := runElection(t, net, seed)
@@ -97,7 +97,7 @@ func TestElectionVariance(t *testing.T) {
 // correct map over the contended transport.
 func TestMyricomElection(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	net := topology.Star(3, 3, rng)
+	net := topology.MustStar(3, 3, rng)
 	depth := net.DepthBound(net.Hosts()[0])
 	res, err := Run(net, Config{
 		Model:     simnet.PacketModel,

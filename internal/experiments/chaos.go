@@ -61,7 +61,7 @@ type chaosTrial struct {
 
 func runChaosTrial(prof faults.Profile, seed uint64) (chaosTrial, error) {
 	var tr chaosTrial
-	base := topology.Torus(3, 3, 1, rand.New(rand.NewSource(int64(seed))))
+	base := topology.MustTorus(3, 3, 1, rand.New(rand.NewSource(int64(seed))))
 	h0 := base.Hosts()[0]
 	// Healing and post-fault from-scratch maps may need longer routes than
 	// the clean diameter bound once cuts stretch the surviving paths.

@@ -296,7 +296,7 @@ type RandomizedTrial struct {
 // its own seed-derived RNG, through the sweep runner. Trial i uses seed
 // seed+i, so results are reproducible and independent of the worker count.
 func RandomizedTrials(trials, couponProbes int, seed int64, workers int) ([]RandomizedTrial, error) {
-	net := topology.Hypercube(4, 1, rand.New(rand.NewSource(seed)))
+	net := topology.MustHypercube(4, 1, rand.New(rand.NewSource(seed)))
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 	return Sweep(trials, workers, func(trial int) (RandomizedTrial, error) {

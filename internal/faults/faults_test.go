@@ -159,7 +159,7 @@ func TestProbeTruncationClassification(t *testing.T) {
 
 func TestEmptyScheduleByteIdentity(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	ref := topology.Ring(5, 2, rng)
+	ref := topology.MustRing(5, 2, rng)
 
 	run := func(attach bool) (string, simnet.Stats) {
 		sn := simnet.NewDefault(ref.Clone())
@@ -185,7 +185,7 @@ func TestEmptyScheduleByteIdentity(t *testing.T) {
 
 func TestInjectorLogDeterminism(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	ref := topology.Ring(6, 2, rng)
+	ref := topology.MustRing(6, 2, rng)
 	sched := Generate(ref, 42, Profile{Cuts: 1, Flaps: 1, LossRate: 0.02})
 
 	run := func() (string, string) {
@@ -212,7 +212,7 @@ func TestInjectorLogDeterminism(t *testing.T) {
 
 func TestGenerateDeterministicAndConnected(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	ref := topology.Ring(8, 1, rng)
+	ref := topology.MustRing(8, 1, rng)
 	a := Generate(ref, 99, Profile{Cuts: 2, Flaps: 1, SwitchKills: 1, Restart: true})
 	b := Generate(ref, 99, Profile{Cuts: 2, Flaps: 1, SwitchKills: 1, Restart: true})
 	if !reflect.DeepEqual(a, b) {

@@ -1,0 +1,242 @@
+package genspec
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"sanmap/internal/cluster"
+	"sanmap/internal/topology"
+)
+
+// Built-in generators. Each is a builtin value wrapping one of the
+// topology/cluster constructors; all register in init, so every tool
+// linking genspec accepts the same family names.
+
+// builtin adapts a parse/build function pair to the Generator interface.
+type builtin struct {
+	name  string
+	usage string
+	desc  string
+	parse func(spec, arg string) (Spec, error)
+	build func(s Spec, rng *rand.Rand) (*topology.Network, error)
+}
+
+func (b *builtin) Name() string  { return b.name }
+func (b *builtin) Usage() string { return b.usage }
+func (b *builtin) Describe() string {
+	return b.desc
+}
+func (b *builtin) Parse(arg string) (Spec, error) {
+	return b.parse(b.name+":"+arg, arg)
+}
+func (b *builtin) Build(s Spec, rng *rand.Rand) (*topology.Network, error) {
+	return b.build(s, rng)
+}
+
+// nowGen wraps the NOW cluster configurations, which take no argument and
+// carry a distinguished utility host.
+type nowGen struct {
+	name string
+	desc string
+	sys  func(*rand.Rand) *cluster.System
+}
+
+func (g *nowGen) Name() string     { return g.name }
+func (g *nowGen) Usage() string    { return g.name }
+func (g *nowGen) Describe() string { return g.desc }
+func (g *nowGen) Parse(arg string) (Spec, error) {
+	if arg != "" {
+		return nil, fmt.Errorf("genspec: %q takes no argument (got %q)", g.name, arg)
+	}
+	return nil, nil
+}
+func (g *nowGen) Build(_ Spec, rng *rand.Rand) (*topology.Network, error) {
+	return g.sys(rng).Net, nil
+}
+
+// UtilityName scans for the utility hosts in subcluster order, matching
+// cluster.Build's selection.
+func (g *nowGen) UtilityName(net *topology.Network) string {
+	for _, name := range []string{"UtilC", "UtilA", "UtilB"} {
+		if net.Lookup(name) != topology.None {
+			return name
+		}
+	}
+	return ""
+}
+
+// nums parses between min and max positive integers separated by ',' or
+// 'x'.
+func nums(spec, arg string, min, max int) ([]int, error) {
+	parts := strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == 'x' })
+	if len(parts) < min || len(parts) > max {
+		if min == max {
+			return nil, fmt.Errorf("genspec: %q: want %d numbers, have %d", spec, min, len(parts))
+		}
+		return nil, fmt.Errorf("genspec: %q: want %d to %d numbers, have %d", spec, min, max, len(parts))
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("genspec: %q: %v", spec, err)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("genspec: %q: numbers must be positive", spec)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// fixedNums returns a parse function expecting exactly want numbers.
+func fixedNums(want int) func(spec, arg string) (Spec, error) {
+	return func(spec, arg string) (Spec, error) {
+		v, err := nums(spec, arg, want, want)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+// rangeNums returns a parse function expecting min..max numbers.
+func rangeNums(min, max int) func(spec, arg string) (Spec, error) {
+	return func(spec, arg string) (Spec, error) {
+		v, err := nums(spec, arg, min, max)
+		if err != nil {
+			return nil, err
+		}
+		return v, nil
+	}
+}
+
+func init() {
+	Register(&nowGen{name: "now-c", desc: "NOW subcluster C (Fig 3)", sys: cluster.CConfig})
+	Register(&nowGen{name: "now-ca", desc: "NOW subclusters C+A (Fig 3)", sys: cluster.CAConfig})
+	Register(&nowGen{name: "now-cab", desc: "full NOW system C+A+B (Fig 3)", sys: cluster.CABConfig})
+	Register(&builtin{
+		name: "fattree", usage: "fattree:LxH",
+		desc:  "NOW-style incomplete fat tree: L leaves with H hosts each",
+		parse: fixedNums(2),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			return topology.FatTree(topology.FatTreeSpec{
+				LeafSwitches: v[0], HostsPerLeaf: v[1],
+				MidSwitches: (v[0] + 1) / 2, RootSwitches: 1,
+				UplinksPerLeaf: 2, UplinksPerMid: 1,
+			}, rng)
+		},
+	})
+	Register(&builtin{
+		name: "fattree2", usage: "fattree2:LxH[,S]",
+		desc:  "two-layer leaf/spine fat-tree (Solnushkin), S spines auto-sized when omitted",
+		parse: rangeNums(2, 3),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			spec := topology.FatTree2Spec{LeafSwitches: v[0], HostsPerLeaf: v[1]}
+			if len(v) == 3 {
+				spec.Spines = v[2]
+			}
+			return topology.FatTree2(spec, rng)
+		},
+	})
+	Register(&builtin{
+		name: "dragonfly", usage: "dragonfly:A,P,H",
+		desc:  "maximal dragonfly: A*H+1 complete groups of A switches, P hosts and H global links each",
+		parse: fixedNums(3),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			return topology.Dragonfly(v[0], v[1], v[2], rng)
+		},
+	})
+	Register(&builtin{
+		name: "d3", usage: "d3:K,M[,P]",
+		desc:  "swapped dragonfly D3(K,M) (Draper): M complete K-switch groups with transpose links, P hosts per switch (default 2)",
+		parse: rangeNums(2, 3),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			hosts := 2
+			if len(v) == 3 {
+				hosts = v[2]
+			}
+			return topology.SwappedDragonfly(v[0], v[1], hosts, rng)
+		},
+	})
+	Register(&builtin{
+		name: "butterfly", usage: "butterfly:KxN",
+		desc:  "k-ary n-fly multistage network: N stages of K^(N-1) radix-2K switches",
+		parse: fixedNums(2),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			return topology.Butterfly(v[0], v[1], rng)
+		},
+	})
+	Register(&builtin{
+		name: "random", usage: "random:S,H,E",
+		desc:  "connected random multigraph: S switches, H hosts, E extra links",
+		parse: fixedNums(3),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			if v[1] > 4*v[0] {
+				return nil, fmt.Errorf("genspec: at most %d hosts for %d switches", 4*v[0], v[0])
+			}
+			if rng == nil {
+				rng = rand.New(rand.NewSource(1))
+			}
+			return topology.RandomConnected(v[0], v[1], v[2], rng)
+		},
+	})
+	Register(&builtin{
+		name: "hypercube", usage: "hypercube:D",
+		desc:  "D-dimensional hypercube of switches, one host each",
+		parse: fixedNums(1),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			return topology.Hypercube(s.([]int)[0], 1, rng)
+		},
+	})
+	Register(&builtin{
+		name: "mesh", usage: "mesh:WxH",
+		desc:  "WxH switch grid, two hosts per switch",
+		parse: fixedNums(2),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			return topology.Mesh(v[0], v[1], 2, rng)
+		},
+	})
+	Register(&builtin{
+		name: "torus", usage: "torus:WxH",
+		desc:  "WxH switch torus (wraparound mesh), two hosts per switch",
+		parse: fixedNums(2),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			v := s.([]int)
+			return topology.Torus(v[0], v[1], 2, rng)
+		},
+	})
+	Register(&builtin{
+		name: "ring", usage: "ring:N",
+		desc:  "N switches in a cycle, two hosts per switch",
+		parse: fixedNums(1),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			return topology.Ring(s.([]int)[0], 2, rng)
+		},
+	})
+	Register(&builtin{
+		name: "star", usage: "star:N",
+		desc:  "hub switch with N leaf switches, two hosts per leaf",
+		parse: fixedNums(1),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			return topology.Star(s.([]int)[0], 2, rng)
+		},
+	})
+	Register(&builtin{
+		name: "line", usage: "line:N",
+		desc:  "N switches in a path, two hosts per switch",
+		parse: fixedNums(1),
+		build: func(s Spec, rng *rand.Rand) (*topology.Network, error) {
+			return topology.Line(s.([]int)[0], 2, rng)
+		},
+	})
+}

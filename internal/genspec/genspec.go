@@ -1,17 +1,107 @@
 // Package genspec parses the compact topology-generator specifications the
-// command-line tools share, e.g. "now-cab", "fattree:6x4", "random:8,20,4",
-// "hypercube:3", "mesh:3x4", "torus:4x4", "ring:5", "star:4", "line:6".
+// command-line tools share, e.g. "now-cab", "fattree:6x4", "fattree2:64x4",
+// "dragonfly:8,4,4", "random:8,20,4", "mesh:3x4".
+//
+// Generators are registered, not hard-coded: a specification "name:arg" is
+// resolved against the registry, the named Generator parses its own
+// argument, and Build reports the registered names when the lookup fails.
+// The built-in families live in builtin.go; external packages add their own
+// via Register.
 package genspec
 
 import (
 	"fmt"
 	"math/rand"
-	"strconv"
+	"sort"
 	"strings"
 
-	"sanmap/internal/cluster"
 	"sanmap/internal/topology"
 )
+
+// Spec is a generator-specific parsed argument, produced by
+// Generator.Parse and consumed by the same generator's Build.
+type Spec any
+
+// Generator builds one family of networks from a compact textual argument
+// (the part after the colon in "name:arg"; "" when absent).
+type Generator interface {
+	// Name is the registry key, e.g. "fattree2". It must be non-empty
+	// and contain no ':' or whitespace.
+	Name() string
+	// Parse validates the textual argument and returns the parsed spec.
+	Parse(arg string) (Spec, error)
+	// Build constructs the network. rng randomises port embeddings (nil
+	// keeps them deterministic).
+	Build(spec Spec, rng *rand.Rand) (*topology.Network, error)
+}
+
+// UtilityNamer is implemented by generators whose networks contain a
+// distinguished utility host (the NOW configurations).
+type UtilityNamer interface {
+	UtilityName(net *topology.Network) string
+}
+
+// Usager is implemented by generators that document their argument form,
+// e.g. "mesh:WxH". Name() is used otherwise.
+type Usager interface {
+	Usage() string
+}
+
+// Describer is implemented by generators with a one-line description for
+// listings such as `sangen -list`.
+type Describer interface {
+	Describe() string
+}
+
+var registry = map[string]Generator{}
+
+// Register adds a generator to the registry. It panics on duplicate or
+// malformed names — registration happens in package init, where a bad
+// generator is a programming error.
+func Register(g Generator) {
+	name := g.Name()
+	if name == "" || strings.ContainsAny(name, ": \t\r\n") {
+		panic(fmt.Sprintf("genspec: invalid generator name %q", name))
+	}
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("genspec: duplicate generator %q", name))
+	}
+	registry[name] = g
+}
+
+// Lookup returns the registered generator with the given name.
+func Lookup(name string) (Generator, bool) {
+	g, ok := registry[name]
+	return g, ok
+}
+
+// Names returns the registered generator names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UsageOf returns the argument form of a registered generator, falling
+// back to its bare name.
+func UsageOf(g Generator) string {
+	if u, ok := g.(Usager); ok {
+		return u.Usage()
+	}
+	return g.Name()
+}
+
+// Specs describes all registered forms, for flag usage strings.
+func Specs() string {
+	var forms []string
+	for _, name := range Names() {
+		forms = append(forms, UsageOf(registry[name]))
+	}
+	return strings.Join(forms, ", ")
+}
 
 // Result is a parsed and built specification.
 type Result struct {
@@ -21,114 +111,29 @@ type Result struct {
 	Utility string
 }
 
-// Specs describes the accepted forms, for usage strings.
-const Specs = "now-c, now-ca, now-cab, fattree:LxH, random:S,H,E, hypercube:D, mesh:WxH, torus:WxH, ring:N, star:N, line:N"
-
-// Build parses spec and constructs the network. rng randomises port
-// embeddings (nil keeps them deterministic).
+// Build resolves spec ("name" or "name:arg") against the registry and
+// constructs the network. rng randomises port embeddings (nil keeps them
+// deterministic).
 func Build(spec string, rng *rand.Rand) (Result, error) {
 	name, arg, _ := strings.Cut(spec, ":")
-	nums := func(want int) ([]int, error) {
-		parts := strings.FieldsFunc(arg, func(r rune) bool { return r == ',' || r == 'x' })
-		if len(parts) != want {
-			return nil, fmt.Errorf("genspec: %q: want %d numbers, have %d", spec, want, len(parts))
-		}
-		out := make([]int, want)
-		for i, p := range parts {
-			v, err := strconv.Atoi(p)
-			if err != nil {
-				return nil, fmt.Errorf("genspec: %q: %v", spec, err)
-			}
-			if v < 1 {
-				return nil, fmt.Errorf("genspec: %q: numbers must be positive", spec)
-			}
-			out[i] = v
-		}
-		return out, nil
+	if strings.Contains(arg, ":") {
+		return Result{}, fmt.Errorf("genspec: %q: unexpected ':' in argument %q", spec, arg)
 	}
-	sys := func(s *cluster.System) (Result, error) {
-		return Result{Net: s.Net, Utility: s.Net.NameOf(s.Utility)}, nil
+	g, ok := registry[name]
+	if !ok {
+		return Result{}, fmt.Errorf("genspec: unknown generator %q (registered: %s)", name, strings.Join(Names(), ", "))
 	}
-	switch name {
-	case "now-c":
-		return sys(cluster.CConfig(rng))
-	case "now-ca":
-		return sys(cluster.CAConfig(rng))
-	case "now-cab":
-		return sys(cluster.CABConfig(rng))
-	case "fattree":
-		v, err := nums(2)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[1] > topology.SwitchPorts-2 {
-			return Result{}, fmt.Errorf("genspec: %q: at most %d hosts per leaf", spec, topology.SwitchPorts-2)
-		}
-		return Result{Net: topology.FatTree(topology.FatTreeSpec{
-			LeafSwitches: v[0], HostsPerLeaf: v[1],
-			MidSwitches: (v[0] + 1) / 2, RootSwitches: 1,
-			UplinksPerLeaf: 2, UplinksPerMid: 1,
-		}, rng)}, nil
-	case "random":
-		v, err := nums(3)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[1] > 4*v[0] {
-			return Result{}, fmt.Errorf("genspec: %q: at most %d hosts for %d switches", spec, 4*v[0], v[0])
-		}
-		if rng == nil {
-			rng = rand.New(rand.NewSource(1))
-		}
-		return Result{Net: topology.RandomConnected(v[0], v[1], v[2], rng)}, nil
-	case "hypercube":
-		v, err := nums(1)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[0] > topology.SwitchPorts-1 {
-			return Result{}, fmt.Errorf("genspec: %q: dimension at most %d", spec, topology.SwitchPorts-1)
-		}
-		return Result{Net: topology.Hypercube(v[0], 1, rng)}, nil
-	case "mesh":
-		v, err := nums(2)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Net: topology.Mesh(v[0], v[1], 2, rng)}, nil
-	case "torus":
-		v, err := nums(2)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[0] < 3 || v[1] < 3 {
-			return Result{}, fmt.Errorf("genspec: %q: torus needs sides of at least 3", spec)
-		}
-		return Result{Net: topology.Torus(v[0], v[1], 2, rng)}, nil
-	case "ring":
-		v, err := nums(1)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[0] < 3 {
-			return Result{}, fmt.Errorf("genspec: %q: ring needs at least 3 switches", spec)
-		}
-		return Result{Net: topology.Ring(v[0], 2, rng)}, nil
-	case "star":
-		v, err := nums(1)
-		if err != nil {
-			return Result{}, err
-		}
-		if v[0] > topology.SwitchPorts {
-			return Result{}, fmt.Errorf("genspec: %q: at most %d leaves", spec, topology.SwitchPorts)
-		}
-		return Result{Net: topology.Star(v[0], 2, rng)}, nil
-	case "line":
-		v, err := nums(1)
-		if err != nil {
-			return Result{}, err
-		}
-		return Result{Net: topology.Line(v[0], 2, rng)}, nil
+	parsed, err := g.Parse(arg)
+	if err != nil {
+		return Result{}, err
 	}
-	return Result{}, fmt.Errorf("genspec: unknown generator %q (want one of: %s)", name, Specs)
+	net, err := g.Build(parsed, rng)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Net: net}
+	if un, ok := g.(UtilityNamer); ok {
+		res.Utility = un.UtilityName(net)
+	}
+	return res, nil
 }

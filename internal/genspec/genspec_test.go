@@ -9,17 +9,25 @@ import (
 func TestBuildValidSpecs(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	cases := map[string]struct{ hosts, switches int }{
-		"now-c":        {36, 13},
-		"now-ca":       {70, 26},
-		"now-cab":      {100, 40},
-		"fattree:4x3":  {12, 7},
-		"random:5,8,2": {8, 5},
-		"hypercube:3":  {8, 8},
-		"mesh:3x3":     {18, 9},
-		"torus:3x3":    {18, 9},
-		"ring:4":       {8, 4},
-		"star:3":       {6, 4},
-		"line:3":       {6, 3},
+		"now-c":       {36, 13},
+		"now-ca":      {70, 26},
+		"now-cab":     {100, 40},
+		"fattree:4x3": {12, 7},
+		// Datacenter-scale families (small instances; fabric_test.go has
+		// the structural detail).
+		"fattree2:12x2":   {24, 17},
+		"fattree2:4x2,3":  {8, 7},
+		"dragonfly:3,2,1": {24, 12},
+		"d3:4,3":          {24, 12},
+		"d3:4,3,1":        {12, 12},
+		"butterfly:2x3":   {16, 12},
+		"random:5,8,2":    {8, 5},
+		"hypercube:3":     {8, 8},
+		"mesh:3x3":        {18, 9},
+		"torus:3x3":       {18, 9},
+		"ring:4":          {8, 4},
+		"star:3":          {6, 4},
+		"line:3":          {6, 3},
 	}
 	for spec, want := range cases {
 		res, err := Build(spec, rng)
@@ -48,6 +56,11 @@ func TestBuildInvalidSpecs(t *testing.T) {
 		"", "frobnicate", "fattree", "fattree:4", "fattree:4x9",
 		"random:1,2", "random:2,99,0", "hypercube:9", "ring:2",
 		"torus:2x5", "star:9", "mesh:axb", "line:0", "line:-3",
+		// Embedded ':' separators are rejected before the generator parses.
+		"fattree:2:3", "now-c:x", "d3:4:3",
+		// Datacenter families validate their parameters.
+		"fattree2:2x2,8", "dragonfly:200,1,1",
+		"d3:4,5", "butterfly:1x3", "butterfly:2x17",
 	} {
 		if res, err := Build(spec, rng); err == nil {
 			t.Errorf("Build(%q) accepted: %v", spec, res.Net)

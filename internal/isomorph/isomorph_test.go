@@ -43,7 +43,7 @@ func scramble(net *topology.Network, rng *rand.Rand) *topology.Network {
 func TestIsomorphicScrambles(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
+		net := topology.MustRandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
 		copyNet := scramble(net, rng)
 		if ok, reason := Check(net, copyNet); !ok {
 			t.Fatalf("seed %d: scrambled copy not isomorphic: %s", seed, reason)
@@ -53,7 +53,7 @@ func TestIsomorphicScrambles(t *testing.T) {
 
 func TestNotIsomorphicAfterMutation(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.Mesh(3, 2, 2, rng)
+	net := topology.MustMesh(3, 2, 2, rng)
 	mutations := []struct {
 		name   string
 		mutate func(*topology.Network) bool
@@ -178,7 +178,7 @@ func TestParallelWiresAndLoops(t *testing.T) {
 
 func TestSimilarity(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	net := topology.Star(3, 2, rng)
+	net := topology.MustStar(3, 2, rng)
 	same := Compare(net, net)
 	if !same.Isomorphic || same.Score() != 1 {
 		t.Errorf("self comparison: %+v", same)

@@ -18,7 +18,7 @@ func TestMapRandomMany(t *testing.T) {
 		switches := 3 + rng.Intn(6)
 		hosts := 2 + rng.Intn(2*switches)
 		extra := rng.Intn(switches)
-		net := topology.RandomConnected(switches, hosts, extra, rng)
+		net := topology.MustRandomConnected(switches, hosts, extra, rng)
 		mapAndVerify(t, net, simnet.CircuitModel, nil)
 	}
 }
@@ -29,7 +29,7 @@ func TestMapRandomMany(t *testing.T) {
 func TestMapWithF(t *testing.T) {
 	for seed := int64(100); seed < 110; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4, 5, 2, rng)
+		net := topology.MustRandomConnected(4, 5, 2, rng)
 		sw := net.Switches()
 		topology.WithTail(net, sw[rng.Intn(len(sw))], 1+rng.Intn(2), rng)
 		f := net.F()
@@ -58,7 +58,7 @@ func TestMapCollisionModels(t *testing.T) {
 			tested := 0
 			for seed := int64(200); seed < 230 && tested < 12; seed++ {
 				rng := rand.New(rand.NewSource(seed))
-				net := topology.RandomConnected(3+rng.Intn(4), 3+rng.Intn(6), rng.Intn(3), rng)
+				net := topology.MustRandomConnected(3+rng.Intn(4), 3+rng.Intn(6), rng.Intn(3), rng)
 				// Theorem 1's cut-through guarantee requires F empty ("In
 				// the second collision model when F is empty, M/L is
 				// isomorphic to N"); with F non-empty only the circuit
@@ -82,7 +82,7 @@ func TestReplicatePolicies(t *testing.T) {
 	policies := []ReplicatePolicy{DedupFrontier, RetryUnknown, ExploreAll}
 	for seed := int64(300); seed < 308; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4, 5, 2, rng)
+		net := topology.MustRandomConnected(4, 5, 2, rng)
 		var probes []int64
 		for _, pol := range policies {
 			pol := pol
@@ -101,7 +101,7 @@ func TestReplicatePolicies(t *testing.T) {
 func TestLabelMatchesMerge(t *testing.T) {
 	for seed := int64(400); seed < 408; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(3, 4, 1, rng)
+		net := topology.MustRandomConnected(3, 4, 1, rng)
 		h0 := net.Hosts()[0]
 		depth := net.DepthBound(h0)
 		if depth > 9 {
@@ -132,7 +132,7 @@ func TestLabelMatchesMerge(t *testing.T) {
 // must equal the core of the network with those hosts deleted.
 func TestSilentHosts(t *testing.T) {
 	rng := rand.New(rand.NewSource(500))
-	net := topology.Star(4, 3, rng)
+	net := topology.MustStar(4, 3, rng)
 	hosts := net.Hosts()
 	h0 := hosts[0]
 	sn := simnet.NewDefault(net)
@@ -180,7 +180,7 @@ func silentNames(net *topology.Network, ids []topology.NodeID) map[string]bool {
 // silent about it — exactly why the paper proves the Q+D bound).
 func TestDepthTooShallow(t *testing.T) {
 	rng := rand.New(rand.NewSource(600))
-	net := topology.Line(6, 1, rng) // long thin chain: depth matters
+	net := topology.MustLine(6, 1, rng) // long thin chain: depth matters
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	m, err := Run(sn.Endpoint(h0), WithDepth(2))
@@ -195,13 +195,21 @@ func TestDepthTooShallow(t *testing.T) {
 // TestModelInvariants runs the internal consistency check after a mapping.
 func TestModelInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(700))
-	net := topology.RandomConnected(5, 6, 3, rng)
+	net := topology.MustRandomConnected(5, 6, 3, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	cfg := DefaultConfig(net.DepthBound(h0))
 	cfg.MaxVertices = 1 << 20
-	r := &run{cfg: cfg, p: sn.Endpoint(h0), model: newModel()}
+	ep := sn.Endpoint(h0)
+	if err := resolveMaxPorts(&cfg, ep); err != nil {
+		t.Fatal(err)
+	}
+	r := &run{cfg: cfg, p: ep, model: newModel()}
+	r.model.maxPorts = cfg.MaxPorts
 	h0v, _ := r.model.hostVertex(r.p.LocalHost(), simnet.Route{})
+	if len(r.turnSequence()) == 0 {
+		t.Fatal("empty turn sequence")
+	}
 	root := r.model.newVertex(topology.SwitchNode, "", simnet.Route{})
 	r.model.addEdge(h0v, 0, root, 0)
 	r.front = append(r.front, job{v: root, route: simnet.Route{}})

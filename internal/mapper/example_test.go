@@ -13,7 +13,7 @@ import (
 // Example maps a small star network and verifies the reconstruction — the
 // minimal use of the library's core API.
 func Example() {
-	net := topology.Star(3, 2, rand.New(rand.NewSource(7)))
+	net := topology.MustStar(3, 2, rand.New(rand.NewSource(7)))
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net) // quiescent Myrinet, circuit collision model
 
@@ -32,7 +32,7 @@ func Example() {
 // ExampleMergeMaps fuses partial maps from two vantage points (§6's
 // parallel-mapping question).
 func ExampleMergeMaps() {
-	net := topology.Line(4, 1, rand.New(rand.NewSource(3)))
+	net := topology.MustLine(4, 1, rand.New(rand.NewSource(3)))
 	hosts := net.Hosts()
 
 	partial := func(h topology.NodeID) *mapper.Map {

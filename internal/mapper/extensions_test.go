@@ -15,7 +15,7 @@ import (
 func TestMergeMapsFromDifferentVantagePoints(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4, 6, 2, rng)
+		net := topology.MustRandomConnected(4, 6, 2, rng)
 		hosts := net.Hosts()
 		var partials []*Map
 		for _, h := range []topology.NodeID{hosts[0], hosts[len(hosts)/2], hosts[len(hosts)-1]} {
@@ -43,7 +43,7 @@ func TestMergeMapsFromDifferentVantagePoints(t *testing.T) {
 // of a chain merge into more of the network than either saw alone.
 func TestMergeMapsPartialViews(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	net := topology.Line(6, 1, rng) // 6 switches in a row, one host each
+	net := topology.MustLine(6, 1, rng) // 6 switches in a row, one host each
 	hosts := net.Hosts()
 	left, right := hosts[0], hosts[len(hosts)-1]
 
@@ -79,7 +79,7 @@ func TestMergeMapsPartialViews(t *testing.T) {
 func TestRandomizedRun(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4, 6, 2, rng)
+		net := topology.MustRandomConnected(4, 6, 2, rng)
 		h0 := net.Hosts()[0]
 		sn := simnet.NewDefault(net)
 		cfg := RandomizedConfig{
@@ -102,7 +102,7 @@ func TestRandomizedRun(t *testing.T) {
 // explorations relative to pure BFS on an expander-ish topology.
 func TestRandomizedChainsShortenBFS(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	net := topology.Hypercube(3, 2, rng)
+	net := topology.MustHypercube(3, 2, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 

@@ -19,7 +19,7 @@ func healDepth(net *topology.Network) int {
 
 func TestSessionMapMatchesRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(21))
-	net := topology.Ring(5, 2, rng)
+	net := topology.MustRing(5, 2, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 
@@ -77,7 +77,7 @@ func cutSwitchWire(t *testing.T, net *topology.Network, allowBridge bool) int {
 
 func TestRemapHealsLinkCut(t *testing.T) {
 	rng := rand.New(rand.NewSource(22))
-	net := topology.Ring(6, 2, rng)
+	net := topology.MustRing(6, 2, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	ep := sn.Endpoint(h0)
@@ -134,7 +134,7 @@ func TestRemapHealsLinkCut(t *testing.T) {
 
 func TestRemapHealsSwitchDeath(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
-	net := topology.Mesh(2, 2, 1, rng)
+	net := topology.MustMesh(2, 2, 1, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	ep := sn.Endpoint(h0)
@@ -178,7 +178,7 @@ func TestRemapHealsSwitchDeath(t *testing.T) {
 
 func TestRemapPartialOnExhaustedBudget(t *testing.T) {
 	rng := rand.New(rand.NewSource(24))
-	net := topology.Ring(6, 1, rng)
+	net := topology.MustRing(6, 1, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 
@@ -216,7 +216,7 @@ func TestConfirmSuppressesFlakyEdge(t *testing.T) {
 	// and never again models a transient cross-traffic artefact; Confirm=2
 	// must keep the phantom out of the model entirely.
 	rng := rand.New(rand.NewSource(25))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	h0 := net.Hosts()[0]
 
 	ref, err := Run(simnet.NewDefault(net.Clone()).Endpoint(h0), WithDepth(net.DepthBound(h0)), WithConfirm(2))

@@ -1,0 +1,72 @@
+// Datacenter-scale integration gate (external test package: wall-clock
+// timing is fine here, and the mapper is exercised purely through its
+// public API). The PR-6 acceptance bar: a ~1k-switch two-layer fat-tree
+// maps in well under ten seconds and the resulting map survives a
+// write/read/write cycle byte-identically.
+package mapper_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sanmap/internal/mapper"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func TestMapFatTree1k(t *testing.T) {
+	net := topology.MustFatTree2(topology.FatTree2Spec{LeafSwitches: 960, HostsPerLeaf: 1}, nil)
+	if s := net.NumSwitches(); s < 1000 {
+		t.Fatalf("fabric has %d switches, want >= 1000", s)
+	}
+	// On a fat tree the diameter bounds route length far better than the
+	// generic depth bound; +2 gives the frontier slack at the edge.
+	depth := net.Diameter() + 2
+
+	sn := simnet.NewDefault(net)
+	h0 := net.Hosts()[0]
+	start := time.Now()
+	m, err := mapper.Run(sn.Endpoint(h0), mapper.WithDepth(depth))
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if elapsed > 10*time.Second {
+		t.Fatalf("mapping took %v, want < 10s", elapsed)
+	}
+	t.Logf("mapped %d switches / %d hosts in %v (%d probes)",
+		m.Network.NumSwitches(), m.Network.NumHosts(), elapsed, m.Stats.Probes.TotalProbes())
+
+	// A fat tree has no switch-bridges, so the core is the whole network:
+	// the map must recover every switch and host.
+	if got, want := m.Network.NumSwitches(), net.NumSwitches(); got != want {
+		t.Fatalf("mapped %d switches, want %d", got, want)
+	}
+	if got, want := m.Network.NumHosts(), net.NumHosts(); got != want {
+		t.Fatalf("mapped %d hosts, want %d", got, want)
+	}
+	if got, want := m.Network.Diameter(), net.Diameter(); got != want {
+		t.Fatalf("mapped diameter %d, want %d", got, want)
+	}
+	if err := m.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-identity through the file format.
+	var first bytes.Buffer
+	if err := m.Network.Write(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := topology.ReadFrom(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.Write(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("mapped fabric re-renders differently after a read/write cycle")
+	}
+}

@@ -73,6 +73,12 @@ type Config struct {
 	SkipKnownSlots bool
 	// MaxVertices aborts pathological runs (0 = default 1<<20).
 	MaxVertices int
+	// MaxPorts is the largest switch radix the run plans for: it bounds
+	// the candidate turn magnitudes and the feasible-port windows. Zero
+	// discovers the value from the prober when it exposes MaxPorts()
+	// (simnet transports do) and falls back to the paper's 8-port default
+	// otherwise, so existing configurations behave identically.
+	MaxPorts int
 	// Snapshots enables the Fig 8 instrumentation: one Snapshot per switch
 	// exploration.
 	Snapshots bool
@@ -80,14 +86,6 @@ type Config struct {
 	// aborts the run with ErrCanceled. The election mode (§4.2) uses it to
 	// passivate a mapper that has heard from a higher-priority one.
 	Cancel func() bool
-	// Trace, when non-nil, receives a TraceEvent for every probe,
-	// discovery, merge, prune and exploration (see TraceWriter).
-	//
-	// Deprecated: install an obs.Tracer via Tracer (WithTracer) instead;
-	// it records the same events plus the phase spans, and its writers
-	// produce both the Chrome trace_event export and the text log. The
-	// hook remains for callers that filter events programmatically.
-	Trace func(TraceEvent)
 	// Tracer, when non-nil, records the run onto the unified observability
 	// layer: phase spans ("explore-phase", "explore", "prune", "sweep")
 	// and one instant per TraceEvent, all under cat "mapper" (the
@@ -288,7 +286,11 @@ func newRun(p simnet.Prober, cfg Config) (*run, error) {
 	if cfg.MaxVertices == 0 {
 		cfg.MaxVertices = 1 << 20
 	}
+	if err := resolveMaxPorts(&cfg, p); err != nil {
+		return nil, err
+	}
 	r := &run{cfg: cfg, p: p, model: newModel(), m: registerRunMetrics(cfg.Metrics)}
+	r.model.maxPorts = cfg.MaxPorts
 	if cfg.SelfHeal {
 		r.staleCount = make(map[*Vertex]int)
 		r.model.onInconsistency = r.noteContradiction
@@ -387,22 +389,48 @@ func (r *run) markStale(v *Vertex) {
 	r.front = append(r.front, job{v: root, route: root.probe})
 }
 
-// turnSequence returns the candidate turns in configured order.
+// turnSequence returns the candidate turns in configured order, bounded by
+// the configured switch radix (turn magnitudes up to MaxPorts-1).
 func (r *run) turnSequence() []simnet.Turn {
+	maxTurn := r.cfg.MaxPorts - 1
 	var out []simnet.Turn
 	switch r.cfg.TurnOrder {
 	case SmallTurnsFirst:
-		for mag := 1; mag <= simnet.MaxTurn; mag++ {
+		for mag := 1; mag <= maxTurn; mag++ {
 			out = append(out, simnet.Turn(mag), simnet.Turn(-mag))
 		}
 	default: // NaiveScan
-		for t := -simnet.MaxTurn; t <= simnet.MaxTurn; t++ {
+		for t := -maxTurn; t <= maxTurn; t++ {
 			if t != 0 {
 				out = append(out, simnet.Turn(t))
 			}
 		}
 	}
 	return out
+}
+
+// proberMaxPorts discovers the largest port count of the fabric behind p,
+// for transports that expose it (simnet endpoints do); the paper's 8-port
+// default applies otherwise.
+func proberMaxPorts(p any) int {
+	if mp, ok := p.(interface{ MaxPorts() int }); ok {
+		if m := mp.MaxPorts(); m > 0 {
+			return m
+		}
+	}
+	return topology.SwitchPorts
+}
+
+// resolveMaxPorts fills a zero Config.MaxPorts from the prober and bounds
+// the result to representable radices.
+func resolveMaxPorts(cfg *Config, p any) error {
+	if cfg.MaxPorts == 0 {
+		cfg.MaxPorts = proberMaxPorts(p)
+	}
+	if cfg.MaxPorts < 2 || cfg.MaxPorts > topology.MaxSwitchRadix {
+		return fmt.Errorf("mapper: MaxPorts %d outside [2, %d]", cfg.MaxPorts, topology.MaxSwitchRadix)
+	}
+	return nil
 }
 
 // explore pops one job: probes every candidate turn out of the switch the
@@ -438,8 +466,8 @@ func (r *run) explore(jb job) error {
 	for ti, t := range r.turnSequence() {
 		idx := entry + int(t)
 		if r.cfg.EliminateProbes {
-			lo, hi := root.window()
-			if !feasible(idx, lo, hi) {
+			lo, hi := r.model.window(root)
+			if !r.model.feasible(idx, lo, hi) {
 				r.stats.EliminatedPro++
 				r.m.eliminated.Inc()
 				continue
@@ -646,7 +674,9 @@ func exportModel(model *Model, localHost string) (*topology.Network, topology.No
 		if v.kind == topology.HostNode {
 			ids[v] = net.AddHost(v.name)
 		} else {
-			ids[v] = net.AddSwitch(fmt.Sprintf("m%d", swCount))
+			// Model switches carry the radix the run planned for; on the
+			// paper's 8-port fabrics this is exactly AddSwitch.
+			ids[v] = net.AddSwitchRadix(fmt.Sprintf("m%d", swCount), model.maxPorts)
 			swCount++
 		}
 	}
@@ -657,7 +687,7 @@ func exportModel(model *Model, localHost string) (*topology.Network, topology.No
 		if p0, ok := portOf[v]; ok {
 			return p0
 		}
-		lo, hi := v.window()
+		lo, hi := model.window(v)
 		if lo > hi {
 			lo = 0 // inconsistent window (possible only under noise)
 		}

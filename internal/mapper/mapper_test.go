@@ -39,17 +39,17 @@ func mapAndVerify(t *testing.T, net *topology.Network, model simnet.Model, extra
 
 func TestMapLine(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	mapAndVerify(t, topology.Line(4, 2, rng), simnet.CircuitModel, nil)
+	mapAndVerify(t, topology.MustLine(4, 2, rng), simnet.CircuitModel, nil)
 }
 
 func TestMapStar(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	mapAndVerify(t, topology.Star(4, 3, rng), simnet.CircuitModel, nil)
+	mapAndVerify(t, topology.MustStar(4, 3, rng), simnet.CircuitModel, nil)
 }
 
 func TestMapRing(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	mapAndVerify(t, topology.Ring(5, 2, rng), simnet.CircuitModel, nil)
+	mapAndVerify(t, topology.MustRing(5, 2, rng), simnet.CircuitModel, nil)
 }
 
 func TestMapFatTree(t *testing.T) {
@@ -59,13 +59,13 @@ func TestMapFatTree(t *testing.T) {
 		MidSwitches: 2, RootSwitches: 1,
 		UplinksPerLeaf: 2, UplinksPerMid: 2,
 	}
-	mapAndVerify(t, topology.FatTree(spec, rng), simnet.CircuitModel, nil)
+	mapAndVerify(t, topology.MustFatTree(spec, rng), simnet.CircuitModel, nil)
 }
 
 func TestMapRandomSmall(t *testing.T) {
 	for seed := int64(0); seed < 8; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4, 6, 2, rng)
+		net := topology.MustRandomConnected(4, 6, 2, rng)
 		mapAndVerify(t, net, simnet.CircuitModel, nil)
 	}
 }

@@ -91,6 +91,11 @@ type Model struct {
 	hostByName map[string]*Vertex
 	nextID     int
 
+	// maxPorts is the switch radix the model plans for: the feasible-port
+	// windows pin relative indices into {0..maxPorts-1}. newModel defaults
+	// it to the paper's 8; runs override it from Config.MaxPorts.
+	maxPorts int
+
 	liveVerts int
 	liveEdges int
 
@@ -135,9 +140,10 @@ type mergeTask struct {
 	shift int // index j in b's frame equals index j+shift in a's frame
 }
 
-// newModel returns an empty model graph.
+// newModel returns an empty model graph planning for the paper's 8-port
+// switches; runs override maxPorts from their configuration.
 func newModel() *Model {
-	return &Model{hostByName: make(map[string]*Vertex)}
+	return &Model{hostByName: make(map[string]*Vertex), maxPorts: topology.SwitchPorts}
 }
 
 // find resolves v to its surviving root and the offset translating v-frame
@@ -332,11 +338,11 @@ func slotOf(e *Edge, v *Vertex) int {
 }
 
 // window returns the feasible range [lo, hi] of the absolute port number
-// corresponding to relative index 0, derived from the occupied slots: each
-// known index i pins p0+i into {0..7} (§3.3's provably-safe probe
-// elimination and Lemma 2's indexing offsets).
-func (v *Vertex) window() (lo, hi int) {
-	lo, hi = 0, topology.SwitchPorts-1
+// corresponding to relative index 0 of v, derived from the occupied slots:
+// each known index i pins p0+i into {0..maxPorts-1} (§3.3's provably-safe
+// probe elimination and Lemma 2's indexing offsets).
+func (m *Model) window(v *Vertex) (lo, hi int) {
+	lo, hi = 0, m.maxPorts-1
 	for i, es := range v.slots {
 		if !liveAny(es) {
 			continue
@@ -344,7 +350,7 @@ func (v *Vertex) window() (lo, hi int) {
 		if l := -i; l > lo {
 			lo = l
 		}
-		if h := topology.SwitchPorts - 1 - i; h < hi {
+		if h := m.maxPorts - 1 - i; h < hi {
 			hi = h
 		}
 	}
@@ -361,9 +367,9 @@ func liveAny(es []*Edge) bool {
 }
 
 // feasible reports whether relative index j can possibly be a legal port
-// given the window: ∃ p0 ∈ [lo,hi] with 0 ≤ p0+j ≤ 7.
-func feasible(j, lo, hi int) bool {
-	return j >= -hi && j <= topology.SwitchPorts-1-lo
+// given the window: ∃ p0 ∈ [lo,hi] with 0 ≤ p0+j ≤ maxPorts-1.
+func (m *Model) feasible(j, lo, hi int) bool {
+	return j >= -hi && j <= m.maxPorts-1-lo
 }
 
 // occupied reports whether slot j holds a live edge.

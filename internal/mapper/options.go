@@ -40,12 +40,6 @@ func WithSnapshots(on bool) Option { return func(c *Config) { c.Snapshots = on }
 // WithCancel installs the between-explorations cancellation poll.
 func WithCancel(f func() bool) Option { return func(c *Config) { c.Cancel = f } }
 
-// WithTrace installs the trace hook (see TraceWriter).
-//
-// Deprecated: prefer WithTracer; the hook remains for callers that filter
-// events programmatically.
-func WithTrace(f func(TraceEvent)) Option { return func(c *Config) { c.Trace = f } }
-
 // WithTracer records the run onto an obs.Tracer: phase spans plus one
 // instant per trace event (see Config.Tracer).
 func WithTracer(t *obs.Tracer) Option { return func(c *Config) { c.Tracer = t } }

@@ -29,6 +29,7 @@ func OracleRun(p simnet.IDProber, depth int) (*Map, error) {
 	}
 	start := p.Clock()
 	stats := Stats{}
+	maxPorts := proberMaxPorts(p)
 
 	type oswitch struct {
 		id    int
@@ -56,7 +57,7 @@ func OracleRun(p simnet.IDProber, depth int) (*Map, error) {
 	if !ok {
 		return nil, fmt.Errorf("mapper: oracle cannot reach the first switch")
 	}
-	root := &oswitch{id: rootID, node: net.AddSwitch(fmt.Sprintf("o%d", rootID)),
+	root := &oswitch{id: rootID, node: net.AddSwitchRadix(fmt.Sprintf("o%d", rootID), maxPorts),
 		entry: rootEntry, route: simnet.Route{}}
 	seen[rootID] = root
 	hostEdges[p.LocalHost()] = [2]int{rootID, rootEntry}
@@ -69,7 +70,7 @@ func OracleRun(p simnet.IDProber, depth int) (*Map, error) {
 		if len(sw.route) >= depth {
 			continue
 		}
-		for port := 0; port < topology.SwitchPorts; port++ {
+		for port := 0; port < maxPorts; port++ {
 			if port == sw.entry {
 				continue // the wire we came in on is already recorded
 			}
@@ -88,7 +89,7 @@ func OracleRun(p simnet.IDProber, depth int) (*Map, error) {
 			}
 			other, known := seen[id]
 			if !known {
-				other = &oswitch{id: id, node: net.AddSwitch(fmt.Sprintf("o%d", id)),
+				other = &oswitch{id: id, node: net.AddSwitchRadix(fmt.Sprintf("o%d", id), maxPorts),
 					entry: entry, route: probe}
 				seen[id] = other
 				frontier = append(frontier, other)

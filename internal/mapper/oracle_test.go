@@ -22,7 +22,7 @@ func oracleNet(net *topology.Network) *simnet.Net {
 func TestOracleMapsExactly(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
+		net := topology.MustRandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
 		if seed%2 == 0 {
 			topology.WithTail(net, net.Switches()[0], 1, rng)
 		}
@@ -41,7 +41,7 @@ func TestOracleMapsExactly(t *testing.T) {
 // TestOracleFindsPlugsAndLoops.
 func TestOracleFindsPlugsAndLoops(t *testing.T) {
 	rng := rand.New(rand.NewSource(30))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	if err := net.AddReflector(sw[1], net.FreePort(sw[1])); err != nil {
 		t.Fatal(err)
@@ -67,7 +67,7 @@ func TestOracleFindsPlugsAndLoops(t *testing.T) {
 // the same network, because anonymity is what costs probes.
 func TestOracleProbeEconomy(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
-	net := topology.Ring(6, 2, rng)
+	net := topology.MustRing(6, 2, rng)
 	h0 := net.Hosts()[0]
 	depth := net.DepthBound(h0)
 
@@ -94,7 +94,7 @@ func TestOracleProbeEconomy(t *testing.T) {
 // enabled; default Myrinet has no such mechanism.
 func TestOracleRequiresSelfID(t *testing.T) {
 	rng := rand.New(rand.NewSource(32))
-	net := topology.Line(2, 1, rng)
+	net := topology.MustLine(2, 1, rng)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected panic without EnableSelfID")

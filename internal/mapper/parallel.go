@@ -33,6 +33,11 @@ func MergeMaps(partials ...*Map) (*Map, error) {
 		if pm == nil || pm.Network == nil {
 			return nil, fmt.Errorf("mapper: MergeMaps given a nil map")
 		}
+		// Plan for the largest radix any partial observed, so the merged
+		// feasible windows do not truncate large-radix fabrics.
+		if mp := pm.Network.MaxPorts(); mp > model.maxPorts {
+			model.maxPorts = mp
+		}
 		importNetwork(model, pm.Network)
 		model.processMerges()
 	}

@@ -94,8 +94,8 @@ func (ps *exploreStream) fillStep(r *run, root *Vertex, entry int) {
 	ps.next++
 	idx := entry + int(t)
 	if r.cfg.EliminateProbes {
-		lo, hi := root.window()
-		if !feasible(idx, lo, hi) {
+		lo, hi := r.model.window(root)
+		if !r.model.feasible(idx, lo, hi) {
 			return
 		}
 	}
@@ -126,8 +126,8 @@ func (ps *exploreStream) freeRide(r *run) bool {
 func (ps *exploreStream) stale(r *run, root *Vertex, entry int, tag int) bool {
 	idx := entry + int(ps.tagTurn[tag])
 	if r.cfg.EliminateProbes {
-		lo, hi := root.window()
-		if !feasible(idx, lo, hi) {
+		lo, hi := r.model.window(root)
+		if !r.model.feasible(idx, lo, hi) {
 			return true
 		}
 	}

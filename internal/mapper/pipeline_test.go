@@ -88,11 +88,11 @@ func TestPipelinedMapFamilies(t *testing.T) {
 		name string
 		net  *topology.Network
 	}{
-		{"star", topology.Star(4, 3, rng)},
-		{"mesh", topology.Mesh(3, 3, 2, rng)},
-		{"torus", topology.Torus(3, 3, 2, rng)},
-		{"hypercube", topology.Hypercube(3, 2, rng)},
-		{"fattree", topology.RandomConnected(5, 7, 2, rng)},
+		{"star", topology.MustStar(4, 3, rng)},
+		{"mesh", topology.MustMesh(3, 3, 2, rng)},
+		{"torus", topology.MustTorus(3, 3, 2, rng)},
+		{"hypercube", topology.MustHypercube(3, 2, rng)},
+		{"fattree", topology.MustRandomConnected(5, 7, 2, rng)},
 	}
 	for _, tc := range nets {
 		net := tc.net
@@ -139,7 +139,7 @@ func TestPipelinedSpeedupCAB(t *testing.T) {
 // through the engine without changing the resulting map.
 func TestPipelinedRandomizedRun(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	net := topology.Hypercube(3, 2, rng)
+	net := topology.MustHypercube(3, 2, rng)
 	h0 := net.Hosts()[0]
 	run := func(pipe simnet.WindowConfig) *Map {
 		sn := simnet.NewDefault(net)

@@ -42,13 +42,17 @@ func RandomizedRun(p simnet.TolerantProber, cfg RandomizedConfig) (*Map, error) 
 	if cfg.Rng == nil {
 		return nil, fmt.Errorf("mapper: RandomizedConfig.Rng is required")
 	}
-	if cfg.MaxTurnMagnitude <= 0 || cfg.MaxTurnMagnitude > simnet.MaxTurn {
-		cfg.MaxTurnMagnitude = 4
-	}
 	if cfg.MaxVertices == 0 {
 		cfg.MaxVertices = 1 << 20
 	}
+	if err := resolveMaxPorts(&cfg.Config, p); err != nil {
+		return nil, err
+	}
+	if cfg.MaxTurnMagnitude <= 0 || cfg.MaxTurnMagnitude > cfg.MaxPorts-1 {
+		cfg.MaxTurnMagnitude = 4
+	}
 	r := &run{cfg: cfg.Config, p: p, model: newModel()}
+	r.model.maxPorts = cfg.MaxPorts
 	r.initPipeline()
 	start := p.Clock()
 

@@ -13,7 +13,7 @@ import (
 // to itself and the export emits it as a loopback plug.
 func TestBerkeleyMapsLoopbackPlug(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	if err := net.AddReflector(sw[1], net.FreePort(sw[1])); err != nil {
 		t.Fatal(err)
@@ -28,7 +28,7 @@ func TestBerkeleyMapsLoopbackPlug(t *testing.T) {
 // mapping as a self-loop wire.
 func TestBerkeleyMapsSelfLoopCable(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	if _, _, _, err := net.ConnectFree(sw[1], sw[1]); err != nil {
 		t.Fatal(err)

@@ -124,7 +124,7 @@ func exportTolerant(model *Model, localHost string) (*topology.Network, topology
 		if v.kind == topology.HostNode {
 			ids[v] = net.AddHost(v.name)
 		} else {
-			ids[v] = net.AddSwitch(fmt.Sprintf("m%d", swCount))
+			ids[v] = net.AddSwitchRadix(fmt.Sprintf("m%d", swCount), model.maxPorts)
 			swCount++
 		}
 	}
@@ -134,7 +134,7 @@ func exportTolerant(model *Model, localHost string) (*topology.Network, topology
 		if p0, ok := portOf[v]; ok {
 			return p0
 		}
-		lo, hi := v.window()
+		lo, hi := model.window(v)
 		if lo > hi {
 			lo = 0 // inconsistent window (possible only under noise)
 		}

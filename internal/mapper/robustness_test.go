@@ -50,10 +50,10 @@ func TestMapMoreTopologyFamilies(t *testing.T) {
 		name string
 		net  *topology.Network
 	}{
-		{"mesh", topology.Mesh(3, 3, 2, rng)},
-		{"torus", topology.Torus(3, 3, 2, rng)},
-		{"hypercube", topology.Hypercube(3, 2, rng)},
-		{"line-long", topology.Line(7, 1, rng)},
+		{"mesh", topology.MustMesh(3, 3, 2, rng)},
+		{"torus", topology.MustTorus(3, 3, 2, rng)},
+		{"hypercube", topology.MustHypercube(3, 2, rng)},
+		{"line-long", topology.MustLine(7, 1, rng)},
 	}
 	for _, tc := range nets {
 		net := tc.net
@@ -71,7 +71,7 @@ func TestMapWithFlakyResponses(t *testing.T) {
 	for _, rate := range []float64{0.05, 0.2, 0.5} {
 		for seed := int64(0); seed < 6; seed++ {
 			rng := rand.New(rand.NewSource(seed))
-			net := topology.RandomConnected(4, 6, 2, rng)
+			net := topology.MustRandomConnected(4, 6, 2, rng)
 			h0 := net.Hosts()[0]
 			sn := simnet.NewDefault(net)
 			fp := &simnet.FlakyProber{
@@ -112,7 +112,7 @@ func TestMapWithFlakyResponses(t *testing.T) {
 // TestMapZeroDropIsExact: a FlakyProber with rate 0 changes nothing.
 func TestMapZeroDropIsExact(t *testing.T) {
 	rng := rand.New(rand.NewSource(33))
-	net := topology.Star(3, 3, rng)
+	net := topology.MustStar(3, 3, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	fp := &simnet.FlakyProber{Inner: sn.Endpoint(h0), DropRate: 0, Rng: rng}
@@ -128,7 +128,7 @@ func TestMapZeroDropIsExact(t *testing.T) {
 // TestCancelAborts: the election passivation hook stops a run cleanly.
 func TestCancelAborts(t *testing.T) {
 	rng := rand.New(rand.NewSource(44))
-	net := topology.Star(4, 3, rng)
+	net := topology.MustStar(4, 3, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	calls := 0
@@ -146,7 +146,7 @@ func TestCancelAborts(t *testing.T) {
 func TestDeterminism(t *testing.T) {
 	build := func() *Map {
 		rng := rand.New(rand.NewSource(55))
-		net := topology.RandomConnected(5, 7, 3, rng)
+		net := topology.MustRandomConnected(5, 7, 3, rng)
 		h0 := net.Hosts()[0]
 		sn := simnet.NewDefault(net)
 		m, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)))
@@ -172,7 +172,7 @@ func TestDeterminism(t *testing.T) {
 // probes).
 func TestSwitchFirstProbeOrder(t *testing.T) {
 	rng := rand.New(rand.NewSource(66))
-	net := topology.RandomConnected(5, 7, 2, rng)
+	net := topology.MustRandomConnected(5, 7, 2, rng)
 	run := func(order ProbeOrder) *Map {
 		sn := simnet.NewDefault(net)
 		m, err := Run(sn.Endpoint(net.Hosts()[0]),
@@ -196,7 +196,7 @@ func TestSwitchFirstProbeOrder(t *testing.T) {
 // correctness.
 func TestNaiveScanSameMap(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
-	net := topology.RandomConnected(4, 6, 2, rng)
+	net := topology.MustRandomConnected(4, 6, 2, rng)
 	h0 := net.Hosts()[0]
 	base := mapAndVerify(t, net, simnet.CircuitModel, nil)
 	naive := mapAndVerify(t, net, simnet.CircuitModel, func(c *Config) {

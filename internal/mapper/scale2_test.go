@@ -16,7 +16,7 @@ func TestMapBeyondPaperScale(t *testing.T) {
 		t.Skip("large system")
 	}
 	rng := rand.New(rand.NewSource(88))
-	net := topology.FatTree(topology.FatTreeSpec{
+	net := topology.MustFatTree(topology.FatTreeSpec{
 		LeafSwitches: 32, HostsPerLeaf: 6,
 		MidSwitches: 16, RootSwitches: 4,
 		UplinksPerLeaf: 2, UplinksPerMid: 2,

@@ -72,7 +72,7 @@ func TestTortureSweep(t *testing.T) {
 	}
 	for seed := int64(0); seed < 25; seed++ {
 		rng := rand.New(rand.NewSource(1000 + seed))
-		net := topology.RandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
+		net := topology.MustRandomConnected(3+rng.Intn(5), 2+rng.Intn(6), rng.Intn(4), rng)
 		if rng.Intn(2) == 0 {
 			topology.WithTail(net, net.Switches()[rng.Intn(net.NumSwitches())], 1+rng.Intn(2), rng)
 		}

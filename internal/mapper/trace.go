@@ -2,8 +2,6 @@ package mapper
 
 import (
 	"fmt"
-	"io"
-	"time"
 
 	"sanmap/internal/obs"
 	"sanmap/internal/simnet"
@@ -12,18 +10,12 @@ import (
 // TraceEvent is one step of a mapping run, for observability and debugging
 // — the kind of log the paper's own Fig 8 instrumentation recorded ("the
 // number of nodes and edges in the model graph ... were recorded after a
-// frontier switch was explored").
-//
-// TraceEvent predates the unified observability layer and is kept as a
-// thin shim over it: the run records every event onto Config.Tracer (an
-// obs.Tracer, cat "mapper") and additionally converts it into a TraceEvent
-// for the legacy Config.Trace hook. New callers should prefer WithTracer;
+// frontier switch was explored"). Events are recorded as instants on the
+// run's obs.Tracer under cat "mapper" (see Config.Tracer / WithTracer);
 // the Chrome trace_event export and the deterministic text log both come
-// from the tracer, not from this type.
+// from the tracer.
 type TraceEvent struct {
 	Kind TraceKind
-	// At is the virtual time of the event.
-	At time.Duration
 	// Probe is the probe string involved (Probe/Discover events).
 	Probe simnet.Route
 	// Response describes the probe outcome ("host:<name>", "switch",
@@ -75,67 +67,35 @@ func (k TraceKind) String() string {
 	return fmt.Sprintf("trace(%d)", uint8(k))
 }
 
-// obsEvent converts the event into its obs representation: the instant
-// name under cat "mapper" plus the key=value args. This is the one place
-// the per-kind payloads are spelled out; both renderings (the tracer's
-// exports and the legacy Format) go through it.
-func (e TraceEvent) obsEvent() (name string, args []obs.Arg) {
-	switch e.Kind {
-	case TraceProbe:
-		return "probe", []obs.Arg{obs.String("route", e.Probe.String()), obs.String("resp", e.Response)}
-	case TraceDiscover:
-		return "discover", []obs.Arg{obs.Int("vertex", e.Vertex), obs.String("route", e.Probe.String())}
-	case TraceMerge:
-		return "merge", []obs.Arg{obs.Int("into", e.Vertex), obs.Int("victim", e.Other), obs.String("shift", fmt.Sprintf("%+d", e.Shift))}
-	case TracePrune:
-		return "prune", []obs.Arg{obs.Int("vertex", e.Vertex)}
-	case TraceExplore:
-		return "explore-done", []obs.Arg{obs.Int("vertex", e.Vertex)}
-	case TracePipeline:
-		return "pipeline", []obs.Arg{obs.String("stats", e.Response)}
-	}
-	return e.Kind.String(), nil
-}
-
-// Format renders the event as one log line.
-//
-// Deprecated: the line is obs.FormatLine over the event's obs
-// representation; use Config.Tracer and Tracer.WriteText for whole-run
-// logs.
-func (e TraceEvent) Format() string {
-	name, args := e.obsEvent()
-	return obs.FormatLine(e.At, "mapper", name, args...)
-}
-
-// TraceWriter returns a trace hook that writes formatted events to w —
-// plug it into Config.Trace.
-//
-// Deprecated: prefer WithTracer plus Tracer.WriteText, which also covers
-// phase spans and the other subsystems' categories.
-func TraceWriter(w io.Writer) func(TraceEvent) {
-	return func(e TraceEvent) {
-		fmt.Fprintln(w, e.Format())
-	}
-}
-
 // tracing reports whether emit has anywhere to deliver events, so probe
 // sites can skip building descriptions nobody will read.
 func (r *run) tracing() bool {
-	return r.cfg.Trace != nil || r.cfg.Tracer != nil
+	return r.cfg.Tracer != nil
 }
 
-// emit timestamps an event and delivers it: as an instant on the obs
-// tracer and, when the legacy hook is installed, as a TraceEvent.
+// emit timestamps an event and records it as an instant on the obs tracer
+// under cat "mapper". This is the one place the per-kind payloads are
+// spelled out; every rendering (Chrome export, text log, goldens) flows
+// from these names and args.
 func (r *run) emit(e TraceEvent) {
-	if !r.tracing() {
+	if r.cfg.Tracer == nil {
 		return
 	}
-	e.At = r.p.Clock()
-	if r.cfg.Tracer != nil {
-		name, args := e.obsEvent()
-		r.cfg.Tracer.Instant("mapper", name, e.At, args...)
-	}
-	if r.cfg.Trace != nil {
-		r.cfg.Trace(e)
+	at := r.p.Clock()
+	switch e.Kind {
+	case TraceProbe:
+		r.cfg.Tracer.Instant("mapper", "probe", at, obs.String("route", e.Probe.String()), obs.String("resp", e.Response))
+	case TraceDiscover:
+		r.cfg.Tracer.Instant("mapper", "discover", at, obs.Int("vertex", e.Vertex), obs.String("route", e.Probe.String()))
+	case TraceMerge:
+		r.cfg.Tracer.Instant("mapper", "merge", at, obs.Int("into", e.Vertex), obs.Int("victim", e.Other), obs.String("shift", fmt.Sprintf("%+d", e.Shift)))
+	case TracePrune:
+		r.cfg.Tracer.Instant("mapper", "prune", at, obs.Int("vertex", e.Vertex))
+	case TraceExplore:
+		r.cfg.Tracer.Instant("mapper", "explore-done", at, obs.Int("vertex", e.Vertex))
+	case TracePipeline:
+		r.cfg.Tracer.Instant("mapper", "pipeline", at, obs.String("stats", e.Response))
+	default:
+		r.cfg.Tracer.Instant("mapper", e.Kind.String(), at)
 	}
 }

@@ -12,44 +12,54 @@ import (
 )
 
 // TestTraceEvents: a traced run emits every event class, in a plausible
-// order (probes precede discoveries, prunes come last), and the rendered
-// lines carry the content.
+// order (probes precede discoveries, prunes come last in the instant
+// stream), and the rendered lines carry the content.
 func TestTraceEvents(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	// A ring guarantees replicates (two directions around the cycle), so
 	// merge events appear; the hostless tail provides prune events.
-	net := topology.Ring(4, 2, rng)
+	net := topology.MustRing(4, 2, rng)
 	topology.WithTail(net, net.Switches()[0], 1, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
-	var events []TraceEvent
-	trace := func(e TraceEvent) { events = append(events, e) }
-	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithTrace(trace)); err != nil {
+	tr := obs.NewTracer()
+	if _, err := Run(sn.Endpoint(h0), WithDepth(net.DepthBound(h0)), WithTracer(tr)); err != nil {
 		t.Fatal(err)
 	}
-	counts := map[TraceKind]int{}
-	lastProbe, firstDiscover, firstPrune, lastNonPrune := -1, -1, -1, -1
-	for i, e := range events {
-		counts[e.Kind]++
-		switch e.Kind {
-		case TraceProbe:
-			lastProbe = i
-		case TraceDiscover:
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// The mapper instants in the text log, in recording order.
+	var events []string
+	for _, line := range strings.Split(buf.String(), "\n") {
+		for _, kind := range []string{"probe", "discover", "merge", "prune", "explore-done"} {
+			if strings.Contains(line, "mapper."+kind+" ") {
+				events = append(events, kind)
+			}
+		}
+	}
+	counts := map[string]int{}
+	firstDiscover, firstPrune, lastNonPrune := -1, -1, -1
+	for i, k := range events {
+		counts[k]++
+		switch k {
+		case "discover":
 			if firstDiscover < 0 {
 				firstDiscover = i
 			}
-		case TracePrune:
+		case "prune":
 			if firstPrune < 0 {
 				firstPrune = i
 			}
 		}
-		if e.Kind != TracePrune {
+		if k != "prune" {
 			lastNonPrune = i
 		}
 	}
-	for _, k := range []TraceKind{TraceProbe, TraceDiscover, TraceMerge, TracePrune, TraceExplore} {
+	for _, k := range []string{"probe", "discover", "merge", "prune", "explore-done"} {
 		if counts[k] == 0 {
-			t.Errorf("no %v events", k)
+			t.Errorf("no %v events:\n%s", k, buf.String())
 		}
 	}
 	if firstDiscover >= 0 && firstDiscover == 0 {
@@ -58,19 +68,8 @@ func TestTraceEvents(t *testing.T) {
 	if firstPrune >= 0 && firstPrune < lastNonPrune {
 		t.Error("prune events interleaved with exploration")
 	}
-	_ = lastProbe
-	// Render a few lines.
-	var sb strings.Builder
-	w := TraceWriter(&sb)
-	for _, e := range events[:5] {
-		w(e)
-	}
-	out := sb.String()
-	if !strings.Contains(out, "probe") {
-		t.Errorf("rendered trace lacks probes:\n%s", out)
-	}
-	if strings.Count(out, "\n") != 5 {
-		t.Errorf("want 5 lines:\n%s", out)
+	if !strings.Contains(buf.String(), "route=") || !strings.Contains(buf.String(), "resp=") {
+		t.Errorf("rendered trace lacks probe payloads:\n%s", buf.String())
 	}
 }
 
@@ -80,7 +79,7 @@ func TestTraceEvents(t *testing.T) {
 func TestTraceChromeByteIdentity(t *testing.T) {
 	record := func() []byte {
 		rng := rand.New(rand.NewSource(7))
-		net := topology.Ring(4, 2, rng)
+		net := topology.MustRing(4, 2, rng)
 		h0 := net.Hosts()[0]
 		sn := simnet.NewDefault(net)
 		tr := obs.NewTracer()
@@ -110,7 +109,7 @@ func TestTraceChromeByteIdentity(t *testing.T) {
 // per-event instants, and the registry the mapper.* counters.
 func TestTracerSeesSpans(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	net := topology.Ring(4, 2, rng)
+	net := topology.MustRing(4, 2, rng)
 	h0 := net.Hosts()[0]
 	sn := simnet.NewDefault(net)
 	tr := obs.NewTracer()
@@ -139,17 +138,17 @@ func TestTracerSeesSpans(t *testing.T) {
 	}
 }
 
-// TestTraceDisabledIsFree: without a hook no events accumulate and results
-// are identical.
+// TestTraceDisabledIsFree: without a tracer no events accumulate and
+// results are identical.
 func TestTraceDisabledIsFree(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	h0 := net.Hosts()[0]
 	run := func(trace bool) Stats {
 		sn := simnet.NewDefault(net)
 		opts := []Option{WithDepth(net.DepthBound(h0))}
 		if trace {
-			opts = append(opts, WithTrace(func(TraceEvent) {}))
+			opts = append(opts, WithTracer(obs.NewTracer()))
 		}
 		m, err := Run(sn.Endpoint(h0), opts...)
 		if err != nil {

@@ -29,9 +29,9 @@ func runOn(t *testing.T, net *topology.Network, h0 topology.NodeID, model simnet
 func TestMyricomBasicTopologies(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	nets := map[string]*topology.Network{
-		"line": topology.Line(4, 2, rng),
-		"star": topology.Star(4, 3, rng),
-		"ring": topology.Ring(5, 2, rng),
+		"line": topology.MustLine(4, 2, rng),
+		"star": topology.MustStar(4, 3, rng),
+		"ring": topology.MustRing(5, 2, rng),
 	}
 	for name, net := range nets {
 		net := net
@@ -61,7 +61,7 @@ func TestMyricomClusterC(t *testing.T) {
 // plugs and place them in the map.
 func TestMyricomLoopbackPlugs(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	if err := net.AddReflector(sw[1], net.FreePort(sw[1])); err != nil {
 		t.Fatal(err)
@@ -111,7 +111,7 @@ func TestMyricomVsBerkeleyMessages(t *testing.T) {
 // a candidate that comparison probes resolve to the same switch.
 func TestMyricomSelfLoopCable(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	if _, _, _, err := net.ConnectFree(sw[1], sw[1]); err != nil {
 		t.Fatal(err)
@@ -146,7 +146,7 @@ func TestMyricomAllCollisionModels(t *testing.T) {
 // genuine behavioural difference between the two mappers.
 func TestMyricomMapsF(t *testing.T) {
 	rng := rand.New(rand.NewSource(15))
-	net := topology.Star(3, 2, rng)
+	net := topology.MustStar(3, 2, rng)
 	topology.WithTail(net, net.Switches()[1], 2, rng)
 	if len(net.F()) != 2 {
 		t.Fatalf("|F| = %d, want 2", len(net.F()))

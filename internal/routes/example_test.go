@@ -11,7 +11,7 @@ import (
 // ExampleCompute derives verified UP*/DOWN* routes for a small torus — a
 // cyclic topology where naive routing could deadlock.
 func ExampleCompute() {
-	net := topology.Torus(3, 3, 1, rand.New(rand.NewSource(5)))
+	net := topology.MustTorus(3, 3, 1, rand.New(rand.NewSource(5)))
 	tab, err := routes.Compute(net, routes.DefaultConfig())
 	if err != nil {
 		fmt.Println("failed:", err)
@@ -29,7 +29,7 @@ func ExampleCompute() {
 // ExampleShortestPaths shows the baseline that motivates UP*/DOWN*: its
 // dependency graph on the same torus has a cycle.
 func ExampleShortestPaths() {
-	net := topology.Torus(3, 3, 1, rand.New(rand.NewSource(5)))
+	net := topology.MustTorus(3, 3, 1, rand.New(rand.NewSource(5)))
 	naive, err := routes.ShortestPaths(net)
 	if err != nil {
 		fmt.Println("failed:", err)

@@ -25,31 +25,31 @@ func ShortestPaths(net *topology.Network) (*Table, error) {
 	t := &Table{Net: net, Root: topology.None}
 	t.paths = make(map[topology.NodeID]map[topology.NodeID][]int)
 	hosts := net.Hosts()
+	// Per-host BFS over the CSR index (adjacency in port order, matching
+	// the historical per-port scan); the buffers are reused across hosts.
+	ix := net.Index()
+	prevWire := make([]int, net.NumNodes())
+	dist := make([]int, net.NumNodes())
+	queue := make([]topology.NodeID, 0, net.NumNodes())
 	for _, s := range hosts {
 		// BFS recording the first wire on a shortest path to each node.
-		prevWire := make([]int, net.NumNodes())
-		dist := make([]int, net.NumNodes())
 		for i := range dist {
 			dist[i] = -1
 			prevWire[i] = -1
 		}
 		dist[s] = 0
-		queue := []topology.NodeID{s}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for p := 0; p < net.NumPorts(u); p++ {
-				wi := net.WireAt(u, p)
-				if wi < 0 {
-					continue
-				}
-				v := net.WireByIndex(wi).Other(topology.End{Node: u, Port: p}).Node
-				if v == u || dist[v] >= 0 {
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			nbrs := ix.Neighbors(u)
+			wires := ix.Wires(u)
+			for k, v := range nbrs {
+				if topology.NodeID(v) == u || dist[v] >= 0 {
 					continue
 				}
 				dist[v] = dist[u] + 1
-				prevWire[v] = wi
-				queue = append(queue, v)
+				prevWire[v] = int(wires[k])
+				queue = append(queue, topology.NodeID(v))
 			}
 		}
 		t.paths[s] = make(map[topology.NodeID][]int, len(hosts))

@@ -13,7 +13,7 @@ import (
 // TestShortestPathsDeliver: the naive routes are at least functional.
 func TestShortestPathsDeliver(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	net := topology.Torus(3, 3, 1, rng)
+	net := topology.MustTorus(3, 3, 1, rng)
 	tab, err := ShortestPaths(net)
 	if err != nil {
 		t.Fatal(err)
@@ -30,7 +30,7 @@ func TestShortestPathsDeliver(t *testing.T) {
 // paths from its maps.)
 func TestShortestPathsDeadlockOnTorus(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	net := topology.Torus(4, 4, 1, rng)
+	net := topology.MustTorus(4, 4, 1, rng)
 
 	naive, err := ShortestPaths(net)
 	if err != nil {
@@ -56,7 +56,7 @@ func TestShortestPathsDeadlockOnTorus(t *testing.T) {
 // the root share low. Both facts are asserted.
 func TestRootCongestion(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	star := topology.Star(4, 3, rng)
+	star := topology.MustStar(4, 3, rng)
 	tabStar, err := Compute(star, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -95,7 +95,7 @@ func TestRootCongestion(t *testing.T) {
 func TestMappedRoutesWorkOnActualNetwork(t *testing.T) {
 	for seed := int64(0); seed < 6; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(4+rng.Intn(4), 4+rng.Intn(6), rng.Intn(4), rng)
+		net := topology.MustRandomConnected(4+rng.Intn(4), 4+rng.Intn(6), rng.Intn(4), rng)
 		if len(net.F()) > 0 {
 			continue // routes need the full network mapped
 		}

@@ -65,17 +65,21 @@ func ChooseRoot(net *topology.Network, ignore ...topology.NodeID) topology.NodeI
 	}
 	best := topology.None
 	bestMin, bestSum := -1, -1
+	// One BFS per switch over the CSR index, reusing a single distance
+	// buffer — the dominant cost of route computation on large fabrics.
+	ix := net.Index()
+	dist := make([]int32, ix.NumNodes())
 	for _, s := range net.Switches() {
-		dist := net.BFS(s)
+		ix.BFSInto(s, dist)
 		minD, sumD := math.MaxInt, 0
 		for _, h := range net.Hosts() {
 			if skip[h] || dist[h] < 0 {
 				continue
 			}
-			if dist[h] < minD {
-				minD = dist[h]
+			if int(dist[h]) < minD {
+				minD = int(dist[h])
 			}
-			sumD += dist[h]
+			sumD += int(dist[h])
 		}
 		if minD == math.MaxInt {
 			continue
@@ -118,6 +122,7 @@ func Compute(net *topology.Network, cfg Config) (*Table, error) {
 func (t *Table) label(cfg Config) {
 	n := t.Net.NumNodes()
 	t.Labels = make([]int64, n)
+	ix := t.Net.Index()
 	order := make([]topology.NodeID, 0, n)
 	seen := make([]bool, n)
 	queue := []topology.NodeID{t.Root}
@@ -126,10 +131,12 @@ func (t *Table) label(cfg Config) {
 		u := queue[0]
 		queue = queue[1:]
 		order = append(order, u)
-		for p := 0; p < t.Net.NumPorts(u); p++ {
-			if end, ok := t.Net.Neighbor(u, p); ok && !seen[end.Node] {
-				seen[end.Node] = true
-				queue = append(queue, end.Node)
+		// CSR adjacency lists cabled ports in port order — the same visit
+		// order as the historical per-port scan.
+		for _, v := range ix.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, topology.NodeID(v))
 			}
 		}
 	}
@@ -150,15 +157,14 @@ func (t *Table) label(cfg Config) {
 				continue
 			}
 			minN, dominant := int64(math.MaxInt64), true
-			for p := 0; p < t.Net.NumPorts(s); p++ {
-				end, ok := t.Net.Neighbor(s, p)
-				if !ok || end.Node == s {
+			for _, v := range ix.Neighbors(s) {
+				if topology.NodeID(v) == s {
 					continue
 				}
-				if t.Labels[end.Node] < minN {
-					minN = t.Labels[end.Node]
+				if t.Labels[v] < minN {
+					minN = t.Labels[v]
 				}
-				if t.Labels[end.Node] > t.Labels[s] {
+				if t.Labels[v] > t.Labels[s] {
 					dominant = false
 				}
 			}

@@ -38,12 +38,12 @@ func verifyAll(t *testing.T, tab *Table) {
 func TestRoutesGenerators(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	nets := map[string]*topology.Network{
-		"line":      topology.Line(4, 2, rng),
-		"ring":      topology.Ring(5, 2, rng),
-		"star":      topology.Star(4, 3, rng),
-		"mesh":      topology.Mesh(3, 3, 2, rng),
-		"torus":     topology.Torus(3, 3, 2, rng),
-		"hypercube": topology.Hypercube(3, 2, rng),
+		"line":      topology.MustLine(4, 2, rng),
+		"ring":      topology.MustRing(5, 2, rng),
+		"star":      topology.MustStar(4, 3, rng),
+		"mesh":      topology.MustMesh(3, 3, 2, rng),
+		"torus":     topology.MustTorus(3, 3, 2, rng),
+		"hypercube": topology.MustHypercube(3, 2, rng),
 	}
 	for name, net := range nets {
 		net := net
@@ -69,7 +69,7 @@ func TestRoutesGenerators(t *testing.T) {
 func TestRoutesRandom(t *testing.T) {
 	for seed := int64(0); seed < 20; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		net := topology.RandomConnected(3+rng.Intn(6), 2+rng.Intn(10), rng.Intn(4), rng)
+		net := topology.MustRandomConnected(3+rng.Intn(6), 2+rng.Intn(10), rng.Intn(4), rng)
 		cfg := DefaultConfig()
 		cfg.Rng = rng
 		tab := computeOn(t, net, cfg)
@@ -176,7 +176,7 @@ func TestDominantRelabel(t *testing.T) {
 // TestNoRouteThroughLoopback: loopback cables must never appear on routes.
 func TestNoRouteThroughLoopback(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
-	net := topology.Line(3, 2, rng)
+	net := topology.MustLine(3, 2, rng)
 	sw := net.Switches()
 	// Add a loopback cable on the middle switch.
 	if _, _, _, err := net.ConnectFree(sw[1], sw[1]); err != nil {

@@ -84,6 +84,10 @@ func (e *Endpoint) HostProbe(turns Route) (string, bool) { return e.net.HostProb
 // LocalHost implements Prober.
 func (e *Endpoint) LocalHost() string { return e.net.topo.NameOf(e.host) }
 
+// MaxPorts reports the fabric's largest port count, so mappers can
+// discover the switch radix to plan for.
+func (e *Endpoint) MaxPorts() int { return e.net.MaxPorts() }
+
 // Clock implements Prober.
 func (e *Endpoint) Clock() time.Duration { return e.net.Clock() }
 
@@ -176,6 +180,15 @@ func (f *FlakyProber) LocalHost() string { return f.Inner.LocalHost() }
 
 // Clock implements Prober.
 func (f *FlakyProber) Clock() time.Duration { return f.Inner.Clock() }
+
+// MaxPorts forwards the fabric's largest port count when the inner
+// transport exposes it (0 otherwise: callers fall back to the default).
+func (f *FlakyProber) MaxPorts() int {
+	if mp, ok := f.Inner.(interface{ MaxPorts() int }); ok {
+		return mp.MaxPorts()
+	}
+	return 0
+}
 
 // Stats forwards the inner transport's counters when available.
 func (f *FlakyProber) Stats() Stats {

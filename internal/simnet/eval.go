@@ -210,7 +210,11 @@ func (s *evalScratch) traverse(topo *topology.Network, node topology.NodeID, out
 		// successive crossings by one worm alternate direction, exactly
 		// like out-and-back over a two-ended wire, so a probe may bounce
 		// off it once (out + back) under the circuit model but not twice.
-		key := -2 - (int(node)*topology.SwitchPorts + outPort)
+		// The synthetic edge key is the dense (node, port) end id from the
+		// CSR index, shifted below -1 to stay disjoint from real wire
+		// indices; dense ids stay unique on variable-radix fabrics where
+		// node*SwitchPorts+port would collide.
+		key := -2 - int(topo.Index().EndID(node, outPort))
 		crossings := 0
 		for _, h := range s.hops {
 			if h.Wire == key {

@@ -37,7 +37,7 @@ func randomRoutes(rng *rand.Rand, count, depth int) []Route {
 // memo-cold Net gives per route — the memo is invisible.
 func TestEvalCacheMatchesFresh(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	net := topology.RandomConnected(6, 8, 4, rng)
+	net := topology.MustRandomConnected(6, 8, 4, rng)
 	hosts := net.Hosts()
 	warm := NewDefault(net)
 	routes := randomRoutes(rng, 400, 10)

@@ -88,6 +88,12 @@ type Net struct {
 	epoch uint64 //sanlint:epoch
 	// loopBuf is the reusable buffer for loopback route expansion in submit.
 	loopBuf Route
+	// mtVal/mtVer cache the topology-derived turn bound (largest radix
+	// minus one); derived state, revalidated against the structural
+	// version on use, so it is deliberately not topostate.
+	mtVal Turn
+	mtVer uint64
+	mtOK  bool
 	// responder marks hosts running a mapper daemon; only they answer
 	// host-probes. Hosts absent from the map respond (default true).
 	silent map[topology.NodeID]bool //sanlint:topostate
@@ -197,6 +203,29 @@ func (n *Net) Reconfigure() { n.epoch++ }
 // EvalCacheStats returns the route-prefix memo's hit/miss counters.
 func (n *Net) EvalCacheStats() EvalCacheStats { return n.scratch.stats }
 
+// MaxPorts reports the largest port count of any node in the underlying
+// topology — the switch radix a mapper must plan for. Probers forward it
+// so mapper.Config.MaxPorts can be discovered instead of configured.
+func (n *Net) MaxPorts() int { return n.topo.MaxPorts() }
+
+// MaxTurn reports the largest legal turn magnitude on this fabric
+// (largest radix minus one, never below the paper's default bound of
+// MaxTurn=7 so the zero-value behaviour of small fabrics is unchanged).
+// The value is cached and revalidated against the topology's structural
+// version.
+func (n *Net) MaxTurn() Turn {
+	if !n.mtOK || n.mtVer != n.topo.Version() {
+		mt := n.topo.MaxPorts() - 1
+		if mt < MaxTurn {
+			mt = MaxTurn
+		}
+		n.mtVal = Turn(mt)
+		n.mtVer = n.topo.Version()
+		n.mtOK = true
+	}
+	return n.mtVal
+}
+
 // Responds reports whether host h answers host-probes.
 func (n *Net) Responds(h topology.NodeID) bool { return !n.silent[h] }
 
@@ -265,9 +294,10 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 	evRoute := p.Route
 	hostClass := false
 	logKind := ""
+	maxTurn := n.MaxTurn()
 	switch p.Kind {
 	case ProbeSwitch:
-		if !p.Route.ValidProbe() {
+		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
@@ -281,7 +311,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		}
 		logKind = "switch"
 	case ProbeHost:
-		if !p.Route.ValidProbe() {
+		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		eval = n.Eval(from, p.Route)
@@ -299,7 +329,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		}
 		logKind = "host"
 	case ProbeRaw:
-		if !p.Route.Valid() {
+		if !p.Route.ValidFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid route %v", p.Route))
 		}
 		eval = n.Eval(from, p.Route)
@@ -314,7 +344,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !n.selfID {
 			panic("simnet: IDProbe requires EnableSelfID (the §6 hardware extension)")
 		}
-		if !p.Route.ValidProbe() {
+		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		// The outbound prefix tells us which node reflects; the full
@@ -332,7 +362,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 			r.Err = ErrTimeout
 		}
 	case ProbeTolerant:
-		if !p.Route.ValidProbe() {
+		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		eval = n.Eval(from, p.Route)

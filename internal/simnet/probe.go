@@ -218,6 +218,15 @@ func (s SyncAdapter) LocalHost() string { return s.P.LocalHost() }
 // Clock implements Prober.
 func (s SyncAdapter) Clock() time.Duration { return s.P.Clock() }
 
+// MaxPorts forwards the fabric's largest port count when the adapted
+// transport exposes it (0 otherwise: callers fall back to the default).
+func (s SyncAdapter) MaxPorts() int {
+	if mp, ok := s.P.(interface{ MaxPorts() int }); ok {
+		return mp.MaxPorts()
+	}
+	return 0
+}
+
 // AsyncAdapter lifts a legacy synchronous Prober into the AsyncProber API.
 // The adapted transport executes each probe at Submit time and completes it
 // immediately (Done equals the post-probe clock), so it gains the unified
@@ -292,3 +301,12 @@ func (a AsyncAdapter) LocalHost() string { return a.P.LocalHost() }
 
 // Clock implements AsyncProber.
 func (a AsyncAdapter) Clock() time.Duration { return a.P.Clock() }
+
+// MaxPorts forwards the fabric's largest port count when the adapted
+// transport exposes it (0 otherwise: callers fall back to the default).
+func (a AsyncAdapter) MaxPorts() int {
+	if mp, ok := a.P.(interface{ MaxPorts() int }); ok {
+		return mp.MaxPorts()
+	}
+	return 0
+}

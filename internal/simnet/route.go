@@ -14,38 +14,56 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"sanmap/internal/topology"
 )
 
 // Turn is one routing flit: an output-port offset relative to the input
-// port, in {-7, ..., +7}. The addition is not performed modulo the switch
-// degree (§2.2). A zero turn sends the message back out of the port it
-// arrived on; probe strings use it only as the reflection point of
-// switch-probes.
+// port (§2.2). On a switch of radix R the offset lies in {-(R-1), ...,
+// +(R-1)}; the addition is not performed modulo the switch degree. The
+// int8 representation covers every radix up to topology.MaxSwitchRadix. A
+// zero turn sends the message back out of the port it arrived on; probe
+// strings use it only as the reflection point of switch-probes.
 type Turn int8
 
-// MaxTurn is the largest turn magnitude on 8-port switches.
+// MaxTurn is the largest turn magnitude on the paper's 8-port switches.
+// Larger-radix fabrics use the per-network bound Net.MaxTurn instead.
 const MaxTurn = 7
+
+// maxParseTurn bounds turns accepted from the wire formats: the largest
+// offset any switch of radix topology.MaxSwitchRadix can route.
+const maxParseTurn = topology.MaxSwitchRadix - 1
 
 // Route is a routing address: the string a1...ak of turns a message
 // carries (§2.2).
 type Route []Turn
 
-// Valid reports whether every turn is within {-7..+7}. Zero turns are
-// permitted; ValidProbe additionally rejects them.
-func (r Route) Valid() bool {
+// Valid reports whether every turn is within {-7..+7}, the bound of the
+// paper's 8-port switches. Zero turns are permitted; ValidProbe
+// additionally rejects them. For other radices use ValidFor.
+func (r Route) Valid() bool { return r.ValidFor(MaxTurn) }
+
+// ValidFor reports whether every turn magnitude is at most maxTurn
+// (typically radix-1 of the largest switch in the fabric).
+func (r Route) ValidFor(maxTurn Turn) bool {
 	for _, t := range r {
-		if t < -MaxTurn || t > MaxTurn {
+		if t < -maxTurn || t > maxTurn {
 			return false
 		}
 	}
 	return true
 }
 
-// ValidProbe reports whether the route is a legal probe prefix: all turns
-// within range and non-zero (§2.3 requires aᵢ ≠ 0 for probe strings).
-func (r Route) ValidProbe() bool {
+// ValidProbe reports whether the route is a legal probe prefix on 8-port
+// switches: all turns within {-7..+7} and non-zero (§2.3 requires aᵢ ≠ 0
+// for probe strings). For other radices use ValidProbeFor.
+func (r Route) ValidProbe() bool { return r.ValidProbeFor(MaxTurn) }
+
+// ValidProbeFor reports whether the route is a legal probe prefix under
+// the given turn bound: all magnitudes at most maxTurn and non-zero.
+func (r Route) ValidProbeFor(maxTurn Turn) bool {
 	for _, t := range r {
-		if t == 0 || t < -MaxTurn || t > MaxTurn {
+		if t == 0 || t < -maxTurn || t > maxTurn {
 			return false
 		}
 	}
@@ -138,7 +156,7 @@ func ParseRoute(s string) (Route, error) {
 		if err != nil {
 			return nil, fmt.Errorf("simnet: route %q: %v", s, err)
 		}
-		if v < -MaxTurn || v > MaxTurn {
+		if v < -maxParseTurn || v > maxParseTurn {
 			return nil, fmt.Errorf("simnet: route %q: turn %d out of range", s, v)
 		}
 		out = append(out, Turn(v))

@@ -78,10 +78,20 @@ func TestParseRouteRoundTrip(t *testing.T) {
 }
 
 func TestParseRouteErrors(t *testing.T) {
-	for _, bad := range []string{"x", "+8", "-9", "1+2", "+", "+1garbage"} {
+	for _, bad := range []string{"x", "+128", "-130", "1+2", "+", "+1garbage"} {
 		if r, err := ParseRoute(bad); err == nil {
 			t.Errorf("ParseRoute(%q) accepted as %v", bad, r)
 		}
+	}
+	// Turns beyond the 8-port bound but within MaxSwitchRadix parse fine
+	// (large-radix fabrics route them); per-fabric validation happens in
+	// the transport, not the wire format.
+	if r, err := ParseRoute("+8-100"); err != nil || !r.Equal(Route{8, -100}) {
+		t.Errorf("ParseRoute(\"+8-100\") = %v, %v", r, err)
+	}
+	big := Route{8}
+	if big.Valid() || !big.ValidFor(8) || big.ValidProbeFor(7) {
+		t.Error("radix-aware validation bounds wrong")
 	}
 	if r, err := ParseRoute("ε"); err != nil || len(r) != 0 {
 		t.Errorf("epsilon parse: %v %v", r, err)

@@ -9,32 +9,16 @@ package topology
 //   - The set F of nodes separated from the hosts H by a switch-bridge, and
 //     the core N−F (Lemma 1). The mapping algorithm provably reconstructs
 //     the core, so experiments compare against it.
+//
+// All traversals run on the CSR Index (csr.go); the methods here are the
+// compatibility wrappers that allocate the caller-owned result slices.
 
 // BFS returns the hop distance from src to every node (-1 if unreachable).
 func (n *Network) BFS(src NodeID) []int {
 	dist := make([]int, len(n.nodes))
-	for i := range dist {
-		dist[i] = -1
-	}
-	if src < 0 || int(src) >= len(n.nodes) {
-		return dist
-	}
-	dist[src] = 0
-	queue := make([]NodeID, 0, len(n.nodes))
-	queue = append(queue, src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		for p := range n.nodes[u].ports {
-			end, ok := n.Neighbor(u, p)
-			if !ok {
-				continue
-			}
-			if dist[end.Node] == -1 {
-				dist[end.Node] = dist[u] + 1
-				queue = append(queue, end.Node)
-			}
-		}
+	d32 := n.Index().bfsArena(src)
+	for i, d := range d32 {
+		dist[i] = int(d)
 	}
 	return dist
 }
@@ -44,7 +28,7 @@ func (n *Network) IsConnected() bool {
 	if len(n.nodes) == 0 {
 		return true
 	}
-	for _, d := range n.BFS(0) {
+	for _, d := range n.Index().bfsArena(0) {
 		if d == -1 {
 			return false
 		}
@@ -54,116 +38,30 @@ func (n *Network) IsConnected() bool {
 
 // Components returns a component label per node and the component count.
 func (n *Network) Components() (label []int, count int) {
+	ix := n.Index()
+	count = ix.ComponentsInto(ix.dist)
 	label = make([]int, len(n.nodes))
-	for i := range label {
-		label[i] = -1
-	}
-	for i := range n.nodes {
-		if label[i] != -1 {
-			continue
-		}
-		queue := []NodeID{NodeID(i)}
-		label[i] = count
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for p := range n.nodes[u].ports {
-				if end, ok := n.Neighbor(u, p); ok && label[end.Node] == -1 {
-					label[end.Node] = count
-					queue = append(queue, end.Node)
-				}
-			}
-		}
-		count++
+	for i, l := range ix.dist {
+		label[i] = int(l)
 	}
 	return label, count
 }
 
 // Diameter returns the largest finite BFS distance between any node pair.
 // For a disconnected network it considers each component separately.
-func (n *Network) Diameter() int {
-	d := 0
-	for i := range n.nodes {
-		for _, x := range n.BFS(NodeID(i)) {
-			if x > d {
-				d = x
-			}
-		}
-	}
-	return d
-}
+func (n *Network) Diameter() int { return n.Index().Diameter() }
 
 // Bridges returns the indices of all bridge wires. Self-loop cables and
-// wires with a parallel twin are never bridges; the DFS therefore tracks the
-// wire index used to enter a node rather than the parent node, which makes
-// it correct on multigraphs.
+// wires with a parallel twin are never bridges; see Index.BridgesInto for
+// the multigraph-correct DFS.
 func (n *Network) Bridges() []int {
-	const unvisited = -1
-	disc := make([]int, len(n.nodes))
-	low := make([]int, len(n.nodes))
-	for i := range disc {
-		disc[i] = unvisited
+	ix := n.Index()
+	ix.bridges = ix.BridgesInto(ix.bridges[:0])
+	var out []int
+	for _, wi := range ix.bridges {
+		out = append(out, int(wi))
 	}
-	var bridges []int
-	timer := 0
-
-	type frame struct {
-		node   NodeID
-		inWire int // wire used to enter node, -1 for roots
-		port   int // next port to scan
-	}
-	for root := range n.nodes {
-		if disc[root] != unvisited {
-			continue
-		}
-		stack := []frame{{node: NodeID(root), inWire: -1}}
-		disc[root] = timer
-		low[root] = timer
-		timer++
-		for len(stack) > 0 {
-			f := &stack[len(stack)-1]
-			u := f.node
-			advanced := false
-			for ; f.port < len(n.nodes[u].ports); f.port++ {
-				wi := int(n.nodes[u].ports[f.port])
-				if wi < 0 || wi == f.inWire {
-					continue
-				}
-				w := n.wires[wi]
-				v := w.Other(End{u, f.port}).Node
-				if v == u {
-					continue // self-loop cable: irrelevant to connectivity
-				}
-				if disc[v] == unvisited {
-					disc[v] = timer
-					low[v] = timer
-					timer++
-					f.port++
-					stack = append(stack, frame{node: v, inWire: wi})
-					advanced = true
-					break
-				}
-				if disc[v] < low[u] {
-					low[u] = disc[v]
-				}
-			}
-			if advanced {
-				continue
-			}
-			// u is fully explored; pop and propagate low-link.
-			stack = stack[:len(stack)-1]
-			if len(stack) > 0 {
-				p := stack[len(stack)-1].node
-				if low[u] < low[p] {
-					low[p] = low[u]
-				}
-				if low[u] > disc[p] {
-					bridges = append(bridges, f.inWire)
-				}
-			}
-		}
-	}
-	return bridges
+	return out
 }
 
 // SwitchBridges returns the bridges whose both endpoints are switches
@@ -253,7 +151,7 @@ func (n *Network) Core() (*Network, map[NodeID]NodeID) {
 		if n.nodes[i].kind == HostNode {
 			nid = core.AddHost(n.nodes[i].name)
 		} else {
-			nid = core.AddSwitch(n.nodes[i].name)
+			nid = core.AddSwitchRadix(n.nodes[i].name, len(n.nodes[i].ports))
 		}
 		old2new[id] = nid
 		new2old[nid] = id
@@ -295,7 +193,7 @@ func (n *Network) Filter(keep func(NodeID) bool) (*Network, map[NodeID]NodeID) {
 		if n.nodes[i].kind == HostNode {
 			nid = out.AddHost(n.nodes[i].name)
 		} else {
-			nid = out.AddSwitch(n.nodes[i].name)
+			nid = out.AddSwitchRadix(n.nodes[i].name, len(n.nodes[i].ports))
 		}
 		old2new[id] = nid
 		new2old[nid] = id
@@ -322,11 +220,5 @@ func (n *Network) Filter(keep func(NodeID) bool) (*Network, map[NodeID]NodeID) {
 
 // Eccentricity returns the largest finite BFS distance from src.
 func (n *Network) Eccentricity(src NodeID) int {
-	e := 0
-	for _, d := range n.BFS(src) {
-		if d > e {
-			e = d
-		}
-	}
-	return e
+	return n.Index().Eccentricity(src)
 }

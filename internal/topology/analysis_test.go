@@ -8,7 +8,7 @@ import (
 
 func TestBFSAndDiameter(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	n := Line(4, 1, rng) // S0-S1-S2-S3, one host each
+	n := MustLine(4, 1, rng) // S0-S1-S2-S3, one host each
 	h0 := n.Hosts()[0]
 	dist := n.BFS(h0)
 	// Host on S3 is 1 (host-S0... host0-S0) + 3 (S0..S3) + 1 = 5 away.
@@ -61,7 +61,7 @@ func bruteBridges(n *Network) map[int]bool {
 func TestBridgesAgainstBruteForce(t *testing.T) {
 	for seed := int64(0); seed < 30; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		n := RandomConnected(2+rng.Intn(6), rng.Intn(8), rng.Intn(5), rng)
+		n := MustRandomConnected(2+rng.Intn(6), rng.Intn(8), rng.Intn(5), rng)
 		if seed%3 == 0 {
 			// Mix in self-loops and parallel edges.
 			sw := n.Switches()
@@ -88,7 +88,7 @@ func TestBridgesAgainstBruteForce(t *testing.T) {
 
 func TestSwitchBridges(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	n := Star(3, 1, rng)
+	n := MustStar(3, 1, rng)
 	// Every hub-leaf link is a switch-bridge; every host link is a bridge
 	// but not a switch-bridge.
 	sb := n.SwitchBridges()
@@ -107,7 +107,7 @@ func TestSwitchBridges(t *testing.T) {
 func TestLemma1(t *testing.T) {
 	for seed := int64(0); seed < 15; seed++ {
 		rng := rand.New(rand.NewSource(seed))
-		n := RandomConnected(3+rng.Intn(4), 2+rng.Intn(5), rng.Intn(3), rng)
+		n := MustRandomConnected(3+rng.Intn(4), 2+rng.Intn(5), rng.Intn(3), rng)
 		if seed%2 == 0 {
 			if s := switchWithFreePort(n, rng); s != None {
 				WithTail(n, s, 1+rng.Intn(2), rng)
@@ -137,7 +137,7 @@ func TestLemma1(t *testing.T) {
 func randomFeasible(rng *rand.Rand) *Network {
 	sw := 1 + rng.Intn(8)
 	hosts := rng.Intn(4*sw + 1)
-	return RandomConnected(sw, hosts, rng.Intn(6), rng)
+	return MustRandomConnected(sw, hosts, rng.Intn(6), rng)
 }
 
 // feasibleFatTree draws a random spec that respects every port budget.
@@ -182,7 +182,7 @@ func switchWithFreePort(n *Network, rng *rand.Rand) NodeID {
 
 func TestCore(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	n := RandomConnected(4, 4, 2, rng)
+	n := MustRandomConnected(4, 4, 2, rng)
 	s := switchWithFreePort(n, rng)
 	if s == None {
 		t.Skip("no free port")
@@ -275,16 +275,16 @@ func TestGeneratorsValidate(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		nets := []*Network{
-			Line(2+rng.Intn(5), 1+rng.Intn(3), rng),
-			Ring(3+rng.Intn(5), 1+rng.Intn(3), rng),
-			Star(1+rng.Intn(8), 1+rng.Intn(3), rng),
-			Mesh(2+rng.Intn(3), 2+rng.Intn(3), 1+rng.Intn(3), rng),
-			Hypercube(1+rng.Intn(3), 1+rng.Intn(2), rng),
+			MustLine(2+rng.Intn(5), 1+rng.Intn(3), rng),
+			MustRing(3+rng.Intn(5), 1+rng.Intn(3), rng),
+			MustStar(1+rng.Intn(8), 1+rng.Intn(3), rng),
+			MustMesh(2+rng.Intn(3), 2+rng.Intn(3), 1+rng.Intn(3), rng),
+			MustHypercube(1+rng.Intn(3), 1+rng.Intn(2), rng),
 			randomFeasible(rng),
-			FatTree(feasibleFatTree(rng), rng),
+			MustFatTree(feasibleFatTree(rng), rng),
 		}
 		if seed%2 == 0 {
-			nets = append(nets, Torus(3, 3, 1+rng.Intn(3), rng))
+			nets = append(nets, MustTorus(3, 3, 1+rng.Intn(3), rng))
 		}
 		for _, n := range nets {
 			if err := n.Validate(); err != nil {
@@ -310,7 +310,7 @@ func TestGeneratorsValidate(t *testing.T) {
 
 func TestHypercubeStructure(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	n := Hypercube(3, 1, rng)
+	n := MustHypercube(3, 1, rng)
 	if n.NumSwitches() != 8 || n.NumHosts() != 8 {
 		t.Fatalf("hypercube(3): %v", n)
 	}
@@ -325,7 +325,7 @@ func TestHypercubeStructure(t *testing.T) {
 
 func TestEccentricity(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
-	n := Line(3, 1, rng)
+	n := MustLine(3, 1, rng)
 	h0 := n.Hosts()[0]
 	if e := n.Eccentricity(h0); e != n.Diameter() {
 		t.Errorf("line eccentricity from end host %d, diameter %d", e, n.Diameter())

@@ -1,0 +1,305 @@
+package topology
+
+// CSR (compressed sparse row) view of a Network.
+//
+// The pointer/map representation of Network is convenient to mutate but
+// costly to traverse: every BFS allocates its own distance and queue
+// slices, and every neighbour step chases node -> ports -> wires. At
+// datacenter scale (1k-10k switches) those allocations dominate the graph
+// analyses, so the analyses run on a flat index instead: adjacency entries
+// packed in port order with per-node offsets, built once per Version() and
+// cached on the Network. The index also carries reusable scratch arenas
+// (distances, queues, DFS frames) sized at build time, so the traversals
+// themselves stay allocation-free under the hotpath gates.
+//
+// The index is derived state: building or refreshing it does not count as
+// a structural mutation and leaves Version() unchanged. Like the Network
+// itself it is not safe for concurrent use — the analyses share the
+// scratch arenas. Build (or Clone) before handing a network to concurrent
+// readers.
+
+// Index is the flat adjacency view of a Network at one Version().
+type Index struct {
+	version uint64
+	// off[i]..off[i+1] bounds node i's adjacency entries (cabled ports in
+	// port order); nbr and wire give the neighbour node and wire index of
+	// each entry.
+	off  []int32
+	nbr  []int32
+	wire []int32
+	// portOff[i] is the dense end id of (node i, port 0); every (node,
+	// port) pair, cabled or not, has the unique id portOff[node]+port.
+	portOff []int32
+	kinds   []Kind
+	// Scratch arenas, reused across analyses.
+	dist    []int32
+	queue   []int32
+	disc    []int32
+	low     []int32
+	frames  []dfsFrame
+	bridges []int32
+}
+
+type dfsFrame struct {
+	node   int32
+	inWire int32 // wire used to enter node, -1 for roots
+	next   int32 // next adjacency entry to scan
+}
+
+// Index returns the CSR view of the network, rebuilding it only when the
+// structural version has changed since the last call.
+func (n *Network) Index() *Index {
+	if n.csr != nil && n.csr.version == n.version {
+		return n.csr
+	}
+	nn := len(n.nodes)
+	ix := &Index{
+		version: n.version,
+		off:     make([]int32, nn+1),
+		portOff: make([]int32, nn+1),
+		kinds:   make([]Kind, nn),
+		dist:    make([]int32, nn),
+		queue:   make([]int32, 0, nn),
+		disc:    make([]int32, nn),
+		low:     make([]int32, nn),
+		frames:  make([]dfsFrame, 0, nn),
+	}
+	entries := 0
+	ends := int32(0)
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		ix.kinds[i] = nd.kind
+		ix.portOff[i] = ends
+		ends += int32(len(nd.ports))
+		for _, w := range nd.ports {
+			if w != NoWire {
+				entries++
+			}
+		}
+		ix.off[i+1] = int32(entries)
+	}
+	ix.portOff[nn] = ends
+	ix.nbr = make([]int32, entries)
+	ix.wire = make([]int32, entries)
+	k := 0
+	for i := range n.nodes {
+		for p, wi := range n.nodes[i].ports {
+			if wi == NoWire {
+				continue
+			}
+			other := n.wires[wi].Other(End{NodeID(i), p})
+			ix.nbr[k] = int32(other.Node)
+			ix.wire[k] = wi
+			k++
+		}
+	}
+	n.csr = ix
+	return ix
+}
+
+// Version reports the Network version the index was built from.
+func (ix *Index) Version() uint64 { return ix.version }
+
+// NumNodes reports the node count.
+//
+//sanlint:hotpath
+func (ix *Index) NumNodes() int { return len(ix.off) - 1 }
+
+// Neighbors returns node id's neighbour nodes, one entry per cabled port
+// in port order. The slice aliases the index; callers must not modify it.
+//
+//sanlint:hotpath
+func (ix *Index) Neighbors(id NodeID) []int32 {
+	return ix.nbr[ix.off[id]:ix.off[id+1]]
+}
+
+// Wires returns the wire index of each of node id's adjacency entries,
+// parallel to Neighbors. The slice aliases the index.
+//
+//sanlint:hotpath
+func (ix *Index) Wires(id NodeID) []int32 {
+	return ix.wire[ix.off[id]:ix.off[id+1]]
+}
+
+// Degree reports the number of cabled ports of node id.
+//
+//sanlint:hotpath
+func (ix *Index) Degree(id NodeID) int {
+	return int(ix.off[id+1] - ix.off[id])
+}
+
+// KindOf reports the node kind.
+//
+//sanlint:hotpath
+func (ix *Index) KindOf(id NodeID) Kind { return ix.kinds[id] }
+
+// EndID returns the dense id of the (node, port) pair: ids enumerate every
+// port of every node consecutively, so they index flat per-end tables.
+//
+//sanlint:hotpath
+func (ix *Index) EndID(id NodeID, port int) int32 {
+	return ix.portOff[id] + int32(port)
+}
+
+// NumEnds reports the total (node, port) pair count.
+//
+//sanlint:hotpath
+func (ix *Index) NumEnds() int { return int(ix.portOff[len(ix.portOff)-1]) }
+
+// BFSInto runs a breadth-first search from src and fills dist with hop
+// distances (-1 when unreachable), reusing the index's queue arena. dist
+// must have NumNodes entries; the filled slice is returned.
+//
+//sanlint:hotpath
+func (ix *Index) BFSInto(src NodeID, dist []int32) []int32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || int(src) >= ix.NumNodes() {
+		return dist
+	}
+	dist[src] = 0
+	ix.queue = append(ix.queue[:0], int32(src))
+	for head := 0; head < len(ix.queue); head++ {
+		u := ix.queue[head]
+		du := dist[u]
+		for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+			if dist[v] == -1 {
+				dist[v] = du + 1
+				ix.queue = append(ix.queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// bfsArena runs BFSInto on the index's own distance arena. The result is
+// valid until the next arena-based analysis.
+//
+//sanlint:hotpath
+func (ix *Index) bfsArena(src NodeID) []int32 {
+	return ix.BFSInto(src, ix.dist)
+}
+
+// Eccentricity returns the largest finite BFS distance from src.
+//
+//sanlint:hotpath
+func (ix *Index) Eccentricity(src NodeID) int {
+	e := int32(0)
+	for _, d := range ix.bfsArena(src) {
+		if d > e {
+			e = d
+		}
+	}
+	return int(e)
+}
+
+// Diameter returns the largest finite BFS distance between any node pair,
+// considering each component separately.
+//
+//sanlint:hotpath
+func (ix *Index) Diameter() int {
+	d := 0
+	for i := 0; i < ix.NumNodes(); i++ {
+		if e := ix.Eccentricity(NodeID(i)); e > d {
+			d = e
+		}
+	}
+	return d
+}
+
+// ComponentsInto fills label with a component id per node and returns the
+// component count. label must have NumNodes entries.
+//
+//sanlint:hotpath
+func (ix *Index) ComponentsInto(label []int32) int {
+	for i := range label {
+		label[i] = -1
+	}
+	count := int32(0)
+	for i := range label {
+		if label[i] != -1 {
+			continue
+		}
+		label[i] = count
+		ix.queue = append(ix.queue[:0], int32(i))
+		for head := 0; head < len(ix.queue); head++ {
+			u := ix.queue[head]
+			for _, v := range ix.nbr[ix.off[u]:ix.off[u+1]] {
+				if label[v] == -1 {
+					label[v] = count
+					ix.queue = append(ix.queue, v)
+				}
+			}
+		}
+		count++
+	}
+	return int(count)
+}
+
+// BridgesInto appends the indices of all bridge wires to out (in the same
+// DFS discovery order as Network.Bridges) and returns it. Self-loop cables
+// and wires with a parallel twin are never bridges; the DFS tracks the
+// wire used to enter a node rather than the parent node, which makes it
+// correct on multigraphs.
+//
+//sanlint:hotpath
+func (ix *Index) BridgesInto(out []int32) []int32 {
+	const unvisited = -1
+	for i := range ix.disc {
+		ix.disc[i] = unvisited
+	}
+	timer := int32(0)
+	for root := 0; root < ix.NumNodes(); root++ {
+		if ix.disc[root] != unvisited {
+			continue
+		}
+		ix.frames = append(ix.frames[:0], dfsFrame{node: int32(root), inWire: -1, next: ix.off[root]})
+		ix.disc[root] = timer
+		ix.low[root] = timer
+		timer++
+		for len(ix.frames) > 0 {
+			f := &ix.frames[len(ix.frames)-1]
+			u := f.node
+			advanced := false
+			for ; f.next < ix.off[u+1]; f.next++ {
+				wi := ix.wire[f.next]
+				if wi == f.inWire {
+					continue
+				}
+				v := ix.nbr[f.next]
+				if v == u {
+					continue // self-loop cable: irrelevant to connectivity
+				}
+				if ix.disc[v] == unvisited {
+					ix.disc[v] = timer
+					ix.low[v] = timer
+					timer++
+					f.next++
+					ix.frames = append(ix.frames, dfsFrame{node: v, inWire: wi, next: ix.off[v]})
+					advanced = true
+					break
+				}
+				if ix.disc[v] < ix.low[u] {
+					ix.low[u] = ix.disc[v]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// u is fully explored; pop and propagate low-link.
+			inWire := f.inWire
+			ix.frames = ix.frames[:len(ix.frames)-1]
+			if len(ix.frames) > 0 {
+				p := ix.frames[len(ix.frames)-1].node
+				if ix.low[u] < ix.low[p] {
+					ix.low[p] = ix.low[u]
+				}
+				if ix.low[u] > ix.disc[p] {
+					out = append(out, inWire)
+				}
+			}
+		}
+	}
+	return out
+}

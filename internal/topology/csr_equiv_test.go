@@ -1,0 +1,267 @@
+// CSR-vs-pointer equivalence: the flat Index must report exactly what a
+// reference traversal of the public pointer API reports — same adjacency
+// order, same BFS distances, same component labelling, same bridge list in
+// the same discovery order — on every registered generator family. The
+// test lives in an external package so it can import genspec (which itself
+// imports topology) without a cycle.
+package topology_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/topology"
+)
+
+// sampleSpecs names one representative spec per registered generator; the
+// test fails if the registry and this table ever disagree, so adding a
+// generator forces an equivalence sample.
+var sampleSpecs = map[string]string{
+	"butterfly": "butterfly:2x3",
+	"d3":        "d3:4,3",
+	"dragonfly": "dragonfly:3,2,1",
+	"fattree":   "fattree:4x3",
+	"fattree2":  "fattree2:12x2",
+	"hypercube": "hypercube:4",
+	"line":      "line:5",
+	"mesh":      "mesh:4x3",
+	"now-c":     "now-c",
+	"now-ca":    "now-ca",
+	"now-cab":   "now-cab",
+	"random":    "random:8,10,4",
+	"ring":      "ring:6",
+	"star":      "star:4",
+	"torus":     "torus:3x4",
+}
+
+func TestCSREquivalence(t *testing.T) {
+	names := genspec.Names()
+	if len(names) != len(sampleSpecs) {
+		t.Fatalf("registry has %d generators, sample table has %d — add a sample for every generator", len(names), len(sampleSpecs))
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, name := range names {
+		spec, ok := sampleSpecs[name]
+		if !ok {
+			t.Fatalf("no sample spec for registered generator %q", name)
+		}
+		res, err := genspec.Build(spec, rng)
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		t.Run(name, func(t *testing.T) { checkEquivalence(t, res.Net) })
+	}
+}
+
+func checkEquivalence(t *testing.T, net *topology.Network) {
+	t.Helper()
+	ix := net.Index()
+	n := net.NumNodes()
+
+	// Adjacency: the CSR lists cabled ports in port order, which is what
+	// makes every index-based traversal visit nodes in the same order as
+	// the historical per-port scan.
+	for u := 0; u < n; u++ {
+		var wantNbr, wantWire []int32
+		for p := 0; p < net.NumPorts(topology.NodeID(u)); p++ {
+			wi := net.WireAt(topology.NodeID(u), p)
+			if wi < 0 {
+				continue
+			}
+			end, ok := net.Neighbor(topology.NodeID(u), p)
+			if !ok {
+				t.Fatalf("node %d port %d: cabled but no neighbor", u, p)
+			}
+			wantNbr = append(wantNbr, int32(end.Node))
+			wantWire = append(wantWire, int32(wi))
+		}
+		if got := ix.Neighbors(topology.NodeID(u)); !equalInt32(got, wantNbr) {
+			t.Fatalf("node %d: Neighbors %v, want %v", u, got, wantNbr)
+		}
+		if got := ix.Wires(topology.NodeID(u)); !equalInt32(got, wantWire) {
+			t.Fatalf("node %d: Wires %v, want %v", u, got, wantWire)
+		}
+		if got := ix.Degree(topology.NodeID(u)); got != len(wantNbr) {
+			t.Fatalf("node %d: Degree %d, want %d", u, got, len(wantNbr))
+		}
+		if got := ix.KindOf(topology.NodeID(u)); got != net.KindOf(topology.NodeID(u)) {
+			t.Fatalf("node %d: KindOf %v, want %v", u, got, net.KindOf(topology.NodeID(u)))
+		}
+	}
+
+	// Dense end ids enumerate every (node, port) pair uniquely.
+	seen := make(map[int32]bool)
+	for u := 0; u < n; u++ {
+		for p := 0; p < net.NumPorts(topology.NodeID(u)); p++ {
+			id := ix.EndID(topology.NodeID(u), p)
+			if id < 0 || int(id) >= ix.NumEnds() {
+				t.Fatalf("EndID(%d,%d) = %d outside [0,%d)", u, p, id, ix.NumEnds())
+			}
+			if seen[id] {
+				t.Fatalf("EndID(%d,%d) = %d collides", u, p, id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != ix.NumEnds() {
+		t.Fatalf("%d end ids assigned, NumEnds = %d", len(seen), ix.NumEnds())
+	}
+
+	// BFS distances from every node.
+	for src := 0; src < n; src++ {
+		want := refBFS(net, topology.NodeID(src))
+		if got := net.BFS(topology.NodeID(src)); !reflect.DeepEqual(got, want) {
+			t.Fatalf("BFS(%d) = %v, want %v", src, got, want)
+		}
+	}
+
+	// Components and connectivity.
+	wantLabel, wantCount := refComponents(net)
+	gotLabel, gotCount := net.Components()
+	if gotCount != wantCount || !reflect.DeepEqual(gotLabel, wantLabel) {
+		t.Fatalf("Components = %v/%d, want %v/%d", gotLabel, gotCount, wantLabel, wantCount)
+	}
+	if got, want := net.IsConnected(), wantCount <= 1; got != want {
+		t.Fatalf("IsConnected = %v, want %v", got, want)
+	}
+
+	// Bridges, including discovery order.
+	if got, want := net.Bridges(), refBridges(net); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Bridges = %v, want %v", got, want)
+	}
+
+	// Diameter and eccentricities.
+	wantD := 0
+	for src := 0; src < n; src++ {
+		e := 0
+		for _, d := range refBFS(net, topology.NodeID(src)) {
+			if d > e {
+				e = d
+			}
+		}
+		if got := net.Eccentricity(topology.NodeID(src)); got != e {
+			t.Fatalf("Eccentricity(%d) = %d, want %d", src, got, e)
+		}
+		if e > wantD {
+			wantD = e
+		}
+	}
+	if got := net.Diameter(); got != wantD {
+		t.Fatalf("Diameter = %d, want %d", got, wantD)
+	}
+}
+
+// refBFS is the reference breadth-first search over the public pointer API,
+// scanning ports in order exactly as the pre-CSR implementation did.
+func refBFS(net *topology.Network, src topology.NodeID) []int {
+	dist := make([]int, net.NumNodes())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []topology.NodeID{src}
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		for p := 0; p < net.NumPorts(u); p++ {
+			end, ok := net.Neighbor(u, p)
+			if !ok {
+				continue
+			}
+			if dist[end.Node] == -1 {
+				dist[end.Node] = dist[u] + 1
+				queue = append(queue, end.Node)
+			}
+		}
+	}
+	return dist
+}
+
+// refComponents floods from each unlabelled node in increasing id order.
+func refComponents(net *topology.Network) ([]int, int) {
+	n := net.NumNodes()
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		if label[i] != -1 {
+			continue
+		}
+		label[i] = count
+		queue := []topology.NodeID{topology.NodeID(i)}
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for p := 0; p < net.NumPorts(u); p++ {
+				if end, ok := net.Neighbor(u, p); ok && label[end.Node] == -1 {
+					label[end.Node] = count
+					queue = append(queue, end.Node)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// refBridges is the recursive multigraph bridge DFS over the public API:
+// it tracks the wire used to enter a node (not the parent node), skips
+// self-loop cables, and emits a bridge when a child subtree cannot reach
+// above its entry wire — the same order Index.BridgesInto produces.
+func refBridges(net *topology.Network) []int {
+	n := net.NumNodes()
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	timer := 0
+	var out []int
+	var dfs func(u topology.NodeID, inWire int)
+	dfs = func(u topology.NodeID, inWire int) {
+		disc[u] = timer
+		low[u] = timer
+		timer++
+		for p := 0; p < net.NumPorts(u); p++ {
+			wi := net.WireAt(u, p)
+			if wi < 0 || wi == inWire {
+				continue
+			}
+			v := net.WireByIndex(wi).Other(topology.End{Node: u, Port: p}).Node
+			if v == u {
+				continue // self-loop cable
+			}
+			if disc[v] == -1 {
+				dfs(v, wi)
+				if low[v] < low[u] {
+					low[u] = low[v]
+				}
+				if low[v] > disc[u] {
+					out = append(out, wi)
+				}
+			} else if disc[v] < low[u] {
+				low[u] = disc[v]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		if disc[i] == -1 {
+			dfs(topology.NodeID(i), -1)
+		}
+	}
+	return out
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

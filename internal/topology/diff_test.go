@@ -8,7 +8,7 @@ import (
 
 func TestDiffEmpty(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	n := Star(3, 2, rng)
+	n := MustStar(3, 2, rng)
 	d := Compare(n, n.Clone())
 	if !d.Empty() || d.String() != "no change" {
 		t.Errorf("self diff: %v", d)
@@ -17,7 +17,7 @@ func TestDiffEmpty(t *testing.T) {
 
 func TestDiffHostChanges(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	oldNet := Star(3, 2, rng)
+	oldNet := MustStar(3, 2, rng)
 	newNet := oldNet.Clone()
 
 	// Remove one host, add another.
@@ -49,7 +49,7 @@ func TestDiffHostChanges(t *testing.T) {
 
 func TestDiffMovedHost(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	oldNet := Star(3, 3, rng)
+	oldNet := MustStar(3, 3, rng)
 	newNet := oldNet.Clone()
 	mover := newNet.Hosts()[0]
 	if w := newNet.WireAt(mover, HostPort); w >= 0 {
@@ -83,7 +83,7 @@ func TestDiffMovedHost(t *testing.T) {
 
 func TestDiffCounts(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	oldNet := Line(3, 2, rng)
+	oldNet := MustLine(3, 2, rng)
 	newNet := oldNet.Clone()
 	s := newNet.AddSwitch("extra")
 	if _, _, _, err := newNet.ConnectFree(s, newNet.Switches()[0]); err != nil {

@@ -13,13 +13,15 @@ import (
 //
 //	# comment / blank lines ignored
 //	host <name>
-//	switch <name>
+//	switch <name> [radix]
 //	wire <nodeA> <portA> <nodeB> <portB>
 //	reflector <switch> <port>
 //
 // Nodes are referenced by name; switches that were built unnamed are
-// emitted as sw<N>. Write output is stable (sorted) and round-trips
-// through ReadFrom.
+// emitted as sw<N>. The radix field appears only for switches whose port
+// count differs from the default SwitchPorts, keeping legacy files and
+// their byte-identical round-trips unchanged. Write output is stable
+// (sorted) and round-trips through ReadFrom.
 
 // Write serialises the network. Unnamed switches get synthetic names.
 func (n *Network) Write(w io.Writer) error {
@@ -37,11 +39,14 @@ func (n *Network) Write(w io.Writer) error {
 		n.NumHosts(), n.NumSwitches(), n.NumWires())
 	var lines []string
 	for i := range n.nodes {
-		kind := "switch"
-		if n.nodes[i].kind == HostNode {
-			kind = "host"
+		switch {
+		case n.nodes[i].kind == HostNode:
+			lines = append(lines, fmt.Sprintf("host %s", names[NodeID(i)]))
+		case len(n.nodes[i].ports) != SwitchPorts:
+			lines = append(lines, fmt.Sprintf("switch %s %d", names[NodeID(i)], len(n.nodes[i].ports)))
+		default:
+			lines = append(lines, fmt.Sprintf("switch %s", names[NodeID(i)]))
 		}
-		lines = append(lines, fmt.Sprintf("%s %s", kind, names[NodeID(i)]))
 	}
 	// Node lines keep insertion order (hosts may depend on it); wires and
 	// reflectors are sorted for stability.
@@ -89,16 +94,23 @@ func ReadFrom(r io.Reader) (*Network, error) {
 		f := strings.Fields(line)
 		switch f[0] {
 		case "host", "switch":
-			if len(f) != 2 {
+			if len(f) != 2 && !(f[0] == "switch" && len(f) == 3) {
 				return nil, fmt.Errorf("line %d: want '%s <name>'", lineNo, f[0])
 			}
 			if _, dup := byName[f[1]]; dup {
 				return nil, fmt.Errorf("line %d: duplicate node %q", lineNo, f[1])
 			}
 			var id NodeID
-			if f[0] == "host" {
+			switch {
+			case f[0] == "host":
 				id = n.AddHost(f[1])
-			} else {
+			case len(f) == 3:
+				radix, err := strconv.Atoi(f[2])
+				if err != nil || radix < 1 || radix > MaxSwitchRadix {
+					return nil, fmt.Errorf("line %d: bad switch radix %q", lineNo, f[2])
+				}
+				id = n.AddSwitchRadix(f[1], radix)
+			default:
 				id = n.AddSwitch(f[1])
 			}
 			byName[f[1]] = id

@@ -11,11 +11,16 @@ import (
 // the regime the mapping algorithm is actually designed for ("their
 // topologies ... may be arbitrary graphs that change over time").
 //
-// All generators produce networks that satisfy Validate. Host names follow
-// the paper's figures: "Node0", "Node1", ... When a generator takes an
-// *rand.Rand it uses random free ports so that consumers (above all the
-// mapper, with its relative, non-modular port addressing) never get to rely
-// on tidy port numbering.
+// All generators validate their parameters and return an error for
+// infeasible requests; the Must* wrappers panic instead, for tests and
+// examples where the caller controls the arguments. All generated networks
+// satisfy Validate. Host names follow the paper's figures: "Node0",
+// "Node1", ... When a generator takes an *rand.Rand it uses random free
+// ports so that consumers (above all the mapper, with its relative,
+// non-modular port addressing) never get to rely on tidy port numbering.
+//
+// The datacenter-scale families (two-layer fat-trees, dragonflies,
+// multistage networks) live in fabric.go.
 
 // namer hands out sequential host names.
 type namer struct {
@@ -64,9 +69,12 @@ func connectRandomPorts(n *Network, a, b NodeID, rng *rand.Rand) error {
 }
 
 // Line returns switches in a path, each with hostsPer hosts attached.
-func Line(switches, hostsPer int, rng *rand.Rand) *Network {
-	if hostsPer > SwitchPorts-2 {
-		panic("topology: Line: too many hosts per switch")
+func Line(switches, hostsPer int, rng *rand.Rand) (*Network, error) {
+	if switches < 1 {
+		return nil, fmt.Errorf("topology: Line needs at least 1 switch")
+	}
+	if hostsPer < 0 || hostsPer > SwitchPorts-2 {
+		return nil, fmt.Errorf("topology: Line: at most %d hosts per switch", SwitchPorts-2)
 	}
 	n := &Network{}
 	nm := namer{prefix: "Node"}
@@ -82,31 +90,44 @@ func Line(switches, hostsPer int, rng *rand.Rand) *Network {
 		}
 		prev = s
 	}
-	return n
+	return n, nil
+}
+
+// MustLine is Line that panics on error.
+func MustLine(switches, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Line(switches, hostsPer, rng))
 }
 
 // Ring returns switches in a cycle, each with hostsPer hosts.
-func Ring(switches, hostsPer int, rng *rand.Rand) *Network {
+func Ring(switches, hostsPer int, rng *rand.Rand) (*Network, error) {
 	if switches < 3 {
-		panic("topology: Ring needs at least 3 switches")
+		return nil, fmt.Errorf("topology: Ring needs at least 3 switches")
 	}
-	if hostsPer > SwitchPorts-2 {
-		panic("topology: Ring: too many hosts per switch")
+	n, err := Line(switches, hostsPer, rng)
+	if err != nil {
+		return nil, err
 	}
-	n := Line(switches, hostsPer, rng)
 	first, last := NodeID(0), None
 	for _, s := range n.Switches() {
 		last = s
 	}
 	must(connectRandomPorts(n, last, first, rng))
-	return n
+	return n, nil
+}
+
+// MustRing is Ring that panics on error.
+func MustRing(switches, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Ring(switches, hostsPer, rng))
 }
 
 // Star returns one hub switch cabled to leaf switches, each leaf carrying
 // hostsPer hosts. leaves must be at most 8.
-func Star(leaves, hostsPer int, rng *rand.Rand) *Network {
-	if leaves > SwitchPorts {
-		panic("topology: Star: too many leaves")
+func Star(leaves, hostsPer int, rng *rand.Rand) (*Network, error) {
+	if leaves < 1 || leaves > SwitchPorts {
+		return nil, fmt.Errorf("topology: Star: between 1 and %d leaves", SwitchPorts)
+	}
+	if hostsPer < 0 || hostsPer > SwitchPorts-1 {
+		return nil, fmt.Errorf("topology: Star: at most %d hosts per leaf", SwitchPorts-1)
 	}
 	n := &Network{}
 	nm := namer{prefix: "Node"}
@@ -119,14 +140,22 @@ func Star(leaves, hostsPer int, rng *rand.Rand) *Network {
 			must(connectRandomPorts(n, host, leaf, rng))
 		}
 	}
-	return n
+	return n, nil
+}
+
+// MustStar is Star that panics on error.
+func MustStar(leaves, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Star(leaves, hostsPer, rng))
 }
 
 // Mesh returns a w×h grid of switches with hostsPer hosts each.
 // Interior switches use 4 ports for the grid; hostsPer must fit alongside.
-func Mesh(w, h, hostsPer int, rng *rand.Rand) *Network {
-	if hostsPer > SwitchPorts-4 {
-		panic("topology: Mesh: too many hosts per switch")
+func Mesh(w, h, hostsPer int, rng *rand.Rand) (*Network, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: Mesh needs positive dimensions")
+	}
+	if hostsPer < 0 || hostsPer > SwitchPorts-4 {
+		return nil, fmt.Errorf("topology: Mesh: at most %d hosts per switch", SwitchPorts-4)
 	}
 	n := &Network{}
 	nm := namer{prefix: "Node"}
@@ -148,19 +177,27 @@ func Mesh(w, h, hostsPer int, rng *rand.Rand) *Network {
 			}
 		}
 	}
-	return n
+	return n, nil
+}
+
+// MustMesh is Mesh that panics on error.
+func MustMesh(w, h, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Mesh(w, h, hostsPer, rng))
 }
 
 // Torus is Mesh with wraparound links; needs w,h ≥ 3 to avoid parallel
 // wrap edges colliding with grid edges on tiny sizes.
-func Torus(w, h, hostsPer int, rng *rand.Rand) *Network {
-	if hostsPer > SwitchPorts-4 {
-		panic("topology: Torus: too many hosts per switch")
-	}
+func Torus(w, h, hostsPer int, rng *rand.Rand) (*Network, error) {
 	if w < 3 || h < 3 {
-		panic("topology: Torus needs w,h >= 3")
+		return nil, fmt.Errorf("topology: Torus needs w,h >= 3")
 	}
-	n := Mesh(w, h, hostsPer, rng)
+	if hostsPer < 0 || hostsPer > SwitchPorts-4 {
+		return nil, fmt.Errorf("topology: Torus: at most %d hosts per switch", SwitchPorts-4)
+	}
+	n, err := Mesh(w, h, hostsPer, rng)
+	if err != nil {
+		return nil, err
+	}
 	// Switch ids in Mesh are interleaved with host ids; look up by name.
 	at := func(x, y int) NodeID { return n.Lookup(fmt.Sprintf("S%d-%d", x, y)) }
 	for y := 0; y < h; y++ {
@@ -169,14 +206,22 @@ func Torus(w, h, hostsPer int, rng *rand.Rand) *Network {
 	for x := 0; x < w; x++ {
 		must(connectRandomPorts(n, at(x, h-1), at(x, 0), rng))
 	}
-	return n
+	return n, nil
+}
+
+// MustTorus is Torus that panics on error.
+func MustTorus(w, h, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Torus(w, h, hostsPer, rng))
 }
 
 // Hypercube returns a dim-dimensional hypercube of switches (dim ≤ 7) with
 // hostsPer hosts on each switch (dim+hostsPer ≤ 8).
-func Hypercube(dim, hostsPer int, rng *rand.Rand) *Network {
-	if dim+hostsPer > SwitchPorts {
-		panic("topology: Hypercube: dim+hostsPer exceeds 8 ports")
+func Hypercube(dim, hostsPer int, rng *rand.Rand) (*Network, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("topology: Hypercube needs dimension >= 1")
+	}
+	if hostsPer < 0 || dim+hostsPer > SwitchPorts {
+		return nil, fmt.Errorf("topology: Hypercube: dim+hostsPer exceeds %d ports", SwitchPorts)
 	}
 	n := &Network{}
 	nm := namer{prefix: "Node"}
@@ -197,7 +242,12 @@ func Hypercube(dim, hostsPer int, rng *rand.Rand) *Network {
 			must(connectRandomPorts(n, host, sw[i], rng))
 		}
 	}
-	return n
+	return n, nil
+}
+
+// MustHypercube is Hypercube that panics on error.
+func MustHypercube(dim, hostsPer int, rng *rand.Rand) *Network {
+	return mustNet(Hypercube(dim, hostsPer, rng))
 }
 
 // FatTreeSpec configures an incomplete fat tree in the style of the NOW
@@ -214,13 +264,16 @@ type FatTreeSpec struct {
 }
 
 // FatTree builds the specified tree. Uplinks are spread round-robin across
-// the next level. It panics when the spec exceeds port budgets.
-func FatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
-	if spec.HostsPerLeaf+spec.UplinksPerLeaf > SwitchPorts {
-		panic("topology: FatTree: leaf ports exceeded")
+// the next level. It rejects specs that exceed port budgets.
+func FatTree(spec FatTreeSpec, rng *rand.Rand) (*Network, error) {
+	if spec.LeafSwitches < 1 || spec.MidSwitches < 1 || spec.RootSwitches < 1 {
+		return nil, fmt.Errorf("topology: FatTree: every level needs at least one switch")
+	}
+	if spec.HostsPerLeaf < 0 || spec.HostsPerLeaf+spec.UplinksPerLeaf > SwitchPorts {
+		return nil, fmt.Errorf("topology: FatTree: leaf ports exceeded")
 	}
 	if spec.UplinksPerLeaf < 1 || spec.UplinksPerMid < 1 {
-		panic("topology: FatTree: uplink counts must be at least 1")
+		return nil, fmt.Errorf("topology: FatTree: uplink counts must be at least 1")
 	}
 	if spec.HostPrefix == "" {
 		spec.HostPrefix = "Node"
@@ -246,13 +299,17 @@ func FatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
 		}
 		for u := 0; u < spec.UplinksPerLeaf; u++ {
 			mid := mids[(i*spec.UplinksPerLeaf+u)%len(mids)]
-			must(connectRandomPorts(n, leaf, mid, rng))
+			if err := connectRandomPorts(n, leaf, mid, rng); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for i, mid := range mids {
 		for u := 0; u < spec.UplinksPerMid; u++ {
 			root := roots[(i*spec.UplinksPerMid+u)%len(roots)]
-			must(connectRandomPorts(n, mid, root, rng))
+			if err := connectRandomPorts(n, mid, root, rng); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// Sparse uplink fan-outs with several roots can yield parallel disjoint
@@ -260,10 +317,17 @@ func FatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
 	// ("additional switches can be added to increase the number of roots").
 	if len(roots) > 1 && !n.IsConnected() {
 		for i := 1; i < len(roots); i++ {
-			must(connectRandomPorts(n, roots[i-1], roots[i], rng))
+			if err := connectRandomPorts(n, roots[i-1], roots[i], rng); err != nil {
+				return nil, err
+			}
 		}
 	}
-	return n
+	return n, nil
+}
+
+// MustFatTree is FatTree that panics on error.
+func MustFatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
+	return mustNet(FatTree(spec, rng))
 }
 
 // RandomConnected returns a connected random network with the requested
@@ -271,9 +335,17 @@ func FatTree(spec FatTreeSpec, rng *rand.Rand) *Network {
 // wires (parallel wires allowed, giving true multigraphs). Hosts attach to
 // uniformly random switches with free ports. The result always validates
 // and is connected; link placement respects the 8-port budget.
-func RandomConnected(switches, hosts, extraLinks int, rng *rand.Rand) *Network {
+func RandomConnected(switches, hosts, extraLinks int, rng *rand.Rand) (*Network, error) {
 	if switches < 1 {
-		panic("topology: RandomConnected needs at least one switch")
+		return nil, fmt.Errorf("topology: RandomConnected needs at least one switch")
+	}
+	if hosts < 0 || extraLinks < 0 {
+		return nil, fmt.Errorf("topology: RandomConnected: negative counts")
+	}
+	// Spanning tree uses one port on each non-root switch plus one on its
+	// parent; the remaining budget must cover the hosts.
+	if hosts > switches*SwitchPorts-2*(switches-1) {
+		return nil, fmt.Errorf("topology: RandomConnected: no free switch ports for %d hosts", hosts)
 	}
 	n := &Network{}
 	nm := namer{prefix: "Node"}
@@ -329,12 +401,17 @@ func RandomConnected(switches, hosts, extraLinks int, rng *rand.Rand) *Network {
 			}
 		}
 		if target == None {
-			panic("topology: RandomConnected: no free switch ports for hosts")
+			return nil, fmt.Errorf("topology: RandomConnected: no free switch ports for hosts")
 		}
 		host := n.AddHost(nm.next())
 		must(connectRandomPorts(n, host, target, rng))
 	}
-	return n
+	return n, nil
+}
+
+// MustRandomConnected is RandomConnected that panics on error.
+func MustRandomConnected(switches, hosts, extraLinks int, rng *rand.Rand) *Network {
+	return mustNet(RandomConnected(switches, hosts, extraLinks, rng))
 }
 
 // WithTail attaches a hostless chain of `tail` switches behind the given
@@ -368,4 +445,9 @@ func must(err error) {
 	if err != nil {
 		panic(err)
 	}
+}
+
+func mustNet(n *Network, err error) *Network {
+	must(err)
+	return n
 }

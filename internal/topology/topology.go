@@ -2,7 +2,9 @@
 // paper: finite multigraphs over hosts and switches whose wire-ends carry
 // port numbers (§2.1 of the paper).
 //
-// A switch has eight ports numbered 0..7; a host has a single port 0. A wire
+// A switch has eight ports numbered 0..7 (higher radices up to
+// MaxSwitchRadix are available for datacenter fabrics); a host has a
+// single port 0. A wire
 // joins two (node, port) ends; no two wire-ends on the same node share a
 // port. Self-loop cables (both ends on one switch) are permitted — Myrinet
 // installations used loopback cables, and the Myricom mapping algorithm
@@ -18,9 +20,15 @@ import (
 	"sort"
 )
 
-// SwitchPorts is the number of ports on every switch (§2.1: "A switch has
-// eight allowable port-numbers: {0, ..., 7}").
+// SwitchPorts is the default number of ports on a switch (§2.1: "A switch
+// has eight allowable port-numbers: {0, ..., 7}"). Datacenter-scale
+// generators build higher-radix switches via AddSwitchRadix.
 const SwitchPorts = 8
+
+// MaxSwitchRadix bounds the port count of a switch. Relative turns are
+// signed port differences carried in an int8 routing flit, so a radix
+// beyond 128 would overflow the turn encoding.
+const MaxSwitchRadix = 128
 
 // HostPort is the single port number of a host.
 const HostPort = 0
@@ -34,7 +42,7 @@ type Kind uint8
 const (
 	// HostNode is a workstation with one network interface (one port).
 	HostNode Kind = iota
-	// SwitchNode is an anonymous 8-port crossbar switch.
+	// SwitchNode is an anonymous crossbar switch (8 ports by default).
 	SwitchNode
 )
 
@@ -109,6 +117,10 @@ type Network struct {
 	// a network invalidates caches automatically. epochcheck enforces that
 	// every method writing a topostate field bumps it.
 	version uint64 //sanlint:epoch
+	// csr is the cached flat-adjacency view (csr.go). It is derived state
+	// keyed on version, rebuilt lazily by Index(); updating it is not a
+	// structural mutation.
+	csr *Index
 }
 
 // Version reports the structural mutation counter: it changes whenever a
@@ -128,6 +140,30 @@ func (n *Network) AddHost(name string) NodeID {
 // it (Myrinet "lacks a mechanism to query a switch ... for a unique id").
 func (n *Network) AddSwitch(name string) NodeID {
 	return n.addNode(SwitchNode, name, SwitchPorts)
+}
+
+// AddSwitchRadix appends a switch with the given port count, for the
+// datacenter fabrics whose spine and group switches exceed eight ports.
+// It panics when radix is outside [1, MaxSwitchRadix]; generators validate
+// their parameters before calling.
+func (n *Network) AddSwitchRadix(name string, radix int) NodeID {
+	if radix < 1 || radix > MaxSwitchRadix {
+		panic(fmt.Sprintf("topology: switch radix %d outside [1, %d]", radix, MaxSwitchRadix))
+	}
+	return n.addNode(SwitchNode, name, radix)
+}
+
+// MaxPorts reports the largest port count of any node (0 for an empty
+// network). Simulators and mappers derive their turn windows from it: a
+// radix-r switch admits relative turns in [-(r-1), r-1].
+func (n *Network) MaxPorts() int {
+	m := 0
+	for i := range n.nodes {
+		if p := len(n.nodes[i].ports); p > m {
+			m = p
+		}
+	}
+	return m
 }
 
 func (n *Network) addNode(kind Kind, name string, ports int) NodeID {
@@ -452,12 +488,12 @@ func (n *Network) Validate() error {
 	names := make(map[string]NodeID)
 	for i := range n.nodes {
 		nd := &n.nodes[i]
-		want := 1
-		if nd.kind == SwitchNode {
-			want = SwitchPorts
-		}
-		if len(nd.ports) != want {
-			return fmt.Errorf("node %d: %s has %d ports, want %d", i, nd.kind, len(nd.ports), want)
+		if nd.kind == HostNode {
+			if len(nd.ports) != 1 {
+				return fmt.Errorf("node %d: host has %d ports, want 1", i, len(nd.ports))
+			}
+		} else if len(nd.ports) < 1 || len(nd.ports) > MaxSwitchRadix {
+			return fmt.Errorf("node %d: switch has %d ports, want 1..%d", i, len(nd.ports), MaxSwitchRadix)
 		}
 		if nd.name != "" {
 			if prev, dup := names[nd.name]; dup {

@@ -120,7 +120,7 @@ func TestDuplicateNamePanics(t *testing.T) {
 
 func TestCloneIndependence(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
-	n := Star(3, 2, rng)
+	n := MustStar(3, 2, rng)
 	c := n.Clone()
 	if c.Stats() != n.Stats() {
 		t.Fatal("clone stats differ")
@@ -188,7 +188,7 @@ func TestReflectors(t *testing.T) {
 
 func TestFileRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	n := Mesh(3, 2, 2, rng)
+	n := MustMesh(3, 2, 2, rng)
 	sw := n.Switches()[0]
 	if p := n.FreePort(sw); p >= 0 {
 		if err := n.AddReflector(sw, p); err != nil {
@@ -241,7 +241,7 @@ func TestReadFromErrors(t *testing.T) {
 
 func TestFilter(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	n := Star(3, 2, rng)
+	n := MustStar(3, 2, rng)
 	hosts, _ := n.Filter(func(id NodeID) bool { return n.KindOf(id) == HostNode })
 	if hosts.NumSwitches() != 0 || hosts.NumHosts() != n.NumHosts() {
 		t.Errorf("filter: %v", hosts)

@@ -15,7 +15,7 @@ import (
 // restores full delivery.
 func TestLinkFilterKillsWorms(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	net := topology.Ring(5, 1, rng)
+	net := topology.MustRing(5, 1, rng)
 	tab, err := routes.Compute(net, routes.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

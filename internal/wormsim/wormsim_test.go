@@ -36,10 +36,10 @@ func injectPermutation(t *testing.T, s *Sim, net *topology.Network, tab *routes.
 func TestUpDownNeverDeadlocks(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	nets := map[string]*topology.Network{
-		"torus":     topology.Torus(4, 4, 1, rng),
-		"hypercube": topology.Hypercube(3, 1, rng),
-		"ring":      topology.Ring(6, 1, rng),
-		"mesh":      topology.Mesh(3, 3, 1, rng),
+		"torus":     topology.MustTorus(4, 4, 1, rng),
+		"hypercube": topology.MustHypercube(3, 1, rng),
+		"ring":      topology.MustRing(6, 1, rng),
+		"mesh":      topology.MustMesh(3, 3, 1, rng),
 	}
 	for name, net := range nets {
 		net := net
@@ -68,7 +68,7 @@ func TestUpDownNeverDeadlocks(t *testing.T) {
 // some permutation — the reason the §5.5 pipeline exists.
 func TestShortestPathsDeadlock(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	net := topology.Torus(4, 4, 1, rng)
+	net := topology.MustTorus(4, 4, 1, rng)
 	tab, err := routes.ShortestPaths(net)
 	if err != nil {
 		t.Fatal(err)
@@ -149,7 +149,7 @@ func TestDeadlockBreakUnblocksOthers(t *testing.T) {
 // contend.
 func TestStaggeredInjectionAvoidsWaits(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	net := topology.Ring(4, 1, rng)
+	net := topology.MustRing(4, 1, rng)
 	tab, err := routes.Compute(net, routes.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -173,7 +173,7 @@ func TestStaggeredInjectionAvoidsWaits(t *testing.T) {
 // TestInjectRejectsBadRoute.
 func TestInjectRejectsBadRoute(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
-	net := topology.Line(2, 1, rng)
+	net := topology.MustLine(2, 1, rng)
 	s := New(net, simnet.DefaultTiming())
 	if err := s.Inject(0, net.Hosts()[0], simnet.Route{7, 7, 7}); err == nil {
 		t.Fatal("accepted an undeliverable route")
