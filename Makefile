@@ -4,7 +4,7 @@ GO ?= go
 # everything layered on it) get a dedicated race-detector lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
 
-.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-large bench-baseline ci
+.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-gate bench-large bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -70,13 +70,30 @@ bench-large:
 	$(GO) test -bench 'FatTree1k|Index.*1k' -benchtime 1x -run ^$$ . | \
 		$(GO) run ./cmd/sanbench > /dev/null
 
+# bench-gate is the wall-clock regression gate (DESIGN.md §12): re-measure
+# the gated lanes — the window-8 probe pipeline and the 1k-switch fat-tree
+# — and check them against the committed baseline's gates block. Fails on a
+# >15% ns/op regression or a broken relative gate (window8 must stay within
+# 2x the serial loop's wall clock). Runs use -count so sanbench can gate on
+# per-lane minima, the statistic that survives shared-runner noise.
+BENCH_BASELINE ?= BENCH_935b4d7.json
+bench-gate:
+	@{ $(GO) test -bench PipelinedVsSerial -benchtime 100x -count 3 -run ^$$ . && \
+	   $(GO) test -bench MapFatTree1k -benchtime 20x -count 3 -run ^$$ . ; } | \
+		$(GO) run ./cmd/sanbench -gate $(BENCH_BASELINE)
+
 # bench-baseline records a benchstat-compatible JSON baseline for the
-# current revision: BENCH_<rev>.json. Compare later with
+# current revision: BENCH_<rev>.json, with duplicate -count measurements
+# collapsed to minima and the bench_gates.json policy embedded (and
+# self-checked — a run that breaks its own gates is not a valid baseline).
+# The 1k-scale lanes run separately at 20x: one op is a full datacenter map.
+# Compare later with
 #   go run ./cmd/sanbench -text BENCH_<rev>.json > old.txt && benchstat old.txt new.txt
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 bench-baseline:
-	$(GO) test -bench . -benchtime 100x -run ^$$ . | \
-		$(GO) run ./cmd/sanbench -rev $(REV) -o BENCH_$(REV).json
+	@{ $(GO) test -bench . -skip 1k -benchtime 100x -count 5 -run ^$$ . && \
+	   $(GO) test -bench 1k -benchtime 20x -count 3 -run ^$$ . ; } | \
+		$(GO) run ./cmd/sanbench -rev $(REV) -min -gates bench_gates.json -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint trace-smoke test race chaos bench-smoke bench-large
+ci: build lint trace-smoke test race chaos bench-smoke bench-gate bench-large

@@ -1,12 +1,19 @@
 // Command sanbench converts `go test -bench` output into a JSON baseline
-// file (and back). The JSON form is what the repo commits as
-// BENCH_<rev>.json; the -text mode re-renders a baseline in the standard
-// benchmark text format so it can be fed straight to benchstat against a
-// fresh run.
+// file (and back), and enforces the wall-clock gates a baseline carries.
+// The JSON form is what the repo commits as BENCH_<rev>.json; the -text
+// mode re-renders a baseline in the standard benchmark text format so it
+// can be fed straight to benchstat against a fresh run.
 //
 // Usage:
 //
-//	go test -bench . -run '^$' . | sanbench -rev $(git rev-parse --short HEAD) -o BENCH_abc1234.json
+//	# record a baseline (duplicate names from -count collapse to minima,
+//	# gates from the committed policy file are embedded and self-checked):
+//	go test -bench . -count 5 -run '^$' . | \
+//	    sanbench -rev $(git rev-parse --short HEAD) -min -gates bench_gates.json -o BENCH_abc1234.json
+//
+//	# gate a fresh run against the committed baseline (CI's bench-gate):
+//	go test -bench 'PipelinedVsSerial' -count 3 -run '^$' . | sanbench -gate BENCH_abc1234.json
+//
 //	sanbench -text BENCH_abc1234.json > old.txt   # benchstat old.txt new.txt
 package main
 
@@ -16,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
 
 	"sanmap/internal/stats"
 )
@@ -24,48 +34,117 @@ func main() {
 	rev := flag.String("rev", "", "revision label to embed in the JSON baseline")
 	out := flag.String("o", "", "output file (default stdout)")
 	text := flag.String("text", "", "render this JSON baseline back to benchmark text instead of parsing")
+	min := flag.Bool("min", false, "collapse duplicate names from -count runs to per-metric minima")
+	gatesFile := flag.String("gates", "", "embed the gates from this JSON file and self-check the run against them")
+	gateAgainst := flag.String("gate", "", "gate the parsed run against this committed baseline; exit 1 on violation")
 	flag.Parse()
 
-	var err error
-	w := io.Writer(os.Stdout)
-	if *out != "" {
-		f, cerr := os.Create(*out)
-		if cerr != nil {
-			die("%v", cerr)
-		}
-		defer func() {
-			if cerr := f.Close(); err == nil && cerr != nil {
-				die("%v", cerr)
-			}
-		}()
-		w = f
-	}
-
 	if *text != "" {
-		data, rerr := os.ReadFile(*text)
-		if rerr != nil {
-			die("%v", rerr)
-		}
-		var set stats.BenchSet
-		if err = json.Unmarshal(data, &set); err != nil {
-			die("%s: %v", *text, err)
-		}
-		if _, err = io.WriteString(w, stats.FormatBench(&set)); err != nil {
+		set := readBaseline(*text)
+		if _, err := io.WriteString(output(out), stats.FormatBench(set)); err != nil {
 			die("%v", err)
 		}
 		return
 	}
 
-	set, perr := stats.ParseBench(os.Stdin)
-	if perr != nil {
-		die("%v", perr)
-	}
-	set.Rev = *rev
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err = enc.Encode(set); err != nil {
+	set, err := stats.ParseBench(os.Stdin)
+	if err != nil {
 		die("%v", err)
 	}
+	stampConfig(set)
+
+	if *gateAgainst != "" {
+		base := readBaseline(*gateAgainst)
+		set.CollapseMin()
+		checkOrDie(base, set)
+		fmt.Printf("sanbench: %d gates ok against %s\n", len(base.Gates), *gateAgainst)
+		return
+	}
+
+	set.Rev = *rev
+	if *min {
+		set.CollapseMin()
+	} else {
+		set.SortResults()
+	}
+	if *gatesFile != "" {
+		data, rerr := os.ReadFile(*gatesFile)
+		if rerr != nil {
+			die("%v", rerr)
+		}
+		if err := json.Unmarshal(data, &set.Gates); err != nil {
+			die("%s: %v", *gatesFile, err)
+		}
+		// A baseline must satisfy its own absolute and relative gates;
+		// recording a run that breaks them would bless the regression.
+		checkOrDie(set, set)
+	}
+	w := output(out)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(set); err != nil {
+		die("%v", err)
+	}
+	if c, ok := w.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			die("%v", err)
+		}
+	}
+}
+
+func readBaseline(path string) *stats.BenchSet {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die("%v", err)
+	}
+	set := &stats.BenchSet{}
+	if err := json.Unmarshal(data, set); err != nil {
+		die("%s: %v", path, err)
+	}
+	return set
+}
+
+func checkOrDie(base, fresh *stats.BenchSet) {
+	errs := stats.CheckGates(base, fresh)
+	for _, e := range errs {
+		fmt.Fprintf(os.Stderr, "sanbench: FAIL %v\n", e)
+	}
+	if len(errs) > 0 {
+		os.Exit(1)
+	}
+}
+
+// stampConfig adds the machine facts `go test` does not print but that
+// change wall-clock numbers: the CPU count and, on amd64, the
+// microarchitecture level the binary was compiled for.
+func stampConfig(set *stats.BenchSet) {
+	set.Config["ncpu"] = strconv.Itoa(runtime.NumCPU())
+	if runtime.GOARCH != "amd64" {
+		return
+	}
+	level := os.Getenv("GOAMD64")
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				level = s.Value
+			}
+		}
+	}
+	if level == "" {
+		level = "v1"
+	}
+	set.Config["goamd64"] = level
+}
+
+func output(out *string) io.Writer {
+	if *out == "" {
+		return os.Stdout
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		die("%v", err)
+	}
+	return f
 }
 
 func die(format string, args ...any) {

@@ -218,6 +218,10 @@ func (e *Endpoint) Submit(p simnet.Probe) <-chan simnet.ProbeResult {
 	return ch
 }
 
+// SubmitDirect implements simnet.DirectProber: the injection happens at
+// call time exactly as in Submit, without the channel round-trip.
+func (e *Endpoint) SubmitDirect(p simnet.Probe) simnet.ProbeResult { return e.submit(p) }
+
 // Collect implements simnet.AsyncProber: sleep the process until the
 // result's completion time (no-op if it already passed).
 func (e *Endpoint) Collect(r simnet.ProbeResult) {

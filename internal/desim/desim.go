@@ -71,6 +71,10 @@ func (e *Engine) push(ev event) {
 func (e *Engine) Spawn(name string, f func(*Proc)) {
 	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
 	e.running++
+	// Each live process owns at most one pending event, so the live count
+	// is the queue's high-water mark; Reserve's doubling growth keeps
+	// per-spawn tracking O(n) overall.
+	e.events.Reserve(e.running)
 	e.push(event{at: e.now, p: p, start: f})
 }
 
@@ -81,6 +85,7 @@ func (e *Engine) SpawnAt(at time.Duration, name string, f func(*Proc)) {
 	}
 	p := &Proc{eng: e, name: name, wake: make(chan struct{})}
 	e.running++
+	e.events.Reserve(e.running)
 	e.push(event{at: at, p: p, start: f})
 }
 

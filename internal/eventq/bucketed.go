@@ -1,0 +1,197 @@
+package eventq
+
+// Bucketed is a calendar queue: a window of fixed-width time buckets plus an
+// overflow heap for events beyond the window's horizon. Discrete-event
+// simulators whose event times cluster within a few bucket widths of "now"
+// (wormsim: every hop schedules SwitchLatency ahead, every delivery a
+// serialisation time ahead) pop in O(1) and push with a short insertion-sort
+// run, versus the heap's O(log n) sift touching log n cache lines. Sparse
+// far-future events (deadlock-break timers 55 ms out) land in the overflow
+// heap and migrate into the window when the calendar drains up to them.
+//
+// The pop order is the exact total order of less — identical to Heap with
+// the same function — provided less is a strict total order consistent with
+// at (less(a, b) implies at(a) <= at(b); simulators get this by ordering on
+// (time, sequence)). As in any discrete-event queue, items must not be
+// pushed "in the past": a pushed item must not sort before the most
+// recently popped one.
+//
+// Like every calendar queue, a push into one bucket costs O(items already
+// queued in that bucket that sort later); the simulators stay fast because
+// their in-flight event populations are bounded (one or two pending events
+// per worm or process) — a workload that schedules an unbounded burst onto
+// a single instant wants the plain Heap instead.
+//
+// The zero value is not usable; construct with NewBucketed. Not safe for
+// concurrent use.
+type Bucketed[T any] struct {
+	less  func(a, b T) bool
+	at    func(T) int64
+	width int64
+
+	// buckets[i] covers [base + i*width, base + (i+1)*width); items sorted
+	// ascending by less, consumed front-to-back via head. cursor is the
+	// first bucket that may still hold items.
+	buckets  []bucket[T]
+	base     int64
+	cursor   int
+	inWindow int
+
+	overflow *Heap[T] // items at or beyond base + len(buckets)*width
+}
+
+type bucket[T any] struct {
+	items []T
+	head  int
+}
+
+// NewBucketed returns an empty calendar queue of nb buckets of the given
+// width (in the same ticks as at; both must be positive), ordered by less.
+// Event times must be non-negative.
+func NewBucketed[T any](width int64, nb int, at func(T) int64, less func(a, b T) bool) *Bucketed[T] {
+	if width <= 0 || nb <= 0 {
+		panic("eventq: NewBucketed needs positive width and bucket count")
+	}
+	return &Bucketed[T]{
+		less:     less,
+		at:       at,
+		width:    width,
+		buckets:  make([]bucket[T], nb),
+		overflow: New(less),
+	}
+}
+
+// Len reports the number of queued items.
+//
+//sanlint:hotpath
+func (q *Bucketed[T]) Len() int { return q.inWindow + q.overflow.Len() }
+
+// Reserve pre-sizes the overflow heap for n far-future items (e.g. one
+// pending timeout per in-flight worm), so a simulator that knows its
+// high-water mark pays for growth once.
+func (q *Bucketed[T]) Reserve(n int) { q.overflow.Reserve(n) }
+
+// Push inserts v. Amortised O(run) where run is the number of queued items
+// in v's bucket that sort after v — near zero for the near-sorted pushes of
+// a simulation loop. Zero allocations once the buckets have grown to their
+// high-water marks.
+//
+//sanlint:hotpath
+func (q *Bucketed[T]) Push(v T) {
+	t := q.at(v)
+	if q.Len() == 0 {
+		// Empty queue: re-anchor the window at v's bucket so a long jump
+		// (the next event is far in the future) costs nothing.
+		q.base = t - t%q.width
+		q.cursor = 0
+	}
+	idx := int((t - q.base) / q.width)
+	if idx < q.cursor {
+		// At-or-before the current bucket (an immediate wake-up at "now"):
+		// the in-bucket sort by less puts it in its exact place.
+		idx = q.cursor
+	}
+	if idx >= len(q.buckets) {
+		q.overflow.Push(v)
+		return
+	}
+	q.insert(idx, v)
+}
+
+//sanlint:hotpath
+func (q *Bucketed[T]) insert(idx int, v T) {
+	// Append through the receiver (not a *bucket alias) so the hotpath
+	// analyzer can see the slice is owned storage growing to a high-water
+	// mark, not an escaping allocation.
+	q.buckets[idx].items = append(q.buckets[idx].items, v)
+	b := &q.buckets[idx]
+	for i := len(b.items) - 1; i > b.head; i-- {
+		if !q.less(b.items[i], b.items[i-1]) {
+			break
+		}
+		b.items[i], b.items[i-1] = b.items[i-1], b.items[i]
+	}
+	q.inWindow++
+}
+
+// Pop removes and returns the minimum item. It panics on an empty queue;
+// guard with Len.
+//
+//sanlint:hotpath
+func (q *Bucketed[T]) Pop() T {
+	for q.inWindow > 0 {
+		b := &q.buckets[q.cursor]
+		if b.head < len(b.items) {
+			v := b.items[b.head]
+			var zero T
+			b.items[b.head] = zero // release references held by event types
+			b.head++
+			if b.head == len(b.items) {
+				b.items = b.items[:0]
+				b.head = 0
+			}
+			q.inWindow--
+			return v
+		}
+		q.cursor++
+	}
+	if q.overflow.Len() == 0 {
+		panic("eventq: Pop on empty Bucketed")
+	}
+	// Window drained; jump the calendar to the earliest far-future item and
+	// migrate everything inside the new horizon out of the overflow heap.
+	q.rebase()
+	return q.Pop()
+}
+
+// Peek returns the minimum item without removing it; ok is false when the
+// queue is empty. It may advance the internal cursor past drained buckets
+// but never changes the queue's contents.
+//
+//sanlint:hotpath
+func (q *Bucketed[T]) Peek() (v T, ok bool) {
+	for q.inWindow > 0 {
+		b := &q.buckets[q.cursor]
+		if b.head < len(b.items) {
+			return b.items[b.head], true
+		}
+		q.cursor++
+	}
+	return q.overflow.Peek()
+}
+
+// rebase re-anchors the window at the overflow minimum's bucket and pulls
+// every overflow item inside the new horizon into the window.
+//
+//sanlint:hotpath
+func (q *Bucketed[T]) rebase() {
+	m, _ := q.overflow.Peek()
+	t := q.at(m)
+	q.base = t - t%q.width
+	q.cursor = 0
+	horizon := q.base + int64(len(q.buckets))*q.width
+	for {
+		v, ok := q.overflow.Peek()
+		if !ok || q.at(v) >= horizon {
+			return
+		}
+		q.overflow.Pop()
+		q.insert(int((q.at(v)-q.base)/q.width), v)
+	}
+}
+
+// Reset empties the queue but keeps every bucket's backing slice and the
+// overflow heap's, so a reused simulator re-fills without reallocating.
+func (q *Bucketed[T]) Reset() {
+	var zero T
+	for i := range q.buckets {
+		b := &q.buckets[i]
+		for j := b.head; j < len(b.items); j++ {
+			b.items[j] = zero
+		}
+		b.items = b.items[:0]
+		b.head = 0
+	}
+	q.base, q.cursor, q.inWindow = 0, 0, 0
+	q.overflow.Reset()
+}

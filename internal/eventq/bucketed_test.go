@@ -1,0 +1,357 @@
+package eventq
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+// ev is the discrete-event shape both queues are exercised with: a virtual
+// time plus a tie-breaking sequence number, giving a strict total order
+// consistent with the time.
+type ev struct {
+	at  int64
+	seq int64
+}
+
+func evLess(a, b ev) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func evAt(e ev) int64 { return e.at }
+
+// refHeap is the container/heap oracle the typed queues are cross-checked
+// against.
+type refHeap []ev
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return evLess(h[i], h[j]) }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(ev)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// queue abstracts Heap and Bucketed so the adversarial schedules run
+// identically against both.
+type queue interface {
+	Len() int
+	Push(ev)
+	Pop() ev
+	Peek() (ev, bool)
+}
+
+type heapQ struct{ *Heap[ev] }
+type bucketQ struct{ *Bucketed[ev] }
+
+// adversarySchedule drives q and the container/heap oracle through the same
+// randomized push/pop schedule, checking every pop and peek. Push times
+// respect the discrete-event invariant (never before the last popped item)
+// but are otherwise drawn from the given increment distribution — which the
+// adversarial cases choose to stress bucket boundaries, massive same-bucket
+// bursts, tie-breaks, and overflow/rebase jumps.
+func adversarySchedule(t *testing.T, q queue, rng *rand.Rand, ops int, incr func(*rand.Rand) int64) {
+	t.Helper()
+	ref := &refHeap{}
+	var now, seq int64
+	for i := 0; i < ops; i++ {
+		if q.Len() != ref.Len() {
+			t.Fatalf("op %d: Len = %d, oracle %d", i, q.Len(), ref.Len())
+		}
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			e := ev{at: now + incr(rng), seq: seq}
+			seq++
+			q.Push(e)
+			heap.Push(ref, e)
+			continue
+		}
+		if v, ok := q.Peek(); !ok || v != (*ref)[0] {
+			t.Fatalf("op %d: Peek = %+v, %v; oracle %+v", i, v, ok, (*ref)[0])
+		}
+		got, want := q.Pop(), heap.Pop(ref).(ev)
+		if got != want {
+			t.Fatalf("op %d: Pop = %+v, oracle %+v", i, got, want)
+		}
+		now = got.at
+	}
+	for ref.Len() > 0 {
+		got, want := q.Pop(), heap.Pop(ref).(ev)
+		if got != want {
+			t.Fatalf("drain: Pop = %+v, oracle %+v", got, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain", q.Len())
+	}
+}
+
+// The adversarial increment distributions. Width below is always 550 (the
+// wormsim configuration: SwitchLatency in nanoseconds).
+var adversaries = map[string]func(*rand.Rand) int64{
+	// Everything lands in the current or next bucket; maximal insertion-sort
+	// pressure and head-index churn.
+	"same-bucket-burst": func(rng *rand.Rand) int64 { return rng.Int63n(2) },
+	// Exact timestamp ties: ordering decided purely by the sequence number.
+	"all-ties": func(rng *rand.Rand) int64 { return 0 },
+	// Steps straddling bucket boundaries.
+	"boundary": func(rng *rand.Rand) int64 {
+		return 550*rng.Int63n(3) + []int64{0, 1, 549}[rng.Intn(3)]
+	},
+	// Mostly near events with occasional 55 ms jumps far past the horizon —
+	// the wormsim break-timer shape; forces overflow migration and rebase.
+	"overflow-spikes": func(rng *rand.Rand) int64 {
+		if rng.Intn(8) == 0 {
+			return 55_000_000 + rng.Int63n(1000)
+		}
+		return rng.Int63n(1100)
+	},
+	// Every event beyond the horizon: the calendar degenerates to its
+	// overflow heap and must still match the oracle.
+	"all-overflow": func(rng *rand.Rand) int64 { return 200_000 + rng.Int63n(100_000) },
+	// Wide uniform spread across and beyond the window.
+	"uniform-wide": func(rng *rand.Rand) int64 { return rng.Int63n(550 * 400) },
+}
+
+func TestBucketedAdversarialVsContainerHeap(t *testing.T) {
+	for name, incr := range adversaries {
+		t.Run(name, func(t *testing.T) {
+			q := bucketQ{NewBucketed[ev](550, 256, evAt, evLess)}
+			adversarySchedule(t, q, rand.New(rand.NewSource(42)), 20000, incr)
+		})
+	}
+}
+
+func TestHeapAdversarialVsContainerHeap(t *testing.T) {
+	for name, incr := range adversaries {
+		t.Run(name, func(t *testing.T) {
+			q := heapQ{New(evLess)}
+			adversarySchedule(t, q, rand.New(rand.NewSource(42)), 20000, incr)
+		})
+	}
+}
+
+// TestBucketedPreRunInjection covers the wormsim Inject pattern: events
+// pushed at descending times before any pop. The first push anchors the
+// window, so earlier pushes clamp into the cursor bucket; the in-bucket
+// sort must still produce the global order.
+func TestBucketedPreRunInjection(t *testing.T) {
+	q := NewBucketed[ev](550, 256, evAt, evLess)
+	ref := &refHeap{}
+	rng := rand.New(rand.NewSource(7))
+	for seq := int64(0); seq < 4000; seq++ {
+		e := ev{at: rng.Int63n(1_000_000), seq: seq}
+		q.Push(e)
+		heap.Push(ref, e)
+	}
+	for ref.Len() > 0 {
+		got, want := q.Pop(), heap.Pop(ref).(ev)
+		if got != want {
+			t.Fatalf("Pop = %+v, oracle %+v", got, want)
+		}
+	}
+}
+
+// TestBucketedRebaseJump pins the rebase-on-empty paths: draining the
+// window with only far-future items left re-anchors the calendar, and a
+// push into an empty queue re-anchors without touching the overflow heap.
+func TestBucketedRebaseJump(t *testing.T) {
+	q := NewBucketed[ev](550, 16, evAt, evLess)
+	q.Push(ev{at: 10, seq: 0})
+	q.Push(ev{at: 55_000_000, seq: 1}) // far beyond the 16-bucket horizon
+	q.Push(ev{at: 55_000_100, seq: 2})
+	if got := q.Pop(); got.seq != 0 {
+		t.Fatalf("first pop seq = %d", got.seq)
+	}
+	if got := q.Pop(); got.seq != 1 {
+		t.Fatalf("post-rebase pop seq = %d", got.seq)
+	}
+	// Queue non-empty (seq 2 migrated into the window); a near push lands
+	// relative to the rebased anchor.
+	q.Push(ev{at: 55_000_050, seq: 3})
+	if got := q.Pop(); got.seq != 3 {
+		t.Fatalf("pop after rebase push seq = %d", got.seq)
+	}
+	if got := q.Pop(); got.seq != 2 {
+		t.Fatalf("final pop seq = %d", got.seq)
+	}
+	// Empty-queue push far from the stale anchor must re-anchor, not
+	// overflow.
+	q.Push(ev{at: 9_999_999_999, seq: 4})
+	if v, ok := q.Peek(); !ok || v.seq != 4 {
+		t.Fatalf("Peek after empty-jump = %+v, %v", v, ok)
+	}
+	if q.overflow.Len() != 0 {
+		t.Fatalf("empty-queue push landed in overflow")
+	}
+	if got := q.Pop(); got.seq != 4 {
+		t.Fatalf("pop after empty-jump seq = %d", got.seq)
+	}
+}
+
+func TestBucketedReset(t *testing.T) {
+	q := NewBucketed[ev](550, 16, evAt, evLess)
+	for i := int64(0); i < 100; i++ {
+		q.Push(ev{at: i * 100, seq: i})
+	}
+	q.Push(ev{at: 55_000_000, seq: 100})
+	q.Pop()
+	q.Reset()
+	if q.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", q.Len())
+	}
+	q.Push(ev{at: 5, seq: 0})
+	if got := q.Pop(); got.at != 5 {
+		t.Fatalf("pop after Reset = %+v", got)
+	}
+}
+
+// TestBucketedNoAllocs locks the steady-state property: once the buckets
+// and overflow heap have grown to their high-water marks, push/pop churn
+// allocates nothing. A recorded schedule is replayed after Reset, so every
+// run revisits exactly the warm run's bucket occupancy.
+func TestBucketedNoAllocs(t *testing.T) {
+	q := NewBucketedEv()
+	rng := rand.New(rand.NewSource(3))
+	type op struct {
+		push bool
+		e    ev
+	}
+	var sched []op
+	var now, seq int64
+	for i := 0; i < 4096; i++ {
+		if q.Len() == 0 || rng.Intn(2) == 0 {
+			d := rng.Int63n(1100)
+			if rng.Intn(16) == 0 {
+				d = 55_000_000
+			}
+			e := ev{at: now + d, seq: seq}
+			seq++
+			q.Push(e)
+			sched = append(sched, op{push: true, e: e})
+		} else {
+			now = q.Pop().at
+			sched = append(sched, op{})
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		q.Reset()
+		for _, o := range sched {
+			if o.push {
+				q.Push(o.e)
+			} else {
+				q.Pop()
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AllocsPerRun = %v, want 0", allocs)
+	}
+}
+
+// NewBucketedEv builds the wormsim-shaped queue used by the alloc test and
+// benchmarks.
+func NewBucketedEv() *Bucketed[ev] { return NewBucketed[ev](550, 256, evAt, evLess) }
+
+func TestHeapReserveSetFix(t *testing.T) {
+	h := New(evLess)
+	h.Reserve(64)
+	if got := cap(h.items); got < 64 {
+		t.Fatalf("cap after Reserve = %d", got)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		for i := int64(0); i < 64; i++ {
+			h.Push(ev{at: 64 - i, seq: i})
+		}
+		h.Reset()
+	})
+	if allocs != 0 {
+		t.Errorf("AllocsPerRun after Reserve = %v, want 0", allocs)
+	}
+	for i := int64(0); i < 32; i++ {
+		h.Push(ev{at: i, seq: i})
+	}
+	// Retime an arbitrary slot to the front via Set, then verify At sees it
+	// at the minimum and the pop order is restored.
+	h.Set(20, ev{at: -1, seq: 99})
+	if got := h.At(0); got.seq != 99 {
+		t.Fatalf("At(0) after Set = %+v", got)
+	}
+	prev := ev{at: -2}
+	for h.Len() > 0 {
+		e := h.Pop()
+		if evLess(e, prev) {
+			t.Fatalf("out of order after Set: %+v after %+v", e, prev)
+		}
+		prev = e
+	}
+}
+
+// BenchmarkEventq is the ladder from the tuning notes: classic hold-model
+// churn (pop one, push one a random increment ahead) at steady queue sizes
+// 1e2..1e6, for the typed heap, the calendar queue, and the container/heap
+// baseline the package exists to beat.
+func BenchmarkEventq(b *testing.B) {
+	sizes := []int{100, 1_000, 10_000, 100_000, 1_000_000}
+	incr := func(rng *rand.Rand) int64 {
+		if rng.Intn(16) == 0 {
+			return 55_000_000
+		}
+		return rng.Int63n(1100)
+	}
+	// Hold model: prefill n events on an increasing schedule, churn n
+	// pop+push rounds so the population settles into its steady-state
+	// spread (recent pushes within one max-increment of the clock), then
+	// time the churn. Prefilling at a pinned clock instead would cram the
+	// whole population into an instant — a shape no simulation produces,
+	// and a quadratic worst case for any calendar queue.
+	hold := func(b *testing.B, q queue, n int) {
+		rng := rand.New(rand.NewSource(1))
+		var at, seq int64
+		for i := 0; i < n; i++ {
+			at += incr(rng)
+			q.Push(ev{at: at, seq: seq})
+			seq++
+		}
+		churn := func(k int) {
+			for i := 0; i < k; i++ {
+				e := q.Pop()
+				q.Push(ev{at: e.at + incr(rng), seq: seq})
+				seq++
+			}
+		}
+		churn(n)
+		b.ResetTimer()
+		churn(b.N)
+	}
+	for _, n := range sizes {
+		name := map[int]string{100: "n=1e2", 1_000: "n=1e3", 10_000: "n=1e4",
+			100_000: "n=1e5", 1_000_000: "n=1e6"}[n]
+		b.Run("heap/"+name, func(b *testing.B) {
+			hold(b, heapQ{New(evLess)}, n)
+		})
+		b.Run("bucketed/"+name, func(b *testing.B) {
+			hold(b, bucketQ{NewBucketedEv()}, n)
+		})
+		b.Run("stdheap/"+name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			ref := &refHeap{}
+			var at, seq int64
+			for i := 0; i < n; i++ {
+				at += incr(rng)
+				heap.Push(ref, ev{at: at, seq: seq})
+				seq++
+			}
+			churn := func(k int) {
+				for i := 0; i < k; i++ {
+					e := heap.Pop(ref).(ev)
+					heap.Push(ref, ev{at: e.at + incr(rng), seq: seq})
+					seq++
+				}
+			}
+			churn(n)
+			b.ResetTimer()
+			churn(b.N)
+		})
+	}
+}

@@ -63,6 +63,47 @@ func (h *Heap[T]) Peek() (v T, ok bool) {
 	return h.items[0], true
 }
 
+// Reserve grows the backing slice's capacity to hold at least n items, so a
+// simulator that knows its high-water mark pays for growth once instead of
+// across the first run's pushes. Growth at least doubles, so callers may
+// track a rising high-water mark with repeated Reserve calls without
+// triggering quadratic copying.
+func (h *Heap[T]) Reserve(n int) {
+	if cap(h.items) >= n {
+		return
+	}
+	if d := 2 * cap(h.items); n < d {
+		n = d
+	}
+	items := make([]T, len(h.items), n)
+	copy(items, h.items)
+	h.items = items
+}
+
+// At returns the item at heap slot i (0 is the minimum; other slots are in
+// heap order, not sorted order). It panics if i is out of range.
+//
+//sanlint:hotpath
+func (h *Heap[T]) At(i int) T { return h.items[i] }
+
+// Set replaces the item at heap slot i and restores heap order, the typed
+// equivalent of container/heap.Fix. O(log n), no allocation.
+//
+//sanlint:hotpath
+func (h *Heap[T]) Set(i int, v T) {
+	h.items[i] = v
+	h.Fix(i)
+}
+
+// Fix re-establishes heap order after the item at slot i changed in place
+// (via Set, or externally when T holds pointers).
+//
+//sanlint:hotpath
+func (h *Heap[T]) Fix(i int) {
+	h.down(i)
+	h.up(i)
+}
+
 // Reset empties the heap but keeps the backing slice, so a reused simulator
 // re-fills it without reallocating.
 //

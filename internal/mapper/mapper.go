@@ -216,11 +216,13 @@ type run struct {
 	start  time.Duration
 	// win is the pipelined probe engine (nil when disabled or unsupported
 	// by the transport); ps streams the current exploration's probe pairs
-	// through it, and pre holds the responses collected so far, keyed by
-	// route string.
-	win *simnet.ProbeWindow
-	ps  *exploreStream
-	pre map[string]simnet.ProbeResponse
+	// through it, holding the responses collected so far indexed by
+	// submission tag (no per-probe map traffic on the hot path). psPool is
+	// the recycled stream state — its slices grow to the run's high-water
+	// mark once and are reset, not reallocated, per exploration.
+	win    *simnet.ProbeWindow
+	ps     *exploreStream
+	psPool exploreStream
 	// Self-healing state (SelfHeal runs only): partial marks a run stopped
 	// by an exhausted fault budget; obs is the mapper-side fault log;
 	// staleCount bounds per-vertex re-explorations so a persistently lying
@@ -476,9 +478,7 @@ func (r *run) explore(jb job) error {
 		if root.occupied(idx) && (r.cfg.SkipKnownSlots || retryOnly) {
 			continue
 		}
-		probeStr := jb.route.Extend(t)
-		r.streamWant(root, entry, ti, probeStr)
-		resp := r.probePair(probeStr)
+		resp, probeStr := r.pairAt(root, entry, ti, jb.route, t)
 		if r.tracing() {
 			desc := resp.Kind.String()
 			if resp.Kind == simnet.RespHost {
@@ -543,19 +543,29 @@ func (r *run) explore(jb job) error {
 	return nil
 }
 
-// probePair applies the configured probe order for one candidate turn,
-// skipping the second probe when the first answers. A response prefetched
-// by the pipelined engine is consumed instead of probing live; routes the
-// prefetch did not cover (possible when a mid-exploration merge rewrites
-// the frontier vertex) fall back to the serial probes, so the deduction
-// sequence never depends on the pipeline.
-func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
-	if r.pre != nil {
-		if resp, ok := r.pre[s.String()]; ok {
-			delete(r.pre, s.String())
-			return r.confirmResponse(s, resp)
+// pairAt resolves the probe pair for the candidate turn t at index ti of
+// the turn sequence, returning the response and the probed route
+// (base extended by t). A response prefetched by the pipelined engine is
+// consumed instead of probing live — reusing the stream's already-built
+// route; candidates the prefetch did not cover (possible when a
+// mid-exploration merge rewrites the frontier vertex) fall back to the
+// serial probes, so the deduction sequence never depends on the pipeline.
+func (r *run) pairAt(root *Vertex, entry int, ti int, base simnet.Route, t simnet.Turn) (simnet.ProbeResponse, simnet.Route) {
+	if ps := r.ps; ps != nil {
+		r.streamWant(root, entry, ti)
+		if tag := ps.tiTag[ti] - 1; tag >= 0 && ps.done[tag] && !ps.used[tag] {
+			ps.used[tag] = true
+			s := ps.routes[tag]
+			return r.confirmResponse(s, ps.resp[tag]), s
 		}
 	}
+	s := base.Extend(t)
+	return r.probePair(s), s
+}
+
+// probePair issues one live probe pair for route s, applying the configured
+// probe order and skipping the second probe when the first answers.
+func (r *run) probePair(s simnet.Route) simnet.ProbeResponse {
 	return r.confirmResponse(s, r.probeOnce(s))
 }
 

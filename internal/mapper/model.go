@@ -38,6 +38,14 @@ type Vertex struct {
 	explored bool
 	deleted  bool
 
+	// winLo/winHi memoize the §3.3 feasible window for this vertex; the
+	// memo is valid while winGen equals the model's editGen (0 = never
+	// computed). The pipelined engine re-evaluates the window for every
+	// speculative submission and staleness check, so this turns an
+	// O(|slots|) map walk into a pair of loads on the hot path.
+	winLo, winHi int
+	winGen       uint64
+
 	// forward/fshift implement a union-find with offsets: when non-nil,
 	// index i in this vertex's frame is index i+fshift in forward's frame.
 	forward *Vertex
@@ -99,6 +107,11 @@ type Model struct {
 	liveVerts int
 	liveEdges int
 
+	// editGen numbers the model's structural states: every mutation that
+	// can move a feasible window (slot insertion, edge deletion, merge,
+	// vertex deletion) bumps it, invalidating the per-vertex window memos.
+	editGen uint64
+
 	merges []mergeTask
 
 	// markGen is bumped per edge-enumeration walk (merge, degree, delete);
@@ -143,7 +156,7 @@ type mergeTask struct {
 // newModel returns an empty model graph planning for the paper's 8-port
 // switches; runs override maxPorts from their configuration.
 func newModel() *Model {
-	return &Model{hostByName: make(map[string]*Vertex), maxPorts: topology.SwitchPorts}
+	return &Model{hostByName: make(map[string]*Vertex), maxPorts: topology.SwitchPorts, editGen: 1}
 }
 
 // find resolves v to its surviving root and the offset translating v-frame
@@ -211,6 +224,7 @@ func (m *Model) addEdge(a *Vertex, ai int, b *Vertex, bi int) *Edge {
 // deductions against the edges already claiming that slot: "multiple links
 // incident to a switch port identify additional replicates" (§1.2).
 func (m *Model) insertSide(e *Edge, v *Vertex, idx int) {
+	m.editGen++
 	for _, prev := range v.slots[idx] {
 		if prev.deleted || prev == e {
 			continue
@@ -257,6 +271,7 @@ func (m *Model) processMerges() {
 // mergeInto merges victim rb into survivor ra; index j in rb's frame
 // becomes j+s in ra's.
 func (m *Model) mergeInto(ra, rb *Vertex, s int) {
+	m.editGen++
 	if ra.kind != rb.kind {
 		// A switch claimed to be a host (or vice versa): impossible under
 		// quiescent probing; count and refuse.
@@ -342,6 +357,9 @@ func slotOf(e *Edge, v *Vertex) int {
 // each known index i pins p0+i into {0..maxPorts-1} (§3.3's provably-safe
 // probe elimination and Lemma 2's indexing offsets).
 func (m *Model) window(v *Vertex) (lo, hi int) {
+	if v.winGen == m.editGen {
+		return v.winLo, v.winHi
+	}
 	lo, hi = 0, m.maxPorts-1
 	for i, es := range v.slots {
 		if !liveAny(es) {
@@ -354,6 +372,7 @@ func (m *Model) window(v *Vertex) (lo, hi int) {
 			hi = h
 		}
 	}
+	v.winLo, v.winHi, v.winGen = lo, hi, m.editGen
 	return lo, hi
 }
 
@@ -411,6 +430,7 @@ func (m *Model) deleteVertex(v *Vertex) {
 	if v.deleted {
 		return
 	}
+	m.editGen++
 	m.markGen++
 	for _, es := range v.slots {
 		for _, e := range es {

@@ -59,9 +59,13 @@ type exploreStream struct {
 	turns         []simnet.Turn
 	next          int
 	first, second simnet.ProbeKind
-	routes        []simnet.Route // tag -> route
-	tagTurn       []simnet.Turn  // tag -> candidate turn
-	phase2        []bool         // tag -> second-order probe issued
+	routes        []simnet.Route         // tag -> route
+	tagTurn       []simnet.Turn          // tag -> candidate turn
+	phase2        []bool                 // tag -> second-order probe issued
+	resp          []simnet.ProbeResponse // tag -> folded pair response
+	done          []bool                 // tag -> resp is valid
+	used          []bool                 // tag -> resp consumed by the deduction loop
+	tiTag         []int                  // candidate index -> tag+1 (0 = not submitted)
 }
 
 // beginStream opens the pipelined stream for one exploration.
@@ -73,9 +77,25 @@ func (r *run) beginStream(jb job, turns []simnet.Turn, retryOnly bool) {
 	if r.cfg.ProbeOrder == SwitchFirst {
 		first, second = second, first
 	}
-	r.ps = &exploreStream{st: r.win.Stream(), jb: jb, retryOnly: retryOnly,
-		turns: turns, first: first, second: second}
-	r.pre = make(map[string]simnet.ProbeResponse)
+	ps := &r.psPool
+	ps.st = r.win.Stream()
+	ps.jb, ps.retryOnly = jb, retryOnly
+	ps.turns = turns
+	ps.next = 0
+	ps.first, ps.second = first, second
+	ps.routes = ps.routes[:0]
+	ps.tagTurn = ps.tagTurn[:0]
+	ps.phase2 = ps.phase2[:0]
+	ps.resp = ps.resp[:0]
+	ps.done = ps.done[:0]
+	ps.used = ps.used[:0]
+	if cap(ps.tiTag) < len(turns) {
+		ps.tiTag = make([]int, len(turns))
+	} else {
+		ps.tiTag = ps.tiTag[:len(turns)]
+		clear(ps.tiTag)
+	}
+	r.ps = ps
 }
 
 // endStream abandons the remaining lookahead and clears the prefetch state.
@@ -84,7 +104,6 @@ func (r *run) endStream() {
 		r.ps.st.Abandon()
 		r.ps = nil
 	}
-	r.pre = nil
 }
 
 // fillStep advances the candidate cursor by one turn, submitting its
@@ -106,6 +125,10 @@ func (ps *exploreStream) fillStep(r *run, root *Vertex, entry int) {
 	ps.routes = append(ps.routes, ps.jb.route.Extend(t))
 	ps.tagTurn = append(ps.tagTurn, t)
 	ps.phase2 = append(ps.phase2, false)
+	ps.resp = append(ps.resp, simnet.ProbeResponse{})
+	ps.done = append(ps.done, false)
+	ps.used = append(ps.used, false)
+	ps.tiTag[ps.next-1] = tag + 1
 	ps.st.Submit(simnet.Probe{Kind: ps.first, Route: ps.routes[tag]}, tag)
 }
 
@@ -135,21 +158,20 @@ func (ps *exploreStream) stale(r *run, root *Vertex, entry int, tag int) bool {
 }
 
 // streamWant resolves the probe pair for the candidate at index ti of the
-// turn sequence (route s) into the prefetch map: it advances the candidate
-// cursor far enough to submit the demanded probe, tops the window up with
+// turn sequence into the prefetch state: it advances the candidate cursor
+// far enough to submit the demanded probe, tops the window up with
 // speculative lookahead only while that rides for free, and collects
 // results — submitting each pair's second-order probe the moment its first
 // probe's miss is retired, so the window never drains between phases. If
-// the stream runs dry without covering s (possible after a mid-exploration
-// merge), probePair falls back to serial probes.
-func (r *run) streamWant(root *Vertex, entry int, ti int, s simnet.Route) {
+// the stream runs dry without covering ti (possible after a mid-exploration
+// merge), pairAt falls back to serial probes.
+func (r *run) streamWant(root *Vertex, entry int, ti int) {
 	ps := r.ps
 	if ps == nil {
 		return
 	}
-	key := s.String()
 	for {
-		if _, ok := r.pre[key]; ok {
+		if tag := ps.tiTag[ti] - 1; tag >= 0 && ps.done[tag] && !ps.used[tag] {
 			return
 		}
 		if ps.next <= ti && ps.st.Free() > 0 {
@@ -176,7 +198,8 @@ func (r *run) streamWant(root *Vertex, entry int, ti int, s simnet.Route) {
 		if ps.phase2[tag] {
 			kind = ps.second
 		}
-		r.pre[ps.routes[tag].String()] = pairResponse(kind, res)
+		ps.resp[tag] = pairResponse(kind, res)
+		ps.done[tag] = true
 	}
 }
 

@@ -123,6 +123,17 @@ func (e *Endpoint) Submit(p Probe) <-chan ProbeResult {
 	return ch
 }
 
+// SubmitDirect implements DirectProber: identical to Submit, minus the
+// channel. The ProbeWindow routes every probe through this path.
+func (e *Endpoint) SubmitDirect(p Probe) ProbeResult { return e.net.submit(e.host, p) }
+
+// SubmitBatch implements BatchProber: the probes are issued in order with
+// the transport's per-probe setup (turn bound, structural version, route
+// memo key) validated once for the whole batch.
+func (e *Endpoint) SubmitBatch(ps []Probe, out []ProbeResult) {
+	e.net.submitBatch(e.host, ps, out)
+}
+
 // Collect implements AsyncProber: advance the clock to the result's
 // completion time.
 func (e *Endpoint) Collect(r ProbeResult) { e.net.collect(r) }

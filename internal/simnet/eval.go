@@ -253,6 +253,16 @@ func (s *evalScratch) finish(res Result) Result {
 	return res
 }
 
+// keyOK reports whether the memo's previous walk is resumable for the
+// given key — same source, collision model, responder epoch and structural
+// version. Batch evaluation validates the key once and keeps it validated
+// across the batch instead of re-deriving it per probe.
+//
+//sanlint:hotpath
+func (s *evalScratch) keyOK(from topology.NodeID, m Model, epoch, topoVer uint64) bool {
+	return s.valid && s.from == from && s.model == m && s.epoch == epoch && s.topoVer == topoVer
+}
+
 // evalRoute walks the message path of §2.2 from host `from` with the given
 // routing address, under collision model m, resuming from the memoized
 // prefix of the previous walk when the keys match (see evalScratch).
@@ -262,9 +272,21 @@ func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Mode
 	if topo.KindOf(from) != topology.HostNode {
 		panic(fmt.Sprintf("simnet: source %d is not a host", from))
 	}
+	ver := topo.Version()
+	return evalResume(topo, from, route, m, s, epoch, ver, s.keyOK(from, m, epoch, ver))
+}
 
+// evalResume is the walk body of evalRoute with the source-kind check and
+// memo-key validation hoisted to the caller: keyed reports that the memo
+// holds a resumable walk for (from, m, epoch, ver). The batch paths
+// (Net.EvalBatch, Net.submitBatch) validate the key once per batch — after
+// any completed walk the memo key equals the batch key, so the validation
+// collapses to the scratch's valid bit.
+//
+//sanlint:hotpath
+func evalResume(topo *topology.Network, from topology.NodeID, route Route, m Model, s *evalScratch, epoch, ver uint64, keyed bool) Result {
 	resume := -1
-	if s.valid && s.from == from && s.model == m && s.epoch == epoch && s.topoVer == topo.Version() {
+	if keyed {
 		// Longest common prefix with the previous route.
 		maxCmp := len(route)
 		if len(s.route) < maxCmp {
@@ -316,7 +338,7 @@ func evalRoute(topo *topology.Network, from topology.NodeID, route Route, m Mode
 		cur = next
 		s.states = append(s.states[:0], stepState{cur: cur, nhops: int32(len(s.hops))})
 		s.route = append(s.route[:0], route...)
-		s.from, s.model, s.epoch, s.topoVer = from, m, epoch, topo.Version()
+		s.from, s.model, s.epoch, s.topoVer = from, m, epoch, ver
 	}
 
 	for i := start; i < len(route); i++ {

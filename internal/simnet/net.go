@@ -283,6 +283,72 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 	if n.injector != nil {
 		n.injector.Advance(n.clock)
 	}
+	ver := n.topo.Version()
+	return n.submitKeyed(from, p, n.MaxTurn(), ver,
+		n.scratch.keyOK(from, n.model, n.epoch, ver))
+}
+
+// submitBatch issues ps in order, filling out[i] with the i-th result. It
+// is observationally identical to len(ps) sequential submit calls — same
+// clock billing, counters and results — but the turn bound, structural
+// version and route-memo key are validated once per batch instead of once
+// or twice per probe. With a fault injector installed the per-probe path is
+// used unchanged: Advance may mutate the topology mid-batch, so nothing is
+// safe to hoist (and the fault-free configuration stays on the fast path).
+func (n *Net) submitBatch(from topology.NodeID, ps []Probe, out []ProbeResult) {
+	if len(ps) != len(out) {
+		panic("simnet: submitBatch length mismatch")
+	}
+	if n.injector != nil {
+		for i := range ps {
+			out[i] = n.submit(from, ps[i])
+		}
+		return
+	}
+	maxTurn := n.MaxTurn()
+	ver := n.topo.Version()
+	keyed := n.scratch.keyOK(from, n.model, n.epoch, ver)
+	for i := range ps {
+		out[i] = n.submitKeyed(from, ps[i], maxTurn, ver, keyed)
+		if CapOf(ps[i].Kind) != 0 {
+			// Every supported kind ran the evaluator, which re-keyed the
+			// memo to this batch's key; resumability is now just the valid
+			// bit. Unsupported kinds leave the scratch (and keyed) untouched.
+			keyed = n.scratch.valid
+		}
+	}
+}
+
+// EvalBatch evaluates a batch of raw routes from one source in a single
+// pass over the shared scratch, with no clock or counter effects: the memo
+// key is validated once for the whole batch and consecutive routes resume
+// from each other's memoized prefixes exactly as in repeated Eval calls.
+// out must have len(routes). Results are identical to calling Eval on each
+// route in order.
+func (n *Net) EvalBatch(from topology.NodeID, routes []Route, out []Result) {
+	if len(routes) != len(out) {
+		panic("simnet: EvalBatch length mismatch")
+	}
+	if n.topo.KindOf(from) != topology.HostNode {
+		panic(fmt.Sprintf("simnet: source %d is not a host", from))
+	}
+	ver := n.topo.Version()
+	keyed := n.scratch.keyOK(from, n.model, n.epoch, ver)
+	for i, rt := range routes {
+		out[i] = evalResume(n.topo, from, rt, n.model, &n.scratch, n.epoch, ver, keyed)
+		keyed = n.scratch.valid
+	}
+}
+
+// submitKeyed is the body of submit with the per-probe setup hoisted to the
+// caller: maxTurn is the fabric's turn bound, ver the topology's structural
+// version, and keyed whether the route memo holds a resumable walk for
+// (from, model, epoch, ver) — see evalScratch. submitBatch amortizes all
+// three across a window-sized batch.
+func (n *Net) submitKeyed(from topology.NodeID, p Probe, maxTurn Turn, ver uint64, keyed bool) ProbeResult {
+	if n.topo.KindOf(from) != topology.HostNode {
+		panic(fmt.Sprintf("simnet: source %d is not a host", from))
+	}
 	r := ProbeResult{Probe: p}
 	var wait time.Duration
 	// eval is the decisive evaluator verdict for the fault filter, and
@@ -294,14 +360,13 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 	evRoute := p.Route
 	hostClass := false
 	logKind := ""
-	maxTurn := n.MaxTurn()
 	switch p.Kind {
 	case ProbeSwitch:
 		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
 		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
-		eval = n.Eval(from, n.loopBuf)
+		eval = evalResume(n.topo, from, n.loopBuf, n.model, &n.scratch, n.epoch, ver, keyed)
 		evRoute = n.loopBuf
 		r.OK = eval.Outcome == Delivered && eval.Dest == from
 		if r.OK {
@@ -314,7 +379,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
-		eval = n.Eval(from, p.Route)
+		eval = evalResume(n.topo, from, p.Route, n.model, &n.scratch, n.epoch, ver, keyed)
 		delivered := eval.Outcome == Delivered
 		r.OK = delivered && n.Responds(eval.Dest)
 		hostClass = true
@@ -332,7 +397,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid route %v", p.Route))
 		}
-		eval = n.Eval(from, p.Route)
+		eval = evalResume(n.topo, from, p.Route, n.model, &n.scratch, n.epoch, ver, keyed)
 		r.OK = eval.Outcome == Delivered && eval.Dest == from
 		if r.OK {
 			wait = n.transitTime(eval.Hops, len(p.Route))
@@ -349,9 +414,9 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		}
 		// The outbound prefix tells us which node reflects; the full
 		// loopback decides success exactly like a plain switch probe.
-		probe := n.Eval(from, p.Route)
+		probe := evalResume(n.topo, from, p.Route, n.model, &n.scratch, n.epoch, ver, keyed)
 		n.loopBuf = p.Route.AppendLoopback(n.loopBuf[:0])
-		eval = n.Eval(from, n.loopBuf)
+		eval = evalResume(n.topo, from, n.loopBuf, n.model, &n.scratch, n.epoch, ver, n.scratch.valid)
 		evRoute = n.loopBuf
 		r.OK = eval.Outcome == Delivered && eval.Dest == from &&
 			probe.Outcome == Stranded // the prefix parks on a switch
@@ -365,7 +430,7 @@ func (n *Net) submit(from topology.NodeID, p Probe) ProbeResult {
 		if !p.Route.ValidProbeFor(maxTurn) {
 			panic(fmt.Sprintf("simnet: invalid probe prefix %v", p.Route))
 		}
-		eval = n.Eval(from, p.Route)
+		eval = evalResume(n.topo, from, p.Route, n.model, &n.scratch, n.epoch, ver, keyed)
 		delivered := false
 		switch eval.Outcome {
 		case Delivered:

@@ -170,6 +170,34 @@ type AsyncProber interface {
 	Clock() time.Duration
 }
 
+// DirectProber is the channel-free fast path over AsyncProber. Every
+// transport in this repo completes a probe at Submit time (the result
+// channel is buffered and already filled when Submit returns), so the
+// channel exists only to satisfy the interface — one heap allocation and
+// two synchronisation points per probe for nothing. SubmitDirect is the
+// same operation returning the result inline; the ProbeWindow detects the
+// capability and routes every probe through it. Submit and SubmitDirect
+// must be observationally identical: same clock billing, same counters,
+// same result.
+type DirectProber interface {
+	AsyncProber
+	// SubmitDirect issues a probe and returns its completed result without
+	// channel plumbing.
+	SubmitDirect(p Probe) ProbeResult
+}
+
+// BatchProber is the batched fast path over AsyncProber: SubmitBatch
+// issues len(ps) probes in submission order, filling out[i] with the i-th
+// result. It must be observationally identical to len(ps) sequential
+// Submit calls; transports use the batch boundary to hoist per-probe
+// setup (turn-bound lookups, memo key validation) out of the loop — see
+// Net.EvalBatch.
+type BatchProber interface {
+	AsyncProber
+	// SubmitBatch issues every probe in order; out must have len(ps).
+	SubmitBatch(ps []Probe, out []ProbeResult)
+}
+
 // SyncAdapter exposes the legacy synchronous prober methods on top of any
 // AsyncProber, so code written against Prober/RawProber/IDProber/
 // TolerantProber runs unchanged over a purely asynchronous transport.
@@ -239,6 +267,14 @@ type AsyncAdapter struct {
 // Submit implements AsyncProber by running the probe synchronously.
 func (a AsyncAdapter) Submit(p Probe) <-chan ProbeResult {
 	ch := make(chan ProbeResult, 1)
+	ch <- a.SubmitDirect(p)
+	close(ch)
+	return ch
+}
+
+// SubmitDirect implements DirectProber: the synchronous probe result,
+// without the channel.
+func (a AsyncAdapter) SubmitDirect(p Probe) ProbeResult {
 	r := ProbeResult{Probe: p}
 	issue := a.P.Clock()
 	switch p.Kind {
@@ -272,9 +308,14 @@ func (a AsyncAdapter) Submit(p Probe) <-chan ProbeResult {
 	}
 	r.Done = a.P.Clock()
 	r.Latency = r.Done - issue
-	ch <- r
-	close(ch)
-	return ch
+	return r
+}
+
+// SubmitBatch implements BatchProber by issuing the probes sequentially.
+func (a AsyncAdapter) SubmitBatch(ps []Probe, out []ProbeResult) {
+	for i, p := range ps {
+		out[i] = a.SubmitDirect(p)
+	}
 }
 
 // Collect implements AsyncProber. The adapted probe already ran to

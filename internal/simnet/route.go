@@ -124,16 +124,40 @@ func (r Route) Equal(o Route) bool {
 }
 
 // String renders the route as explicit signed turns, e.g. "+1-3+2";
-// the empty route renders as "ε".
+// the empty route renders as "ε". Route strings key the probe caches and
+// the mapper's prefetch tables, so the rendering is hand-rolled: the fmt
+// machinery used to dominate the pipelined engine's wall-clock profile.
 func (r Route) String() string {
 	if len(r) == 0 {
 		return "ε"
 	}
-	var b strings.Builder
+	return string(r.AppendText(make([]byte, 0, 3*len(r))))
+}
+
+// AppendText appends the String rendering of r to dst and returns the
+// extended slice — the allocation-free form for hot paths that own a
+// reusable key buffer (map lookups via string(dst) do not allocate).
+//
+//sanlint:hotpath
+func (r Route) AppendText(dst []byte) []byte {
 	for _, t := range r {
-		fmt.Fprintf(&b, "%+d", t)
+		v := int(t)
+		if v >= 0 {
+			dst = append(dst, '+')
+		} else {
+			dst = append(dst, '-')
+			v = -v
+		}
+		// Turn magnitudes are < topology.MaxSwitchRadix (three digits).
+		if v >= 100 {
+			dst = append(dst, byte('0'+v/100))
+		}
+		if v >= 10 {
+			dst = append(dst, byte('0'+(v/10)%10))
+		}
+		dst = append(dst, byte('0'+v%10))
 	}
-	return b.String()
+	return dst
 }
 
 // ParseRoute parses the String format ("+1-3+2", or "ε"/"" for the empty

@@ -97,14 +97,34 @@ func (s WindowStats) String() string {
 // A ProbeWindow is not safe for concurrent use; like the transports, its
 // concurrency is virtual.
 type ProbeWindow struct {
-	p     AsyncProber
+	p AsyncProber
+	// dp/bp are the transport's channel-free and batched fast paths (nil
+	// when unsupported). Every transport in this repo implements at least
+	// DirectProber, so the channel machinery below is a compatibility
+	// fallback, not the common case.
+	dp    DirectProber
+	bp    BatchProber
 	cfg   WindowConfig
-	cache map[string]ProbeResult
+	cache map[string]cacheEntry
 	m     windowMetrics
 	// routeSpent tracks retries charged per route (RouteBudget > 0 only);
 	// jitterSeq numbers backoff draws so jitter is deterministic per window.
 	routeSpent map[string]int
 	jitterSeq  uint64
+	// keyBuf is the reusable cache/budget key scratch (probe kind byte plus
+	// raw turn bytes); map lookups through string(keyBuf) do not allocate.
+	keyBuf []byte
+	// batchBuf/batchRes are the reusable staging slices for transport-level
+	// SubmitBatch calls.
+	batchBuf []Probe
+	batchRes []ProbeResult
+	// spare/spareStream recycle the ring buffer and Stream header between
+	// streams: Abandon returns them, the next Stream picks them up. Only
+	// one stream is live at a time in every engine in this repo, so one
+	// slot suffices; concurrent streams simply fall back to allocating.
+	// A Stream must not be used after Abandon.
+	spare       []spending
+	spareStream *Stream
 }
 
 // windowMetrics holds the window's pre-registered obs handles — the
@@ -149,8 +169,17 @@ func NewProbeWindow(p AsyncProber, cfg WindowConfig) *ProbeWindow {
 		reg = obs.NewRegistry()
 	}
 	w := &ProbeWindow{p: p, cfg: cfg, m: registerWindowMetrics(reg)}
+	if dp, ok := p.(DirectProber); ok {
+		w.dp = dp
+	}
+	if bp, ok := p.(BatchProber); ok {
+		w.bp = bp
+	}
 	if cfg.Cache {
-		w.cache = make(map[string]ProbeResult)
+		// Pre-sized: response caches on real mapping runs hold thousands of
+		// entries, and incremental map growth (rehash + table copies) was a
+		// measurable slice of the pipelined engine's wall-clock overhead.
+		w.cache = make(map[string]cacheEntry, 2048)
 	}
 	if cfg.RouteBudget > 0 {
 		w.routeSpent = make(map[string]int)
@@ -202,39 +231,88 @@ func (w *ProbeWindow) Stats() WindowStats {
 // Prober returns the underlying transport.
 func (w *ProbeWindow) Prober() AsyncProber { return w.p }
 
-// cacheKey identifies a probe for the response cache: kind plus route
-// string (the route string is unique per turn sequence).
-func cacheKey(p Probe) string { return p.Kind.String() + "|" + p.Route.String() }
+// appendProbeKey appends the probe's cache/budget identity to dst: the kind
+// byte followed by the raw turn bytes. It replaces the old
+// kind.String()+"|"+route.String() key: same uniqueness (turns are int8, one
+// byte each), none of the fmt machinery, and map lookups through
+// string(keyBuf) compile to zero-allocation access.
+//
+//sanlint:hotpath
+func appendProbeKey(dst []byte, p Probe) []byte {
+	dst = append(dst, byte(p.Kind))
+	for _, t := range p.Route {
+		dst = append(dst, byte(t))
+	}
+	return dst
+}
+
+// probeKey rebuilds the window's reusable key scratch for p and returns it.
+func (w *ProbeWindow) probeKey(p Probe) []byte {
+	w.keyBuf = appendProbeKey(w.keyBuf[:0], p)
+	return w.keyBuf
+}
+
+// cacheEntry is the compact stored form of a cached response — only the
+// fields a repeat probe's answer carries forward. The rest of the hit's
+// ProbeResult is rebuilt at hit time (the probe is the repeat submission's
+// own, completion is the current clock, latency zero), so the cache map
+// stays a third the width of full results.
+type cacheEntry struct {
+	ok   bool
+	host string
+	err  error
+}
+
+// hit materialises the cached answer for a repeat submission of p.
+func (c cacheEntry) hit(p Probe, now time.Duration) ProbeResult {
+	return ProbeResult{Probe: p, OK: c.ok, Host: c.host, Err: c.err, Done: now, Cached: true}
+}
 
 // Do issues the batch through the sliding window and returns one result per
 // probe, in submission order. Results for probes answered from the cache
 // carry Cached=true and zero latency.
+//
+// Contiguous submissions (the initial window fill, and window-sized refills
+// after drains) go through the transport's batch path when it has one; the
+// submit/collect interleaving — and with it every virtual timestamp — is
+// identical to the one-at-a-time loop.
 func (w *ProbeWindow) Do(batch []Probe) []ProbeResult {
 	out := make([]ProbeResult, len(batch))
 	st := w.Stream()
-	for i, p := range batch {
-		for st.Free() <= 0 {
+	i := 0
+	for i < len(batch) {
+		free := st.Free()
+		if free <= 0 {
 			tag, r := st.Collect()
 			out[tag] = r
+			continue
 		}
-		st.Submit(p, i)
+		if rem := len(batch) - i; rem < free {
+			free = rem
+		}
+		st.SubmitBatch(batch[i:i+free], i)
+		i += free
 	}
 	for st.Len() > 0 {
 		tag, r := st.Collect()
 		out[tag] = r
 	}
+	st.Abandon() // empty: recycles the ring
 	return out
 }
 
-// spending is one queued Stream entry: either a live in-flight probe (ch,
-// with peek holding its result once NextDone looked at it) or an instant
-// cache answer (cached) kept in the queue for ordering.
+// spending is one queued Stream entry. On the direct/batch fast paths the
+// result is already in res (done=true) when the entry is queued; the channel
+// is only used for transports without SubmitDirect, and drains into res the
+// first time NextDone or Collect looks at the entry. The probe itself lives
+// in res.Probe — every transport echoes the submitted probe there — so the
+// entry is one ProbeResult wide, not two.
 type spending struct {
-	p      Probe
 	tag    int
-	ch     <-chan ProbeResult
-	peek   *ProbeResult
-	cached *ProbeResult
+	ch     <-chan ProbeResult // pending result; nil once res is filled
+	res    ProbeResult
+	done   bool // res holds the completed transport result
+	cached bool // res came from the window cache (no transport slot held)
 }
 
 // Stream is the incremental interface to a ProbeWindow — the fully general
@@ -243,128 +321,250 @@ type spending struct {
 // collected, while the rest of the window stays in flight). Callers submit
 // tagged probes as Free() allows and Collect results strictly in submission
 // order; cache and bounded retry apply exactly as in Do.
+//
+// Entries live in a power-of-two-free ring buffer: push/pop are O(1) with no
+// per-entry allocation, and the live (slot-holding) count is tracked
+// incrementally instead of rescanned.
 type Stream struct {
-	w        *ProbeWindow
-	inflight []spending
+	w       *ProbeWindow
+	ring    []spending
+	head    int // index of the oldest entry
+	n       int // queued entries
+	live    int // entries occupying transport window slots
+	maxSeen int // high-water mark already pushed to the gauge
 }
 
-// Stream opens an incremental submission stream over the window.
-func (w *ProbeWindow) Stream() *Stream { return &Stream{w: w} }
-
-// live counts entries occupying transport window slots (cache answers are
-// free).
-func (s *Stream) live() int {
-	n := 0
-	for _, e := range s.inflight {
-		if e.ch != nil {
-			n++
-		}
+// Stream opens an incremental submission stream over the window, adopting
+// the recycled Stream header and ring buffer if free.
+func (w *ProbeWindow) Stream() *Stream {
+	s := w.spareStream
+	if s == nil {
+		s = &Stream{w: w}
+	} else {
+		w.spareStream = nil
+		s.head, s.n, s.live, s.maxSeen = 0, 0, 0, 0
 	}
-	return n
+	s.ring, w.spare = w.spare, nil
+	return s
 }
 
 // Free reports the remaining window capacity.
-func (s *Stream) Free() int { return s.w.cfg.Window - s.live() }
+func (s *Stream) Free() int { return s.w.cfg.Window - s.live }
 
 // Len reports queued entries awaiting Collect.
-func (s *Stream) Len() int { return len(s.inflight) }
+func (s *Stream) Len() int { return s.n }
+
+// push appends an entry at the ring's tail, growing if full.
+func (s *Stream) push(e spending) {
+	if s.n == len(s.ring) {
+		s.grow()
+	}
+	s.ring[(s.head+s.n)%len(s.ring)] = e
+	s.n++
+}
+
+// pop removes and returns the oldest entry.
+func (s *Stream) pop() spending {
+	e := s.ring[s.head]
+	s.ring[s.head] = spending{}
+	s.head = (s.head + 1) % len(s.ring)
+	s.n--
+	return e
+}
+
+// grow doubles the ring (initially sizing it to hold a full window plus
+// cache-hit slack) and linearises the live entries at the front.
+func (s *Stream) grow() {
+	size := 2 * len(s.ring)
+	if min := s.w.cfg.Window + 8; size < min {
+		size = min
+	}
+	buf := make([]spending, size)
+	for i := 0; i < s.n; i++ {
+		buf[i] = s.ring[(s.head+i)%len(s.ring)]
+	}
+	s.ring = buf
+	s.head = 0
+}
 
 // Submit enqueues one probe. A cache hit retires instantly without sending
 // a message; otherwise the probe is handed to the transport. Submit never
 // blocks — callers wanting overlap should stay within Free().
 func (s *Stream) Submit(p Probe, tag int) {
-	if s.w.cache != nil {
-		if c, ok := s.w.cache[cacheKey(p)]; ok {
-			s.w.m.cacheHits.Inc()
-			c.Cached = true
-			c.Done = s.w.p.Clock()
-			c.Latency = 0
-			s.inflight = append(s.inflight, spending{p: p, tag: tag, cached: &c})
+	w := s.w
+	if w.cache != nil {
+		if c, ok := w.cache[string(w.probeKey(p))]; ok {
+			w.m.cacheHits.Inc()
+			s.push(spending{tag: tag, res: c.hit(p, w.p.Clock()), done: true, cached: true})
 			return
 		}
 	}
-	s.inflight = append(s.inflight, spending{p: p, tag: tag, ch: s.w.p.Submit(s.w.withTimeout(p))})
-	s.w.m.submitted.Inc()
-	s.w.m.maxInFlight.SetMax(int64(s.live()))
+	e := spending{tag: tag}
+	if w.dp != nil {
+		e.res = w.dp.SubmitDirect(w.withTimeout(p))
+		e.done = true
+	} else {
+		e.ch = w.p.Submit(w.withTimeout(p))
+		e.res.Probe = p
+	}
+	s.live++
+	s.push(e)
+	w.m.submitted.Inc()
+	if s.live > s.maxSeen {
+		s.maxSeen = s.live
+		w.m.maxInFlight.SetMax(int64(s.live))
+	}
+}
+
+// SubmitBatch enqueues a contiguous run of probes with tags base, base+1, …
+// Maximal runs of consecutive cache misses go through the transport's
+// SubmitBatch (amortising its per-probe setup over the run); cache hits are
+// interleaved at exactly the position — and therefore the clock reading —
+// the equivalent Submit loop would give them.
+func (s *Stream) SubmitBatch(ps []Probe, base int) {
+	w := s.w
+	if w.bp == nil || len(ps) < 2 {
+		for i := range ps {
+			s.Submit(ps[i], base+i)
+		}
+		return
+	}
+	start := 0
+	for i := 0; i <= len(ps); i++ {
+		var c cacheEntry
+		hit := false
+		if i < len(ps) {
+			if w.cache != nil {
+				c, hit = w.cache[string(w.probeKey(ps[i]))]
+			}
+			if !hit {
+				continue
+			}
+		}
+		if run := i - start; run > 0 {
+			buf, res := w.batchScratch(run)
+			for j := 0; j < run; j++ {
+				buf[j] = w.withTimeout(ps[start+j])
+			}
+			w.bp.SubmitBatch(buf, res)
+			for j := 0; j < run; j++ {
+				s.live++
+				s.push(spending{tag: base + start + j, res: res[j], done: true})
+				w.m.submitted.Inc()
+				if s.live > s.maxSeen {
+					s.maxSeen = s.live
+					w.m.maxInFlight.SetMax(int64(s.live))
+				}
+			}
+		}
+		if hit {
+			w.m.cacheHits.Inc()
+			s.push(spending{tag: base + i, res: c.hit(ps[i], w.p.Clock()), done: true, cached: true})
+		}
+		start = i + 1
+	}
+}
+
+// batchScratch returns the window's reusable batch staging slices sized n.
+func (w *ProbeWindow) batchScratch(n int) ([]Probe, []ProbeResult) {
+	if cap(w.batchBuf) < n {
+		w.batchBuf = make([]Probe, n)
+		w.batchRes = make([]ProbeResult, n)
+	}
+	return w.batchBuf[:n], w.batchRes[:n]
 }
 
 // NextDone peeks at the completion time of the oldest queued entry without
-// collecting it (the transport fills the result channel at Submit time, so
-// the peek never blocks). Schedulers use it to decide whether a further
-// speculative submission rides for free: as long as the clock has not
-// reached the oldest completion, issuing another probe overlaps time the
-// stream would spend waiting anyway.
+// collecting it (the transport fills the result at Submit time, so the peek
+// never blocks). Schedulers use it to decide whether a further speculative
+// submission rides for free: as long as the clock has not reached the oldest
+// completion, issuing another probe overlaps time the stream would spend
+// waiting anyway.
 func (s *Stream) NextDone() (time.Duration, bool) {
-	if len(s.inflight) == 0 {
+	if s.n == 0 {
 		return 0, false
 	}
-	e := &s.inflight[0]
-	if e.cached != nil {
-		return e.cached.Done, true
+	e := &s.ring[s.head]
+	if !e.done {
+		e.res = <-e.ch
+		e.ch = nil
+		e.done = true
 	}
-	if e.peek == nil {
-		r := <-e.ch
-		e.peek = &r
-	}
-	return e.peek.Done, true
+	return e.res.Done, true
 }
 
 // Collect retires the oldest entry: synchronise the clock with its
 // completion, run the bounded retry loop on a miss, cache the final result
 // and return it with the submitter's tag.
 func (s *Stream) Collect() (int, ProbeResult) {
-	e := s.inflight[0]
-	s.inflight = s.inflight[1:]
-	if e.cached != nil {
-		return e.tag, *e.cached
+	e := s.pop()
+	if e.cached {
+		return e.tag, e.res
 	}
-	var r ProbeResult
-	if e.peek != nil {
-		r = *e.peek
-	} else {
+	s.live--
+	w := s.w
+	p0 := e.res.Probe
+	r := e.res
+	if !e.done {
 		r = <-e.ch
 	}
-	s.w.p.Collect(r)
+	w.p.Collect(r)
 	if !r.OK {
-		s.w.m.timeoutCost.AddDuration(r.Latency)
-		s.w.m.missWait.Observe(r.Latency)
+		w.m.timeoutCost.AddDuration(r.Latency)
+		w.m.missWait.Observe(r.Latency)
 	}
-	for attempt := 0; !r.OK && !errors.Is(r.Err, ErrUnsupported) && attempt < s.w.cfg.Retries; attempt++ {
-		if s.w.routeSpent != nil {
-			key := cacheKey(e.p)
-			if s.w.routeSpent[key] >= s.w.cfg.RouteBudget {
-				s.w.m.budgetDenied.Inc()
+	for attempt := 0; !r.OK && !errors.Is(r.Err, ErrUnsupported) && attempt < w.cfg.Retries; attempt++ {
+		if w.routeSpent != nil {
+			key := string(w.probeKey(p0))
+			if w.routeSpent[key] >= w.cfg.RouteBudget {
+				w.m.budgetDenied.Inc()
 				break
 			}
-			s.w.routeSpent[key]++
+			w.routeSpent[key]++
 		}
-		if s.w.cfg.Backoff > 0 {
-			wait := s.w.backoffWait(attempt)
-			if sl, ok := s.w.p.(Sleeper); ok {
+		if w.cfg.Backoff > 0 {
+			wait := w.backoffWait(attempt)
+			if sl, ok := w.p.(Sleeper); ok {
 				sl.Sleep(wait)
 			}
-			s.w.m.timeoutCost.AddDuration(wait)
-			s.w.m.backoffWait.AddDuration(wait)
+			w.m.timeoutCost.AddDuration(wait)
+			w.m.backoffWait.AddDuration(wait)
 		}
-		s.w.m.retries.Inc()
-		s.w.m.submitted.Inc()
-		r = <-s.w.p.Submit(s.w.withTimeout(e.p))
-		s.w.p.Collect(r)
+		w.m.retries.Inc()
+		w.m.submitted.Inc()
+		if w.dp != nil {
+			r = w.dp.SubmitDirect(w.withTimeout(p0))
+		} else {
+			r = <-w.p.Submit(w.withTimeout(p0))
+		}
+		w.p.Collect(r)
 		if !r.OK {
-			s.w.m.timeoutCost.AddDuration(r.Latency)
-			s.w.m.missWait.Observe(r.Latency)
+			w.m.timeoutCost.AddDuration(r.Latency)
+			w.m.missWait.Observe(r.Latency)
 		}
 	}
-	if s.w.cache != nil {
-		s.w.cache[cacheKey(e.p)] = r
+	if w.cache != nil {
+		w.cache[string(w.probeKey(p0))] = cacheEntry{ok: r.OK, host: r.Host, err: r.Err}
 	}
 	return e.tag, r
 }
 
 // Abandon drops every queued entry without collecting it: the messages were
 // sent and their overhead paid, but nobody waits for the responses. Used
-// when the consumer loses interest in its speculative lookahead.
-func (s *Stream) Abandon() { s.inflight = nil }
+// when the consumer loses interest in its speculative lookahead. The ring
+// and the Stream itself are recycled to the window for the next stream, so
+// a Stream must not be used after Abandon.
+func (s *Stream) Abandon() {
+	for i := range s.ring {
+		s.ring[i] = spending{}
+	}
+	s.head, s.n, s.live = 0, 0, 0
+	if s.ring != nil {
+		s.w.spare = s.ring
+		s.ring = nil
+	}
+	s.w.spareStream = s
+}
 
 // DoOne runs a single probe through the window (cache and retry apply; no
 // overlap, since there is nothing to overlap with).

@@ -20,12 +20,16 @@ type BenchResult struct {
 }
 
 // BenchSet is a parsed benchmark run: the `key: value` configuration lines
-// (goos, goarch, pkg, cpu) plus every measurement, in input order. Rev is
-// filled by the caller (typically a VCS revision) and rides along in the
-// JSON so baseline files are self-describing.
+// (goos, goarch, pkg, cpu — sanbench adds goamd64 and ncpu) plus every
+// measurement, in input order until SortResults or CollapseMin imposes the
+// deterministic name order baselines are committed in. Rev is filled by the
+// caller (typically a VCS revision) and rides along in the JSON so baseline
+// files are self-describing; Gates carries the wall-clock gates CI enforces
+// against the file (see CheckGates).
 type BenchSet struct {
 	Rev     string            `json:"rev,omitempty"`
 	Config  map[string]string `json:"config,omitempty"`
+	Gates   []BenchGate       `json:"gates,omitempty"`
 	Results []BenchResult     `json:"results"`
 }
 

@@ -1,0 +1,147 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Wall-clock gating. A committed baseline (BENCH_<rev>.json) carries a
+// gates block; CI re-measures the gated lanes and fails when a fresh value
+// breaks an absolute ceiling, a relative gate within the fresh run, or a
+// tolerance band against the baseline's own recorded value. Benchmarks on a
+// shared runner are noisy, so gate runs use -count N and gating reads the
+// per-name minimum — the stable statistic for a lower-bounded quantity.
+
+// BenchGate is one wall-clock gate. Names are benchmark result names
+// without the -P GOMAXPROCS suffix, so a baseline recorded on one machine
+// gates runs on another. Any combination of the three bounds may be set.
+type BenchGate struct {
+	// Name selects the gated result; Unit the metric (e.g. "ns/op").
+	Name string `json:"name"`
+	Unit string `json:"unit"`
+	// Max, when positive, is an absolute ceiling on the fresh value.
+	Max float64 `json:"max,omitempty"`
+	// RelativeTo and MaxRatio, when set, bound the ratio of the fresh
+	// value over the fresh value of another result in the same run —
+	// e.g. window8 ns/op at most 2x serial ns/op.
+	RelativeTo string  `json:"relative_to,omitempty"`
+	MaxRatio   float64 `json:"max_ratio,omitempty"`
+	// MaxRegress, when positive, is the tolerated fractional regression
+	// over the baseline's recorded value: fresh <= base * (1+MaxRegress).
+	MaxRegress float64 `json:"max_regress,omitempty"`
+}
+
+// BaseName strips the -P GOMAXPROCS suffix go test appends to benchmark
+// names, so gate lookups are machine-independent.
+func BaseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// SortResults orders the results by name (then iteration count), making the
+// baseline JSON deterministic across runs and map-iteration order.
+func (s *BenchSet) SortResults() {
+	sort.SliceStable(s.Results, func(i, j int) bool {
+		if s.Results[i].Name != s.Results[j].Name {
+			return s.Results[i].Name < s.Results[j].Name
+		}
+		return s.Results[i].Iterations < s.Results[j].Iterations
+	})
+}
+
+// CollapseMin merges duplicate result names — a `-count N` run — into one
+// result per name holding each unit's minimum across the repeats, then
+// sorts. Minima combine across repeats (the merged result is not any single
+// run), which is exactly the noise-robust reading wall-clock gates want.
+func (s *BenchSet) CollapseMin() {
+	byName := map[string]int{}
+	out := s.Results[:0]
+	for _, r := range s.Results {
+		i, ok := byName[r.Name]
+		if !ok {
+			byName[r.Name] = len(out)
+			out = append(out, r)
+			continue
+		}
+		m := &out[i]
+		if r.Iterations > m.Iterations {
+			m.Iterations = r.Iterations
+		}
+		for u, v := range r.Metrics {
+			if cur, ok := m.Metrics[u]; !ok || v < cur {
+				m.Metrics[u] = v
+			}
+		}
+	}
+	s.Results = out
+	s.SortResults()
+}
+
+// MetricOf returns the named result's metric, matching names without the
+// -P suffix and taking the minimum when a -count run recorded several.
+func (s *BenchSet) MetricOf(name, unit string) (float64, bool) {
+	best, found := 0.0, false
+	for _, r := range s.Results {
+		if BaseName(r.Name) != name {
+			continue
+		}
+		v, ok := r.Metrics[unit]
+		if !ok {
+			continue
+		}
+		if !found || v < best {
+			best, found = v, true
+		}
+	}
+	return best, found
+}
+
+// CheckGates evaluates base's gates against the fresh run, returning one
+// error per violation. Passing the same set as both checks a new baseline
+// against its own absolute and relative gates (regression gates then
+// trivially hold).
+func CheckGates(base, fresh *BenchSet) []error {
+	var errs []error
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf(format, args...))
+	}
+	for _, g := range base.Gates {
+		v, ok := fresh.MetricOf(g.Name, g.Unit)
+		if !ok {
+			fail("gate %s: fresh run has no %s", g.Name, g.Unit)
+			continue
+		}
+		if g.Max > 0 && v > g.Max {
+			fail("gate %s: %s %.0f exceeds ceiling %.0f", g.Name, g.Unit, v, g.Max)
+		}
+		if g.RelativeTo != "" && g.MaxRatio > 0 {
+			ref, ok := fresh.MetricOf(g.RelativeTo, g.Unit)
+			switch {
+			case !ok || ref <= 0:
+				fail("gate %s: fresh run has no usable %s for %s", g.Name, g.Unit, g.RelativeTo)
+			case v > ref*g.MaxRatio:
+				fail("gate %s: %s %.0f is %.2fx %s (%.0f), above the %.2fx bound",
+					g.Name, g.Unit, v, v/ref, g.RelativeTo, ref, g.MaxRatio)
+			}
+		}
+		if g.MaxRegress > 0 {
+			bv, ok := base.MetricOf(g.Name, g.Unit)
+			switch {
+			case !ok || bv <= 0:
+				fail("gate %s: baseline has no usable %s to regress against", g.Name, g.Unit)
+			case v > bv*(1+g.MaxRegress):
+				fail("gate %s: %s regressed %.1f%% (%.0f -> %.0f), tolerance %.0f%%",
+					g.Name, g.Unit, 100*(v/bv-1), bv, v, 100*g.MaxRegress)
+			}
+		}
+	}
+	return errs
+}

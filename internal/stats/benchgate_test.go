@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkMap-64":             "BenchmarkMap",
+		"BenchmarkMap":                "BenchmarkMap",
+		"BenchmarkMap/window8-4":      "BenchmarkMap/window8",
+		"BenchmarkMap/weird-suffix":   "BenchmarkMap/weird-suffix",
+		"BenchmarkPipelined/serial-1": "BenchmarkPipelined/serial",
+	} {
+		if got := BaseName(in); got != want {
+			t.Errorf("BaseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestCollapseMinAndSort(t *testing.T) {
+	set := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkB-4", Iterations: 100, Metrics: map[string]float64{"ns/op": 300, "allocs/op": 7}},
+		{Name: "BenchmarkA-4", Iterations: 100, Metrics: map[string]float64{"ns/op": 50}},
+		{Name: "BenchmarkB-4", Iterations: 200, Metrics: map[string]float64{"ns/op": 250, "allocs/op": 9}},
+	}}
+	set.CollapseMin()
+	if len(set.Results) != 2 {
+		t.Fatalf("collapsed to %d results, want 2", len(set.Results))
+	}
+	if set.Results[0].Name != "BenchmarkA-4" || set.Results[1].Name != "BenchmarkB-4" {
+		t.Fatalf("not sorted: %q, %q", set.Results[0].Name, set.Results[1].Name)
+	}
+	b := set.Results[1]
+	if b.Metrics["ns/op"] != 250 || b.Metrics["allocs/op"] != 7 || b.Iterations != 200 {
+		t.Errorf("min-merge wrong: %+v", b)
+	}
+}
+
+func mkSet(vals map[string]float64) *BenchSet {
+	s := &BenchSet{}
+	for name, v := range vals {
+		s.Results = append(s.Results, BenchResult{
+			Name: name + "-8", Iterations: 100, Metrics: map[string]float64{"ns/op": v}})
+	}
+	s.SortResults()
+	return s
+}
+
+func TestCheckGates(t *testing.T) {
+	gates := []BenchGate{
+		{Name: "BenchmarkW8", Unit: "ns/op", RelativeTo: "BenchmarkSerial", MaxRatio: 2.0, MaxRegress: 0.15},
+		{Name: "BenchmarkSerial", Unit: "ns/op", MaxRegress: 0.15},
+		{Name: "BenchmarkAbs", Unit: "ns/op", Max: 1000},
+	}
+	base := mkSet(map[string]float64{"BenchmarkW8": 180, "BenchmarkSerial": 100, "BenchmarkAbs": 900})
+	base.Gates = gates
+
+	// A baseline passes against itself (regression gates compare 1:1).
+	if errs := CheckGates(base, base); len(errs) != 0 {
+		t.Fatalf("self-check failed: %v", errs)
+	}
+	// Fresh run inside every band.
+	ok := mkSet(map[string]float64{"BenchmarkW8": 190, "BenchmarkSerial": 105, "BenchmarkAbs": 950})
+	if errs := CheckGates(base, ok); len(errs) != 0 {
+		t.Fatalf("in-band run failed: %v", errs)
+	}
+	// Ratio break: W8 jumps over 2x the fresh serial (and over the band).
+	bad := mkSet(map[string]float64{"BenchmarkW8": 260, "BenchmarkSerial": 101, "BenchmarkAbs": 950})
+	errs := CheckGates(base, bad)
+	if len(errs) != 2 {
+		t.Fatalf("ratio+regress break: got %d errors (%v), want 2", len(errs), errs)
+	}
+	// Regression break on the serial lane only.
+	slow := mkSet(map[string]float64{"BenchmarkW8": 180, "BenchmarkSerial": 120, "BenchmarkAbs": 950})
+	errs = CheckGates(base, slow)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "BenchmarkSerial") {
+		t.Fatalf("regress break: %v", errs)
+	}
+	// Absolute ceiling break.
+	big := mkSet(map[string]float64{"BenchmarkW8": 180, "BenchmarkSerial": 100, "BenchmarkAbs": 1200})
+	errs = CheckGates(base, big)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "ceiling") {
+		t.Fatalf("ceiling break: %v", errs)
+	}
+	// Missing lane in the fresh run.
+	missing := mkSet(map[string]float64{"BenchmarkSerial": 100, "BenchmarkAbs": 900})
+	if errs = CheckGates(base, missing); len(errs) != 1 {
+		t.Fatalf("missing lane: %v", errs)
+	}
+}
+
+func TestMetricOfTakesMin(t *testing.T) {
+	s := &BenchSet{Results: []BenchResult{
+		{Name: "BenchmarkX-4", Metrics: map[string]float64{"ns/op": 120}},
+		{Name: "BenchmarkX-4", Metrics: map[string]float64{"ns/op": 90}},
+		{Name: "BenchmarkX-4", Metrics: map[string]float64{"ns/op": 110}},
+	}}
+	if v, ok := s.MetricOf("BenchmarkX", "ns/op"); !ok || v != 90 {
+		t.Fatalf("MetricOf = %v, %v; want 90, true", v, ok)
+	}
+	if _, ok := s.MetricOf("BenchmarkY", "ns/op"); ok {
+		t.Fatal("MetricOf found a missing benchmark")
+	}
+}
