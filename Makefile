@@ -1,10 +1,14 @@
 GO ?= go
 
 # Packages with concurrency-sensitive code (the pipelined probe engine and
-# everything layered on it) get a dedicated race-detector lane.
-RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... ./internal/election/...
+# everything layered on it, plus the event queue, worm simulator, experiment
+# drivers, active-message layer and telemetry) get a dedicated race-detector
+# lane.
+RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... \
+	./internal/election/... ./internal/eventq/... ./internal/wormsim/... \
+	./internal/experiments/... ./internal/amlayer/... ./internal/obs/...
 
-.PHONY: build vet lint trace-smoke test race chaos bench bench-smoke bench-gate bench-large bench-baseline ci
+.PHONY: build vet lint lint-json trace-smoke test race chaos bench bench-smoke bench-gate bench-large bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -13,8 +17,15 @@ vet:
 	$(GO) vet ./...
 
 # lint runs go vet plus the repo's own analyzers (cmd/sanlint: determinism,
-# hotpath, epochcheck, senterr — see DESIGN.md §8), then checks that the
-# tree is gofmt-clean and go.mod/go.sum are tidy.
+# epochcheck, goroutine, hotpath, lockcheck, senterr — see DESIGN.md §8 and
+# §13), then checks that the tree is gofmt-clean and go.mod/go.sum are tidy.
+#
+# Annotation grammar recognised by the analyzers:
+#   //sanlint:hotpath        (func)  body must be allocation-free; exports the fact
+#   //sanlint:epoch          (field) cache-epoch counter for epochcheck
+#   //sanlint:topostate      (field) epoch-guarded state for epochcheck
+#   //sanlint:guards a,b     (field) mutex field protecting sibling fields a,b
+#   //sanlint:daemon         (func)  may launch unjoined goroutines
 lint: vet
 	$(GO) run ./cmd/sanlint ./...
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
@@ -27,6 +38,13 @@ lint: vet
 # fault or telemetry stack. Regenerate the fixture after an intentional
 # change with:
 #   $(GO) run ./cmd/sanmap -gen now-c -chaos seed=3 -trace cmd/sanmap/testdata/trace-chaos-seed3.json
+# lint-json archives the full finding set (normally empty) as a stable JSON
+# artifact so CI can diff lint output between commits.
+lint-json:
+	$(GO) run ./cmd/sanlint -json ./... > sanlint-findings.json || \
+		{ cat sanlint-findings.json; exit 1; }
+	@echo wrote sanlint-findings.json
+
 trace-smoke:
 	@tmp=$$(mktemp); \
 	$(GO) run ./cmd/sanmap -gen now-c -chaos seed=3 -trace $$tmp > /dev/null && \
@@ -96,4 +114,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -min -gates bench_gates.json -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint trace-smoke test race chaos bench-smoke bench-gate bench-large
+ci: build lint lint-json trace-smoke test race chaos bench-smoke bench-gate bench-large

@@ -5,12 +5,23 @@
 // named check with a Run function, a Pass hands it one type-checked package,
 // and diagnostics are collected positions with messages.
 //
+// Since PR 8 the framework is whole-program: the loader returns the full
+// in-module dependency closure in dependency order, analyzers export typed
+// Facts on objects and packages (facts.go) and import them when analyzing
+// dependents, and an analyzer may Require others — most usefully the
+// callgraph analyzer — whose per-package results arrive via Pass.ResultOf.
+// That is what lets hotpath's h7 and the determinism taint follow calls
+// across package boundaries, and lockcheck accumulate a global lock-order
+// graph.
+//
 // The framework also defines the `//sanlint:` annotation grammar shared by
-// the analyzers (see DESIGN.md §8):
+// the analyzers (see DESIGN.md §8 and §13):
 //
 //	//sanlint:hotpath    on a function: the body must be allocation-free
 //	//sanlint:epoch      on a struct field: the invalidation counter
 //	//sanlint:topostate  on a struct field: writes must bump the epoch field
+//	//sanlint:guards a,b on a mutex field: it guards the sibling fields a, b
+//	//sanlint:daemon     on a function: may launch unjoined goroutines
 //
 // Annotations are directive comments (no space after //), so gofmt leaves
 // them alone, exactly like //go:noinline.
@@ -25,15 +36,24 @@ import (
 	"strings"
 )
 
-// An Analyzer is one static check. Run is invoked once per package and
-// reports findings through the Pass.
+// An Analyzer is one static check. Run is invoked once per package — in
+// dependency order across the program — and reports findings through the
+// Pass. Its optional result value (e.g. the callgraph) is made available to
+// same-package passes of analyzers that list it in Requires.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and fixture expectations.
 	Name string
 	// Doc is a one-paragraph description of the invariant enforced.
 	Doc string
-	// Run executes the check over one type-checked package.
-	Run func(*Pass) error
+	// Requires lists analyzers that must run on the same package first;
+	// their results are available through Pass.ResultOf.
+	Requires []*Analyzer
+	// FactTypes declares the fact types this analyzer exports, one zero
+	// value per type (documentation and -fact-debug labelling).
+	FactTypes []Fact
+	// Run executes the check over one type-checked package and optionally
+	// returns a result for dependent analyzers.
+	Run func(*Pass) (any, error)
 }
 
 // A Diagnostic is one finding, anchored to a source position.
@@ -41,6 +61,9 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Message  string
 	Analyzer string
+	// Package is the import path of the package the finding was reported
+	// in; cmd/sanlint uses it to scope the determinism analyzer.
+	Package string
 }
 
 // A Pass connects an Analyzer to one type-checked package.
@@ -49,10 +72,15 @@ type Pass struct {
 	Fset     *token.FileSet
 	// Files are the parsed files of the package, including in-package
 	// _test.go files (external test packages are not loaded).
-	Files     []*ast.File
-	Pkg       *types.Package
-	TypesInfo *types.Info
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	ImportPath string
+	// ResultOf holds the same-package results of the analyzers listed in
+	// Analyzer.Requires.
+	ResultOf map[*Analyzer]any
 
+	prog        *factStore
 	diagnostics []Diagnostic
 }
 
@@ -62,36 +90,159 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 		Pos:      pos,
 		Message:  fmt.Sprintf(format, args...),
 		Analyzer: p.Analyzer.Name,
+		Package:  p.ImportPath,
 	})
 }
 
-// Run applies each analyzer to each package and returns every diagnostic,
-// sorted by file position. The error aggregates analyzer failures (not
-// findings; findings are the diagnostics).
-func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+// A Result is the outcome of one whole-program Run: the diagnostics of the
+// target (non-DepOnly) packages, sorted by position, plus the accumulated
+// fact tables for -fact-debug.
+type Result struct {
+	Diagnostics []Diagnostic
+	store       *factStore
+}
+
+// ObjectFacts returns every exported object fact, sorted by object key then
+// analyzer then fact type — a stable ordering for the -fact-debug dump.
+func (r *Result) ObjectFacts() []ObjectFact {
+	var out []ObjectFact
+	for k, f := range r.store.obj {
+		out = append(out, ObjectFact{Key: k.key, Analyzer: k.analyzer, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	return out
+}
+
+// PackageFacts returns every exported package fact, sorted by path then
+// analyzer then fact type.
+func (r *Result) PackageFacts() []PackageFact {
+	var out []PackageFact
+	for k, f := range r.store.pkg {
+		out = append(out, PackageFact{Path: k.path, Analyzer: k.analyzer, Fact: f})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return fmt.Sprintf("%T", a.Fact) < fmt.Sprintf("%T", b.Fact)
+	})
+	return out
+}
+
+// Run applies the analyzers (plus their transitive Requires) to every
+// package in pkgs, which must be in dependency order as returned by Load:
+// facts exported while analyzing a dependency are importable by its
+// dependents. Dependency-only packages are analyzed for their facts but
+// their diagnostics are discarded; only findings in the target packages are
+// returned, sorted by file, line, column, then analyzer name. The error
+// aggregates analyzer failures (not findings; findings are the
+// diagnostics).
+func Run(pkgs []*Package, analyzers []*Analyzer) (*Result, error) {
+	ordered, err := expandRequires(analyzers)
+	if err != nil {
+		return nil, err
+	}
+	store := newFactStore()
+	for _, pkg := range pkgs {
+		store.loaded[pkg.ImportPath] = true
+	}
+
+	res := &Result{store: store}
 	var errs []string
 	for _, pkg := range pkgs {
-		for _, a := range analyzers {
+		results := make(map[*Analyzer]any)
+		for _, a := range ordered {
 			pass := &Pass{
-				Analyzer:  a,
-				Fset:      pkg.Fset,
-				Files:     pkg.Files,
-				Pkg:       pkg.Types,
-				TypesInfo: pkg.TypesInfo,
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				ImportPath: pkg.ImportPath,
+				ResultOf:   make(map[*Analyzer]any, len(a.Requires)),
+				prog:       store,
 			}
-			if err := a.Run(pass); err != nil {
+			for _, req := range a.Requires {
+				pass.ResultOf[req] = results[req]
+			}
+			out, err := a.Run(pass)
+			if err != nil {
 				errs = append(errs, fmt.Sprintf("%s on %s: %v", a.Name, pkg.ImportPath, err))
 				continue
 			}
-			diags = append(diags, pass.diagnostics...)
+			results[a] = out
+			if !pkg.DepOnly && requested(analyzers, a) {
+				res.Diagnostics = append(res.Diagnostics, pass.diagnostics...)
+			}
 		}
-		sortDiagnostics(pkg.Fset, diags)
 	}
+	sortDiagnostics(firstFset(pkgs), res.Diagnostics)
 	if len(errs) > 0 {
-		return diags, fmt.Errorf("analysis: %s", strings.Join(errs, "; "))
+		return res, fmt.Errorf("analysis: %s", strings.Join(errs, "; "))
 	}
-	return diags, nil
+	return res, nil
+}
+
+// requested reports whether a was asked for directly (diagnostics of
+// analyzers pulled in only as Requires dependencies are not reported).
+func requested(analyzers []*Analyzer, a *Analyzer) bool {
+	for _, x := range analyzers {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// expandRequires returns the analyzers plus their transitive requirements
+// in an order where every requirement precedes its dependents.
+func expandRequires(analyzers []*Analyzer) ([]*Analyzer, error) {
+	var out []*Analyzer
+	state := make(map[*Analyzer]int) // 0 unvisited, 1 visiting, 2 done
+	var visit func(a *Analyzer) error
+	visit = func(a *Analyzer) error {
+		switch state[a] {
+		case 1:
+			return fmt.Errorf("analysis: requirement cycle through %s", a.Name)
+		case 2:
+			return nil
+		}
+		state[a] = 1
+		for _, req := range a.Requires {
+			if err := visit(req); err != nil {
+				return err
+			}
+		}
+		state[a] = 2
+		out = append(out, a)
+		return nil
+	}
+	for _, a := range analyzers {
+		if err := visit(a); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func firstFset(pkgs []*Package) *token.FileSet {
+	if len(pkgs) > 0 {
+		return pkgs[0].Fset // Load shares one FileSet across the program
+	}
+	return token.NewFileSet()
 }
 
 func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
@@ -103,7 +254,10 @@ func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 		if pi.Line != pj.Line {
 			return pi.Line < pj.Line
 		}
-		return pi.Column < pj.Column
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
 	})
 }
 
@@ -111,20 +265,33 @@ func sortDiagnostics(fset *token.FileSet, diags []Diagnostic) {
 const annotationPrefix = "//sanlint:"
 
 // HasAnnotation reports whether the comment group carries the directive
-// //sanlint:<name>. Directive comments must start the line exactly (no
-// leading space after //), mirroring the //go: convention.
+// //sanlint:<name>, with or without an argument. Directive comments must
+// start the line exactly (no leading space after //), mirroring the //go:
+// convention.
 func HasAnnotation(cg *ast.CommentGroup, name string) bool {
+	_, ok := AnnotationArg(cg, name)
+	return ok
+}
+
+// AnnotationArg returns the argument of the directive //sanlint:<name> in
+// the comment group — the text after the directive word, e.g. "model,epoch"
+// in `//sanlint:guards model,epoch` — and whether the directive is present
+// at all. Argument-free directives return ("", true).
+func AnnotationArg(cg *ast.CommentGroup, name string) (string, bool) {
 	if cg == nil {
-		return false
+		return "", false
 	}
 	want := annotationPrefix + name
 	for _, c := range cg.List {
 		text := strings.TrimSpace(c.Text)
 		if text == want {
-			return true
+			return "", true
+		}
+		if rest, ok := strings.CutPrefix(text, want+" "); ok {
+			return strings.TrimSpace(rest), true
 		}
 	}
-	return false
+	return "", false
 }
 
 // FieldHasAnnotation checks both the doc comment above a struct field and
@@ -133,6 +300,50 @@ func FieldHasAnnotation(f *ast.Field, name string) bool {
 	return HasAnnotation(f.Doc, name) || HasAnnotation(f.Comment, name)
 }
 
+// FieldAnnotationArg returns the argument of the field's directive, looking
+// at both the doc comment and the trailing line comment.
+func FieldAnnotationArg(f *ast.Field, name string) (string, bool) {
+	if arg, ok := AnnotationArg(f.Doc, name); ok {
+		return arg, ok
+	}
+	return AnnotationArg(f.Comment, name)
+}
+
 // FuncIsHotpath reports whether the function declaration is annotated
 // //sanlint:hotpath.
 func FuncIsHotpath(fd *ast.FuncDecl) bool { return HasAnnotation(fd.Doc, "hotpath") }
+
+// StaticCallee resolves call to the concrete function or method it invokes,
+// or nil when the callee is dynamic (an interface method, a func-typed
+// variable or field), a builtin, or a type conversion. Methods of generic
+// types resolve to their generic origin — the declaration annotations and
+// facts live on.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return nil // conversion
+	}
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	default:
+		return nil
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	fn = fn.Origin()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if types.IsInterface(sig.Recv().Type()) {
+			return nil // dynamic dispatch
+		}
+	}
+	return fn
+}
+
+// FuncIsDaemon reports whether the function declaration is annotated
+// //sanlint:daemon — exempt from the goroutine-lifecycle join rule.
+func FuncIsDaemon(fd *ast.FuncDecl) bool { return HasAnnotation(fd.Doc, "daemon") }

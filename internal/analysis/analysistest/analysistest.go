@@ -10,6 +10,13 @@
 // Every expectation must be matched by a diagnostic on that line, and every
 // diagnostic must be matched by an expectation; either mismatch fails the
 // test. Fixture packages live under testdata/src/<name> and must type-check.
+//
+// A fixture may be multi-package: subdirectories of testdata/src/<name> are
+// loaded along with the root (the whole `./...` subtree, dependencies
+// ordered first), so cross-package rules — interprocedural hotpath h7,
+// determinism taint through helper packages — are testable by making the
+// root package import its fixture-local helpers. Want comments are honored
+// in every package of the subtree.
 package analysistest
 
 import (
@@ -31,36 +38,45 @@ type expectation struct {
 	matched bool
 }
 
-// Run loads testdata/src/<pkg>, applies the analyzer, and reports mismatches
-// between its diagnostics and the fixtures' want comments.
+// Run loads the `./...` subtree at testdata/src/<pkg>, applies the analyzer
+// whole-program (dependencies first, facts propagating), and reports
+// mismatches between its diagnostics and the fixtures' want comments.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
-	pkgs, err := analysis.Load(dir, ".")
+	pkgs, err := analysis.Load(dir, "./...")
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", dir, err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: loaded %d packages, want 1", dir, len(pkgs))
+	var fixture []*analysis.Package
+	for _, p := range pkgs {
+		if !p.DepOnly {
+			fixture = append(fixture, p)
+		}
 	}
-	p := pkgs[0]
+	if len(fixture) == 0 {
+		t.Fatalf("fixture %s: loaded no packages", dir)
+	}
 
 	var wants []*expectation
-	for _, f := range p.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				wants = append(wants, parseWants(t, p.Fset, c)...)
+	for _, p := range fixture {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, p.Fset, c)...)
+				}
 			}
 		}
 	}
 
-	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	res, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
 	}
 
-	for _, d := range diags {
-		pos := p.Fset.Position(d.Pos)
+	fset := fixture[0].Fset
+	for _, d := range res.Diagnostics {
+		pos := fset.Position(d.Pos)
 		if !claim(wants, pos, d.Message) {
 			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
 		}

@@ -31,26 +31,50 @@
 //
 // Pure accumulation — counters, min/max folds, writes into other maps —
 // passes: those are order-independent.
+//
+// Since PR 8 the wall-clock and global-rand rules are interprocedural: the
+// analyzer exports a NondetFact for every function that reaches time.Now or
+// the global generator — directly, through same-package helpers (a local
+// fixpoint over the callgraph result), or through already-tainted functions
+// in dependency packages (imported facts). A call that crosses a package
+// boundary into a tainted function is flagged at that call site: the
+// virtual-time entry point, not the helper package the source hides in.
 package determinism
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"sanmap/internal/analysis"
+	"sanmap/internal/analysis/callgraph"
 )
 
-// Analyzer flags nondeterministic constructs: wall-clock time, the global
-// math/rand generator, and order-sensitive map iteration.
-var Analyzer = &analysis.Analyzer{
-	Name: "determinism",
-	Doc: "experiments must be reproducible: no time.Now, no global " +
-		"math/rand, no map iteration that publishes order-dependent output",
-	Run: run,
+// NondetFact marks a function that reaches a nondeterministic source. Path
+// is the call chain down to the source, e.g. ["Stamp", "time.Now"].
+type NondetFact struct {
+	Path []string
 }
 
-func run(pass *analysis.Pass) error {
+func (*NondetFact) AFact() {}
+
+func (f *NondetFact) String() string { return "reaches " + strings.Join(f.Path, " -> ") }
+
+// Analyzer flags nondeterministic constructs: wall-clock time, the global
+// math/rand generator (both followed through helper calls across package
+// boundaries), and order-sensitive map iteration.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: "experiments must be reproducible: no time.Now or global " +
+		"math/rand reach (even through helper packages), no map iteration " +
+		"that publishes order-dependent output",
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{&NondetFact{}},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -60,7 +84,124 @@ func run(pass *analysis.Pass) error {
 			checkFunc(pass, fd.Body)
 		}
 	}
-	return nil
+	g, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+	if g != nil {
+		taint(pass, g)
+	}
+	return nil, nil
+}
+
+// taint computes which local functions reach a nondeterministic source,
+// exports their facts, and flags calls that import taint from another
+// package — the entry points where real time would leak into virtual time.
+func taint(pass *analysis.Pass, g *callgraph.Graph) {
+	keys := make([]string, 0, len(g.Decls))
+	for key := range g.Decls {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+
+	// Seed: functions calling time.Now / global math/rand directly.
+	nondet := make(map[string][]string)
+	for _, key := range keys {
+		src := ""
+		ast.Inspect(g.Decls[key].Body, func(n ast.Node) bool {
+			if src != "" {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if s := globalSourceName(pass, call); s != "" {
+					src = s
+					return false
+				}
+			}
+			return true
+		})
+		if src != "" {
+			nondet[key] = []string{src}
+		}
+	}
+
+	// Fixpoint over the local call graph, seeding from imported facts at
+	// cross-package edges. Sorted iteration keeps the recorded chains (and
+	// so the -fact-debug dump) deterministic.
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			if nondet[key] != nil {
+				continue
+			}
+			for _, callee := range g.Callees[key] {
+				var chain []string
+				if local := nondet[analysis.ObjectKey(callee)]; local != nil {
+					chain = local
+				} else if callee.Pkg() != pass.Pkg && pass.InModule(callee.Pkg()) {
+					var fact NondetFact
+					if pass.ImportObjectFact(callee, &fact) {
+						chain = fact.Path
+					}
+				}
+				if chain != nil {
+					nondet[key] = append([]string{chainName(pass, callee)}, chain...)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for _, key := range keys {
+		if chain := nondet[key]; chain != nil {
+			pass.ExportObjectFact(g.Funcs[key], &NondetFact{Path: chain})
+		}
+	}
+
+	// Report at the import edge: a call into another in-module package
+	// whose callee carries taint. Intra-package reaches are not re-flagged
+	// here — their root source (or their own import edge) already is.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.StaticCallee(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg || !pass.InModule(fn.Pkg()) {
+				return true
+			}
+			var fact NondetFact
+			if pass.ImportObjectFact(fn, &fact) {
+				pass.Reportf(call.Pos(), "call to %s reaches %s; thread the virtual clock or an explicit *rand.Rand instead",
+					chainName(pass, fn), strings.Join(fact.Path, " -> "))
+			}
+			return true
+		})
+	}
+}
+
+// chainName renders a callee for taint chains: package-qualified when the
+// function lives elsewhere, bare within the package under analysis.
+func chainName(pass *analysis.Pass, fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if tn := recvTypeName(sig.Recv().Type()); tn != "" {
+			name = tn + "." + name
+		}
+	}
+	if fn.Pkg() != nil && fn.Pkg() != pass.Pkg {
+		return fn.Pkg().Name() + "." + name
+	}
+	return name
+}
+
+// recvTypeName unwraps *T / T receivers to the named type's name.
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
 }
 
 func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
@@ -79,32 +220,46 @@ func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
 
 // checkGlobalSource flags time.Now and package-level math/rand functions.
 func checkGlobalSource(pass *analysis.Pass, call *ast.CallExpr) {
+	switch src := globalSourceName(pass, call); src {
+	case "":
+	case "time.Now":
+		pass.Reportf(call.Pos(), "time.Now is nondeterministic; thread the virtual clock (simnet.Net.Clock) or an explicit time source")
+	default:
+		pass.Reportf(call.Pos(), "global math/rand %s draws from process-global state; thread an explicit *rand.Rand so the seed reproduces the run", strings.TrimPrefix(src, "rand."))
+	}
+}
+
+// globalSourceName classifies a call as a nondeterministic source: it
+// returns "time.Now", "rand.<Name>" for the package-level math/rand
+// functions, or "".
+func globalSourceName(pass *analysis.Pass, call *ast.CallExpr) string {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return
+		return ""
 	}
 	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
 	if !ok || fn.Pkg() == nil {
-		return
+		return ""
 	}
 	// Methods (e.g. (*rand.Rand).Intn) have a receiver; only package-level
 	// functions draw from global state.
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
-		return
+		return ""
 	}
 	switch fn.Pkg().Path() {
 	case "time":
 		if fn.Name() == "Now" {
-			pass.Reportf(call.Pos(), "time.Now is nondeterministic; thread the virtual clock (simnet.Net.Clock) or an explicit time source")
+			return "time.Now"
 		}
 	case "math/rand", "math/rand/v2":
 		// Constructors (New, NewSource, NewPCG, ...) build explicit
 		// generators — that is exactly the sanctioned pattern.
 		if strings.HasPrefix(fn.Name(), "New") {
-			return
+			return ""
 		}
-		pass.Reportf(call.Pos(), "global math/rand %s draws from process-global state; thread an explicit *rand.Rand so the seed reproduces the run", fn.Name())
+		return "rand." + fn.Name()
 	}
+	return ""
 }
 
 // checkMapRange applies the D1–D4 sink rules to one map-range loop.

@@ -42,10 +42,10 @@ type contract struct {
 	guarded    map[string]bool
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	contracts := collectContracts(pass)
 	if len(contracts) == 0 {
-		return nil
+		return nil, nil
 	}
 
 	// First pass: which methods bump the epoch field of their receiver
@@ -72,7 +72,7 @@ func run(pass *analysis.Pass) error {
 				fn.Name(), w.field, c.epochField)
 		}
 	})
-	return nil
+	return nil, nil
 }
 
 // collectContracts finds annotated struct types: named type -> contract.

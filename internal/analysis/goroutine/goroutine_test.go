@@ -1,0 +1,12 @@
+package goroutine_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/goroutine"
+)
+
+func TestGoroutine(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), goroutine.Analyzer, "goroutine")
+}

@@ -17,10 +17,15 @@
 //   - explicit conversions to interface types (h4: boxing);
 //   - defer or go statements (h5);
 //   - string concatenation (h6);
-//   - calls to unannotated functions or methods of the same package (h7:
-//     the hot path must be annotated transitively; stdlib and other
-//     packages are outside the annotation's reach and left to the runtime
-//     gates).
+//   - calls to functions that are not provably allocation-free (h7): a
+//     same-package callee must carry the //sanlint:hotpath annotation, and
+//     a callee in another in-module package must carry the exported
+//     AllocFreeFact — which it earns by being annotated, so the hot path
+//     is annotated transitively across package boundaries (closing the
+//     simnet→eventq→wormsim gap the per-package rule used to punt on).
+//     Stdlib callees and dynamic calls (interface methods, func values)
+//     remain outside the annotation's static reach and are left to the
+//     runtime AllocsPerRun gates.
 //
 // Arguments of panic(...) are exempt from every rule: panics are cold
 // guard paths (the eval kernel formats its invariant violations there).
@@ -34,23 +39,39 @@ import (
 	"sanmap/internal/analysis"
 )
 
+// AllocFreeFact marks a function proven allocation-free: it carries the
+// //sanlint:hotpath annotation, so this analyzer has checked its body. The
+// fact is what h7 demands of cross-package callees.
+type AllocFreeFact struct{}
+
+func (*AllocFreeFact) AFact()         {}
+func (*AllocFreeFact) String() string { return "allocfree" }
+
 // Analyzer enforces zero-allocation discipline on //sanlint:hotpath funcs.
 var Analyzer = &analysis.Analyzer{
 	Name: "hotpath",
 	Doc: "//sanlint:hotpath functions must stay allocation-free: no " +
 		"map/slice/chan literals, escaping closures, foreign appends, " +
 		"interface boxing, defer/go, string concatenation, or calls to " +
-		"unannotated same-package functions",
-	Run: run,
+		"functions not provably allocation-free (transitive annotation, " +
+		"across packages)",
+	FactTypes: []analysis.Fact{&AllocFreeFact{}},
+	Run:       run,
 }
 
-func run(pass *analysis.Pass) error {
+func run(pass *analysis.Pass) (any, error) {
 	// Annotated function objects, for the transitive-annotation rule h7.
+	// Exporting the fact first makes every annotated function visible to
+	// dependent packages analyzed later in the program order.
 	annotated := make(map[types.Object]bool)
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			if fd, ok := decl.(*ast.FuncDecl); ok && analysis.FuncIsHotpath(fd) {
-				annotated[pass.TypesInfo.Defs[fd.Name]] = true
+				obj := pass.TypesInfo.Defs[fd.Name]
+				annotated[obj] = true
+				if fn, ok := obj.(*types.Func); ok {
+					pass.ExportObjectFact(fn, &AllocFreeFact{})
+				}
 			}
 		}
 	}
@@ -64,7 +85,7 @@ func run(pass *analysis.Pass) error {
 			c.walk(fd.Body)
 		}
 	}
-	return nil
+	return nil, nil
 }
 
 // ownedObjects collects the receiver and parameter objects of fd: the roots
@@ -164,17 +185,31 @@ func (c *checker) checkBuiltin(name string, call *ast.CallExpr) {
 	}
 }
 
-// checkCallee enforces h7: same-package callees must be annotated.
+// checkCallee enforces h7: a same-package callee must be annotated, and a
+// callee in another in-module package must carry the exported
+// allocation-free fact. Stdlib callees and dynamic calls stay exempt.
 func (c *checker) checkCallee(call *ast.CallExpr, obj types.Object) {
 	fn, ok := obj.(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg() != c.pass.Pkg {
+	if !ok || fn.Pkg() == nil {
 		return
 	}
 	// Methods of generic types are used through instantiations; compare
 	// against the generic declaration the annotation sits on.
 	fn = fn.Origin()
-	if !c.annotated[fn] {
-		c.pass.Reportf(call.Pos(), "hotpath: call to unannotated same-package function %s (annotate it //sanlint:hotpath or move it off the hot path)", fn.Name())
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+		return // dynamic dispatch: outside the annotation's static reach
+	}
+	if fn.Pkg() == c.pass.Pkg {
+		if !c.annotated[fn] {
+			c.pass.Reportf(call.Pos(), "hotpath: call to unannotated same-package function %s (annotate it //sanlint:hotpath or move it off the hot path)", fn.Name())
+		}
+		return
+	}
+	if !c.pass.InModule(fn.Pkg()) {
+		return // stdlib: left to the runtime AllocsPerRun gates
+	}
+	if !c.pass.ImportObjectFact(fn, &AllocFreeFact{}) {
+		c.pass.Reportf(call.Pos(), "hotpath: call to %s.%s which is not provably allocation-free (annotate it //sanlint:hotpath or move it off the hot path)", fn.Pkg().Path(), fn.Name())
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 )
 
 // A Package is one parsed and type-checked package ready for analysis.
@@ -23,6 +24,10 @@ type Package struct {
 	Files      []*ast.File
 	Types      *types.Package
 	TypesInfo  *types.Info
+	// DepOnly marks packages loaded only because a target depends on them:
+	// analyzers run over them to compute facts, but their diagnostics are
+	// not reported.
+	DepOnly bool
 }
 
 // listedPackage is the subset of `go list -json` output the loader uses.
@@ -33,6 +38,7 @@ type listedPackage struct {
 	DepOnly     bool
 	GoFiles     []string
 	TestGoFiles []string
+	Imports     []string
 	TestImports []string
 }
 
@@ -43,8 +49,11 @@ type listedPackage struct {
 // network access or third-party machinery is needed. In-package test files
 // of the matched packages are included; external _test packages are not.
 //
-// Only the packages matched by the patterns themselves (not dependencies)
-// are returned.
+// The whole in-module closure is returned — dependencies first
+// (topologically sorted by imports, ties broken by import path), so a
+// driver running analyzers over the slice in order sees every dependency's
+// facts before its dependents. Packages pulled in only as dependencies are
+// marked DepOnly.
 func Load(dir string, patterns ...string) ([]*Package, error) {
 	listed, err := goList(dir, patterns...)
 	if err != nil {
@@ -83,6 +92,13 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			}
 		}
 	}
+
+	// Topologically sort the in-module packages by their plain imports so
+	// both type-checking and fact propagation see dependencies first. (Test
+	// imports are not edges: in-package test files are added in phase 2,
+	// after every package has been checked once.) Kahn's algorithm with a
+	// lexicographic frontier keeps the order deterministic.
+	listed = topoSort(listed)
 
 	fset := token.NewFileSet()
 	checked := make(map[string]*types.Package)
@@ -133,13 +149,12 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 			Files:      parsed,
 			Types:      tpkg,
 			TypesInfo:  info,
+			DepOnly:    lp.DepOnly,
 		}, nil
 	}
 
-	// Phase 1: type-check the plain build closure, no test files. `go list
-	// -deps` emits packages in dependency order within each invocation, and
-	// test-only imports (the second invocation) never depend on being checked
-	// before their importers here because test files are excluded.
+	// Phase 1: type-check the plain build closure in topological order, no
+	// test files yet.
 	plain := make(map[string]*Package)
 	for _, lp := range listed {
 		if lp.Standard {
@@ -158,14 +173,16 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	// imports of later targets — is in `checked`, so ordering no longer
 	// matters. The re-check shadows the phase-1 entry only for this
 	// package's own Pass; importers still see the phase-1 result, which is
-	// identical for exported declarations.
+	// identical for exported declarations. (The re-check mints fresh
+	// types.Object identities, which is why facts key on ObjectKey strings
+	// rather than object pointers.)
 	var out []*Package
 	for _, lp := range listed {
-		if lp.Standard || lp.DepOnly {
+		if lp.Standard {
 			continue
 		}
 		pkg := plain[lp.ImportPath]
-		if len(lp.TestGoFiles) > 0 {
+		if !lp.DepOnly && len(lp.TestGoFiles) > 0 {
 			var err error
 			pkg, err = check(lp, true)
 			if err != nil {
@@ -177,9 +194,89 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	return out, nil
 }
 
+// topoSort orders the non-standard listed packages dependencies-first by
+// their Imports edges; standard packages are dropped (they are loaded from
+// export data, not analyzed). The frontier is popped in import-path order,
+// so the result is deterministic regardless of go list's emission order.
+func topoSort(listed []*listedPackage) []*listedPackage {
+	byPath := make(map[string]*listedPackage, len(listed))
+	indeg := make(map[string]int)
+	dependents := make(map[string][]string)
+	for _, lp := range listed {
+		if lp.Standard {
+			continue
+		}
+		byPath[lp.ImportPath] = lp
+		indeg[lp.ImportPath] += 0
+	}
+	for _, lp := range byPath {
+		for _, imp := range lp.Imports {
+			if _, ok := byPath[imp]; ok {
+				indeg[lp.ImportPath]++
+				dependents[imp] = append(dependents[imp], lp.ImportPath)
+			}
+		}
+	}
+	var frontier []string
+	for path, d := range indeg {
+		if d == 0 {
+			frontier = append(frontier, path)
+		}
+	}
+	sort.Strings(frontier)
+	var out []*listedPackage
+	for len(frontier) > 0 {
+		path := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, byPath[path])
+		var ready []string
+		for _, dep := range dependents[path] {
+			if indeg[dep]--; indeg[dep] == 0 {
+				ready = append(ready, dep)
+			}
+		}
+		sort.Strings(ready)
+		frontier = mergeSorted(frontier, ready)
+	}
+	// Import cycles cannot occur in valid Go; if go list ever hands us one,
+	// append the remainder sorted so nothing is silently dropped.
+	if len(out) < len(byPath) {
+		var rest []string
+		for path, d := range indeg {
+			if d > 0 {
+				rest = append(rest, path)
+			}
+		}
+		sort.Strings(rest)
+		for _, path := range rest {
+			out = append(out, byPath[path])
+		}
+	}
+	return out
+}
+
+// mergeSorted merges two sorted string slices.
+func mergeSorted(a, b []string) []string {
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]string, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return append(append(out, a[i:]...), b[j:]...)
+}
+
 // goList runs `go list -deps -json` over the patterns in dir.
 func goList(dir string, patterns ...string) ([]*listedPackage, error) {
-	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,TestGoFiles,TestImports"}, patterns...)
+	args := append([]string{"list", "-deps", "-json=ImportPath,Dir,Standard,DepOnly,GoFiles,TestGoFiles,Imports,TestImports"}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
 	var stdout, stderr bytes.Buffer

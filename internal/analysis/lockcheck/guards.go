@@ -1,0 +1,199 @@
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"sanmap/internal/analysis"
+)
+
+// guardContract is the declared protection of one struct: the annotated
+// mutex field and the sibling fields it guards.
+type guardContract struct {
+	mutexField string
+	guarded    map[string]bool
+}
+
+// checkGuards enforces L3: fields listed in a `//sanlint:guards a,b`
+// annotation on a mutex field may be touched by the struct's methods only
+// after locking that mutex in the same body, or from *Locked helpers.
+func checkGuards(pass *analysis.Pass) {
+	contracts := collectGuardContracts(pass)
+	if len(contracts) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			names := fd.Recv.List[0].Names
+			if len(names) != 1 || names[0].Name == "_" {
+				continue
+			}
+			recv := pass.TypesInfo.Defs[names[0]]
+			if recv == nil {
+				continue
+			}
+			tn := guardReceiverTypeName(recv.Type())
+			if tn == nil {
+				continue
+			}
+			c, ok := contracts[tn]
+			if !ok {
+				continue
+			}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue // callers-hold-the-lock convention
+			}
+			checkGuardedBody(pass, fd, recv, c)
+		}
+	}
+}
+
+// collectGuardContracts finds structs with a //sanlint:guards mutex field
+// and validates the annotation.
+func collectGuardContracts(pass *analysis.Pass) map[*types.TypeName]*guardContract {
+	out := make(map[*types.TypeName]*guardContract)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				siblings := make(map[string]bool)
+				for _, field := range st.Fields.List {
+					for _, name := range field.Names {
+						siblings[name.Name] = true
+					}
+				}
+				for _, field := range st.Fields.List {
+					arg, ok := analysis.FieldAnnotationArg(field, "guards")
+					if !ok {
+						continue
+					}
+					if len(field.Names) != 1 {
+						pass.Reportf(field.Pos(), "lockcheck: //sanlint:guards must annotate exactly one named mutex field")
+						continue
+					}
+					if !isMutexType(pass.TypesInfo.TypeOf(field.Type)) {
+						pass.Reportf(field.Pos(), "lockcheck: //sanlint:guards on %s, which is not a sync.Mutex or sync.RWMutex", field.Names[0].Name)
+						continue
+					}
+					c := &guardContract{mutexField: field.Names[0].Name, guarded: make(map[string]bool)}
+					for _, name := range strings.Split(arg, ",") {
+						name = strings.TrimSpace(name)
+						if name == "" {
+							continue
+						}
+						if !siblings[name] {
+							pass.Reportf(field.Pos(), "lockcheck: //sanlint:guards names %s, which is not a field of %s", name, ts.Name.Name)
+							continue
+						}
+						c.guarded[name] = true
+					}
+					if len(c.guarded) == 0 {
+						pass.Reportf(field.Pos(), "lockcheck: //sanlint:guards on %s lists no valid sibling fields", field.Names[0].Name)
+						continue
+					}
+					if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+						out[tn] = c
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkGuardedBody flags guarded-field accesses in fd that precede any lock
+// of the guarding mutex.
+func checkGuardedBody(pass *analysis.Pass, fd *ast.FuncDecl, recv types.Object, c *guardContract) {
+	ops := collectOps(pass, fd)
+	lockedBefore := func(pos token.Pos) bool {
+		for _, op := range ops {
+			if op.isLock() && op.pos < pos && opFieldName(op) == c.mutexField {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		field := receiverFieldOf(pass, sel, recv)
+		if field == "" || !c.guarded[field] {
+			return true
+		}
+		if !lockedBefore(sel.Pos()) {
+			pass.Reportf(sel.Pos(), "lockcheck: field %s is guarded by %s (//sanlint:guards) but accessed before any %s.Lock in this method; lock it first or move the access into a *Locked helper",
+				field, c.mutexField, c.mutexField)
+		}
+		return false // one finding per selector chain
+	})
+}
+
+// opFieldName returns the struct field a mutex op locks (r.mu.Lock() →
+// "mu"), or "" when the mutex is not a field.
+func opFieldName(op *lockOp) string {
+	v, ok := op.id.(*types.Var)
+	if !ok || !v.IsField() {
+		return ""
+	}
+	return v.Name()
+}
+
+// receiverFieldOf returns the first-level field name when sel is rooted at
+// the receiver object: recv.f, recv.f.g, recv.f[i] — "" otherwise.
+func receiverFieldOf(pass *analysis.Pass, sel *ast.SelectorExpr, recv types.Object) string {
+	var first *ast.SelectorExpr
+	var e ast.Expr = sel
+	for {
+		switch x := e.(type) {
+		case *ast.SelectorExpr:
+			first = x
+			e = ast.Unparen(x.X)
+		case *ast.IndexExpr:
+			e = ast.Unparen(x.X)
+		case *ast.SliceExpr:
+			e = ast.Unparen(x.X)
+		case *ast.StarExpr:
+			e = ast.Unparen(x.X)
+		case *ast.Ident:
+			if first != nil && pass.TypesInfo.Uses[x] == recv {
+				return first.Sel.Name
+			}
+			return ""
+		default:
+			return ""
+		}
+	}
+}
+
+// guardReceiverTypeName unwraps *T / T receivers to the named type.
+func guardReceiverTypeName(t types.Type) *types.TypeName {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,556 @@
+// Package lockcheck defines the sanlint analyzer that guards the mutex
+// discipline the upcoming daemon work (ROADMAP items 2–3) will lean on:
+// long-lived sessions and merge protocols mean shared state behind locks,
+// and a lock bug is exactly the kind of failure the byte-reproducibility
+// lanes cannot catch (the golden seeds never race). Four rules:
+//
+//   - L1 missing unlock: a function that locks a mutex must also unlock it
+//     somewhere in the same function — by defer or explicitly. Functions
+//     whose own name is a lock-method name (Lock, RLock, ...) are exempt:
+//     they are lock wrappers by construction.
+//   - L2 return while held: between a Lock and its first matching Unlock
+//     (when the unlock is not deferred), a return statement leaks the
+//     function while the mutex is held on that path; use defer.
+//   - L3 guarded fields: a mutex field annotated `//sanlint:guards a,b`
+//     declares that it protects the sibling fields a and b. Methods of the
+//     struct may touch a guarded field only after locking the mutex in the
+//     same body, or from helpers named *Locked (the callers-hold-the-lock
+//     convention).
+//   - L4 lock-order cycles: acquiring B while holding A orders A before B.
+//     Orders are collected per function — including locks acquired
+//     transitively by callees, via the callgraph result and each
+//     function's exported AcquiresFact — published as a package fact, and
+//     merged across the program; an acquisition whose reverse order exists
+//     anywhere in the merged graph is a deadlock waiting for a schedule.
+//
+// Mutex identity is static: a receiver or struct field mutex is identified
+// as pkg.Type.field (instances of the same field conflate — the classic
+// approximation), a package-level mutex as pkg.var. Mutexes held in local
+// variables participate in L1/L2 within the function but not in the
+// cross-function order graph. Locks taken inside non-deferred function
+// literals belong to the literal, not the enclosing function; a
+// `defer func() { mu.Unlock() }()` counts as a deferred unlock.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"sanmap/internal/analysis"
+	"sanmap/internal/analysis/callgraph"
+)
+
+// AcquiresFact records the mutexes a function may acquire, directly or
+// through its static callees — the interprocedural input to L4.
+type AcquiresFact struct {
+	Mutexes []string
+}
+
+func (*AcquiresFact) AFact() {}
+
+func (f *AcquiresFact) String() string { return "acquires " + strings.Join(f.Mutexes, ",") }
+
+// LockOrderFact is a package fact: the "A before B" acquisition orders the
+// package establishes, as "A < B" strings. Later packages merge every
+// exported order graph and flag local edges whose reverse is reachable.
+type LockOrderFact struct {
+	Edges []string
+}
+
+func (*LockOrderFact) AFact() {}
+
+func (f *LockOrderFact) String() string { return "orders " + strings.Join(f.Edges, "; ") }
+
+// Analyzer enforces mutex discipline: unlock-on-all-paths, //sanlint:guards
+// field protection, and a consistent program-wide lock acquisition order.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: "mutexes must be unlocked in the locking function (prefer defer), " +
+		"//sanlint:guards fields accessed only under their mutex, and " +
+		"acquisition order must be consistent program-wide (no lock-order " +
+		"cycles, followed through the call graph)",
+	Requires:  []*analysis.Analyzer{callgraph.Analyzer},
+	FactTypes: []analysis.Fact{&AcquiresFact{}, &LockOrderFact{}},
+	Run:       run,
+}
+
+// lockOp is one Lock/Unlock-family call in a function body.
+type lockOp struct {
+	pos      token.Pos
+	method   string // Lock, RLock, TryLock, Unlock, RUnlock, TryRLock
+	key      string // stable mutex key, "" for locals
+	id       types.Object
+	display  string // source-ish rendering for messages
+	deferred bool
+}
+
+func (op *lockOp) isLock() bool {
+	return op.method == "Lock" || op.method == "RLock" || op.method == "TryLock" || op.method == "TryRLock"
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	g, _ := pass.ResultOf[callgraph.Analyzer].(*callgraph.Graph)
+	if g == nil {
+		return nil, nil
+	}
+
+	// Transitive acquisition sets: direct locks per function, then a
+	// fixpoint over the call graph seeded with imported facts at
+	// cross-package edges.
+	keys := make([]string, 0, len(g.Decls))
+	for key := range g.Decls {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	acquires := make(map[string]map[string]bool, len(keys))
+	opsOf := make(map[string][]*lockOp, len(keys))
+	for _, key := range keys {
+		ops := collectOps(pass, g.Decls[key])
+		opsOf[key] = ops
+		set := make(map[string]bool)
+		for _, op := range ops {
+			if op.isLock() && op.key != "" {
+				set[op.key] = true
+			}
+		}
+		acquires[key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, key := range keys {
+			set := acquires[key]
+			for _, callee := range g.Callees[key] {
+				var more []string
+				if local, ok := acquires[analysis.ObjectKey(callee)]; ok {
+					for m := range local {
+						more = append(more, m)
+					}
+				} else if callee.Pkg() != pass.Pkg && pass.InModule(callee.Pkg()) {
+					var fact AcquiresFact
+					if pass.ImportObjectFact(callee, &fact) {
+						more = fact.Mutexes
+					}
+				}
+				for _, m := range more {
+					if !set[m] {
+						set[m] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, key := range keys {
+		if set := acquires[key]; len(set) > 0 {
+			pass.ExportObjectFact(g.Funcs[key], &AcquiresFact{Mutexes: sortedKeys(set)})
+		}
+	}
+
+	// Per-function rules L1/L2, and the local order edges for L4.
+	type edge struct{ before, after string }
+	localEdges := make(map[edge]token.Pos)
+	for _, key := range keys {
+		fd := g.Decls[key]
+		ops := opsOf[key]
+		if len(ops) > 0 && !isLockWrapper(fd) {
+			checkUnlockDiscipline(pass, fd, ops)
+		}
+		for e, pos := range orderEdges(pass, g, fd, ops, acquires) {
+			le := edge{before: e[0], after: e[1]}
+			if old, ok := localEdges[le]; !ok || pos < old {
+				localEdges[le] = pos
+			}
+		}
+	}
+
+	// L4: merge every package's published orders with ours and flag local
+	// edges whose reverse order is reachable. Packages are analyzed in
+	// dependency order, so a cross-package inconsistency is reported in
+	// whichever package the driver reaches second.
+	merged := make(map[string][]string)
+	for _, pf := range pass.AllPackageFacts() {
+		lof, ok := pf.Fact.(*LockOrderFact)
+		if !ok {
+			continue
+		}
+		for _, e := range lof.Edges {
+			if before, after, ok := strings.Cut(e, " < "); ok {
+				merged[before] = append(merged[before], after)
+			}
+		}
+	}
+	var published []string
+	for e := range localEdges {
+		merged[e.before] = append(merged[e.before], e.after)
+		published = append(published, e.before+" < "+e.after)
+	}
+	sort.Strings(published)
+	if len(published) > 0 {
+		pass.ExportPackageFact(&LockOrderFact{Edges: published})
+	}
+	type report struct {
+		pos token.Pos
+		e   edge
+	}
+	var reports []report
+	for e, pos := range localEdges {
+		if reachable(merged, e.after, e.before) {
+			reports = append(reports, report{pos, e})
+		}
+	}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].pos < reports[j].pos })
+	for _, r := range reports {
+		pass.Reportf(r.pos, "lockcheck: acquiring %s while holding %s creates a lock-order cycle (the reverse order exists elsewhere in the program)",
+			r.e.after, r.e.before)
+	}
+
+	checkGuards(pass)
+	return nil, nil
+}
+
+// collectOps gathers the mutex operations of fd's body attributable to fd
+// itself: ops inside non-deferred function literals belong to the literal
+// and are skipped; ops inside a deferred call (including a deferred
+// immediately-invoked literal) are marked deferred.
+func collectOps(pass *analysis.Pass, fd *ast.FuncDecl) []*lockOp {
+	var ops []*lockOp
+	var scan func(n ast.Node, deferred bool)
+	scan = func(n ast.Node, deferred bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.DeferStmt:
+				scan(n.Call, true)
+				return false
+			case *ast.FuncLit:
+				return deferred // deferred literal: its body runs at defer time
+			case *ast.CallExpr:
+				if op := mutexOp(pass, n); op != nil {
+					op.deferred = deferred
+					ops = append(ops, op)
+				}
+			}
+			return true
+		})
+	}
+	scan(fd.Body, false)
+	sort.Slice(ops, func(i, j int) bool { return ops[i].pos < ops[j].pos })
+	return ops
+}
+
+// mutexOp classifies a call as a sync.Mutex / sync.RWMutex method call and
+// resolves the mutex's identity.
+func mutexOp(pass *analysis.Pass, call *ast.CallExpr) *lockOp {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil || !isMutexType(sig.Recv().Type()) {
+		return nil
+	}
+	key, id := mutexIdentity(pass, sel)
+	return &lockOp{
+		pos:     call.Pos(),
+		method:  fn.Name(),
+		key:     key,
+		id:      id,
+		display: types.ExprString(sel.X),
+	}
+}
+
+// mutexIdentity resolves the receiver expression of a mutex method call to
+// a stable key (pkg.Type.field for struct fields — including promoted
+// embedded mutexes — pkg.var for package-level mutexes, "" for locals) and
+// an object identity for in-function matching.
+func mutexIdentity(pass *analysis.Pass, sel *ast.SelectorExpr) (string, types.Object) {
+	// Promoted embedded mutex: x.Lock() where x is a struct embedding
+	// sync.Mutex. The method selection's index path names the embedded
+	// field chain.
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && len(s.Index()) > 1 {
+		t := s.Recv()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if st, ok := named.Underlying().(*types.Struct); ok {
+				field := st.Field(s.Index()[0])
+				return fieldKey(field, named.Obj()), field
+			}
+		}
+		return "", nil
+	}
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[x]
+		if obj == nil {
+			return "", nil
+		}
+		if key := analysis.ObjectKey(obj); key != "" {
+			return key, obj // package-level mutex
+		}
+		return "", obj // local
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[x.Sel]
+		v, ok := obj.(*types.Var)
+		if !ok {
+			return "", obj
+		}
+		if !v.IsField() {
+			return analysis.ObjectKey(v), v // pkg.Mu through an import
+		}
+		if s, ok := pass.TypesInfo.Selections[x]; ok {
+			t := s.Recv()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				return fieldKey(v, named.Obj()), v
+			}
+		}
+		return "", v
+	}
+	return "", nil
+}
+
+func fieldKey(field *types.Var, owner *types.TypeName) string {
+	if field.Pkg() == nil {
+		return ""
+	}
+	return field.Pkg().Path() + "." + owner.Name() + "." + field.Name()
+}
+
+func isMutexType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	return named.Obj().Name() == "Mutex" || named.Obj().Name() == "RWMutex"
+}
+
+// isLockWrapper exempts functions that exist to wrap a lock operation.
+func isLockWrapper(fd *ast.FuncDecl) bool {
+	switch fd.Name.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+		return true
+	}
+	return false
+}
+
+// checkUnlockDiscipline enforces L1 and L2 for one function.
+func checkUnlockDiscipline(pass *analysis.Pass, fd *ast.FuncDecl, ops []*lockOp) {
+	// Group ops by identity (object when known, else display text).
+	type group struct {
+		display         string
+		locks           []*lockOp // non-deferred lock ops
+		unlocks         []token.Pos
+		deferredUnlocks bool
+		anyUnlock       bool
+	}
+	groups := make(map[any]*group)
+	order := []any(nil)
+	idOf := func(op *lockOp) any {
+		if op.id != nil {
+			return op.id
+		}
+		return op.display
+	}
+	for _, op := range ops {
+		id := idOf(op)
+		grp := groups[id]
+		if grp == nil {
+			grp = &group{display: op.display}
+			groups[id] = grp
+			order = append(order, id)
+		}
+		if op.isLock() {
+			if !op.deferred {
+				grp.locks = append(grp.locks, op)
+			}
+		} else {
+			grp.anyUnlock = true
+			if op.deferred {
+				grp.deferredUnlocks = true
+			} else {
+				grp.unlocks = append(grp.unlocks, op.pos)
+			}
+		}
+	}
+	returns := returnPositions(fd)
+	for _, id := range order {
+		grp := groups[id]
+		if len(grp.locks) == 0 {
+			continue
+		}
+		if !grp.anyUnlock {
+			pass.Reportf(grp.locks[0].pos, "lockcheck: %s is locked but never unlocked in this function; add defer %s.Unlock() (or an unlock on every path)",
+				grp.display, grp.display)
+			continue
+		}
+		if grp.deferredUnlocks {
+			continue
+		}
+		// L2: a return between a lock and its next explicit unlock leaks
+		// the mutex on that path.
+		for _, lk := range grp.locks {
+			next := token.Pos(-1)
+			for _, up := range grp.unlocks {
+				if up > lk.pos {
+					next = up
+					break
+				}
+			}
+			if next < 0 {
+				continue
+			}
+			for _, r := range returns {
+				if lk.pos < r && r < next {
+					pass.Reportf(r, "lockcheck: return while %s may still be held (locked at an earlier statement); unlock before returning or use defer",
+						grp.display)
+				}
+			}
+		}
+	}
+}
+
+// returnPositions collects the return statements of fd's own body, skipping
+// nested function literals.
+func returnPositions(fd *ast.FuncDecl) []token.Pos {
+	var out []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n.Pos())
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// orderEdges computes the "A before B" acquisition orders fd establishes:
+// locking B while A is held, and calling — while A is held — a function
+// whose transitive acquisition set contains B.
+func orderEdges(pass *analysis.Pass, g *callgraph.Graph, fd *ast.FuncDecl, ops []*lockOp, acquires map[string]map[string]bool) map[[2]string]token.Pos {
+	edges := make(map[[2]string]token.Pos)
+	heldAt := func(pos token.Pos) []string {
+		var held []string
+		for _, a := range ops {
+			if !a.isLock() || a.deferred || a.key == "" || a.pos >= pos {
+				continue
+			}
+			released := false
+			for _, u := range ops {
+				if !u.isLock() && !u.deferred && idEq(u, a) && a.pos < u.pos && u.pos < pos {
+					released = true
+					break
+				}
+			}
+			if !released {
+				held = append(held, a.key)
+			}
+		}
+		return held
+	}
+	record := func(before, after string, pos token.Pos) {
+		if before == after {
+			return
+		}
+		e := [2]string{before, after}
+		if old, ok := edges[e]; !ok || pos < old {
+			edges[e] = pos
+		}
+	}
+	for _, b := range ops {
+		if !b.isLock() || b.deferred || b.key == "" {
+			continue
+		}
+		for _, a := range heldAt(b.pos) {
+			record(a, b.key, b.pos)
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.StaticCallee(pass.TypesInfo, call)
+		if fn == nil {
+			return true
+		}
+		var calleeAcquires []string
+		if local, ok := acquires[analysis.ObjectKey(fn)]; ok {
+			calleeAcquires = sortedKeys(local)
+		} else if fn.Pkg() != pass.Pkg && pass.InModule(fn.Pkg()) {
+			var fact AcquiresFact
+			if pass.ImportObjectFact(fn, &fact) {
+				calleeAcquires = fact.Mutexes
+			}
+		}
+		if len(calleeAcquires) == 0 {
+			return true
+		}
+		for _, a := range heldAt(call.Pos()) {
+			for _, b := range calleeAcquires {
+				record(a, b, call.Pos())
+			}
+		}
+		return true
+	})
+	return edges
+}
+
+func idEq(a, b *lockOp) bool {
+	if a.id != nil && b.id != nil {
+		return a.id == b.id
+	}
+	return a.display == b.display
+}
+
+// reachable reports whether to is reachable from from in the order graph.
+func reachable(graph map[string][]string, from, to string) bool {
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == to {
+			return true
+		}
+		for _, m := range graph[n] {
+			if !seen[m] {
+				seen[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return false
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"sanmap/internal/analysis/analysistest"
+	"sanmap/internal/analysis/lockcheck"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, analysistest.Testdata(), lockcheck.Analyzer, "lockcheck")
+}

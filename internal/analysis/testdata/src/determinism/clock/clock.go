@@ -1,0 +1,16 @@
+// Package clock provides the cross-package taint sources for the parent
+// fixture: Stamp reads the wall clock directly, Wrap reaches it through a
+// same-package helper — both export NondetFacts for callers to trip over.
+package clock
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now is nondeterministic"
+}
+
+// Wrap reaches the clock through Stamp.
+func Wrap() int64 {
+	return Stamp() + 1
+}

@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"sanmap/internal/analysis/testdata/src/determinism/clock"
 )
 
 // badClock reads the wall clock.
@@ -124,4 +126,16 @@ func goodAccumulate(m map[string]int) (int, int) {
 		seen[k] = true
 	}
 	return total, max
+}
+
+// badCrossStamp imports taint directly: the callee package reads the wall
+// clock, and the import edge is where virtual time would leak.
+func badCrossStamp() int64 {
+	return clock.Stamp() // want "call to clock.Stamp reaches time.Now"
+}
+
+// badCrossWrap imports taint through a helper chain in the clock package;
+// the chain is spelled out in the finding.
+func badCrossWrap() int64 {
+	return clock.Wrap() // want "call to clock.Wrap reaches Stamp -> time.Now"
 }

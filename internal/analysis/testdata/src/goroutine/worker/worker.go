@@ -1,0 +1,25 @@
+// Package worker exercises the cross-package CompletesFact: its methods
+// signal completion through the receiver, so launches in the parent fixture
+// are joinable without a call-site WaitGroup or channel.
+package worker
+
+import "sync"
+
+// Pool tracks outstanding work on an internal WaitGroup.
+type Pool struct {
+	wg sync.WaitGroup
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Track registers one unit of work before it is launched.
+func (p *Pool) Track() { p.wg.Add(1) }
+
+// Work runs one unit and marks it done on the pool's WaitGroup.
+func (p *Pool) Work() {
+	defer p.wg.Done()
+}
+
+// Wait blocks until every tracked unit has completed.
+func (p *Pool) Wait() { p.wg.Wait() }

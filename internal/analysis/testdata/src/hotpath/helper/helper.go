@@ -1,0 +1,17 @@
+// Package helper provides the cross-package callees for the h7 cases in
+// the parent fixture: Fast carries the exported allocation-free fact,
+// Alloc does not.
+package helper
+
+// Fast reuses the caller's buffer; the annotation exports the fact that
+// proves it safe to call from another package's hot path.
+//
+//sanlint:hotpath
+func Fast(buf []int, v int) []int {
+	return append(buf, v)
+}
+
+// Alloc is an ordinary allocating helper, deliberately unannotated.
+func Alloc(n int) []int {
+	return make([]int, n)
+}

@@ -2,7 +2,11 @@
 // annotated //sanlint:hotpath must stay allocation-free.
 package hotpath
 
-import "fmt"
+import (
+	"fmt"
+
+	xhelper "sanmap/internal/analysis/testdata/src/hotpath/helper"
+)
 
 // scratch mimics the eval kernel's reusable buffer owner.
 type scratch struct {
@@ -232,4 +236,14 @@ func register(name string) *counter { return &counter{} }
 func (m *metrics) badLazyRegister(kind string) {
 	c := register("probe." + kind) // want "string concatenation allocates" "call to unannotated same-package function register"
 	c.inc()
+}
+
+// h7 interprocedural: a hot function may call into another package only
+// when the callee's exported fact proves it allocation-free.
+//
+//sanlint:hotpath
+func (s *scratch) crossPackage(buf []int, v int) []int {
+	buf = xhelper.Fast(buf, v) // good: AllocFreeFact imported from helper
+	extra := xhelper.Alloc(v)  // want "call to .*helper.Alloc which is not provably allocation-free"
+	return append(buf, extra...)
 }

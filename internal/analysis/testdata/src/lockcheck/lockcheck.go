@@ -1,0 +1,151 @@
+// Fixture for the lockcheck analyzer: unlock discipline (L1, L2), guarded
+// fields (L3), and lock-order cycles (L4) — including an order established
+// transitively through a callee and one imported from the sub package.
+package lockcheck
+
+import (
+	"sync"
+
+	"sanmap/internal/analysis/testdata/src/lockcheck/sub"
+)
+
+var muA sync.Mutex
+var muB sync.Mutex
+
+// L1: locked, never unlocked.
+func l1Bad() {
+	muA.Lock() // want "muA is locked but never unlocked in this function"
+	sink(1)
+}
+
+func l1GoodDefer() {
+	muA.Lock()
+	defer muA.Unlock()
+	sink(1)
+}
+
+func l1GoodExplicit() {
+	muA.Lock()
+	sink(1)
+	muA.Unlock()
+}
+
+// L2: return on a path between Lock and its explicit Unlock.
+func l2Bad(x bool) int {
+	muA.Lock()
+	if x {
+		return 1 // want "return while muA may still be held"
+	}
+	muA.Unlock()
+	return 0
+}
+
+func l2GoodDefer(x bool) int {
+	muA.Lock()
+	defer muA.Unlock()
+	if x {
+		return 1
+	}
+	return 0
+}
+
+// A deferred literal that unlocks counts as a deferred unlock.
+func l2GoodDeferredLit(x bool) int {
+	muA.Lock()
+	defer func() { muA.Unlock() }()
+	if x {
+		return 1
+	}
+	return 0
+}
+
+// L3: //sanlint:guards discipline.
+type counter struct {
+	//sanlint:guards n
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) IncBad() {
+	c.n++ // want "field n is guarded by mu"
+}
+
+func (c *counter) IncGood() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// *Locked helpers run under the caller's lock by convention.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+// Annotation validation: naming a non-field is itself a finding.
+type badGuards struct {
+	//sanlint:guards missing
+	mu sync.Mutex // want "names missing, which is not a field of badGuards" "lists no valid sibling fields"
+	n  int
+}
+
+// L4: inconsistent order between muA and muB — both sites are flagged.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // want "acquiring .*muB while holding .*muA creates a lock-order cycle"
+	muB.Unlock()
+	muA.Unlock()
+}
+
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // want "acquiring .*muA while holding .*muB creates a lock-order cycle"
+	muA.Unlock()
+	muB.Unlock()
+}
+
+// L4 transitive: cdOrder holds muC across a call that locks muD, so the
+// order C < D exists even though cdOrder never touches muD directly.
+var muC sync.Mutex
+var muD sync.Mutex
+
+func lockD() {
+	muD.Lock()
+	defer muD.Unlock()
+	sink(2)
+}
+
+func cdOrder() {
+	muC.Lock()
+	lockD() // want "acquiring .*muD while holding .*muC creates a lock-order cycle"
+	muC.Unlock()
+}
+
+func dcOrder() {
+	muD.Lock()
+	muC.Lock() // want "acquiring .*muC while holding .*muD creates a lock-order cycle"
+	muC.Unlock()
+	muD.Unlock()
+}
+
+// L4 cross-package: sub establishes MuX < MuY; taking them in reverse here
+// is flagged against the imported package fact.
+func crossOrder() {
+	sub.MuY.Lock()
+	sub.MuX.Lock() // want "acquiring .*MuX while holding .*MuY creates a lock-order cycle"
+	sub.MuX.Unlock()
+	sub.MuY.Unlock()
+}
+
+// Consistent order, never reversed: no finding.
+func consistent() {
+	muA.Lock()
+	muC.Lock()
+	muC.Unlock()
+	muA.Unlock()
+}
+
+func sink(int) {}
+
+var keepBadGuards badGuards
+
+func init() { keepBadGuards.n = 0 }

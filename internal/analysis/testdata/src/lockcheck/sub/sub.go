@@ -1,0 +1,16 @@
+// Package sub publishes the lock order MuX < MuY for the cross-package L4
+// case in the parent fixture.
+package sub
+
+import "sync"
+
+var MuX sync.Mutex
+var MuY sync.Mutex
+
+// XY acquires MuY while holding MuX.
+func XY() {
+	MuX.Lock()
+	MuY.Lock()
+	MuY.Unlock()
+	MuX.Unlock()
+}

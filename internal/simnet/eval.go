@@ -190,6 +190,10 @@ const (
 	stepCollision
 )
 
+// reflectorKeyPortBits is the width of the port field in synthetic
+// loopback edge keys; no fabric has 2^16 ports on one node.
+const reflectorKeyPortBits = 16
+
 // traverse crosses the wire at (node, outPort), appending the directed hop
 // on success. Loopback plugs reflect the message back into the same port;
 // they occupy a synthetic directed edge so collision semantics still apply.
@@ -210,11 +214,14 @@ func (s *evalScratch) traverse(topo *topology.Network, node topology.NodeID, out
 		// successive crossings by one worm alternate direction, exactly
 		// like out-and-back over a two-ended wire, so a probe may bounce
 		// off it once (out + back) under the circuit model but not twice.
-		// The synthetic edge key is the dense (node, port) end id from the
-		// CSR index, shifted below -1 to stay disjoint from real wire
-		// indices; dense ids stay unique on variable-radix fabrics where
-		// node*SwitchPorts+port would collide.
-		key := -2 - int(topo.Index().EndID(node, outPort))
+		// The synthetic edge key packs (node, port) with the port in the
+		// low bits, shifted below -1 to stay disjoint from real wire
+		// indices. Ports are bounded far under the field width, so the
+		// packing stays unique on variable-radix fabrics (where
+		// node*SwitchPorts+port would collide) — and unlike the CSR dense
+		// end id it needs no index, keeping this branch allocation-free
+		// even when a mutation has staled the cache.
+		key := -2 - (int(node)<<reflectorKeyPortBits | outPort)
 		crossings := 0
 		for _, h := range s.hops {
 			if h.Wire == key {

@@ -261,6 +261,8 @@ func (n *Net) EvalPath(from topology.NodeID, route Route) (Result, []DirectedHop
 // MessageBytes estimates the wire size of a probe message with the given
 // number of routing flits, per the paper's message format (header flit,
 // routing flits, payload, 8-bit CRC, tail flit).
+//
+//sanlint:hotpath
 func MessageBytes(turns int) int {
 	return probeEnvelopeBytes + turns + probePayloadBytes
 }

@@ -75,6 +75,8 @@ type Wire struct {
 
 // Other returns the end of w opposite to the given end. It panics if from is
 // not an end of w.
+//
+//sanlint:hotpath
 func (w Wire) Other(from End) End {
 	switch from {
 	case w.A:
@@ -126,6 +128,8 @@ type Network struct {
 // Version reports the structural mutation counter: it changes whenever a
 // node, wire or loopback plug is added or a wire removed. Equal versions of
 // the same Network value guarantee identical routing behaviour.
+//
+//sanlint:hotpath
 func (n *Network) Version() uint64 { return n.version }
 
 // AddHost appends a host with the given unique name and returns its id.
@@ -277,6 +281,8 @@ func (n *Network) AddReflector(id NodeID, port int) error {
 }
 
 // ReflectorAt reports whether (id, port) carries a loopback plug.
+//
+//sanlint:hotpath
 func (n *Network) ReflectorAt(id NodeID, port int) bool {
 	nd := &n.nodes[id]
 	return nd.reflect != nil && port >= 0 && port < len(nd.reflect) && nd.reflect[port]
@@ -333,6 +339,8 @@ func (n *Network) NumHosts() int {
 func (n *Network) NumSwitches() int { return len(n.nodes) - n.NumHosts() }
 
 // KindOf reports the kind of node id.
+//
+//sanlint:hotpath
 func (n *Network) KindOf(id NodeID) Kind { return n.nodes[id].kind }
 
 // NameOf reports the node's name ("" for unnamed switches).
@@ -347,9 +355,13 @@ func (n *Network) Lookup(name string) NodeID {
 }
 
 // NumPorts reports the port count of node id (8 for switches, 1 for hosts).
+//
+//sanlint:hotpath
 func (n *Network) NumPorts(id NodeID) int { return len(n.nodes[id].ports) }
 
 // WireAt returns the index of the wire cabled to (id, port), or -1.
+//
+//sanlint:hotpath
 func (n *Network) WireAt(id NodeID, port int) int {
 	nd := &n.nodes[id]
 	if port < 0 || port >= len(nd.ports) {
@@ -369,6 +381,8 @@ func (n *Network) Neighbor(id NodeID, port int) (End, bool) {
 }
 
 // WireByIndex returns wire w. It panics for removed or out-of-range wires.
+//
+//sanlint:hotpath
 func (n *Network) WireByIndex(w int) Wire {
 	if w < 0 || w >= len(n.wires) || n.dead[w] {
 		panic(fmt.Sprintf("topology: no wire %d", w))
