@@ -6,9 +6,10 @@ GO ?= go
 # lane.
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... \
 	./internal/election/... ./internal/eventq/... ./internal/wormsim/... \
-	./internal/experiments/... ./internal/amlayer/... ./internal/obs/...
+	./internal/experiments/... ./internal/amlayer/... ./internal/obs/... \
+	./internal/mapd/...
 
-.PHONY: build vet lint lint-json trace-smoke test race chaos bench bench-smoke bench-gate bench-large bench-baseline ci
+.PHONY: build vet lint lint-json trace-smoke test race chaos crash-smoke bench bench-smoke bench-gate bench-large bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -68,6 +69,15 @@ chaos:
 		./internal/faults/... ./internal/mapper/... ./internal/simnet/... \
 		./internal/wormsim/... ./internal/election/... ./internal/experiments/...
 
+# crash-smoke is the kill/restart lane (DESIGN.md §14): sanmapd — run as a
+# real OS process — is killed at every successive WAL append and restarted
+# onto the same state directory. The surviving committed epochs must be
+# byte-identical to an uninterrupted daemon's (checkpoints included), the
+# final heal must resume from its WAL rather than start over, and no WAL
+# may outlive its epoch's commit.
+crash-smoke:
+	$(GO) test -count=1 -v -run 'TestCrashRestart' ./internal/mapd/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
@@ -114,4 +124,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -min -gates bench_gates.json -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint lint-json trace-smoke test race chaos bench-smoke bench-gate bench-large
+ci: build lint lint-json trace-smoke test race chaos crash-smoke bench-smoke bench-gate bench-large

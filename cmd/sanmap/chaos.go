@@ -2,9 +2,6 @@ package main
 
 import (
 	"fmt"
-	"strconv"
-	"strings"
-	"time"
 
 	"sanmap/internal/faults"
 	"sanmap/internal/isomorph"
@@ -14,50 +11,14 @@ import (
 	"sanmap/internal/topology"
 )
 
-// parseChaos parses the -chaos spec: comma-separated key=value pairs, e.g.
-// "seed=7", "seed=3,cuts=2,flaps=1,loss=0.02". Unknown keys are errors.
+// parseChaos resolves the -chaos spec (see faults.ParseProfile for the
+// grammar) into a schedule for net, shielding h0's attachment switch.
 func parseChaos(spec string, net *topology.Network, h0 topology.NodeID) (faults.Schedule, error) {
-	p := faults.Profile{Protect: h0}
-	seed := uint64(1)
-	for _, kv := range strings.Split(spec, ",") {
-		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
-		if !ok {
-			return faults.Schedule{}, fmt.Errorf("chaos: %q is not key=value", kv)
-		}
-		var err error
-		switch k {
-		case "seed":
-			seed, err = strconv.ParseUint(v, 10, 64)
-		case "cuts":
-			p.Cuts, err = strconv.Atoi(v)
-		case "flaps":
-			p.Flaps, err = strconv.Atoi(v)
-		case "kills":
-			p.SwitchKills, err = strconv.Atoi(v)
-		case "restart":
-			p.Restart, err = strconv.ParseBool(v)
-		case "loss":
-			p.LossRate, err = strconv.ParseFloat(v, 64)
-		case "trunc":
-			p.TruncRate, err = strconv.ParseFloat(v, 64)
-		case "cross":
-			p.CrossRate, err = strconv.ParseFloat(v, 64)
-		case "window":
-			var ms float64
-			ms, err = strconv.ParseFloat(v, 64)
-			p.Window = time.Duration(ms * float64(time.Millisecond))
-		default:
-			return faults.Schedule{}, fmt.Errorf("chaos: unknown key %q", k)
-		}
-		if err != nil {
-			return faults.Schedule{}, fmt.Errorf("chaos: bad value for %s: %v", k, err)
-		}
+	p, seed, err := faults.ParseProfile(spec)
+	if err != nil {
+		return faults.Schedule{}, err
 	}
-	if p.Cuts == 0 && p.Flaps == 0 && p.SwitchKills == 0 &&
-		p.LossRate == 0 && p.TruncRate == 0 && p.CrossRate == 0 {
-		// Bare "seed=N" gets a default mixed fault load.
-		p.Cuts, p.Flaps, p.LossRate = 1, 1, 0.02
-	}
+	p.Protect = h0
 	return faults.Generate(net, seed, p), nil
 }
 

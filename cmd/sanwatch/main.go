@@ -10,6 +10,12 @@
 //
 //	sanwatch [-gen spec] [-epochs N] [-churn N] [-seed N]
 //	         [-trace file.json] [-metrics file]
+//	sanwatch -daemon ADDR [-epochs N] [-churn N] [-seed N]
+//
+// With -daemon, sanwatch runs the same loop against a live sanmapd
+// instead of an in-process network: each epoch injects a seeded burst of
+// structural faults over the daemon's socket, waits for it to heal, and
+// reports the committed epoch, serving level and a spot-check route.
 //
 // The telemetry flags (internal/obs, OBSERVABILITY.md) record every epoch
 // onto one timeline: a cat-"watch" span per epoch, each on its own track,
@@ -21,10 +27,12 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"sanmap/internal/faults"
 	"sanmap/internal/genspec"
 	"sanmap/internal/isomorph"
+	"sanmap/internal/mapd"
 	"sanmap/internal/mapper"
 	"sanmap/internal/obs"
 	"sanmap/internal/routes"
@@ -37,8 +45,13 @@ func main() {
 	epochs := flag.Int("epochs", 6, "number of mapping epochs")
 	churn := flag.Int("churn", 2, "random mutations between epochs")
 	seed := flag.Int64("seed", 1, "seed for the mutation sequence")
+	daemon := flag.String("daemon", "", "sanmapd address (unix:PATH or host:port): drive a live daemon instead of the in-process loop")
 	tele := obs.AddFlags(flag.CommandLine)
 	flag.Parse()
+	if *daemon != "" {
+		watchDaemon(*daemon, *epochs, *churn, *seed)
+		return
+	}
 	if err := tele.Begin(); err != nil {
 		die("%v", err)
 	}
@@ -106,6 +119,79 @@ func main() {
 func die(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "sanwatch: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// watchDaemon is the -daemon mode: the operational loop against a live
+// sanmapd. Epoch 0 only reports the daemon's current state; each later
+// epoch injects a seeded structural fault burst (the daemon's continuous
+// remap loop heals before the inject call returns) and then spot-checks a
+// route on the freshly served map.
+func watchDaemon(addr string, epochs, churn int, seed int64) {
+	cl, err := mapd.Dial(addr)
+	if err != nil {
+		die("dial %s: %v", addr, err)
+	}
+	defer cl.Close()
+	for epoch := 0; epoch < epochs; epoch++ {
+		if epoch > 0 {
+			spec := fmt.Sprintf("seed=%d,cuts=%d,flaps=1", seed+int64(epoch), churn)
+			resp, err := cl.Call(map[string]any{"op": "inject", "spec": spec})
+			if err != nil {
+				die("inject: %v", err)
+			}
+			if resp["ok"] != true {
+				die("inject %s: %v", spec, resp["error"])
+			}
+			fmt.Printf("  [churn] %s: %v\n", spec, resp["result"])
+		}
+		st, err := cl.Call(map[string]any{"op": "epoch"})
+		if err != nil {
+			die("epoch: %v", err)
+		}
+		if st["ok"] != true {
+			die("epoch: %v", st["error"])
+		}
+		fmt.Printf("epoch %d: daemon at epoch %.0f (%s, confidence %.3f, %.0f probes, resumed=%v)\n",
+			epoch, st["epoch"], st["level"], st["confidence"], st["probes"], st["resumed"])
+		from, to, ok := spotHosts(cl)
+		if !ok {
+			continue
+		}
+		route, err := cl.Call(map[string]any{"op": "route", "from": from, "to": to})
+		if err != nil {
+			die("route: %v", err)
+		}
+		switch {
+		case route["ok"] == true:
+			fmt.Printf("         route %s->%s: %v (%.0f hops)\n", from, to, route["route"], route["hops"])
+		case route["refused"] == true:
+			fmt.Printf("         route %s->%s refused: %v\n", from, to, route["error"])
+		default:
+			die("route %s->%s: %v", from, to, route["error"])
+		}
+	}
+}
+
+// spotHosts picks the first and last host of the daemon's served map for
+// the per-epoch route spot check.
+func spotHosts(cl *mapd.Client) (from, to string, ok bool) {
+	resp, err := cl.Call(map[string]any{"op": "topo"})
+	if err != nil {
+		die("topo: %v", err)
+	}
+	if resp["ok"] != true {
+		die("topo: %v", resp["error"])
+	}
+	text, _ := resp["network"].(string)
+	net, err := topology.ReadFrom(strings.NewReader(text))
+	if err != nil {
+		die("topo parse: %v", err)
+	}
+	hosts := net.Hosts()
+	if len(hosts) < 2 {
+		return "", "", false
+	}
+	return net.NameOf(hosts[0]), net.NameOf(hosts[len(hosts)-1]), true
 }
 
 func pickMapper(net *topology.Network, utility string) topology.NodeID {

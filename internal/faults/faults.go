@@ -151,6 +151,12 @@ type Injector struct {
 
 	log []Record
 
+	// onRecord, when non-nil, observes every Record as it is logged — the
+	// suspicion signal a serving daemon's remap loop listens to. It fires
+	// synchronously on the probing goroutine, so hooks must be cheap and
+	// must not probe.
+	onRecord func(Record)
+
 	// obs mirror (Instrument): tr receives one cat-"faults" instant per
 	// record; m classifies records into counters. Both stay nil-safe
 	// no-ops on an uninstrumented injector.
@@ -215,6 +221,12 @@ func (i *Injector) Instrument(tr *obs.Tracer, reg *obs.Registry) *Injector {
 // Log returns the fault records accumulated so far, in virtual-time order.
 func (i *Injector) Log() []Record { return i.log }
 
+// SetOnRecord installs the suspicion hook: f observes every fault record
+// (applied events, no-ops, probe-level faults) the moment it is logged.
+// A nil f uninstalls. The serving daemon (internal/mapd) uses this to
+// notice faults landing mid-probe and schedule a heal attempt.
+func (i *Injector) SetOnRecord(f func(Record)) { i.onRecord = f }
+
 // Probes reports how many probes the injector has inspected.
 func (i *Injector) Probes() uint64 { return i.seq }
 
@@ -238,7 +250,11 @@ func (i *Injector) Advance(now time.Duration) {
 }
 
 func (i *Injector) record(at time.Duration, what string, wire int, node topology.NodeID, seq uint64) {
-	i.log = append(i.log, Record{At: at, What: what, Wire: wire, Node: node, Seq: seq})
+	rec := Record{At: at, What: what, Wire: wire, Node: node, Seq: seq}
+	i.log = append(i.log, rec)
+	if i.onRecord != nil {
+		i.onRecord(rec)
+	}
 	switch {
 	case strings.HasSuffix(what, "-noop"):
 		i.m.noop.Inc()

@@ -1,0 +1,174 @@
+package mapd
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestMain doubles as the sanmapd re-exec helper: when SANMAPD_HELPER is
+// set the test binary becomes a real daemon process (argument vector in
+// the variable, unit-separated), which is how the kill/restart harness
+// crashes and reboots sanmapd as an actual OS process rather than a
+// goroutine.
+func TestMain(m *testing.M) {
+	if args := os.Getenv("SANMAPD_HELPER"); args != "" {
+		os.Exit(Main(strings.Split(args, "\x1f"), os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// runDaemon execs this test binary as a sanmapd process and returns its
+// exit code and combined output.
+func runDaemon(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(), "SANMAPD_HELPER="+strings.Join(args, "\x1f"))
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), string(out)
+	}
+	t.Fatalf("exec daemon: %v\n%s", err, out)
+	return -1, ""
+}
+
+// netSection extracts the serialized network from a committed epoch.
+func netSection(t *testing.T, ep *Epoch) string {
+	t.Helper()
+	if ep == nil {
+		t.Fatal("nil epoch")
+	}
+	return string(ep.NetText)
+}
+
+// TestCrashRestartConvergesByteIdentical is the crash harness from the
+// issue: kill sanmapd at the 1st, 2nd, 3rd, ... WAL append — every
+// durable point there is — restarting onto the same state directory each
+// time, and require that the surviving committed epochs are byte-for-byte
+// the same maps an uninterrupted daemon produces.
+func TestCrashRestartConvergesByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	base := []string{
+		"-gen", "now-c", "-seed", "1", "-chaos", "seed=5,cuts=2", "-once",
+	}
+	refDir := t.TempDir()
+	if code, out := runDaemon(t, append([]string{"-state", refDir}, base...)...); code != 0 {
+		t.Fatalf("reference run exited %d:\n%s", code, out)
+	}
+
+	crashDir := t.TempDir()
+	converged := false
+	crashes := 0
+	var lastOut string
+	for n := 1; n <= 64; n++ {
+		code, out := runDaemon(t, append([]string{
+			"-state", crashDir, "-crash-after", fmt.Sprint(n)}, base...)...)
+		lastOut = out
+		switch code {
+		case crashExitCode:
+			crashes++
+		case 0:
+			converged = true
+		default:
+			t.Fatalf("crash run n=%d exited %d:\n%s", n, code, out)
+		}
+		if converged {
+			break
+		}
+	}
+	if !converged {
+		t.Fatalf("no convergence after 64 crash points:\n%s", lastOut)
+	}
+	if crashes == 0 {
+		t.Fatal("crash hook never fired — harness tested nothing")
+	}
+
+	ref, err := OpenStore(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash, err := OpenStore(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Epochs()) != len(crash.Epochs()) || len(ref.Epochs()) < 2 {
+		t.Fatalf("epoch counts differ: ref %d, crash-looped %d",
+			len(ref.Epochs()), len(crash.Epochs()))
+	}
+	for i, re := range ref.Epochs() {
+		ce := crash.Epochs()[i]
+		if netSection(t, re) != netSection(t, ce) {
+			t.Errorf("epoch %d: crash-looped network differs from uninterrupted run", re.Number)
+		}
+		if !bytes.Equal(re.Checkpoint, ce.Checkpoint) {
+			t.Errorf("epoch %d: crash-looped checkpoint differs from uninterrupted run", re.Number)
+		}
+	}
+
+	// Resumability must have been exercised and must pay: the final
+	// epoch of the crash loop comes from a resumed job whose last process
+	// segment spent fewer probes than the uninterrupted heal.
+	refFinal, crashFinal := ref.Latest(), crash.Latest()
+	if !crashFinal.Resumed {
+		t.Error("final crash-looped epoch was not committed by a resumed job")
+	}
+	if refFinal.Probes <= 0 {
+		t.Fatalf("reference heal spent %d probes — profile too weak", refFinal.Probes)
+	}
+	if crashFinal.Probes >= refFinal.Probes {
+		t.Errorf("resumed remap spent %d probes, from-scratch spends %d — resume saved nothing",
+			crashFinal.Probes, refFinal.Probes)
+	}
+
+	// No WAL survives a committed convergence.
+	if leftovers := staleWALs(crashDir, 0); len(leftovers) != 0 {
+		t.Errorf("stale WALs after convergence: %v", leftovers)
+	}
+}
+
+// TestCrashRestartInterruptedInitialMap crashes inside the very first
+// map job (before any epoch exists) and checks the restart recovers it
+// from the WAL and still commits the identical epoch 1.
+func TestCrashRestartInterruptedInitialMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns real processes")
+	}
+	base := []string{"-gen", "now-c", "-seed", "1", "-once"}
+	refDir := t.TempDir()
+	if code, out := runDaemon(t, append([]string{"-state", refDir}, base...)...); code != 0 {
+		t.Fatalf("reference run exited %d:\n%s", code, out)
+	}
+
+	dir := t.TempDir()
+	if code, _ := runDaemon(t, append([]string{
+		"-state", dir, "-crash-after", "1"}, base...)...); code != crashExitCode {
+		t.Fatalf("crash-after=1 exited %d, want %d", code, crashExitCode)
+	}
+	code, out := runDaemon(t, append([]string{"-state", dir}, base...)...)
+	if code != 0 {
+		t.Fatalf("restart exited %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "resuming map job") {
+		t.Fatalf("restart did not resume the interrupted map job:\n%s", out)
+	}
+
+	ref, err := OpenStore(refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netSection(t, ref.Latest()) != netSection(t, got.Latest()) {
+		t.Error("recovered initial map differs from uninterrupted run")
+	}
+}

@@ -1,0 +1,309 @@
+package mapd
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"sanmap/internal/obs"
+	"sanmap/internal/routes"
+	"sanmap/internal/topology"
+)
+
+// startServer builds and runs an in-process server, returning it plus a
+// join function that stops it and surfaces Run's error.
+func startServer(t *testing.T, cfg Config) (*Server, func()) {
+	t.Helper()
+	if cfg.StateDir == "" {
+		cfg.StateDir = t.TempDir()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run() }()
+	return srv, func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Run: %v", err)
+		}
+	}
+}
+
+// waitSnap blocks until the server publishes its first serving snapshot.
+func waitSnap(t *testing.T, srv *Server) *Snapshot {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if snap := srv.Snapshot(); snap != nil {
+			return snap
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("server never published a snapshot")
+	return nil
+}
+
+func dialServer(t *testing.T, srv *Server) *Client {
+	t.Helper()
+	cl, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+func TestServerServesQueries(t *testing.T) {
+	srv, join := startServer(t, Config{Gen: "now-c", Seed: 1, Listen: "127.0.0.1:0"})
+	defer join()
+	waitSnap(t, srv)
+	cl := dialServer(t, srv)
+
+	ping, err := cl.Call(map[string]any{"op": "ping"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ping["ok"] != true {
+		t.Fatalf("ping: %v", ping)
+	}
+
+	ep, err := cl.Call(map[string]any{"op": "epoch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep["ok"] != true || ep["epoch"].(float64) != 1 || ep["level"] != "full" {
+		t.Fatalf("epoch: %v", ep)
+	}
+
+	topoResp, err := cl.Call(map[string]any{"op": "topo"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topoResp["ok"] != true || topoResp["hosts"].(float64) <= 0 {
+		t.Fatalf("topo: %v", topoResp)
+	}
+
+	// A route between two real hosts of the served snapshot.
+	snap := srv.Snapshot()
+	hosts := snap.Net.Hosts()
+	if len(hosts) < 2 {
+		t.Fatalf("only %d hosts", len(hosts))
+	}
+	from, to := snap.Net.NameOf(hosts[0]), snap.Net.NameOf(hosts[len(hosts)-1])
+	route, err := cl.Call(map[string]any{"op": "route", "from": from, "to": to})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route["ok"] != true || route["route"] == "" {
+		t.Fatalf("route %s->%s: %v", from, to, route)
+	}
+	if _, degraded := route["degraded"]; degraded {
+		t.Fatalf("clean epoch served degraded: %v", route)
+	}
+
+	bad, err := cl.Call(map[string]any{"op": "route", "from": from, "to": "no-such-host"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad["ok"] != false {
+		t.Fatalf("unknown host accepted: %v", bad)
+	}
+
+	met, err := cl.Call(map[string]any{"op": "metrics"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met["ok"] != true {
+		t.Fatalf("metrics: %v", met)
+	}
+	mm := met["metrics"].(map[string]any)
+	if mm["mapd.epoch.commits"].(float64) != 1 {
+		t.Fatalf("commit counter: %v", mm)
+	}
+}
+
+// TestServerInjectHeals: a client-driven structural fault raises
+// suspicion, the continuous remap loop heals, and the epoch advances —
+// while the query side keeps serving throughout.
+func TestServerInjectHeals(t *testing.T) {
+	srv, join := startServer(t, Config{Gen: "now-c", Seed: 1, Listen: "127.0.0.1:0"})
+	defer join()
+	cl := dialServer(t, srv)
+
+	// Concurrent readers hammer route queries through the inject+heal
+	// window; none may observe a failed read (refusals are acceptable —
+	// they are the guarded ladder working — but there is no window with
+	// no snapshot).
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	snap := waitSnap(t, srv)
+	hosts := snap.Net.Hosts()
+	from, to := snap.Net.NameOf(hosts[0]), snap.Net.NameOf(hosts[len(hosts)-1])
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			rcl, err := Dial(srv.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer rcl.Close()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := rcl.Call(map[string]any{"op": "route", "from": from, "to": to})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if resp["epoch"] == nil {
+					t.Errorf("route served without an epoch: %v", resp)
+					return
+				}
+			}
+		}()
+	}
+
+	inj, err := cl.Call(map[string]any{"op": "inject", "spec": "seed=5,cuts=2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	readers.Wait()
+	if inj["ok"] != true {
+		t.Fatalf("inject: %v", inj)
+	}
+	if got := inj["epoch"].(float64); got < 2 {
+		t.Fatalf("inject did not heal to a new epoch: %v", inj)
+	}
+	if srv.failedReads.Load() != 0 {
+		t.Fatalf("%d failed reads during heal", srv.failedReads.Load())
+	}
+
+	// The remap op always produces a fresh epoch on demand.
+	before := srv.Store().Latest().Number
+	rm, err := cl.Call(map[string]any{"op": "remap"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm["ok"] != true || uint64(rm["epoch"].(float64)) != before+1 {
+		t.Fatalf("remap from epoch %d: %v", before, rm)
+	}
+}
+
+// TestServerRestartServesPreviousEpoch: a fresh server over an existing
+// state dir serves the recovered epoch immediately, before any remapping.
+func TestServerRestartServesPreviousEpoch(t *testing.T) {
+	dir := t.TempDir()
+	srv, join := startServer(t, Config{Gen: "now-c", Seed: 1, StateDir: dir, Once: true})
+	join()
+	if srv.Store().Latest() == nil {
+		t.Fatal("no epoch committed")
+	}
+
+	srv2, join2 := startServer(t, Config{Gen: "now-c", Seed: 1, StateDir: dir, Listen: "127.0.0.1:0"})
+	defer join2()
+	cl := dialServer(t, srv2)
+	ep, err := cl.Call(map[string]any{"op": "epoch"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep["ok"] != true || ep["epoch"].(float64) != 1 {
+		t.Fatalf("recovered epoch: %v", ep)
+	}
+	if srv2.Store().NextJobID() < 2 {
+		t.Fatalf("job IDs restarted: next %d", srv2.Store().NextJobID())
+	}
+}
+
+// TestRouteAnswerDegradationLadder drives routeAnswer against crafted
+// snapshots: annotated serving stamps confidence, guarded serving refuses
+// exactly the routes crossing suspect nodes and serves the rest.
+func TestRouteAnswerDegradationLadder(t *testing.T) {
+	// h0 -- s0 -- s1 -- h1, plus h2 on s0: h0->h2 avoids s1.
+	n := &topology.Network{}
+	s0 := n.AddSwitch("s0")
+	s1 := n.AddSwitch("s1")
+	h0 := n.AddHost("h0")
+	h1 := n.AddHost("h1")
+	h2 := n.AddHost("h2")
+	n.MustConnect(h0, 0, s0, 0)
+	n.MustConnect(s0, 1, s1, 1)
+	n.MustConnect(s1, 2, h1, 0)
+	n.MustConnect(s0, 3, h2, 0)
+	tab, err := routes.Compute(n, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := &Snapshot{
+		Epoch: 3, Confidence: 0.9, Level: LevelGuarded,
+		SuspectIDs: map[topology.NodeID]bool{s1: true},
+		Net:        n, Table: tab,
+	}
+
+	refused := routeAnswer(snap, "h0", "h1")
+	if refused["ok"] != false || refused["refused"] != true {
+		t.Fatalf("route across suspect not refused: %v", refused)
+	}
+	served := routeAnswer(snap, "h0", "h2")
+	if served["ok"] != true {
+		t.Fatalf("clean route refused at guarded level: %v", served)
+	}
+	if served["degraded"] != "guarded" || served["confidence"].(float64) != 0.9 {
+		t.Fatalf("guarded response not annotated: %v", served)
+	}
+
+	snap.Level = LevelAnnotated
+	snap.SuspectIDs = nil
+	ann := routeAnswer(snap, "h0", "h1")
+	if ann["ok"] != true || ann["degraded"] != "annotated" {
+		t.Fatalf("annotated response: %v", ann)
+	}
+
+	snap.Level = LevelFull
+	full := routeAnswer(snap, "h0", "h1")
+	if full["ok"] != true {
+		t.Fatalf("full response: %v", full)
+	}
+	if _, deg := full["degraded"]; deg {
+		t.Fatalf("full-level response annotated: %v", full)
+	}
+
+	if none := routeAnswer(nil, "h0", "h1"); none["ok"] != false {
+		t.Fatalf("nil snapshot served: %v", none)
+	}
+}
+
+// TestServerMapperOverride: -mapper picks the session host; a bogus name
+// is a construction error, not a silent fallback.
+func TestServerMapperOverride(t *testing.T) {
+	if _, err := New(Config{Gen: "now-c", Seed: 1, StateDir: t.TempDir(),
+		Mapper: "no-such-host", Metrics: obs.NewRegistry()}); err == nil {
+		t.Fatal("bogus -mapper accepted")
+	}
+}
+
+// TestSplitListen covers the -listen grammar.
+func TestSplitListen(t *testing.T) {
+	cases := []struct{ in, nw, addr string }{
+		{"unix:/tmp/x.sock", "unix", "/tmp/x.sock"},
+		{"/tmp/y.sock", "unix", "/tmp/y.sock"},
+		{"127.0.0.1:0", "tcp", "127.0.0.1:0"},
+		{"localhost:9999", "tcp", "localhost:9999"},
+	}
+	for _, c := range cases {
+		nw, addr := splitListen(c.in)
+		if nw != c.nw || addr != c.addr {
+			t.Errorf("splitListen(%q) = %q,%q want %q,%q", c.in, nw, addr, c.nw, c.addr)
+		}
+	}
+}

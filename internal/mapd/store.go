@@ -1,0 +1,341 @@
+package mapd
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+// ErrFenced is returned by Store.Commit when the epoch's parent is no
+// longer the latest committed epoch: some other job (a newer mapper, or a
+// faster resumed one) committed first. The losing job must discard its
+// result — its WAL is stale — and, if it still wants to heal, start a new
+// job from the winner's epoch.
+var ErrFenced = errors.New("mapd: commit fenced: parent is not the latest epoch")
+
+// ErrBadEpoch wraps any parse or checksum failure on an epoch file.
+var ErrBadEpoch = errors.New("mapd: bad epoch file")
+
+// EpochMeta is the header of a committed epoch.
+type EpochMeta struct {
+	Number uint64 // 1-based, dense: Number == Parent+1
+	Parent uint64 // 0 for the initial map
+	Job    uint64 // the job that committed this epoch (fencing token)
+	// Resumed records that the committing job continued from a WAL or
+	// epoch checkpoint after a crash rather than mapping from scratch.
+	Resumed bool
+	// VClock is the committing process's virtual clock at commit time.
+	// Informational: it restarts at zero with each process.
+	VClock time.Duration
+	// Probes is the probe spend of the committing job's final process
+	// segment (a resumed job counts only post-resume probes).
+	Probes int64
+	// Confidence, Partial, Suspects and SuspectIDs mirror the
+	// mapper.Result fields the degradation ladder keys on.
+	Confidence float64
+	Partial    bool
+	Suspects   []string
+	SuspectIDs []topology.NodeID
+}
+
+// Epoch is one committed map: metadata plus the serialized network (the
+// topology file format) and the mapper session checkpoint that produced
+// it, from which the next remap resumes.
+type Epoch struct {
+	EpochMeta
+	NetText    []byte
+	Checkpoint []byte
+}
+
+// Store is the on-disk epoch sequence: dir/epoch-%06d.san files, each
+// fully checksummed and committed via write-temp-then-rename so a crash
+// never leaves a torn epoch — only a missing one, which the WAL covers.
+type Store struct {
+	dir     string
+	epochs  []*Epoch // valid epochs, ascending by number
+	corrupt int      // files that failed checksum or parse at Open
+}
+
+// OpenStore opens (creating if necessary) the epoch store in dir and
+// loads every valid epoch. Corrupt files are skipped, not deleted: the
+// daemon serves from the newest valid epoch and recovery re-derives the
+// rest.
+func OpenStore(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return nil, fmt.Errorf("mapd: state dir: %w", err)
+	}
+	st := &Store{dir: dir}
+	paths, err := filepath.Glob(filepath.Join(dir, "epoch-*.san"))
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		ep, err := parseEpoch(data)
+		if err != nil {
+			st.corrupt++
+			continue
+		}
+		st.epochs = append(st.epochs, ep)
+	}
+	sort.Slice(st.epochs, func(i, j int) bool {
+		return st.epochs[i].Number < st.epochs[j].Number
+	})
+	return st, nil
+}
+
+// Dir returns the state directory.
+func (st *Store) Dir() string { return st.dir }
+
+// Corrupt reports how many epoch files failed validation at open.
+func (st *Store) Corrupt() int { return st.corrupt }
+
+// Latest returns the newest valid epoch, or nil if none committed yet.
+func (st *Store) Latest() *Epoch {
+	if len(st.epochs) == 0 {
+		return nil
+	}
+	return st.epochs[len(st.epochs)-1]
+}
+
+// Epochs returns the valid epochs in ascending order.
+func (st *Store) Epochs() []*Epoch { return st.epochs }
+
+// NextJobID returns a job ID strictly greater than every job recorded in
+// any epoch or WAL file in the store — the fencing token for a new map or
+// remap job. Derived from disk, not a clock, so it is deterministic and
+// survives restarts.
+func (st *Store) NextJobID() uint64 {
+	var max uint64
+	for _, ep := range st.epochs {
+		if ep.Job > max {
+			max = ep.Job
+		}
+	}
+	paths, _ := filepath.Glob(filepath.Join(st.dir, "wal-*.log"))
+	for _, p := range paths {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "wal-"), ".log")
+		if j, err := strconv.ParseUint(base, 10, 64); err == nil && j > max {
+			max = j
+		}
+	}
+	return max + 1
+}
+
+// Commit durably writes ep as the next epoch. The fencing rule: ep.Parent
+// must equal the latest committed epoch number (0 when the store is
+// empty), checked against the directory, not just memory, so a stale
+// resumed mapper that lost the race gets ErrFenced instead of clobbering
+// the winner.
+func (st *Store) Commit(ep *Epoch) error {
+	latest := st.diskLatest()
+	if ep.Parent != latest {
+		return fmt.Errorf("%w (parent %d, latest %d)", ErrFenced, ep.Parent, latest)
+	}
+	if ep.Number != ep.Parent+1 {
+		return fmt.Errorf("mapd: epoch %d must be parent %d + 1", ep.Number, ep.Parent)
+	}
+	data := encodeEpoch(ep)
+	final := filepath.Join(st.dir, fmt.Sprintf("epoch-%06d.san", ep.Number))
+	tmp := final + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o666); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	st.epochs = append(st.epochs, ep)
+	return nil
+}
+
+// diskLatest scans the directory for the highest epoch file number. This
+// is the fencing ground truth; the in-memory slice can be behind when a
+// concurrent (stale, resumed) process raced us.
+func (st *Store) diskLatest() uint64 {
+	paths, _ := filepath.Glob(filepath.Join(st.dir, "epoch-*.san"))
+	var max uint64
+	for _, p := range paths {
+		base := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(p), "epoch-"), ".san")
+		if n, err := strconv.ParseUint(base, 10, 64); err == nil && n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+const epochMagic = "sanmapd-epoch 1"
+
+// encodeEpoch renders the epoch file: a text header, the two raw
+// sections with byte-length framing, and a trailing CRC-32 (IEEE) over
+// everything before the crc line.
+func encodeEpoch(ep *Epoch) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s\n", epochMagic)
+	fmt.Fprintf(&b, "epoch %d\n", ep.Number)
+	fmt.Fprintf(&b, "parent %d\n", ep.Parent)
+	fmt.Fprintf(&b, "job %d\n", ep.Job)
+	fmt.Fprintf(&b, "resumed %d\n", b2i(ep.Resumed))
+	fmt.Fprintf(&b, "vclock %d\n", int64(ep.VClock))
+	fmt.Fprintf(&b, "probes %d\n", ep.Probes)
+	fmt.Fprintf(&b, "confidence %s\n", strconv.FormatFloat(ep.Confidence, 'g', -1, 64))
+	fmt.Fprintf(&b, "partial %d\n", b2i(ep.Partial))
+	fmt.Fprintf(&b, "suspects %d\n", len(ep.Suspects))
+	for _, s := range ep.Suspects {
+		fmt.Fprintf(&b, "suspect %q\n", s)
+	}
+	fmt.Fprintf(&b, "suspect-ids %d", len(ep.SuspectIDs))
+	for _, id := range ep.SuspectIDs {
+		fmt.Fprintf(&b, " %d", id)
+	}
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "network %d\n", len(ep.NetText))
+	b.Write(ep.NetText)
+	fmt.Fprintf(&b, "checkpoint %d\n", len(ep.Checkpoint))
+	b.Write(ep.Checkpoint)
+	fmt.Fprintf(&b, "crc %08x\n", crc32.ChecksumIEEE(b.Bytes()))
+	return b.Bytes()
+}
+
+// parseEpoch validates the checksum and decodes one epoch file.
+func parseEpoch(data []byte) (*Epoch, error) {
+	i := bytes.LastIndex(data, []byte("\ncrc "))
+	if i < 0 {
+		return nil, fmt.Errorf("%w: no crc trailer", ErrBadEpoch)
+	}
+	body, trailer := data[:i+1], data[i+1:]
+	var want uint32
+	if _, err := fmt.Sscanf(string(trailer), "crc %08x\n", &want); err != nil {
+		return nil, fmt.Errorf("%w: bad crc trailer", ErrBadEpoch)
+	}
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch %08x != %08x", ErrBadEpoch, got, want)
+	}
+	p := &epochParser{data: body}
+	if p.line() != epochMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadEpoch)
+	}
+	ep := &Epoch{}
+	ep.Number = p.uintField("epoch")
+	ep.Parent = p.uintField("parent")
+	ep.Job = p.uintField("job")
+	ep.Resumed = p.uintField("resumed") != 0
+	ep.VClock = time.Duration(p.uintField("vclock"))
+	ep.Probes = int64(p.uintField("probes"))
+	if v, ok := strings.CutPrefix(p.line(), "confidence "); ok {
+		ep.Confidence, _ = strconv.ParseFloat(v, 64)
+	} else {
+		p.fail("confidence")
+	}
+	ep.Partial = p.uintField("partial") != 0
+	for n := p.uintField("suspects"); n > 0 && p.err == nil; n-- {
+		v, ok := strings.CutPrefix(p.line(), "suspect ")
+		if !ok {
+			p.fail("suspect")
+			break
+		}
+		s, err := strconv.Unquote(v)
+		if err != nil {
+			p.fail("suspect quote")
+			break
+		}
+		ep.Suspects = append(ep.Suspects, s)
+	}
+	if f := strings.Fields(p.line()); len(f) >= 2 && f[0] == "suspect-ids" {
+		for _, s := range f[2:] {
+			id, err := strconv.Atoi(s)
+			if err != nil {
+				p.fail("suspect-ids")
+				break
+			}
+			ep.SuspectIDs = append(ep.SuspectIDs, topology.NodeID(id))
+		}
+	} else {
+		p.fail("suspect-ids")
+	}
+	ep.NetText = p.section("network")
+	ep.Checkpoint = p.section("checkpoint")
+	if p.err != nil {
+		return nil, p.err
+	}
+	if ep.Number == 0 || ep.Number != ep.Parent+1 {
+		return nil, fmt.Errorf("%w: epoch %d with parent %d", ErrBadEpoch, ep.Number, ep.Parent)
+	}
+	return ep, nil
+}
+
+type epochParser struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (p *epochParser) fail(what string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("%w: missing or malformed %s", ErrBadEpoch, what)
+	}
+}
+
+// line returns the next newline-terminated line, without the newline.
+func (p *epochParser) line() string {
+	if p.err != nil || p.pos >= len(p.data) {
+		p.fail("line")
+		return ""
+	}
+	i := bytes.IndexByte(p.data[p.pos:], '\n')
+	if i < 0 {
+		p.fail("newline")
+		return ""
+	}
+	s := string(p.data[p.pos : p.pos+i])
+	p.pos += i + 1
+	return s
+}
+
+func (p *epochParser) uintField(key string) uint64 {
+	v, ok := strings.CutPrefix(p.line(), key+" ")
+	if !ok {
+		p.fail(key)
+		return 0
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		p.fail(key)
+		return 0
+	}
+	return n
+}
+
+// section reads a "key <len>" line followed by exactly len raw bytes.
+func (p *epochParser) section(key string) []byte {
+	n := p.uintField(key)
+	if p.err != nil {
+		return nil
+	}
+	if p.pos+int(n) > len(p.data) {
+		p.fail(key + " body")
+		return nil
+	}
+	out := append([]byte(nil), p.data[p.pos:p.pos+int(n)]...)
+	p.pos += int(n)
+	return out
+}
+
+func b2i(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,183 @@
+package mapd
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"sanmap/internal/topology"
+)
+
+func testEpoch(n uint64) *Epoch {
+	return &Epoch{
+		EpochMeta: EpochMeta{
+			Number: n, Parent: n - 1, Job: n,
+			Resumed: n%2 == 0, VClock: 17 * time.Millisecond, Probes: 136,
+			Confidence: 0.875, Partial: n%2 == 1,
+			Suspects:   []string{`m1[3]--m2[0]`, "odd \"name\"\nwith newline"},
+			SuspectIDs: []topology.NodeID{3, 9},
+		},
+		NetText:    []byte("hosts 2\nswitches 1\n... not parsed by the store ...\n"),
+		Checkpoint: []byte("sanmap-checkpoint 1\nopaque to the store\n"),
+	}
+}
+
+func TestEpochEncodeParseRoundTrip(t *testing.T) {
+	ep := testEpoch(3)
+	got, err := parseEpoch(encodeEpoch(ep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ep, got) {
+		t.Fatalf("round trip:\nin  %+v\nout %+v", ep, got)
+	}
+	// Empty optional fields survive too.
+	min := &Epoch{EpochMeta: EpochMeta{Number: 1, Confidence: 1}}
+	got, err = parseEpoch(encodeEpoch(min))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(min, got) {
+		t.Fatalf("minimal round trip:\nin  %+v\nout %+v", min, got)
+	}
+}
+
+func TestEpochChecksumRejectsFlips(t *testing.T) {
+	data := encodeEpoch(testEpoch(1))
+	for _, i := range []int{0, len(data) / 2, len(data) - 12} {
+		bad := append([]byte(nil), data...)
+		bad[i] ^= 0x40
+		if _, err := parseEpoch(bad); !errors.Is(err, ErrBadEpoch) {
+			t.Errorf("flip at %d: got %v, want ErrBadEpoch", i, err)
+		}
+	}
+	if _, err := parseEpoch(data[:len(data)-4]); !errors.Is(err, ErrBadEpoch) {
+		t.Errorf("truncated file: got %v", err)
+	}
+}
+
+func TestStoreCommitAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Latest() != nil {
+		t.Fatal("empty store has a latest epoch")
+	}
+	if err := st.Commit(testEpoch(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(testEpoch(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Latest(); got == nil || got.Number != 2 {
+		t.Fatalf("Latest after reopen: %+v", got)
+	}
+	if len(st2.Epochs()) != 2 || st2.Corrupt() != 0 {
+		t.Fatalf("reopen: %d epochs, %d corrupt", len(st2.Epochs()), st2.Corrupt())
+	}
+}
+
+func TestStoreSkipsCorruptEpochs(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := uint64(1); n <= 2; n++ {
+		if err := st.Commit(testEpoch(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Corrupt the newest file: the store must fall back to epoch 1.
+	path := filepath.Join(dir, "epoch-000002.san")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xff
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st2.Latest(); got == nil || got.Number != 1 {
+		t.Fatalf("Latest with corrupt newest: %+v", got)
+	}
+	if st2.Corrupt() != 1 {
+		t.Fatalf("Corrupt() = %d, want 1", st2.Corrupt())
+	}
+}
+
+// TestStoreCommitFencing: a commit whose parent is no longer the on-disk
+// latest must fail with ErrFenced — even when the store's own memory is
+// stale because another process committed behind its back.
+func TestStoreCommitFencing(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Commit(testEpoch(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong parent, checked against memory and disk alike.
+	if err := st.Commit(testEpoch(3)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("parent skip: got %v, want ErrFenced", err)
+	}
+	// A second process (simulated via a second Store handle) wins the race.
+	other, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Commit(testEpoch(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The loser's view says "latest is 1", but the disk says 2: fenced.
+	if err := st.Commit(testEpoch(2)); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale commit: got %v, want ErrFenced", err)
+	}
+}
+
+func TestNextJobID(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.NextJobID(); got != 1 {
+		t.Fatalf("empty store NextJobID = %d, want 1", got)
+	}
+	ep := testEpoch(1)
+	ep.Job = 5
+	if err := st.Commit(ep); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.NextJobID(); got != 6 {
+		t.Fatalf("after epoch job 5: NextJobID = %d, want 6", got)
+	}
+	// A leftover WAL from a dead job must fence its ID too, even without
+	// an epoch: job IDs never repeat.
+	w, err := createWAL(dir, 9, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(1, 0, "test"); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if got := st.NextJobID(); got != 10 {
+		t.Fatalf("with wal-9: NextJobID = %d, want 10", got)
+	}
+}

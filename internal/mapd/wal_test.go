@@ -1,0 +1,184 @@
+package mapd
+
+import (
+	"os"
+	"testing"
+
+	"sanmap/internal/mapper"
+)
+
+func writeTestWAL(t *testing.T, dir string, job uint64, crash *crashHook, steps int) *WAL {
+	t.Helper()
+	w, err := createWAL(dir, job, crash, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Begin(job-1, 42, "chaos"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < steps; i++ {
+		err := w.Step(stepRecord{
+			Kind: mapper.StepSweep, Round: i, Dropped: 3 - i, Probes: int64(100 * (i + 1)),
+			VClock:     int64(1000 * (i + 1)),
+			Checkpoint: []byte("checkpoint image " + string(rune('a'+i))),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return w
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := writeTestWAL(t, dir, 4, nil, 2)
+	w.Close()
+
+	st, err := loadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("loadWAL found nothing")
+	}
+	if st.Job != 4 || st.Parent != 3 || st.Reason != "chaos" || st.VClock != 42 || st.Steps != 2 {
+		t.Fatalf("state %+v", st)
+	}
+	if st.Last == nil || st.Last.Round != 1 || st.Last.Dropped != 2 ||
+		st.Last.Probes != 200 || st.Last.VClock != 2000 ||
+		string(st.Last.Checkpoint) != "checkpoint image b" {
+		t.Fatalf("last step %+v", st.Last)
+	}
+}
+
+// TestWALTornTailTruncated: a crash mid-append leaves a torn frame;
+// recovery must return the last whole record and resumeWAL must truncate
+// the tail so new appends land on a clean boundary.
+func TestWALTornTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	w := writeTestWAL(t, dir, 2, nil, 2)
+	w.Close()
+
+	whole, err := os.ReadFile(walPath(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 24; cut += 7 {
+		torn := whole[:len(whole)-cut]
+		if err := os.WriteFile(walPath(dir, 2), torn, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		st, err := loadWAL(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st == nil || st.Steps != 1 {
+			t.Fatalf("cut %d: recovered %+v, want 1 whole step", cut, st)
+		}
+		if st.Last.Probes != 100 {
+			t.Fatalf("cut %d: last step %+v", cut, st.Last)
+		}
+
+		// Resume, append a replacement step, and re-recover: the torn
+		// bytes must be gone.
+		rw, err := resumeWAL(st, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Step(stepRecord{Kind: mapper.StepExplore, Round: 7, Probes: 700}); err != nil {
+			t.Fatal(err)
+		}
+		rw.Close()
+		st2, err := loadWAL(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st2.Steps != 2 || st2.Last.Round != 7 || st2.Last.Probes != 700 {
+			t.Fatalf("cut %d: after resume %+v last %+v", cut, st2, st2.Last)
+		}
+	}
+}
+
+// TestWALCorruptFrameStopsRecovery: a bit flip inside an acknowledged
+// record fails its CRC; recovery keeps everything before it.
+func TestWALCorruptFrameStopsRecovery(t *testing.T) {
+	dir := t.TempDir()
+	w := writeTestWAL(t, dir, 3, nil, 2)
+	w.Close()
+	data, err := os.ReadFile(walPath(dir, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 1 // inside the final step's checkpoint
+	if err := os.WriteFile(walPath(dir, 3), data, 0o666); err != nil {
+		t.Fatal(err)
+	}
+	st, err := loadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.Steps != 1 {
+		t.Fatalf("recovered %+v, want the one intact step", st)
+	}
+}
+
+// TestWALLoadsNewestJob: with several leftover logs, recovery picks the
+// highest job number and staleWALs lists the rest for sweeping.
+func TestWALLoadsNewestJob(t *testing.T) {
+	dir := t.TempDir()
+	for _, job := range []uint64{2, 10, 7} {
+		w := writeTestWAL(t, dir, job, nil, 1)
+		w.Close()
+	}
+	st, err := loadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil || st.Job != 10 {
+		t.Fatalf("loadWAL picked %+v, want job 10", st)
+	}
+	stale := staleWALs(dir, 10)
+	if len(stale) != 2 {
+		t.Fatalf("staleWALs(keep=10) = %v", stale)
+	}
+	if got := staleWALs(dir, 0); len(got) != 3 {
+		t.Fatalf("staleWALs(keep=0) = %v", got)
+	}
+}
+
+// TestCrashHookFiresOnNthAppend: the -crash-after hook triggers exactly
+// at the n-th durable append, counted across every record kind.
+func TestCrashHookFiresOnNthAppend(t *testing.T) {
+	dir := t.TempDir()
+	fired := 0
+	crash := &crashHook{after: 3, exit: func() { fired++ }}
+	w := writeTestWAL(t, dir, 1, crash, 4) // 1 begin + 4 steps = 5 appends
+	w.Close()
+	if fired != 1 {
+		t.Fatalf("crash hook fired %d times, want exactly once", fired)
+	}
+	if crash.n != 5 {
+		t.Fatalf("hook counted %d appends, want 5", crash.n)
+	}
+	// Disabled hook (after=0) never fires.
+	quiet := &crashHook{exit: func() { t.Error("disabled hook fired") }}
+	w2 := writeTestWAL(t, t.TempDir(), 1, quiet, 2)
+	w2.Close()
+}
+
+// TestWALRemoveDischarges: Remove deletes the file so recovery finds
+// nothing — the committed epoch has taken over the job's promise.
+func TestWALRemoveDischarges(t *testing.T) {
+	dir := t.TempDir()
+	w := writeTestWAL(t, dir, 6, nil, 1)
+	if err := w.Remove(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := loadWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != nil {
+		t.Fatalf("recovered %+v after Remove", st)
+	}
+}

@@ -17,6 +17,23 @@ import (
 // deletes whatever the surviving map can no longer reach.
 type Session struct {
 	r *run
+	// hook is the step observer installed by OnStep: it fires after every
+	// completed heal phase (sweep, explore drain, map completion) at a
+	// point where Checkpoint captures a resumable state. A hook error
+	// aborts the call with the session still intact and checkpointable —
+	// returning ErrSuspended is the cooperative-suspend protocol.
+	hook func(Step) error
+	// heal is the Remap state machine position, persisted by Checkpoint so
+	// a restored session resumes mid-Remap instead of starting over.
+	heal healState
+}
+
+// healState is the resumable position inside one Remap call.
+type healState struct {
+	round     int  // verify→re-explore rounds completed or in progress
+	sweepDone bool // this round's sweep ran; the explore drain has not
+	dropped   int  // edges dropped by this round's sweep
+	done      bool // a sweep found nothing wrong; Remap only needs result()
 }
 
 // NewSession builds a self-healing session over the prober. SelfHeal is
@@ -33,9 +50,15 @@ func NewSession(p simnet.Prober, opts ...Option) (*Session, error) {
 }
 
 // Map runs the initial exploration and returns the tolerant Result. The
-// session keeps the model for later Remap calls.
+// session keeps the model for later Remap calls. The step hook (OnStep)
+// fires once with StepMap after the frontier drains; on a session restored
+// from a post-map checkpoint the drain is a no-op and Map just re-derives
+// the Result.
 func (s *Session) Map() (*Result, error) {
 	if err := s.r.runLoop(); err != nil {
+		return nil, err
+	}
+	if err := s.emitStep(StepMap); err != nil {
 		return nil, err
 	}
 	return s.r.result()
@@ -53,24 +76,41 @@ const healRounds = 4
 // fault budget is spent. Because occupied surviving slots are skipped and
 // verification costs one probe per live edge, an incremental Remap after a
 // small fault is far cheaper than a from-scratch run.
+// Remap is a resumable state machine over Session.heal: the step hook
+// fires after each sweep (StepSweep) and each explore drain (StepExplore),
+// and a checkpoint taken at either boundary restores to exactly this
+// position — a resumed Remap re-issues no probe an interrupted one already
+// paid for. The probe sequence is byte-identical to the pre-checkpoint
+// single-loop implementation.
 func (s *Session) Remap() (*Result, error) {
-	for round := 0; round < healRounds; round++ {
+	for !s.heal.done && s.heal.round < healRounds {
 		if s.r.budgetExhausted() {
 			s.r.partial = true
 			s.r.observe("budget-exhausted", nil)
 			break
 		}
-		dropped, err := s.r.sweep()
-		if err != nil {
-			return nil, err
+		if !s.heal.sweepDone {
+			dropped, err := s.r.sweep()
+			if err != nil {
+				return nil, err
+			}
+			s.heal.dropped = dropped
+			s.heal.sweepDone = true
+			if err := s.emitStep(StepSweep); err != nil {
+				return nil, err
+			}
 		}
 		if err := s.r.runLoop(); err != nil {
 			return nil, err
 		}
-		if dropped == 0 {
-			break
+		s.heal.sweepDone = false
+		s.heal.done = s.heal.dropped == 0
+		s.heal.round++
+		if err := s.emitStep(StepExplore); err != nil {
+			return nil, err
 		}
 	}
+	s.heal = healState{}
 	return s.r.result()
 }
 

@@ -68,6 +68,10 @@ type Result struct {
 	// Suspect lists deductions dropped at export because they conflicted
 	// (two edges claiming one port, unexportable wiring), sorted.
 	Suspect []string
+	// SuspectIDs are the exported node ids touched by suspect deductions,
+	// sorted and deduplicated — the "suspect region" a degraded server can
+	// refuse to route through while still serving everything else.
+	SuspectIDs []topology.NodeID
 	// FaultLog is the mapper's own record of contradictions, re-explores
 	// and dropped edges, in virtual-time order.
 	FaultLog []Observation
@@ -85,7 +89,7 @@ func (r *run) result() (*Result, error) {
 	r.stats.Inconsistent = r.model.Inconsistencies
 	r.finishPipeline()
 
-	net, mapperID, suspects, err := exportTolerant(r.model, r.p.LocalHost())
+	net, mapperID, suspects, suspectIDs, err := exportTolerant(r.model, r.p.LocalHost())
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +111,7 @@ func (r *run) result() (*Result, error) {
 		Confidence: conf,
 		Partial:    r.partial,
 		Suspect:    suspects,
+		SuspectIDs: suspectIDs,
 		FaultLog:   r.obs,
 	}, nil
 }
@@ -115,8 +120,9 @@ func (r *run) result() (*Result, error) {
 // exportModel, but degrades instead of failing: when a slot holds several
 // live edges (an unresolved contradiction) only the oldest is exported,
 // and wiring the strict exporter would reject is skipped. Every dropped
-// deduction is reported in suspects (sorted).
-func exportTolerant(model *Model, localHost string) (*topology.Network, topology.NodeID, []string, error) {
+// deduction is reported in suspects (sorted); the exported ids its
+// endpoints map to are collected in suspectIDs (sorted, deduplicated).
+func exportTolerant(model *Model, localHost string) (*topology.Network, topology.NodeID, []string, []topology.NodeID, error) {
 	net := &topology.Network{}
 	ids := make(map[*Vertex]topology.NodeID)
 	swCount := 0
@@ -150,6 +156,12 @@ func exportTolerant(model *Model, localHost string) (*topology.Network, topology
 		}
 		return fmt.Sprintf("%s[%d]--%s[%d]", name(e.a), e.ai, name(e.b), e.bi)
 	}
+	suspectIDSet := make(map[topology.NodeID]bool)
+	suspect := func(e *Edge) {
+		suspects = append(suspects, desc(e))
+		suspectIDSet[ids[e.a]] = true
+		suspectIDSet[ids[e.b]] = true
+	}
 	seen := make(map[*Edge]bool)
 	var slotIdx []int
 	for _, v := range model.liveVertices() {
@@ -172,7 +184,7 @@ func exportTolerant(model *Model, localHost string) (*topology.Network, topology
 				}
 				if taken {
 					seen[e] = true
-					suspects = append(suspects, desc(e))
+					suspect(e)
 					continue
 				}
 				seen[e] = true
@@ -190,20 +202,28 @@ func exportTolerant(model *Model, localHost string) (*topology.Network, topology
 				}
 				if e.a == e.b && pa == pb {
 					if err := net.AddReflector(ids[e.a], pa); err != nil {
-						suspects = append(suspects, desc(e))
+						suspect(e)
 					}
 					continue
 				}
 				if _, err := net.Connect(ids[e.a], pa, ids[e.b], pb); err != nil {
-					suspects = append(suspects, desc(e))
+					suspect(e)
 				}
 			}
 		}
 	}
 	mapperID := net.Lookup(localHost)
 	if mapperID == topology.None {
-		return nil, 0, nil, errors.New("mapper: mapping host missing from its own map")
+		return nil, 0, nil, nil, errors.New("mapper: mapping host missing from its own map")
 	}
 	sort.Strings(suspects)
-	return net, mapperID, suspects, nil
+	suspectIDs := make([]topology.NodeID, 0, len(suspectIDSet))
+	for id := range suspectIDSet {
+		suspectIDs = append(suspectIDs, id)
+	}
+	sort.Slice(suspectIDs, func(i, j int) bool { return suspectIDs[i] < suspectIDs[j] })
+	if len(suspectIDs) == 0 {
+		suspectIDs = nil
+	}
+	return net, mapperID, suspects, suspectIDs, nil
 }

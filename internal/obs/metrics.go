@@ -212,6 +212,38 @@ func (h *Histogram) Sum() time.Duration {
 	return h.sum
 }
 
+// EachCounter calls f for every registered counter in sorted name order —
+// the programmatic analogue of WriteText, for servers that export the
+// registry over a query protocol. Deterministic; nil registries no-op.
+func (r *Registry) EachCounter(f func(name string, value int64)) {
+	if r == nil {
+		return
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f(n, r.counters[n].v)
+	}
+}
+
+// EachGauge calls f for every registered gauge in sorted name order.
+func (r *Registry) EachGauge(f func(name string, value int64)) {
+	if r == nil {
+		return
+	}
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f(n, r.gauges[n].v)
+	}
+}
+
 // WriteText renders every metric sorted by name, one per line:
 // counters and gauges as "name value", duration counters additionally in
 // duration notation, histograms as count/sum plus per-bucket tallies

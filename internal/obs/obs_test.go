@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -255,4 +256,39 @@ func TestHistogramBadBounds(t *testing.T) {
 		}
 	}()
 	NewRegistry().Histogram("bad", []time.Duration{2, 1})
+}
+
+// TestRegistryIteration: EachCounter/EachGauge visit every metric in
+// sorted name order, and nil registries no-op — the contract sanmapd's
+// metrics snapshot relies on.
+func TestRegistryIteration(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z.last").Add(3)
+	reg.Counter("a.first").Inc()
+	reg.Counter("m.middle").Add(7)
+	reg.Gauge("g.two").Set(2)
+	reg.Gauge("g.one").Set(1)
+
+	var cnames []string
+	cvals := map[string]int64{}
+	reg.EachCounter(func(n string, v int64) {
+		cnames = append(cnames, n)
+		cvals[n] = v
+	})
+	if want := []string{"a.first", "m.middle", "z.last"}; !reflect.DeepEqual(cnames, want) {
+		t.Errorf("EachCounter order %v, want %v", cnames, want)
+	}
+	if cvals["a.first"] != 1 || cvals["m.middle"] != 7 || cvals["z.last"] != 3 {
+		t.Errorf("counter values %v", cvals)
+	}
+
+	var gnames []string
+	reg.EachGauge(func(n string, v int64) { gnames = append(gnames, n) })
+	if want := []string{"g.one", "g.two"}; !reflect.DeepEqual(gnames, want) {
+		t.Errorf("EachGauge order %v, want %v", gnames, want)
+	}
+
+	var nilReg *Registry
+	nilReg.EachCounter(func(string, int64) { t.Error("nil registry visited a counter") })
+	nilReg.EachGauge(func(string, int64) { t.Error("nil registry visited a gauge") })
 }

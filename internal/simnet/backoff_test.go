@@ -109,3 +109,66 @@ func TestNoBackoffZeroIsByteIdentical(t *testing.T) {
 			wa.Stats().String(), wb.Stats().String())
 	}
 }
+
+// sleepRecorder wraps an endpoint transport and records every backoff
+// wait the window realises, tagged with the virtual time it fired at.
+type sleepRecorder struct {
+	*Endpoint
+	waits []time.Duration
+	at    []time.Duration
+}
+
+func (r *sleepRecorder) Sleep(d time.Duration) {
+	r.at = append(r.at, r.Endpoint.Clock())
+	r.waits = append(r.waits, d)
+	r.Endpoint.Sleep(d)
+}
+
+// TestBackoffJitterScheduleDeterministic replays the same probe load on
+// two same-seed windows and requires the full retry schedule — each
+// backoff duration and the virtual instant it was charged at — to match
+// exactly, not just the aggregate stats. This is the property sanmapd's
+// crash/restart harness leans on: a resumed run re-derives the identical
+// virtual-time schedule.
+func TestBackoffJitterScheduleDeterministic(t *testing.T) {
+	run := func(seed uint64) ([]time.Duration, []time.Duration) {
+		sn, h0, _ := probeNet(t)
+		rec := &sleepRecorder{Endpoint: sn.Endpoint(h0)}
+		w := NewProbeWindow(rec, WindowConfig{
+			Window: 1, Retries: 4,
+			Backoff: time.Millisecond, BackoffCap: 4 * time.Millisecond, Seed: seed,
+		})
+		w.DoOne(missProbe)
+		w.DoOne(Probe{Kind: ProbeSwitch, Route: Route{7}})
+		w.DoOne(missProbe)
+		return rec.waits, rec.at
+	}
+	w1, at1 := run(42)
+	w2, at2 := run(42)
+	if len(w1) == 0 {
+		t.Fatal("no backoff waits recorded — misses are not retrying")
+	}
+	if len(w1) != len(w2) {
+		t.Fatalf("same seed, different retry counts: %d vs %d", len(w1), len(w2))
+	}
+	for i := range w1 {
+		if w1[i] != w2[i] || at1[i] != at2[i] {
+			t.Fatalf("retry %d diverged: %v@%v vs %v@%v", i, w1[i], at1[i], w2[i], at2[i])
+		}
+	}
+	// A different seed must produce a different jitter schedule (same
+	// count — the load is identical — but different waits).
+	w3, _ := run(43)
+	same := len(w3) == len(w1)
+	if same {
+		for i := range w1 {
+			if w1[i] != w3[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("seeds 42 and 43 drew identical schedules — jitter looks unseeded")
+	}
+}
