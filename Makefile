@@ -7,9 +7,10 @@ GO ?= go
 RACE_PKGS = ./internal/simnet/... ./internal/mapper/... ./internal/connet/... \
 	./internal/election/... ./internal/eventq/... ./internal/wormsim/... \
 	./internal/experiments/... ./internal/amlayer/... ./internal/obs/... \
-	./internal/mapd/...
+	./internal/mapd/... ./internal/workload/... ./internal/loadsim/... \
+	./internal/place/...
 
-.PHONY: build vet lint lint-json trace-smoke test race chaos crash-smoke bench bench-smoke bench-gate bench-large bench-baseline ci
+.PHONY: build vet lint lint-json trace-smoke test race chaos crash-smoke load-smoke bench bench-smoke bench-gate bench-large bench-baseline ci
 
 build:
 	$(GO) build ./...
@@ -78,6 +79,15 @@ chaos:
 crash-smoke:
 	$(GO) test -count=1 -v -run 'TestCrashRestart' ./internal/mapd/
 
+# load-smoke is the golden-seed traffic lane (WORKLOADS.md): the default
+# sanload run — seeded plan, replay, cut, stale table, remap, healed replay,
+# placement — must reproduce the checked-in report byte for byte. Catches
+# nondeterminism anywhere in the workload/loadsim/place stack. Regenerate
+# after an intentional change with:
+#   $(GO) run ./cmd/sanload > cmd/sanload/testdata/load-smoke.txt
+load-smoke:
+	$(GO) test -count=1 -v -run 'TestLoadSmokeGolden' ./cmd/sanload/
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run ^$$ .
 
@@ -104,9 +114,10 @@ bench-large:
 # >15% ns/op regression or a broken relative gate (window8 must stay within
 # 2x the serial loop's wall clock). Runs use -count so sanbench can gate on
 # per-lane minima, the statistic that survives shared-runner noise.
-BENCH_BASELINE ?= BENCH_935b4d7.json
+BENCH_BASELINE ?= BENCH_a0bca40.json
 bench-gate:
 	@{ $(GO) test -bench PipelinedVsSerial -benchtime 100x -count 3 -run ^$$ . && \
+	   $(GO) test -bench LoadReplay -benchtime 100x -count 3 -run ^$$ . && \
 	   $(GO) test -bench MapFatTree1k -benchtime 20x -count 3 -run ^$$ . ; } | \
 		$(GO) run ./cmd/sanbench -gate $(BENCH_BASELINE)
 
@@ -124,4 +135,4 @@ bench-baseline:
 		$(GO) run ./cmd/sanbench -rev $(REV) -min -gates bench_gates.json -o BENCH_$(REV).json
 	@echo wrote BENCH_$(REV).json
 
-ci: build lint lint-json trace-smoke test race chaos crash-smoke bench-smoke bench-gate bench-large
+ci: build lint lint-json trace-smoke test race chaos crash-smoke load-smoke bench-smoke bench-gate bench-large

@@ -9,15 +9,19 @@ import (
 	"fmt"
 	"math/rand"
 	"testing"
+	"time"
 
 	"sanmap/internal/cluster"
 	"sanmap/internal/election"
 	"sanmap/internal/experiments"
+	"sanmap/internal/genspec"
+	"sanmap/internal/loadsim"
 	"sanmap/internal/mapper"
 	"sanmap/internal/myricom"
 	"sanmap/internal/routes"
 	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
+	"sanmap/internal/workload"
 	"sanmap/internal/wormsim"
 )
 
@@ -522,6 +526,47 @@ func BenchmarkIndexDiameter1k(b *testing.B) {
 			b.Fatalf("diameter %d, want 6", d)
 		}
 	}
+}
+
+// BenchmarkLoadReplay is the traffic lane (WORKLOADS.md): replay a seeded
+// uniform plan over UP*/DOWN* routes on a 24-switch fat tree with the flat
+// link-reservation engine. ns/op gates the loadsim hot loop against the
+// committed baseline; worms/op doubles as a determinism canary — any drift
+// in plan materialisation or replay arithmetic moves the count.
+func BenchmarkLoadReplay(b *testing.B) {
+	res, err := genspec.Build("fattree2:16x2,8", nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := res.Net
+	tab, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	timing := simnet.DefaultTiming()
+	plan := workload.NewPlan(net, workload.PlanConfig{
+		Pattern:  workload.Uniform,
+		Load:     0.3,
+		MsgBytes: 512,
+		Duration: time.Millisecond,
+		ByteTime: timing.ByteTime,
+		Seed:     1,
+	})
+	eng, err := loadsim.New(net, tab, timing, plan.MsgBytes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep *loadsim.Report
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err = eng.Run(plan)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Sent), "worms/op")
+	b.ReportMetric(float64(rep.Delivered), "delivered/op")
 }
 
 // BenchmarkDepthBound measures the Q+D computation (min-cost flows per

@@ -1,26 +1,3 @@
-// Package cluster builds the Berkeley NOW networks of the paper's
-// evaluation (§5.1): the A, B and C subclusters and their C, C+A, C+A+B
-// compositions, with exactly the component counts of Fig 3:
-//
-//	subcluster  #interfaces  #switches  #links
-//	A           34           13         64
-//	B           30           14         65
-//	C           36           13         64
-//	C+A+B       100          40         193
-//
-// Each subcluster is an incomplete fat tree in the style of Fig 4: a row of
-// leaf switches carrying 4-5 hosts each, a middle level, and a root level,
-// with irregularities matching the paper's description ("the middle switch
-// in the first level only has two links, instead of three ... the third was
-// faulty and removed, but never replaced", unused ports on upper levels,
-// and a distinguished utility host attached directly to a root). The exact
-// cabling of the real machine room is not recorded in the paper; what the
-// experiments depend on are the aggregate counts, depths and the fat-tree
-// shape, all of which these builders reproduce and the package tests pin.
-//
-// Compositions preserve Fig 3's totals (the paper's per-subcluster counts
-// sum exactly to the full system's): redundant top-level links inside
-// subclusters are repurposed as inter-subcluster root links.
 package cluster
 
 import (

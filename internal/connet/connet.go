@@ -1,17 +1,3 @@
-// Package connet is the concurrent (contended) network transport: multiple
-// hosts probe and send application traffic at the same time over one
-// topology, with per-directed-link occupancy, blocking, and the Myrinet
-// forward-reset timeout. It runs on the desim engine and drives the paper's
-// election-mode measurements (Fig 7's second timing column), the §6
-// parallel-mapping extension, and the §6 "mapping in the presence of
-// application cross-traffic" experiments.
-//
-// The fidelity level is link reservation: a worm reserves each directed
-// link it crosses for its serialisation time starting at the head's arrival
-// there. A worm whose head must wait longer than the blocked-port reset
-// (55 ms in switch ROMs) is destroyed, like the hardware would. Worm
-// self-collision, route failures and silent hosts come from the simnet
-// evaluator, so the quiescent semantics embed exactly.
 package connet
 
 import (

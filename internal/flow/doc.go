@@ -1,0 +1,20 @@
+// Package flow implements small-scale maximum-flow and minimum-cost-flow
+// solvers used by the topology analyses of the SPAA'97 mapping paper.
+//
+// Lemma 1 of the paper characterises the unmappable region F of a network
+// via the Max-Flow Min-Cut theorem ("Let v be a source of flow 2, and
+// attach a sink to all hosts ... give all edges capacity 1"), and the probe
+// depth bound Q(v) (Definition 2) is the minimum total length of an
+// edge-disjoint path pair from the mapper through v and on to a host —
+// a 2-unit minimum-cost flow. Networks of interest have at most a few
+// thousand nodes, so the classic successive-shortest-path algorithm with an
+// SPFA (queue-based Bellman-Ford) inner loop is more than fast enough and
+// keeps the implementation dependency-free.
+//
+// The solvers are deliberately generic — a Graph built with AddArc, MaxFlow
+// and MinCostFlow on top — so other capacity arguments can reuse them: the
+// topology analyses (internal/topology) drive them for mappability and
+// depth bounds, and they pair naturally with the demand matrices of
+// internal/workload when reasoning about how much traffic a cut can
+// actually carry (the bandwidth budget internal/place prunes against).
+package flow

@@ -1,0 +1,31 @@
+// Package loadsim replays materialised traffic plans over a computed route
+// table at millions-of-worms throughput, and reports route quality under
+// load: delivered/lost/blocked accounting, the latency distribution,
+// per-directed-link congestion, and the table's deadlock-freedom verdict.
+//
+// It answers the question the mapper's output exists to serve: not "is the
+// map correct" (isomorph does that) but "how good are the routes the map
+// yields when real traffic flows over them" — on a healthy fabric, on a
+// degraded fabric still running a stale table, and on a healed fabric after
+// route recomputation. cmd/sanload drives all three regimes over one plan.
+//
+// Fidelity matches the connet transport exactly at link-reservation level:
+// a worm reserves each directed link for its full serialisation time from
+// the head's arrival, waits behind earlier reservations, and dies to the
+// blocked-port forward reset when a wait exceeds the 55 ms ROM timeout —
+// with the killed worm's earlier reservations left in place, as the
+// hardware leaves flits strung through upstream switches. What loadsim
+// drops is the process machinery: no goroutines, no channels, no maps in
+// the replay loop. Routes compile once into flat directed-hop arrays; a
+// calendar queue (internal/eventq) orders injections by (time, host, seq);
+// the per-worm walk is a zero-allocation array scan. That flattening is
+// what buys 1M+ worms per run where desim/connet tops out around thousands
+// of processes.
+//
+// Determinism: a replay is a pure function of (engine, plan). The injection
+// order is a strict total order, aggregation never iterates a map, and
+// Report.WriteText renders integers and sorted link lists only — so equal
+// seeds yield byte-identical reports, the property the load-smoke CI lane
+// pins. workload.SpawnPlan replays the same plans over desim/connet when
+// contended-transport cross-checking is wanted.
+package loadsim

@@ -1,0 +1,223 @@
+package loadsim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/obs"
+	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+	"sanmap/internal/workload"
+)
+
+// line3 builds h0,h1 -> s0 -- s1 <- h2: two senders sharing one inter-switch
+// wire, small enough to hand-compute every reservation.
+func line3(t *testing.T) (*topology.Network, *routes.Table) {
+	t.Helper()
+	net := &topology.Network{}
+	h0, h1, h2 := net.AddHost("h0"), net.AddHost("h1"), net.AddHost("h2")
+	s0, s1 := net.AddSwitch("s0"), net.AddSwitch("s1")
+	for _, c := range [][2]topology.NodeID{{h0, s0}, {h1, s0}, {h2, s1}, {s0, s1}} {
+		if _, _, _, err := net.ConnectFree(c[0], c[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, tab
+}
+
+// plan2 schedules h0 and h1 each sending one worm to h2, offset ns apart.
+func plan2(net *topology.Network, offset time.Duration) *workload.Plan {
+	h2 := net.Lookup("h2")
+	return &workload.Plan{
+		MsgBytes: 512,
+		Hosts:    []topology.NodeID{net.Lookup("h0"), net.Lookup("h1")},
+		Sends: [][]workload.Send{
+			{{At: 0, Dst: h2}},
+			{{At: offset, Dst: h2}},
+		},
+	}
+}
+
+// TestHandComputedContention pins the reservation semantics against values
+// worked out by hand from the timing constants — the same arithmetic
+// connet.send performs, so a divergence here means the flat replay no
+// longer mirrors the contended transport.
+func TestHandComputedContention(t *testing.T) {
+	net, tab := line3(t)
+	timing := simnet.DefaultTiming()
+	e, err := New(net, tab, timing, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(plan2(net, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worm bytes: envelope 4 + 2 routing flits (two transited switches) +
+	// payload tag 16 + 512 payload = 534; occupancy 534×ByteTime.
+	occ := 534 * timing.ByteTime
+	lat := timing.SwitchLatency
+	// Worm A (h0 at t=0): three uncontended hops.
+	wantA := 3*lat + occ
+	// Worm B (h1 at t=100ns): waits for A's s0->s1 reservation, which ends
+	// at lat+occ; then the s1->h2 link frees exactly as B's head arrives.
+	wantB := (lat + occ) + 2*lat + occ - 100
+	if r.Sent != 2 || r.Delivered != 2 || r.Blocked != 0 || r.Lost != 0 {
+		t.Fatalf("accounting: %+v", r)
+	}
+	if r.Delayed != 1 {
+		t.Errorf("delayed = %d, want 1", r.Delayed)
+	}
+	if r.P50 != wantA || r.MaxLatency != wantB {
+		t.Errorf("latency p50=%v max=%v, want %v / %v", r.P50, r.MaxLatency, wantA, wantB)
+	}
+	if want := (wantA + wantB) / 2; r.Mean != want {
+		t.Errorf("mean latency %v, want %v", r.Mean, want)
+	}
+	if want := 100 + wantB; r.Makespan != want {
+		t.Errorf("makespan %v, want %v", r.Makespan, want)
+	}
+	// Both worms crossed the shared s0--s1 wire once each.
+	w, _ := tab.WirePath(net.Lookup("h0"), net.Lookup("h2"))
+	shared := w[1]
+	if got := r.BusyOn([]int{shared}); got != 2*occ {
+		t.Errorf("BusyOn(shared) = %v, want %v", got, 2*occ)
+	}
+	if !r.DeadlockFree {
+		t.Error("tree table reported deadlock-prone")
+	}
+}
+
+// TestForwardResetKill: with a tiny blocked-port reset, the waiting worm is
+// destroyed — and its first-hop reservation must persist, as the hardware
+// leaves the killed worm's flits strung through upstream switches.
+func TestForwardResetKill(t *testing.T) {
+	net, tab := line3(t)
+	timing := simnet.DefaultTiming()
+	timing.BlockedPortReset = time.Microsecond // < the ~3.2µs occupancy wait
+	e, err := New(net, tab, timing, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run(plan2(net, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent != 2 || r.Delivered != 1 || r.Blocked != 1 {
+		t.Fatalf("accounting: %+v", r)
+	}
+	// The killed worm still reserved h1->s0 before dying at s0->s1.
+	w, _ := tab.WirePath(net.Lookup("h1"), net.Lookup("h2"))
+	first := w[0]
+	found := false
+	for _, ll := range r.Links {
+		if ll.Wire == first && ll.Worms == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("killed worm's first-hop reservation missing from links: %+v", r.Links)
+	}
+}
+
+// TestStaleTableLosses: cutting a wire and Revalidating flips routes over it
+// to lost, without touching surviving routes.
+func TestStaleTableLosses(t *testing.T) {
+	net, tab := line3(t)
+	e, err := New(net, tab, simnet.DefaultTiming(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _ := tab.WirePath(net.Lookup("h0"), net.Lookup("h2"))
+	shared := w[1] // the s0--s1 wire both routes need
+	if err := net.RemoveWire(shared); err != nil {
+		t.Fatal(err)
+	}
+	e.Revalidate()
+	r, err := e.Run(plan2(net, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Sent != 2 || r.Lost != 2 || r.Delivered != 0 {
+		t.Fatalf("stale accounting: %+v", r)
+	}
+	if got := r.BusyOn([]int{shared}); got != 0 {
+		t.Errorf("lost worms reserved the cut wire: %v", got)
+	}
+}
+
+// TestDeterministicReplay: two engines built independently over two builds
+// of the same fabric replay one plan to byte-identical reports, and a
+// second Run on the same engine matches too.
+func TestDeterministicReplay(t *testing.T) {
+	render := func() []byte {
+		res, err := genspec.Build("fattree2:4x2", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tab, err := routes.Compute(res.Net, routes.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := workload.NewPlan(res.Net, workload.PlanConfig{
+			Pattern:  workload.Uniform,
+			Load:     0.3,
+			MsgBytes: 256,
+			Duration: 200 * time.Microsecond,
+			ByteTime: simnet.DefaultTiming().ByteTime,
+			Seed:     7,
+		})
+		e, err := New(res.Net, tab, simnet.DefaultTiming(), plan.MsgBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Instrument(obs.NewRegistry())
+		var bufs [2]bytes.Buffer
+		for i := range bufs {
+			r, err := e.Run(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := r.WriteText(&bufs[i], res.Net, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+			t.Fatal("same engine, same plan, different reports")
+		}
+		return bufs[0].Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Errorf("independent builds diverge:\n%s\n--- vs ---\n%s", a, b)
+	}
+	if len(a) == 0 || !bytes.Contains(a, []byte("worms sent=")) {
+		t.Errorf("report looks empty: %q", a)
+	}
+}
+
+// TestInjectZeroAlloc guards the hot loop: walking a worm through the
+// reservations must not allocate, instrumented or not.
+func TestInjectZeroAlloc(t *testing.T) {
+	net, tab := line3(t)
+	e, err := New(net, tab, simnet.DefaultTiming(), 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Instrument(obs.NewRegistry())
+	p := 0*e.nh + 2 // h0 -> h2
+	var at int64
+	if avg := testing.AllocsPerRun(1000, func() {
+		at += int64(time.Millisecond)
+		e.inject(at, p, 512)
+	}); avg != 0 {
+		t.Errorf("inject allocates %.1f per worm", avg)
+	}
+}

@@ -22,7 +22,11 @@
 //     atomically-swapped immutable Snapshot of the latest epoch; queries
 //     never block on healing. A degradation ladder annotates responses as
 //     confidence drops and, at the bottom rung, refuses only routes that
-//     cross suspect edges.
+//     cross suspect edges. The `load` op goes beyond "what is the route":
+//     it replays a canned seeded traffic plan over the epoch's table with
+//     internal/loadsim and reports route quality — throughput, latency
+//     percentiles, peak link utilisation, deadlock freedom — cached per
+//     snapshot (see WORKLOADS.md).
 //
 // The continuous remap loop (server.go) is driven by internal/faults
 // suspicion records, with capped exponential backoff (charged to virtual

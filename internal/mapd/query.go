@@ -6,10 +6,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"sync"
 	"time"
 
+	"sanmap/internal/loadsim"
 	"sanmap/internal/routes"
+	"sanmap/internal/simnet"
 	"sanmap/internal/topology"
+	"sanmap/internal/workload"
 )
 
 // Serving levels: the degradation ladder. Full serves everything from a
@@ -53,6 +57,12 @@ type Snapshot struct {
 	Net        *topology.Network
 	Table      *routes.Table // nil when route computation failed
 	Metrics    map[string]int64
+
+	// Route quality under the canned load replay, measured lazily on the
+	// first `load` query and cached for the snapshot's lifetime (the
+	// snapshot is immutable, so the replay is too).
+	loadOnce sync.Once
+	quality  map[string]any
 }
 
 // buildSnapshot materializes the serving state for a committed epoch.
@@ -192,6 +202,8 @@ func (s *Server) handle(req request) map[string]any {
 			"queries": s.queries.Load(), "refused": s.refused.Load(),
 			"failed_reads": s.failedReads.Load(),
 		}
+	case "load":
+		return loadAnswer(snap)
 	case "inject", "remap":
 		return s.worldCmd(req)
 	case "stop":
@@ -271,6 +283,77 @@ func routeAnswer(snap *Snapshot, from, to string) map[string]any {
 	resp["route"] = route.String()
 	resp["hops"] = len(wires)
 	return resp
+}
+
+// loadAnswer reports route quality of the served epoch: a canned seeded
+// traffic plan (uniform, light load) replayed over the snapshot's route
+// table via internal/loadsim, so operators can ask not just "what is the
+// route" but "how good are this epoch's routes under load". The replay is
+// a pure function of the epoch's network, so answers are deterministic and
+// cached on the snapshot; degraded epochs carry the same annotation the
+// route op uses.
+func loadAnswer(snap *Snapshot) map[string]any {
+	resp := map[string]any{"op": "load"}
+	if snap == nil {
+		return noEpoch("load")
+	}
+	resp["epoch"] = snap.Epoch
+	if snap.Level != LevelFull {
+		resp["degraded"] = levelName(snap.Level)
+		resp["confidence"] = snap.Confidence
+	}
+	if snap.Table == nil {
+		resp["ok"] = false
+		resp["error"] = "no route table for this epoch"
+		return resp
+	}
+	snap.loadOnce.Do(func() { snap.quality = measureQuality(snap) })
+	if snap.quality == nil {
+		resp["ok"] = false
+		resp["error"] = "load replay failed (fewer than two hosts?)"
+		return resp
+	}
+	for k, v := range snap.quality {
+		resp[k] = v
+	}
+	resp["ok"] = true
+	return resp
+}
+
+// loadProbePlan is the canned replay: light uniform traffic, fixed seed,
+// just long enough to light up every route.
+func loadProbePlan(net *topology.Network) *workload.Plan {
+	return workload.NewPlan(net, workload.PlanConfig{
+		Pattern: workload.Uniform, Load: 0.2, MsgBytes: 512,
+		Duration: 200 * time.Microsecond,
+		ByteTime: simnet.DefaultTiming().ByteTime, Seed: 1,
+	})
+}
+
+// measureQuality runs the canned replay and flattens the report.
+func measureQuality(snap *Snapshot) map[string]any {
+	eng, err := loadsim.New(snap.Net, snap.Table, simnet.DefaultTiming(), 512)
+	if err != nil {
+		return nil
+	}
+	rep, err := eng.Run(loadProbePlan(snap.Net))
+	if err != nil {
+		return nil
+	}
+	return map[string]any{
+		"deadlock_free":   rep.DeadlockFree,
+		"sent":            rep.Sent,
+		"delivered":       rep.Delivered,
+		"lost":            rep.Lost,
+		"blocked":         rep.Blocked,
+		"throughput_bps":  rep.ThroughputBps,
+		"p50_ns":          int64(rep.P50),
+		"p99_ns":          int64(rep.P99),
+		"max_latency_ns":  int64(rep.MaxLatency),
+		"peak_util_ppm":   rep.MaxUtilPPM(),
+		"congested_links": len(rep.Links),
+		"makespan_ns":     int64(rep.Makespan),
+	}
 }
 
 // crossesSuspect returns the first suspect node the route touches

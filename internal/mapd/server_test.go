@@ -307,3 +307,49 @@ func TestSplitListen(t *testing.T) {
 		}
 	}
 }
+
+// TestLoadQuery: the load op replays the canned plan over the served
+// epoch's routes, reports quality, answers identically on repeat (the
+// replay is cached on the snapshot), and degrades gracefully when no
+// table exists.
+func TestLoadQuery(t *testing.T) {
+	srv, join := startServer(t, Config{Gen: "now-c", Seed: 1, Listen: "127.0.0.1:0"})
+	defer join()
+	waitSnap(t, srv)
+	cl := dialServer(t, srv)
+
+	q, err := cl.Call(map[string]any{"op": "load"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q["ok"] != true || q["deadlock_free"] != true {
+		t.Fatalf("load: %v", q)
+	}
+	if q["sent"].(float64) <= 0 || q["delivered"].(float64) <= 0 {
+		t.Fatalf("load replayed no traffic: %v", q)
+	}
+	if q["throughput_bps"].(float64) <= 0 || q["p50_ns"].(float64) <= 0 {
+		t.Fatalf("load quality empty: %v", q)
+	}
+	if _, degraded := q["degraded"]; degraded {
+		t.Fatalf("clean epoch served degraded load report: %v", q)
+	}
+
+	again, err := cl.Call(map[string]any{"op": "load"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"sent", "delivered", "p50_ns", "peak_util_ppm", "makespan_ns"} {
+		if q[k] != again[k] {
+			t.Errorf("load %s changed between queries: %v -> %v", k, q[k], again[k])
+		}
+	}
+
+	// Tableless snapshot: the answer is an error, not a panic.
+	if resp := loadAnswer(&Snapshot{Epoch: 9}); resp["ok"] != false {
+		t.Errorf("tableless snapshot served a load report: %v", resp)
+	}
+	if resp := loadAnswer(nil); resp["ok"] != false {
+		t.Errorf("nil snapshot served a load report: %v", resp)
+	}
+}

@@ -1,0 +1,181 @@
+package place
+
+import (
+	"testing"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/routes"
+	"sanmap/internal/topology"
+	"sanmap/internal/workload"
+)
+
+// fabric builds a generated topology and its route table.
+func fabric(t *testing.T, spec string) *routes.Table {
+	t.Helper()
+	res, err := genspec.Build(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routes.Compute(res.Net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// antiLocal pairs host i with host n-1-i at heavy volume: adjacent in the
+// matrix but far apart on pod-structured fabrics, so identity placement is
+// deliberately bad and co-location pays.
+func antiLocal(hosts []topology.NodeID) *workload.Matrix {
+	m := workload.NewMatrix(hosts)
+	n := len(hosts)
+	for i := 0; i < n/2; i++ {
+		m.Bytes[i][n-1-i] = 1 << 20
+		m.Bytes[n-1-i][i] = 1 << 20
+	}
+	return m
+}
+
+// TestBeatsIdentityAndRandom: on fat-tree and dragonfly fabrics the
+// optimizer must strictly beat the identity placement on an adversarial
+// demand matrix, and never lose to the random baseline.
+func TestBeatsIdentityAndRandom(t *testing.T) {
+	for _, spec := range []string{"fattree2:8x2", "dragonfly:2,2,1"} {
+		tab := fabric(t, spec)
+		m := antiLocal(tab.Net.Hosts())
+		res, err := Optimize(tab, m, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		idCost, err := Cost(tab, m, Identity(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cost >= idCost {
+			t.Errorf("%s: optimized %d !< identity %d", spec, res.Cost, idCost)
+		}
+		got, err := Cost(tab, m, res.Hosts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != res.Cost {
+			t.Errorf("%s: reported cost %d, recomputed %d", spec, res.Cost, got)
+		}
+		for _, seed := range []uint64{1, 2, 3} {
+			rndCost, err := Cost(tab, m, Shuffled(m, seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cost > rndCost {
+				t.Errorf("%s: optimized %d > random(seed=%d) %d", spec, res.Cost, seed, rndCost)
+			}
+		}
+		t.Logf("%s: hosts=%d identity=%d optimized=%d expanded=%d optimal=%v",
+			spec, len(m.Hosts), idCost, res.Cost, res.Expanded, res.Optimal)
+	}
+}
+
+// TestOptimalOnTinyFabric: small enough to enumerate, the search must find
+// the true optimum — co-locating the one hot pair on the same switch.
+func TestOptimalOnTinyFabric(t *testing.T) {
+	net := &topology.Network{}
+	var hosts []topology.NodeID
+	s0, s1 := net.AddSwitch("s0"), net.AddSwitch("s1")
+	for i, sw := range []topology.NodeID{s0, s0, s1, s1} {
+		h := net.AddHost(string(rune('a' + i)))
+		hosts = append(hosts, h)
+		if _, _, _, err := net.ConnectFree(h, sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, _, err := net.ConnectFree(s0, s1); err != nil {
+		t.Fatal(err)
+	}
+	tab, err := routes.Compute(net, routes.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only tasks 0 and 2 talk; identity puts them across the s0--s1 wire
+	// (4 hops), optimal co-locates them on one switch (2 hops).
+	m := workload.NewMatrix(hosts)
+	m.Bytes[0][2] = 1000
+	res, err := Optimize(tab, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Error("tiny search did not complete")
+	}
+	if res.Cost != 2000 {
+		t.Errorf("cost %d, want 2000 (co-located pair)", res.Cost)
+	}
+}
+
+// TestDeterministicPlacement: equal inputs yield equal placements.
+func TestDeterministicPlacement(t *testing.T) {
+	tab := fabric(t, "fattree2:8x2")
+	m := antiLocal(tab.Net.Hosts())
+	a, err := Optimize(tab, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Optimize(tab, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || a.Expanded != b.Expanded {
+		t.Fatalf("nondeterministic search: %+v vs %+v", a, b)
+	}
+	for i := range a.Hosts {
+		if a.Hosts[i] != b.Hosts[i] {
+			t.Fatalf("placements differ at task %d: %v vs %v", i, a.Hosts, b.Hosts)
+		}
+	}
+}
+
+// TestBandwidthPruning: a link capacity below the hot pair's demand forces
+// the optimizer away from placements feasible only without the cap, and the
+// returned placement must respect the cap.
+func TestBandwidthPruning(t *testing.T) {
+	tab := fabric(t, "fattree2:4x2")
+	hosts := tab.Net.Hosts()
+	m := workload.NewMatrix(hosts)
+	// Every ordered pair among the first four tasks exchanges 100 bytes.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				m.Bytes[i][j] = 100
+			}
+		}
+	}
+	unconstrained, err := Optimize(tab, m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	// Each task's host link carries exactly 300 per direction regardless of
+	// placement, so 300 is the tightest satisfiable cap — it forbids any
+	// shared inter-switch link from carrying more than three pair flows.
+	cfg.LinkCapacity = 300
+	constrained, err := Optimize(tab, m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.Cost < unconstrained.Cost {
+		t.Errorf("constrained cost %d below unconstrained optimum %d",
+			constrained.Cost, unconstrained.Cost)
+	}
+	peak, err := MaxLinkDemand(tab, m, constrained.Hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > cfg.LinkCapacity {
+		t.Errorf("constrained placement routes %d bytes over one link, cap %d", peak, cfg.LinkCapacity)
+	}
+	freePeak, err := MaxLinkDemand(tab, m, unconstrained.Hosts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("unconstrained cost=%d peak=%d; constrained cost=%d peak=%d",
+		unconstrained.Cost, freePeak, constrained.Cost, peak)
+}

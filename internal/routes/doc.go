@@ -1,0 +1,22 @@
+// Package routes computes mutually deadlock-free source routes from a
+// network map, as §5.5 of the SPAA'97 mapping paper: UP*/DOWN* edge
+// ordering rooted at a switch far from all hosts, all-pairs compliant
+// shortest paths, random tie-breaking for load balance, relabelling of
+// locally dominant switches, and conversion to the relative-turn source
+// routes Myrinet interfaces consume.
+//
+// The pipeline is Compute(net, cfg) → *Table: ChooseRoot picks the natural
+// root (maximum minimum distance to any non-ignored host), BFS labels
+// orient every edge up or down, and the all-pairs pass restricts paths to
+// the UP*/DOWN* form — zero or more up edges followed by zero or more down
+// edges — by closing up-only distances and meeting each (s,t) pair at the
+// ancestor w minimising U[s][w]+U[t][w]. On datacenter-scale fabrics the
+// meeting-node scan walks per-host ascending ancestor lists rather than all
+// switches, preserving the first-strict-minimum tie-break byte for byte.
+//
+// Consumers read the result three ways: WirePath for analyses (loadsim,
+// place), Route for the relative-turn strings the simulated interfaces
+// consume, and VerifyDeadlockFree, a channel-dependency-graph cycle check
+// over any route set — including tables recomputed on healed maps after
+// fault injection, where deadlock freedom must survive the missing links.
+package routes

@@ -1,10 +1,3 @@
-// Package routes computes mutually deadlock-free source routes from a
-// network map, as §5.5 of the SPAA'97 mapping paper: UP*/DOWN* edge
-// ordering rooted at a switch far from all hosts, Floyd-Warshall all-pairs
-// compliant paths, random tie-breaking for load balance, relabelling of
-// locally dominant switches, and conversion to the relative-turn source
-// routes Myrinet interfaces consume. A channel-dependency-graph verifier
-// checks deadlock freedom of any route set.
 package routes
 
 import (
@@ -244,7 +237,22 @@ func (t *Table) allPairs(cfg Config) error {
 	}
 
 	// For each host pair, pick the best meeting node and extract the path.
+	// Candidate meeting nodes for s are exactly its up-reachable ancestors —
+	// a short list on real fabrics, against n for the naive scan — so
+	// precompute each host's ancestor list once. Ascending node order is
+	// preserved, which keeps the first-strict-minimum choice (and therefore
+	// every extracted path) identical to the full scan's.
 	hosts := t.Net.Hosts()
+	anc := make(map[topology.NodeID][]int32, len(hosts))
+	for _, s := range hosts {
+		var a []int32
+		for w := 0; w < n; w++ {
+			if up[s][w] < inf {
+				a = append(a, int32(w))
+			}
+		}
+		anc[s] = a
+	}
 	t.paths = make(map[topology.NodeID]map[topology.NodeID][]int, len(hosts))
 	for _, s := range hosts {
 		t.paths[s] = make(map[topology.NodeID][]int, len(hosts))
@@ -253,8 +261,9 @@ func (t *Table) allPairs(cfg Config) error {
 				continue
 			}
 			bestW, bestC := -1, inf
-			for w := 0; w < n; w++ {
-				if up[s][w] == inf || up[d][w] == inf {
+			for _, w32 := range anc[s] {
+				w := int(w32)
+				if up[d][w] == inf {
 					continue
 				}
 				if c := up[s][w] + up[d][w]; c < bestC {

@@ -380,6 +380,21 @@ func (n *Network) Neighbor(id NodeID, port int) (End, bool) {
 	return n.wires[w].Other(End{id, port}), true
 }
 
+// WireAlive reports whether wire index w names a live wire: in range and
+// not removed. Replay engines holding wire indices from a route table
+// computed on an earlier structural version use it to detect routes that a
+// link cut has since broken, without tripping WireByIndex's panic.
+//
+//sanlint:hotpath
+func (n *Network) WireAlive(w int) bool {
+	return w >= 0 && w < len(n.wires) && !n.dead[w]
+}
+
+// NumWireSlots reports the length of the wire index space: live and removed
+// wires together. Indices in [0, NumWireSlots()) are the stable identifiers
+// WiresIndexed hands out; per-wire accumulator arrays size themselves here.
+func (n *Network) NumWireSlots() int { return len(n.wires) }
+
 // WireByIndex returns wire w. It panics for removed or out-of-range wires.
 //
 //sanlint:hotpath

@@ -1,0 +1,33 @@
+// Package workload generates application cross-traffic over the mapped
+// network, for the paper's §6 future-work question: "the accurate mapping
+// of system area networks in the presence of application cross-traffic".
+// Traffic worms follow deadlock-free source routes (as real applications
+// would) and contend for links with mapping probes.
+//
+// The package offers the same traffic mixes in two forms:
+//
+//   - Spawn attaches live traffic processes to a desim engine over the
+//     contended connet transport — closed-loop senders whose next draw
+//     depends on when the previous worm got out. This is the original
+//     cross-traffic mode the mapping-under-load experiments use.
+//
+//   - NewPlan materialises the mix into a Plan: per-host injection times
+//     and destinations precomputed from (Seed, host index) alone, so the
+//     exact same offered traffic can be replayed over a healthy map, a
+//     healed map, and a stale route table and the results compared
+//     link-for-link (internal/loadsim consumes plans; SpawnPlan replays
+//     one over connet). Plans serialise to the sanplan v1 text format —
+//     see WORKLOADS.md at the repository root.
+//
+// Three destination patterns are provided: Uniform (uniformly random
+// destination per message), Hotspot (a fraction of all traffic aimed at
+// one hot host), and Permutation (one fixed destination per source, the
+// classic adversarial pattern for interconnects). Aggregated demand is
+// exposed as a Matrix, the interface the branch-and-bound placement
+// optimizer (internal/place) consumes.
+//
+// Determinism: plan materialisation draws every host's schedule from its
+// own splitmix64 stream keyed on the plan seed and the host's index (the
+// faults.NewSource convention), so building plans concurrently — or only
+// for a subset of hosts — yields byte-identical schedules.
+package workload

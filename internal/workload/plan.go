@@ -1,0 +1,302 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"time"
+
+	"sanmap/internal/connet"
+	"sanmap/internal/desim"
+	"sanmap/internal/faults"
+	"sanmap/internal/routes"
+	"sanmap/internal/topology"
+)
+
+// Send is one scheduled worm injection: a virtual time and a destination.
+type Send struct {
+	At  time.Duration
+	Dst topology.NodeID
+}
+
+// PlanConfig parameterises plan materialisation. Unlike Config it carries
+// no *rand.Rand: every stochastic choice derives from Seed and the sending
+// host's index alone, so two hosts' schedules can be materialised in any
+// order — or concurrently — and still come out byte-identical.
+type PlanConfig struct {
+	Pattern Pattern
+	// Load is the offered load per host as a fraction of link bandwidth
+	// (0..1): a host offers MsgBytes every MsgBytes×ByteTime/Load on
+	// average.
+	Load float64
+	// MsgBytes is the payload size per worm (default 512).
+	MsgBytes int
+	// HotFraction is the share of traffic aimed at the hotspot (Hotspot
+	// pattern only; default 0.5).
+	HotFraction float64
+	// Duration is the injection horizon: sends are scheduled in
+	// [0, Duration).
+	Duration time.Duration
+	// ByteTime is the per-byte link serialisation time the gap derives
+	// from (use the transport's Timing.ByteTime).
+	ByteTime time.Duration
+	// Seed drives every stochastic decision.
+	Seed uint64
+}
+
+// Plan is a fully materialised, replayable traffic schedule: for every
+// sending host, the precomputed injection times and destinations. A Plan is
+// a pure function of (host set, PlanConfig) — the same inputs always yield
+// the same plan, independent of goroutine scheduling — which is what makes
+// load replays comparable across healthy and healed maps: the offered
+// traffic is held fixed while only the network underneath changes.
+type Plan struct {
+	Pattern  Pattern
+	Seed     uint64
+	MsgBytes int
+	// Hosts lists the senders in topology insertion order; Sends[i] is
+	// host i's schedule in ascending time order.
+	Hosts []topology.NodeID
+	Sends [][]Send
+}
+
+// hostStream returns host i's private generator: the plan seed advanced by
+// a per-host golden-ratio offset, per the faults.NewSource convention, so
+// schedules are independent of the order hosts are materialised in.
+func hostStream(seed uint64, i int) *rand.Rand {
+	return rand.New(faults.NewSource(seed + uint64(i+1)*0x9e3779b97f4a7c15))
+}
+
+// NewPlan materialises a plan over the network's hosts. The per-send gap,
+// destination draws and Poisson-like jitter match Spawn's generation
+// process; the difference is that every host's schedule comes from its own
+// seeded stream, keyed on (cfg.Seed, host index), instead of a shared
+// *rand.Rand consumed in spawn order.
+func NewPlan(net *topology.Network, cfg PlanConfig) *Plan {
+	if cfg.MsgBytes <= 0 {
+		cfg.MsgBytes = 512
+	}
+	if cfg.HotFraction == 0 {
+		cfg.HotFraction = 0.5
+	}
+	p := &Plan{Pattern: cfg.Pattern, Seed: cfg.Seed, MsgBytes: cfg.MsgBytes, Hosts: net.Hosts()}
+	p.Sends = make([][]Send, len(p.Hosts))
+	if len(p.Hosts) < 2 || cfg.Load <= 0 || cfg.Duration <= 0 {
+		return p
+	}
+	gap := time.Duration(float64(cfg.MsgBytes) * float64(cfg.ByteTime) / cfg.Load)
+	if gap <= 0 {
+		gap = time.Nanosecond
+	}
+	// Global choices (the hotspot) come from the bare seed's stream; they
+	// must not depend on any host's draw position.
+	global := rand.New(faults.NewSource(cfg.Seed))
+	hot := p.Hosts[global.Intn(len(p.Hosts))]
+	for i, h := range p.Hosts {
+		rng := hostStream(cfg.Seed, i)
+		perm := p.Hosts[(i+1+rng.Intn(len(p.Hosts)-1))%len(p.Hosts)]
+		var sends []Send
+		for t := time.Duration(0); t < cfg.Duration; {
+			dst := pickDest(Config{Pattern: cfg.Pattern, HotFraction: cfg.HotFraction},
+				rng, p.Hosts, h, hot, perm)
+			if dst != h {
+				sends = append(sends, Send{At: t, Dst: dst})
+			}
+			jitter := -math.Log(1 - rng.Float64())
+			t += time.Duration(float64(gap) * jitter)
+		}
+		p.Sends[i] = sends
+	}
+	return p
+}
+
+// TotalSends counts the scheduled injections across all hosts.
+func (p *Plan) TotalSends() int {
+	n := 0
+	for _, s := range p.Sends {
+		n += len(s)
+	}
+	return n
+}
+
+// Matrix is an aggregated demand matrix: payload bytes offered between
+// ordered host pairs. It is the "measured traffic matrix" interface between
+// workload replay and placement: loadsim produces one from delivered
+// traffic, place consumes one as its communication-cost input.
+type Matrix struct {
+	Hosts []topology.NodeID
+	// Bytes[si][di] is the payload volume from Hosts[si] to Hosts[di].
+	Bytes [][]int64
+}
+
+// NewMatrix returns a zeroed demand matrix over the given hosts.
+func NewMatrix(hosts []topology.NodeID) *Matrix {
+	m := &Matrix{Hosts: append([]topology.NodeID(nil), hosts...)}
+	m.Bytes = make([][]int64, len(m.Hosts))
+	for i := range m.Bytes {
+		m.Bytes[i] = make([]int64, len(m.Hosts))
+	}
+	return m
+}
+
+// Matrix aggregates the plan's offered traffic into a demand matrix.
+func (p *Plan) Matrix() *Matrix {
+	m := NewMatrix(p.Hosts)
+	idx := make(map[topology.NodeID]int, len(p.Hosts))
+	for i, h := range p.Hosts {
+		idx[h] = i
+	}
+	for si, sends := range p.Sends {
+		for _, s := range sends {
+			m.Bytes[si][idx[s.Dst]] += int64(p.MsgBytes)
+		}
+	}
+	return m
+}
+
+// Write serialises the plan in the sanplan v1 text format (see
+// WORKLOADS.md): a header, then per host one "host <name> <sends>" line
+// followed by one "send <at_ns> <dst>" line per scheduled injection, and a
+// trailing "end". Hosts appear in plan order, sends in time order, so equal
+// plans serialise byte-identically.
+func (p *Plan) Write(net *topology.Network, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "sanplan v1\npattern %s\nseed %d\nmsg %d\n", p.Pattern, p.Seed, p.MsgBytes)
+	for i, h := range p.Hosts {
+		fmt.Fprintf(bw, "host %s %d\n", net.NameOf(h), len(p.Sends[i]))
+		for _, s := range p.Sends[i] {
+			fmt.Fprintf(bw, "send %d %s\n", int64(s.At), net.NameOf(s.Dst))
+		}
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+// ReadPlan parses the sanplan v1 format against the network that named its
+// hosts. It rejects unknown hosts, malformed counts and a missing trailer.
+func ReadPlan(net *topology.Network, r io.Reader) (*Plan, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	p := &Plan{}
+	line := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", io.ErrUnexpectedEOF
+		}
+		return sc.Text(), nil
+	}
+	l, err := line()
+	if err != nil || l != "sanplan v1" {
+		return nil, fmt.Errorf("workload: bad plan header %q", l)
+	}
+	var patName string
+	for _, parse := range []struct {
+		key string
+		dst any
+	}{{"pattern", &patName}, {"seed", &p.Seed}, {"msg", &p.MsgBytes}} {
+		if l, err = line(); err != nil {
+			return nil, fmt.Errorf("workload: truncated plan header: %w", err)
+		}
+		if _, err := fmt.Sscanf(l, parse.key+" %v", parse.dst); err != nil {
+			return nil, fmt.Errorf("workload: bad plan line %q: %w", l, err)
+		}
+	}
+	switch patName {
+	case Uniform.String():
+		p.Pattern = Uniform
+	case Hotspot.String():
+		p.Pattern = Hotspot
+	case Permutation.String():
+		p.Pattern = Permutation
+	default:
+		return nil, fmt.Errorf("workload: unknown pattern %q", patName)
+	}
+	lookup := func(name string) (topology.NodeID, error) {
+		id := net.Lookup(name)
+		if id == topology.None {
+			return id, fmt.Errorf("workload: plan names unknown host %q", name)
+		}
+		return id, nil
+	}
+	for {
+		if l, err = line(); err != nil {
+			return nil, fmt.Errorf("workload: truncated plan: %w", err)
+		}
+		if l == "end" {
+			return p, nil
+		}
+		var name string
+		var count int
+		if _, err := fmt.Sscanf(l, "host %s %d", &name, &count); err != nil {
+			return nil, fmt.Errorf("workload: bad host line %q: %w", l, err)
+		}
+		h, err := lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		sends := make([]Send, 0, count)
+		for k := 0; k < count; k++ {
+			if l, err = line(); err != nil {
+				return nil, fmt.Errorf("workload: truncated sends for %s: %w", name, err)
+			}
+			var at int64
+			var dst string
+			if _, err := fmt.Sscanf(l, "send %d %s", &at, &dst); err != nil {
+				return nil, fmt.Errorf("workload: bad send line %q: %w", l, err)
+			}
+			d, err := lookup(dst)
+			if err != nil {
+				return nil, err
+			}
+			if len(sends) > 0 && time.Duration(at) < sends[len(sends)-1].At {
+				return nil, fmt.Errorf("workload: sends for %s out of order at %d", name, at)
+			}
+			sends = append(sends, Send{At: time.Duration(at), Dst: d})
+		}
+		p.Hosts = append(p.Hosts, h)
+		p.Sends = append(p.Sends, sends)
+	}
+}
+
+// SpawnPlan starts one open-loop replay process per plan host on the
+// engine: each process injects its scheduled worms at their planned times
+// (or as soon after as the host's interface frees up), following the given
+// route table. It is the contended-transport twin of loadsim's flat replay:
+// same plan in, desim/connet fidelity out. Returns the shared Stats, valid
+// after eng.Run() completes.
+func SpawnPlan(eng *desim.Engine, cn *connet.Net, tab *routes.Table, p *Plan) *Stats {
+	stats := &Stats{}
+	net := cn.Topology()
+	for i, h := range p.Hosts {
+		h := h
+		sends := p.Sends[i]
+		if len(sends) == 0 {
+			continue
+		}
+		eng.Spawn("replay-"+net.NameOf(h), func(proc *desim.Proc) {
+			ep := cn.Endpoint(h, proc)
+			for _, s := range sends {
+				if d := s.At - proc.Now(); d > 0 {
+					proc.Sleep(d)
+				}
+				route, ok := tab.Route(h, s.Dst)
+				if !ok {
+					stats.Lost++
+					stats.Sent++
+					continue
+				}
+				stats.Sent++
+				if ep.SendWorm(route, p.MsgBytes) {
+					stats.Delivered++
+				} else {
+					stats.Lost++
+				}
+			}
+		})
+	}
+	return stats
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"sanmap/internal/genspec"
+	"sanmap/internal/simnet"
+	"sanmap/internal/topology"
+)
+
+func planConfig(pat Pattern, seed uint64) PlanConfig {
+	return PlanConfig{
+		Pattern:  pat,
+		Load:     0.3,
+		MsgBytes: 512,
+		Duration: 300 * time.Microsecond,
+		ByteTime: simnet.DefaultTiming().ByteTime,
+		Seed:     seed,
+	}
+}
+
+func planBytes(t *testing.T, net *topology.Network, cfg PlanConfig) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := NewPlan(net, cfg).Write(net, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestPlanDeterministicUnderParallel is the property the load-smoke lane
+// rests on: a Plan is a pure function of (host set, PlanConfig), so
+// materialising the same plan from many goroutines at once — as `go test
+// -parallel` does — must yield byte-identical schedules. Hotspot and
+// Permutation are the patterns with global and per-host stochastic choices
+// respectively, so they are the ones that would betray any hidden shared
+// rng state.
+func TestPlanDeterministicUnderParallel(t *testing.T) {
+	res, err := genspec.Build("fattree2:8x2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := res.Net
+	for _, pat := range []Pattern{Hotspot, Permutation} {
+		pat := pat
+		want := planBytes(t, net, planConfig(pat, 42))
+		if len(want) == 0 {
+			t.Fatalf("%v: empty plan", pat)
+		}
+		for i := 0; i < 4; i++ {
+			i := i
+			t.Run(pat.String(), func(t *testing.T) {
+				t.Parallel()
+				// Each subtest builds on its own topology copy so even
+				// host-slice sharing cannot mask an ordering dependence.
+				res, err := genspec.Build("fattree2:8x2", nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := planBytes(t, res.Net, planConfig(pat, 42))
+				if !bytes.Equal(got, want) {
+					t.Errorf("replica %d: %v plan differs from reference (%d vs %d bytes)",
+						i, pat, len(got), len(want))
+				}
+			})
+		}
+	}
+}
+
+// TestPlanSeedSensitivity: different seeds must actually move the schedule
+// (otherwise determinism tests prove nothing).
+func TestPlanSeedSensitivity(t *testing.T) {
+	res, err := genspec.Build("fattree2:4x2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := planBytes(t, res.Net, planConfig(Hotspot, 1))
+	b := planBytes(t, res.Net, planConfig(Hotspot, 2))
+	if bytes.Equal(a, b) {
+		t.Fatal("seeds 1 and 2 produced identical Hotspot plans")
+	}
+}
+
+// TestPlanMatrixConsistent: the demand matrix must account exactly for the
+// scheduled sends.
+func TestPlanMatrixConsistent(t *testing.T) {
+	res, err := genspec.Build("fattree2:4x2", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlan(res.Net, planConfig(Permutation, 7))
+	m := p.Matrix()
+	var total int64
+	for i := range m.Bytes {
+		for j := range m.Bytes[i] {
+			total += m.Bytes[i][j]
+		}
+	}
+	if want := int64(p.TotalSends()) * int64(p.MsgBytes); total != want {
+		t.Fatalf("matrix volume %d, want %d", total, want)
+	}
+}

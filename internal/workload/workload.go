@@ -1,8 +1,3 @@
-// Package workload generates application cross-traffic over the contended
-// transport, for the paper's §6 future-work question: "the accurate mapping
-// of system area networks in the presence of application cross-traffic".
-// Traffic worms follow deadlock-free source routes (as real applications
-// would) and contend for links with mapping probes.
 package workload
 
 import (
